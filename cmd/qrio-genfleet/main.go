@@ -1,0 +1,63 @@
+// Command qrio-genfleet generates the simulated device testbed (paper
+// Table 2) and writes it as JSON — the vendor "backend.py" files a qrio
+// daemon can load with -fleet.
+//
+// Usage:
+//
+//	qrio-genfleet [-o fleet.json] [-seed 42] [-qubits 15,20,...] [-pretty]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"qrio/internal/device"
+)
+
+func main() {
+	out := flag.String("o", "fleet.json", "output path ('-' for stdout)")
+	seed := flag.Int64("seed", 42, "fleet RNG seed")
+	qubits := flag.String("qubits", "", "comma-separated qubit counts (default Table 2)")
+	pretty := flag.Bool("pretty", false, "indent the JSON output")
+	flag.Parse()
+
+	spec := device.DefaultFleetSpec()
+	spec.Seed = *seed
+	if *qubits != "" {
+		var counts []int
+		for _, part := range strings.Split(*qubits, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad qubit count %q", part)
+			}
+			counts = append(counts, n)
+		}
+		spec.QubitCounts = counts
+	}
+	fleet, err := device.GenerateFleet(spec)
+	if err != nil {
+		log.Fatalf("generating fleet: %v", err)
+	}
+	var raw []byte
+	if *pretty {
+		raw, err = json.MarshalIndent(fleet, "", "  ")
+	} else {
+		raw, err = json.Marshal(fleet)
+	}
+	if err != nil {
+		log.Fatalf("encoding fleet: %v", err)
+	}
+	if *out == "-" {
+		fmt.Println(string(raw))
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %d devices to %s (%d bytes)\n", len(fleet), *out, len(raw))
+}

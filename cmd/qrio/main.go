@@ -1,0 +1,83 @@
+// Command qrio runs an all-in-one QRIO deployment: cluster control plane,
+// scheduler, kubelets, Meta Server, Master Server and the web Visualizer,
+// over a generated (or user-supplied) device fleet.
+//
+// Endpoints (all on one listener, path-prefixed):
+//
+//	/                — Visualizer dashboard (submit jobs, view cluster/logs)
+//	/apiserver/      — cluster REST API   (nodes, jobs, logs, events)
+//	/meta/           — Meta Server REST   (backends, job metadata, scoring)
+//	/master/         — Master Server REST (job submission, logs)
+//
+// Usage:
+//
+//	qrio [-addr :8080] [-fleet fleet.json] [-small] [-concurrency N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"qrio"
+
+	"qrio/internal/daemon"
+	"qrio/internal/device"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	fleetPath := flag.String("fleet", "", "JSON fleet file (default: generate the Table 2 fleet)")
+	small := flag.Bool("small", false, "generate a reduced 30-device fleet")
+	concurrency := flag.Int("concurrency", 1, "scheduler jobs per pass (1 = paper behaviour)")
+	flag.Parse()
+
+	fleet, err := loadFleet(*fleetPath, *small)
+	if err != nil {
+		log.Fatalf("loading fleet: %v", err)
+	}
+	q, err := qrio.New(qrio.Config{Backends: fleet, Concurrency: *concurrency})
+	if err != nil {
+		log.Fatalf("assembling QRIO: %v", err)
+	}
+	q.Start()
+	defer q.Stop()
+
+	log.Printf("QRIO up: %d nodes, visualizer at http://localhost%s/", len(fleet), *addr)
+	srv := &http.Server{Addr: *addr, Handler: daemon.Handler(q)}
+	go func() {
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("serving: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+}
+
+func loadFleet(path string, small bool) ([]*device.Backend, error) {
+	if path != "" {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var fleet []*device.Backend
+		if err := json.Unmarshal(raw, &fleet); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return fleet, nil
+	}
+	spec := device.DefaultFleetSpec()
+	if small {
+		spec.QubitCounts = []int{15, 20, 27}
+	}
+	return device.GenerateFleet(spec)
+}

@@ -1,0 +1,162 @@
+// Command qrioctl is the CLI client for a running qrio daemon: submit
+// jobs, inspect nodes and jobs, and fetch execution logs over the REST API.
+//
+// Usage:
+//
+//	qrioctl -server http://localhost:8080 nodes
+//	qrioctl -server http://localhost:8080 jobs
+//	qrioctl -server http://localhost:8080 submit -name bv -qasm circuit.qasm \
+//	        -fidelity 1.0 [-max2q 0.2] [-shots 1024]
+//	qrioctl -server http://localhost:8080 submit -name opt -qasm c.qasm \
+//	        -topology ring -topology-qubits 6
+//	qrioctl -server http://localhost:8080 logs bv
+//	qrioctl -server http://localhost:8080 events bv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"qrio"
+
+	"qrio/internal/master"
+	"qrio/internal/meta"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "qrio daemon base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	apiClient := qrio.NewAPIClient(*server + "/apiserver")
+	masterClient := master.NewClient(*server + "/master")
+	metaClient := meta.NewClient(*server + "/meta")
+
+	switch args[0] {
+	case "nodes":
+		nodes, err := apiClient.Nodes()
+		check(err)
+		fmt.Printf("%-18s %-9s %7s %10s %10s %s\n", "NAME", "PHASE", "QUBITS", "AVG2QERR", "READOUT", "RUNNING")
+		for _, n := range nodes {
+			fmt.Printf("%-18s %-9s %7s %10.10s %10.10s %s\n",
+				n.Name, n.Status.Phase, n.Labels["qrio.io/qubits"],
+				n.Labels["qrio.io/avg-2q-error"], n.Labels["qrio.io/avg-readout-error"],
+				n.Status.RunningJob)
+		}
+	case "jobs":
+		jobs, err := apiClient.Jobs()
+		check(err)
+		fmt.Printf("%-20s %-10s %-9s %-18s %8s\n", "NAME", "PHASE", "STRATEGY", "NODE", "SCORE")
+		for _, j := range jobs {
+			fmt.Printf("%-20s %-10s %-9s %-18s %8.4f\n",
+				j.Name, j.Status.Phase, j.Spec.Strategy, j.Status.Node, j.Status.Score)
+		}
+	case "logs":
+		if len(args) < 2 {
+			usage()
+		}
+		res, err := apiClient.Logs(args[1])
+		check(err)
+		for _, line := range res.LogLines {
+			fmt.Println(line)
+		}
+		fmt.Printf("fidelity=%.4f node=%s elapsed=%dms\n", res.Fidelity, res.Node, res.ElapsedMS)
+	case "events":
+		if len(args) < 2 {
+			usage()
+		}
+		events, err := apiClient.Events(args[1])
+		check(err)
+		for _, e := range events {
+			fmt.Printf("%s  %-14s %s\n", e.Time.Format("15:04:05.000"), e.Reason, e.Message)
+		}
+	case "submit":
+		submit(masterClient, metaClient, args[1:])
+	default:
+		usage()
+	}
+}
+
+func submit(masterClient *master.Client, metaClient *meta.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	name := fs.String("name", "", "job name (required)")
+	qasmPath := fs.String("qasm", "", "path to the OpenQASM 2.0 circuit (required)")
+	shots := fs.Int("shots", 1024, "shots")
+	fidelityTarget := fs.Float64("fidelity", 0, "fidelity target (fidelity strategy)")
+	topology := fs.String("topology", "", "topology name (topology strategy): line|ring|grid|full|heavy-square|star|tree")
+	topoQubits := fs.Int("topology-qubits", 0, "topology qubit count")
+	max2q := fs.Float64("max2q", 0, "max average 2-qubit error")
+	maxReadout := fs.Float64("max-readout", 0, "max readout error")
+	minQubits := fs.Int("min-qubits", 0, "minimum device qubits")
+	cpu := fs.Int64("cpu", 0, "CPU request (millicores)")
+	mem := fs.Int64("memory", 0, "memory request (MB)")
+	check(fs.Parse(args))
+	if *name == "" || *qasmPath == "" {
+		log.Fatal("submit needs -name and -qasm")
+	}
+	src, err := os.ReadFile(*qasmPath)
+	check(err)
+
+	req := master.SubmitRequest{
+		JobName:   *name,
+		QASM:      string(src),
+		Shots:     *shots,
+		CPUMillis: *cpu,
+		MemoryMB:  *mem,
+		Requirements: qrio.DeviceRequirements{
+			MinQubits:     *minQubits,
+			MaxAvg2QError: *max2q,
+			MaxReadoutErr: *maxReadout,
+		},
+	}
+	jm := meta.JobMeta{JobName: *name}
+	switch {
+	case *fidelityTarget > 0:
+		req.Strategy = qrio.StrategyFidelity
+		req.TargetFidelity = *fidelityTarget
+		jm.Strategy = qrio.StrategyFidelity
+		jm.TargetFidelity = *fidelityTarget
+		jm.CircuitQASM = string(src)
+	case *topology != "":
+		if *topoQubits <= 0 {
+			log.Fatal("topology strategy needs -topology-qubits")
+		}
+		g, err := qrio.NamedTopology(*topology, *topoQubits)
+		check(err)
+		topoQASM, err := qrio.TopologyQASM(g)
+		check(err)
+		req.Strategy = qrio.StrategyTopology
+		req.TopologyQASM = topoQASM
+		jm.Strategy = qrio.StrategyTopology
+		jm.TopologyQASM = topoQASM
+	default:
+		log.Fatal("choose a strategy: -fidelity F or -topology NAME")
+	}
+	// The visualizer flow: metadata to the Meta Server first (Table 1),
+	// then the full request to the Master Server.
+	check(metaClient.PutJobMeta(jm))
+	job, err := masterClient.Submit(req)
+	check(err)
+	fmt.Printf("job %s submitted (phase %s, image %s)\n", job.Name, job.Status.Phase, job.Spec.Image)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: qrioctl [-server URL] <command>
+commands:
+  nodes                 list cluster nodes
+  jobs                  list jobs
+  submit -name N -qasm FILE (-fidelity F | -topology NAME -topology-qubits Q) [flags]
+  logs JOB              fetch a finished job's execution log
+  events JOB            list a job's events`)
+	os.Exit(2)
+}

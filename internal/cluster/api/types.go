@@ -1,0 +1,234 @@
+// Package api defines the QRIO cluster's object model — the analogue of
+// the Kubernetes API types the paper builds on (§3.1): Nodes that pair a
+// quantum backend with classical capacity and carry scheduling labels,
+// QuantumJobs with the user's resource and device requirements, execution
+// Results (the logs of Fig. 5), and Events for observability.
+package api
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// ObjectMeta is common object metadata, in the Kubernetes style.
+type ObjectMeta struct {
+	Name            string            `json:"name"`
+	UID             string            `json:"uid,omitempty"`
+	ResourceVersion int64             `json:"resourceVersion,omitempty"`
+	CreatedAt       time.Time         `json:"createdAt,omitempty"`
+	Labels          map[string]string `json:"labels,omitempty"`
+}
+
+// GetName returns the object name (store key).
+func (m *ObjectMeta) GetName() string { return m.Name }
+
+// NodePhase is the lifecycle state of a node.
+type NodePhase string
+
+const (
+	NodeReady    NodePhase = "Ready"
+	NodeNotReady NodePhase = "NotReady"
+)
+
+// Node is a cluster member hosting one quantum device plus classical
+// compute. The vendor's backend calibration (the backend.py analogue) is
+// carried as opaque JSON; the Meta Server holds the authoritative copy.
+type Node struct {
+	ObjectMeta
+	Spec   NodeSpec   `json:"spec"`
+	Status NodeStatus `json:"status"`
+}
+
+// NodeSpec is the vendor-declared part of a node.
+type NodeSpec struct {
+	// BackendJSON is the serialized device.Backend for this node.
+	BackendJSON []byte `json:"backendJSON"`
+	// CPUMillis and MemoryMB are the node's classical capacity.
+	CPUMillis int64 `json:"cpuMillis"`
+	MemoryMB  int64 `json:"memoryMB"`
+}
+
+// NodeStatus is the cluster-maintained part of a node.
+type NodeStatus struct {
+	Phase         NodePhase `json:"phase"`
+	LastHeartbeat time.Time `json:"lastHeartbeat,omitempty"`
+	// RunningJob is the job currently executing (QRIO schedules one job
+	// per node at a time, mirroring the paper's single-job architecture).
+	RunningJob string `json:"runningJob,omitempty"`
+	// CPUMillisInUse/MemoryMBInUse track committed classical resources.
+	CPUMillisInUse int64 `json:"cpuMillisInUse,omitempty"`
+	MemoryMBInUse  int64 `json:"memoryMBInUse,omitempty"`
+}
+
+// Scheduling strategy names (paper §3.4).
+type Strategy string
+
+const (
+	StrategyFidelity Strategy = "fidelity"
+	StrategyTopology Strategy = "topology"
+)
+
+// JobPhase is the lifecycle state of a quantum job.
+type JobPhase string
+
+const (
+	JobPending   JobPhase = "Pending"
+	JobScheduled JobPhase = "Scheduled"
+	JobRunning   JobPhase = "Running"
+	JobSucceeded JobPhase = "Succeeded"
+	JobFailed    JobPhase = "Failed"
+)
+
+// Terminal reports whether the phase is final.
+func (p JobPhase) Terminal() bool { return p == JobSucceeded || p == JobFailed }
+
+// ResourceRequirements are the classical resources a job requests
+// (the CPU/Memory fields of the visualizer's step-1 form, Fig. 4a).
+type ResourceRequirements struct {
+	CPUMillis int64 `json:"cpuMillis,omitempty"`
+	MemoryMB  int64 `json:"memoryMB,omitempty"`
+}
+
+// DeviceRequirements are the quantum device characteristics a job filters
+// on (the step-2 form, Fig. 4b). Zero values mean "no constraint".
+type DeviceRequirements struct {
+	MinQubits     int     `json:"minQubits,omitempty"`
+	MaxAvg2QError float64 `json:"maxAvg2qError,omitempty"`
+	MaxReadoutErr float64 `json:"maxReadoutError,omitempty"`
+	MinT1us       float64 `json:"minT1us,omitempty"`
+	MinT2us       float64 `json:"minT2us,omitempty"`
+}
+
+// JobSpec is the user-declared job description.
+type JobSpec struct {
+	// Image names the containerised job bundle in the registry; the
+	// Master Server fills it in after the build+push step (§3.3).
+	Image string `json:"image,omitempty"`
+	// QASM is the user's circuit source (§3.2: jobs are submitted as
+	// QASM files).
+	QASM  string `json:"qasm"`
+	Shots int    `json:"shots,omitempty"`
+
+	Resources    ResourceRequirements `json:"resources,omitempty"`
+	Requirements DeviceRequirements   `json:"requirements,omitempty"`
+
+	// Strategy selects the ranking mode; exactly one of TargetFidelity /
+	// TopologyQASM is meaningful (Table 1).
+	Strategy       Strategy `json:"strategy"`
+	TargetFidelity float64  `json:"targetFidelity,omitempty"`
+	// TopologyQASM is the user topology converted to a pseudo-circuit
+	// (one cx per requested edge, §3.2).
+	TopologyQASM string `json:"topologyQASM,omitempty"`
+}
+
+// JobStatus is maintained by the scheduler, kubelets and the controller.
+type JobStatus struct {
+	Phase    JobPhase `json:"phase"`
+	Node     string   `json:"node,omitempty"`
+	Score    float64  `json:"score,omitempty"`
+	Attempts int      `json:"attempts,omitempty"`
+	Message  string   `json:"message,omitempty"`
+
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+}
+
+// QuantumJob is the unit of scheduling.
+type QuantumJob struct {
+	ObjectMeta
+	Spec   JobSpec   `json:"spec"`
+	Status JobStatus `json:"status"`
+}
+
+// Validate checks a job submission.
+func (j *QuantumJob) Validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("api: job has no name")
+	}
+	if j.Spec.QASM == "" {
+		return fmt.Errorf("api: job %s has no circuit", j.Name)
+	}
+	switch j.Spec.Strategy {
+	case StrategyFidelity:
+		if j.Spec.TargetFidelity <= 0 || j.Spec.TargetFidelity > 1 {
+			return fmt.Errorf("api: job %s fidelity target %g out of (0,1]", j.Name, j.Spec.TargetFidelity)
+		}
+	case StrategyTopology:
+		if j.Spec.TopologyQASM == "" {
+			return fmt.Errorf("api: job %s topology strategy without topology circuit", j.Name)
+		}
+	default:
+		return fmt.Errorf("api: job %s has unknown strategy %q", j.Name, j.Spec.Strategy)
+	}
+	if j.Spec.Shots < 0 {
+		return fmt.Errorf("api: job %s negative shots", j.Name)
+	}
+	return nil
+}
+
+// Result holds a finished job's execution record — the log content the
+// visualizer shows (Fig. 5).
+type Result struct {
+	ObjectMeta
+	JobName  string         `json:"jobName"`
+	Node     string         `json:"node"`
+	Counts   map[string]int `json:"counts,omitempty"`
+	Fidelity float64        `json:"fidelity,omitempty"`
+	// LogLines is the human-readable execution log.
+	LogLines []string `json:"logLines,omitempty"`
+	// TranspiledQASM records the executable actually run on the device.
+	TranspiledQASM string `json:"transpiledQASM,omitempty"`
+	ElapsedMS      int64  `json:"elapsedMS,omitempty"`
+}
+
+// Event records a cluster occurrence for observability.
+type Event struct {
+	ObjectMeta
+	Kind    string    `json:"kind"`  // object kind: Job, Node, ...
+	About   string    `json:"about"` // object name
+	Reason  string    `json:"reason"`
+	Message string    `json:"message"`
+	Time    time.Time `json:"time"`
+}
+
+// Node label keys published for scheduler filtering (§3.1: "we label each
+// node in the cluster with its properties").
+const (
+	LabelQubits     = "qrio.io/qubits"
+	LabelAvg2QErr   = "qrio.io/avg-2q-error"
+	LabelAvgT1us    = "qrio.io/avg-t1-us"
+	LabelAvgT2us    = "qrio.io/avg-t2-us"
+	LabelAvgReadout = "qrio.io/avg-readout-error"
+	LabelCPUMillis  = "qrio.io/cpu-millis"
+	LabelMemoryMB   = "qrio.io/memory-mb"
+)
+
+// FormatFloatLabel renders a float for a label value.
+func FormatFloatLabel(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// ParseFloatLabel parses a float label; returns ok=false on absence/garbage.
+func ParseFloatLabel(labels map[string]string, key string) (float64, bool) {
+	s, ok := labels[key]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ParseIntLabel parses an integer label.
+func ParseIntLabel(labels map[string]string, key string) (int64, bool) {
+	s, ok := labels[key]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

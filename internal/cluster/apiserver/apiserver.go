@@ -1,0 +1,213 @@
+// Package apiserver exposes the cluster state over REST — the QRIO master
+// node's API surface that the Master Server, Visualizer and qrioctl talk
+// to. All circuit payloads travel as QASM strings inside JSON, so the
+// whole control plane is usable without any quantum SDK on the client.
+package apiserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/cluster/store"
+	"qrio/internal/device"
+)
+
+// Server serves the cluster API.
+type Server struct {
+	State *state.Cluster
+}
+
+// New builds an API server over cluster state.
+func New(st *state.Cluster) *Server { return &Server{State: st} }
+
+// Handler returns the REST routes:
+//
+//	GET  /healthz
+//	GET  /api/v1/nodes              GET /api/v1/nodes/{name}
+//	POST /api/v1/nodes              — register a vendor backend as a node
+//	GET  /api/v1/jobs               GET /api/v1/jobs/{name}
+//	POST /api/v1/jobs               — direct job submission (prefer the
+//	                                  Master Server, which containerises)
+//	GET  /api/v1/jobs/{name}/logs   — execution result (Fig. 5)
+//	GET  /api/v1/events?about=X
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":    true,
+			"nodes": s.State.Nodes.Len(),
+			"jobs":  s.State.Jobs.Len(),
+		})
+	})
+	mux.HandleFunc("/api/v1/nodes", s.handleNodes)
+	mux.HandleFunc("/api/v1/nodes/", s.handleNode)
+	mux.HandleFunc("/api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/api/v1/events", s.handleEvents)
+	return mux
+}
+
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		nodes := s.State.Nodes.List()
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+		writeJSON(w, http.StatusOK, nodes)
+	case http.MethodPost:
+		var b device.Backend
+		if err := decodeJSON(r, &b); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		n, err := s.State.AddNode(&b)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, n)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+	}
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/api/v1/nodes/")
+	if name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		n, _, err := s.State.Nodes.Get(name)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, n)
+	case http.MethodDelete:
+		if err := s.State.Nodes.Delete(name); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		jobs := s.State.Jobs.List()
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
+		writeJSON(w, http.StatusOK, jobs)
+	case http.MethodPost:
+		var j api.QuantumJob
+		if err := decodeJSON(r, &j); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.State.SubmitJob(j); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		stored, _, _ := s.State.Jobs.Get(j.Name)
+		writeJSON(w, http.StatusCreated, stored)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	if name, ok := strings.CutSuffix(rest, "/logs"); ok && name != "" {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			return
+		}
+		res, _, err := s.State.Results.Get(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("no logs for job %q (logs appear once execution finishes)", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	name := rest
+	if name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		j, _, err := s.State.Jobs.Get(name)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	case http.MethodDelete:
+		if err := s.State.Jobs.Delete(name); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		return
+	}
+	about := r.URL.Query().Get("about")
+	var events []api.Event
+	if about != "" {
+		events = s.State.EventsAbout(about)
+	} else {
+		events = s.State.Events.List()
+		sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	}
+	writeJSON(w, http.StatusOK, events)
+}
+
+func statusFor(err error) int {
+	var notFound store.ErrNotFound
+	var exists store.ErrExists
+	switch {
+	case errors.As(err, &notFound):
+		return http.StatusNotFound
+	case errors.As(err, &exists):
+		return http.StatusConflict
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,147 @@
+package apiserver_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/apiserver"
+	"qrio/internal/cluster/state"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+)
+
+func newServer(t *testing.T) (*apiserver.Client, *state.Cluster, func()) {
+	t.Helper()
+	st := state.New()
+	srv := httptest.NewServer(apiserver.New(st).Handler())
+	return apiserver.NewClient(srv.URL), st, srv.Close
+}
+
+func testBackend(t *testing.T, name string) *device.Backend {
+	t.Helper()
+	b, err := device.UniformBackend(name, graph.Line(4), 0.1, 0.01, 0.05, 100e3, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func testJob(name string) api.QuantumJob {
+	return api.QuantumJob{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec: api.JobSpec{
+			QASM:     "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];",
+			Strategy: api.StrategyFidelity, TargetFidelity: 0.9,
+		},
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	c, _, done := newServer(t)
+	defer done()
+	if err := c.Healthy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeLifecycleOverHTTP(t *testing.T) {
+	c, _, done := newServer(t)
+	defer done()
+	n, err := c.RegisterNode(testBackend(t, "dev-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "dev-a" || n.Labels[api.LabelQubits] != "4" {
+		t.Fatalf("registered node = %+v", n)
+	}
+	nodes, err := c.Nodes()
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("Nodes = %v, %v", nodes, err)
+	}
+	got, err := c.Node("dev-a")
+	if err != nil || got.Name != "dev-a" {
+		t.Fatalf("Node = %v, %v", got, err)
+	}
+	// Duplicate registration conflicts.
+	if _, err := c.RegisterNode(testBackend(t, "dev-a")); err == nil {
+		t.Fatal("duplicate node accepted over HTTP")
+	}
+	if err := c.DeleteNode("dev-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node("dev-a"); err == nil {
+		t.Fatal("deleted node still fetchable")
+	}
+	if err := c.DeleteNode("dev-a"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	c, st, done := newServer(t)
+	defer done()
+	if _, err := c.SubmitJob(testJob("j1")); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := c.Jobs()
+	if err != nil || len(jobs) != 1 || jobs[0].Status.Phase != api.JobPending {
+		t.Fatalf("Jobs = %v, %v", jobs, err)
+	}
+	// Invalid submissions rejected.
+	bad := testJob("j2")
+	bad.Spec.Strategy = "nope"
+	if _, err := c.SubmitJob(bad); err == nil {
+		t.Fatal("invalid job accepted over HTTP")
+	}
+	// Logs 404 before results exist.
+	if _, err := c.Logs("j1"); err == nil {
+		t.Fatal("premature logs")
+	}
+	st.Results.Create(api.Result{
+		ObjectMeta: api.ObjectMeta{Name: "j1"},
+		JobName:    "j1", Node: "dev", LogLines: []string{"done"}, Fidelity: 0.9,
+	})
+	res, err := c.Logs("j1")
+	if err != nil || res.Fidelity != 0.9 {
+		t.Fatalf("Logs = %+v, %v", res, err)
+	}
+}
+
+func TestEventsOverHTTP(t *testing.T) {
+	c, st, done := newServer(t)
+	defer done()
+	st.RecordEvent("Job", "j1", "A", "one")
+	st.RecordEvent("Job", "j2", "B", "two")
+	all, err := c.Events("")
+	if err != nil || len(all) != 2 {
+		t.Fatalf("Events = %v, %v", all, err)
+	}
+	onlyJ1, err := c.Events("j1")
+	if err != nil || len(onlyJ1) != 1 || onlyJ1[0].Reason != "A" {
+		t.Fatalf("filtered events = %v, %v", onlyJ1, err)
+	}
+}
+
+func TestUnknownPathsAndMethods(t *testing.T) {
+	_, st, done := newServer(t)
+	defer done()
+	srv := httptest.NewServer(apiserver.New(st).Handler())
+	defer srv.Close()
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{"GET", "/api/v1/jobs/", 404},
+		{"PATCH", "/api/v1/nodes", 405},
+		{"PUT", "/api/v1/jobs", 405},
+		{"GET", "/api/v1/nodes/a/b", 404},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, nil)
+		w := httptest.NewRecorder()
+		apiserver.New(st).Handler().ServeHTTP(w, req)
+		if w.Code != tc.wantStatus {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, w.Code, tc.wantStatus)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package controller implements the job lifecycle controller: the
+// reconciliation loop that gives QRIO the self-healing Kubernetes
+// properties the paper claims (§3.1 — "QRIO can self-restart nodes and
+// jobs if they are down"). It requeues jobs stranded on dead nodes,
+// retries failed jobs up to a budget, marks stale nodes NotReady, and
+// garbage-collects old events.
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+)
+
+// Controller reconciles cluster state.
+type Controller struct {
+	State *state.Cluster
+	// MaxRetries bounds automatic retries of failed jobs (default 2).
+	MaxRetries int
+	// NodeTimeout marks nodes NotReady when heartbeats stop (default 2s).
+	NodeTimeout time.Duration
+	// StuckTimeout requeues Scheduled/Running jobs whose node vanished or
+	// went NotReady for this long (default 5s).
+	StuckTimeout time.Duration
+	// MaxEvents caps the event log (default 2048).
+	MaxEvents int
+	// Interval is the reconcile cadence (default 100ms).
+	Interval time.Duration
+	// Clock is injectable for tests.
+	Clock func() time.Time
+}
+
+// New builds a controller with defaults.
+func New(st *state.Cluster) *Controller {
+	return &Controller{
+		State:        st,
+		MaxRetries:   2,
+		NodeTimeout:  2 * time.Second,
+		StuckTimeout: 5 * time.Second,
+		MaxEvents:    2048,
+		Interval:     100 * time.Millisecond,
+		Clock:        time.Now,
+	}
+}
+
+// Run reconciles until the context is cancelled.
+func (c *Controller) Run(ctx context.Context) {
+	interval := c.Interval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			c.ReconcileOnce()
+		}
+	}
+}
+
+// ReconcileOnce runs one pass of every reconciliation rule.
+func (c *Controller) ReconcileOnce() {
+	now := c.clock()
+	c.markStaleNodes(now)
+	c.requeueStrandedJobs(now)
+	c.retryFailedJobs()
+	c.gcEvents()
+}
+
+func (c *Controller) clock() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+// markStaleNodes flips nodes whose heartbeat stopped to NotReady.
+func (c *Controller) markStaleNodes(now time.Time) {
+	timeout := c.NodeTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	for _, n := range c.State.Nodes.List() {
+		if n.Status.Phase == api.NodeReady &&
+			!n.Status.LastHeartbeat.IsZero() &&
+			now.Sub(n.Status.LastHeartbeat) > timeout {
+			name := n.Name
+			c.State.Nodes.Update(name, func(n api.Node) (api.Node, error) {
+				n.Status.Phase = api.NodeNotReady
+				return n, nil
+			})
+			c.State.RecordEvent("Node", name, "HeartbeatLost", "marking node NotReady")
+		}
+	}
+}
+
+// requeueStrandedJobs resets Scheduled/Running jobs whose node is gone or
+// NotReady back to Pending so the scheduler can place them elsewhere.
+func (c *Controller) requeueStrandedJobs(now time.Time) {
+	stuck := c.StuckTimeout
+	if stuck <= 0 {
+		stuck = 5 * time.Second
+	}
+	for _, j := range c.State.Jobs.List() {
+		if j.Status.Phase != api.JobScheduled && j.Status.Phase != api.JobRunning {
+			continue
+		}
+		nodeName := j.Status.Node
+		node, _, err := c.State.Nodes.Get(nodeName)
+		healthy := err == nil && node.Status.Phase == api.NodeReady
+		if healthy {
+			continue
+		}
+		// Grace period: the node may just be flapping.
+		ref := j.CreatedAt
+		if j.Status.StartedAt != nil {
+			ref = *j.Status.StartedAt
+		}
+		if now.Sub(ref) < stuck {
+			continue
+		}
+		jobName := j.Name
+		c.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+			if j.Status.Phase != api.JobScheduled && j.Status.Phase != api.JobRunning {
+				return j, fmt.Errorf("controller: phase changed")
+			}
+			j.Status.Phase = api.JobPending
+			j.Status.Node = ""
+			j.Status.Message = fmt.Sprintf("requeued: node %s unavailable", nodeName)
+			return j, nil
+		})
+		if err == nil {
+			c.State.ReleaseNode(nodeName, jobName)
+		}
+		c.State.RecordEvent("Job", jobName, "Requeued",
+			fmt.Sprintf("node %s unavailable; job returned to the queue", nodeName))
+	}
+}
+
+// retryFailedJobs sends failed jobs back to Pending while retry budget
+// remains.
+func (c *Controller) retryFailedJobs() {
+	max := c.MaxRetries
+	if max < 0 {
+		max = 0
+	}
+	for _, j := range c.State.Jobs.List() {
+		if j.Status.Phase != api.JobFailed || j.Status.Attempts > max {
+			continue
+		}
+		jobName := j.Name
+		attempts := j.Status.Attempts
+		c.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+			if j.Status.Phase != api.JobFailed {
+				return j, fmt.Errorf("controller: phase changed")
+			}
+			j.Status.Phase = api.JobPending
+			j.Status.Node = ""
+			return j, nil
+		})
+		c.State.RecordEvent("Job", jobName, "Retrying",
+			fmt.Sprintf("attempt %d of %d", attempts+1, max+1))
+	}
+}
+
+// gcEvents trims the event log to MaxEvents, dropping the oldest.
+func (c *Controller) gcEvents() {
+	cap := c.MaxEvents
+	if cap <= 0 {
+		cap = 2048
+	}
+	events := c.State.Events.List()
+	if len(events) <= cap {
+		return
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	for _, e := range events[:len(events)-cap] {
+		c.State.Events.Delete(e.Name)
+	}
+}

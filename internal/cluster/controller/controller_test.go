@@ -1,0 +1,170 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct{ now time.Time }
+
+func (f *fakeClock) Now() time.Time          { return f.now }
+func (f *fakeClock) Advance(d time.Duration) { f.now = f.now.Add(d) }
+
+func setup(t *testing.T) (*Controller, *state.Cluster, *fakeClock) {
+	t.Helper()
+	st := state.New()
+	b, err := device.UniformBackend("n1", graph.Line(4), 0.1, 0.01, 0.05, 100e3, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	// Start at real time: object CreatedAt stamps come from the wall clock,
+	// and the grace-period arithmetic compares the two.
+	clk := &fakeClock{now: time.Now()}
+	c := New(st)
+	c.Clock = clk.Now
+	return c, st, clk
+}
+
+func submit(t *testing.T, st *state.Cluster, name string) {
+	t.Helper()
+	err := st.SubmitJob(api.QuantumJob{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec: api.JobSpec{
+			QASM:     "OPENQASM 2.0;\nqreg q[1];\nh q[0];",
+			Strategy: api.StrategyFidelity, TargetFidelity: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleNodeMarkedNotReady(t *testing.T) {
+	c, st, clk := setup(t)
+	st.Nodes.Update("n1", func(n api.Node) (api.Node, error) {
+		n.Status.LastHeartbeat = clk.Now()
+		return n, nil
+	})
+	c.ReconcileOnce()
+	n, _, _ := st.Nodes.Get("n1")
+	if n.Status.Phase != api.NodeReady {
+		t.Fatal("fresh node marked NotReady")
+	}
+	clk.Advance(10 * time.Second)
+	c.ReconcileOnce()
+	n, _, _ = st.Nodes.Get("n1")
+	if n.Status.Phase != api.NodeNotReady {
+		t.Fatal("stale node still Ready")
+	}
+}
+
+func TestStrandedJobRequeued(t *testing.T) {
+	c, st, clk := setup(t)
+	submit(t, st, "j1")
+	if err := st.BindJob("j1", "n1", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	// Node dies.
+	st.Nodes.Update("n1", func(n api.Node) (api.Node, error) {
+		n.Status.Phase = api.NodeNotReady
+		return n, nil
+	})
+	// Inside the grace period nothing happens.
+	c.ReconcileOnce()
+	j, _, _ := st.Jobs.Get("j1")
+	if j.Status.Phase != api.JobScheduled {
+		t.Fatalf("requeued inside grace period: %s", j.Status.Phase)
+	}
+	clk.Advance(time.Minute)
+	c.ReconcileOnce()
+	j, _, _ = st.Jobs.Get("j1")
+	if j.Status.Phase != api.JobPending || j.Status.Node != "" {
+		t.Fatalf("stranded job not requeued: %+v", j.Status)
+	}
+	// Node resources released.
+	n, _, _ := st.Nodes.Get("n1")
+	if n.Status.RunningJob != "" {
+		t.Fatalf("node still holds job: %+v", n.Status)
+	}
+}
+
+func TestStrandedJobOnDeletedNode(t *testing.T) {
+	c, st, clk := setup(t)
+	submit(t, st, "j1")
+	st.BindJob("j1", "n1", 0)
+	st.Nodes.Delete("n1")
+	clk.Advance(time.Minute)
+	c.ReconcileOnce()
+	j, _, _ := st.Jobs.Get("j1")
+	if j.Status.Phase != api.JobPending {
+		t.Fatalf("job on deleted node not requeued: %s", j.Status.Phase)
+	}
+}
+
+func TestFailedJobRetriesUpToBudget(t *testing.T) {
+	c, st, _ := setup(t)
+	c.MaxRetries = 2
+	submit(t, st, "j1")
+	fail := func(attempts int) {
+		st.Jobs.Update("j1", func(j api.QuantumJob) (api.QuantumJob, error) {
+			j.Status.Phase = api.JobFailed
+			j.Status.Attempts = attempts
+			return j, nil
+		})
+	}
+	fail(1)
+	c.ReconcileOnce()
+	j, _, _ := st.Jobs.Get("j1")
+	if j.Status.Phase != api.JobPending {
+		t.Fatalf("first failure not retried: %s", j.Status.Phase)
+	}
+	fail(2)
+	c.ReconcileOnce()
+	j, _, _ = st.Jobs.Get("j1")
+	if j.Status.Phase != api.JobPending {
+		t.Fatalf("second failure not retried: %s", j.Status.Phase)
+	}
+	fail(3) // exceeds budget of 2 retries
+	c.ReconcileOnce()
+	j, _, _ = st.Jobs.Get("j1")
+	if j.Status.Phase != api.JobFailed {
+		t.Fatalf("retry budget ignored: %s", j.Status.Phase)
+	}
+}
+
+func TestHealthyClusterUntouched(t *testing.T) {
+	c, st, clk := setup(t)
+	st.Nodes.Update("n1", func(n api.Node) (api.Node, error) {
+		n.Status.LastHeartbeat = clk.Now()
+		return n, nil
+	})
+	submit(t, st, "j1")
+	st.BindJob("j1", "n1", 0)
+	c.ReconcileOnce()
+	j, _, _ := st.Jobs.Get("j1")
+	if j.Status.Phase != api.JobScheduled {
+		t.Fatalf("healthy scheduled job disturbed: %s", j.Status.Phase)
+	}
+}
+
+func TestEventGC(t *testing.T) {
+	c, st, _ := setup(t)
+	c.MaxEvents = 10
+	for i := 0; i < 25; i++ {
+		st.RecordEvent("Job", fmt.Sprintf("j%d", i), "Test", "spam")
+	}
+	c.ReconcileOnce()
+	if got := st.Events.Len(); got > 10+1 { // +1 slack for AddNode's event
+		t.Fatalf("events not trimmed: %d", got)
+	}
+}

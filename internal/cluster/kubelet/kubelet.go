@@ -1,0 +1,228 @@
+// Package kubelet implements QRIO's node agent: each worker node runs one,
+// watching the cluster state for jobs bound to it, pulling the job's image
+// bundle from the registry, transpiling the bundled circuit to the node's
+// local backend file and executing it (§3.1/§3.3), then publishing the
+// result logs and releasing the node.
+package kubelet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/fidelity"
+	"qrio/internal/master"
+	"qrio/internal/quantum/qasm"
+	"qrio/internal/registry"
+)
+
+// Kubelet is one node's agent.
+type Kubelet struct {
+	NodeName string
+	State    *state.Cluster
+	Registry *registry.Registry
+	// Interval is the reconcile cadence (default 10ms).
+	Interval time.Duration
+	// Heartbeat cadence for node liveness (default 250ms).
+	Heartbeat time.Duration
+	// Seed makes executions reproducible per node.
+	Seed int64
+	// Clock is injectable for tests (default time.Now).
+	Clock func() time.Time
+}
+
+// New builds a kubelet for a node.
+func New(nodeName string, st *state.Cluster, reg *registry.Registry, seed int64) *Kubelet {
+	return &Kubelet{
+		NodeName:  nodeName,
+		State:     st,
+		Registry:  reg,
+		Interval:  10 * time.Millisecond,
+		Heartbeat: 250 * time.Millisecond,
+		Seed:      seed,
+		Clock:     time.Now,
+	}
+}
+
+// Run reconciles until the context is cancelled.
+func (k *Kubelet) Run(ctx context.Context) {
+	interval := k.Interval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	hb := k.Heartbeat
+	if hb <= 0 {
+		hb = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	beat := time.NewTicker(hb)
+	defer tick.Stop()
+	defer beat.Stop()
+	events, cancel := k.State.Jobs.Watch(128)
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-beat.C:
+			k.heartbeat()
+		case <-events:
+			k.SyncOnce()
+		case <-tick.C:
+			k.SyncOnce()
+		}
+	}
+}
+
+func (k *Kubelet) heartbeat() {
+	k.State.Nodes.Update(k.NodeName, func(n api.Node) (api.Node, error) {
+		n.Status.LastHeartbeat = k.Clock()
+		if n.Status.Phase == api.NodeNotReady {
+			n.Status.Phase = api.NodeReady
+		}
+		return n, nil
+	})
+}
+
+// SyncOnce executes at most one job currently bound to this node.
+// It returns true when a job was run.
+func (k *Kubelet) SyncOnce() bool {
+	for _, j := range k.State.Jobs.List() {
+		if j.Status.Node == k.NodeName && j.Status.Phase == api.JobScheduled {
+			k.runJob(j.Name)
+			return true
+		}
+	}
+	return false
+}
+
+// runJob drives one job through Running to a terminal phase.
+func (k *Kubelet) runJob(jobName string) {
+	start := k.Clock()
+	claimed, _, err := k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+		if j.Status.Phase != api.JobScheduled || j.Status.Node != k.NodeName {
+			return j, fmt.Errorf("kubelet: job no longer ours")
+		}
+		j.Status.Phase = api.JobRunning
+		j.Status.Attempts++
+		t := k.Clock()
+		j.Status.StartedAt = &t
+		return j, nil
+	})
+	if err != nil {
+		return // lost the claim; nothing to clean up
+	}
+	logs, result, execErr := k.execute(claimed)
+	end := k.Clock()
+	elapsed := end.Sub(start).Milliseconds()
+
+	if execErr != nil {
+		logs = append(logs, fmt.Sprintf("[qrio] ERROR: %v", execErr))
+	}
+	res := api.Result{
+		ObjectMeta: api.ObjectMeta{Name: jobName},
+		JobName:    jobName,
+		Node:       k.NodeName,
+		LogLines:   logs,
+		ElapsedMS:  elapsed,
+	}
+	if result != nil {
+		res.Counts = result.Counts
+		res.Fidelity = result.Fidelity
+		if qasmText, err := qasm.Dump(result.Transpiled); err == nil {
+			res.TranspiledQASM = qasmText
+		}
+	}
+	// Results are keyed by job name; a retry overwrites the previous log.
+	if _, err := k.State.Results.Create(res); err != nil {
+		k.State.Results.Update(jobName, func(api.Result) (api.Result, error) { return res, nil })
+	}
+
+	k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+		t := k.Clock()
+		j.Status.FinishedAt = &t
+		if execErr != nil {
+			j.Status.Phase = api.JobFailed
+			j.Status.Message = execErr.Error()
+		} else {
+			j.Status.Phase = api.JobSucceeded
+			j.Status.Message = fmt.Sprintf("fidelity %.4f on %s", res.Fidelity, k.NodeName)
+		}
+		return j, nil
+	})
+	k.State.ReleaseNode(k.NodeName, jobName)
+	reason := "Succeeded"
+	if execErr != nil {
+		reason = "Failed"
+	}
+	k.State.RecordEvent("Job", jobName, reason,
+		fmt.Sprintf("executed on %s in %dms", k.NodeName, elapsed))
+}
+
+// execute pulls the image and runs the bundled circuit on this node's
+// backend. The returned log lines mirror the Fig. 5 log view.
+func (k *Kubelet) execute(j api.QuantumJob) ([]string, *fidelity.Execution, error) {
+	logs := []string{
+		fmt.Sprintf("[qrio] job %s starting on node %s", j.Name, k.NodeName),
+	}
+	imgRef := j.Spec.Image
+	if at := strings.LastIndex(imgRef, "@"); at >= 0 {
+		imgRef = imgRef[at+1:] // pull by digest
+	}
+	img, err := k.Registry.Pull(imgRef)
+	if err != nil {
+		return logs, nil, fmt.Errorf("pulling image %s: %w", j.Spec.Image, err)
+	}
+	logs = append(logs, fmt.Sprintf("[qrio] pulled image %s (%d files)", j.Spec.Image, len(img.Files)))
+
+	qasmSrc, ok := img.Files["circuit.qasm"]
+	if !ok {
+		return logs, nil, fmt.Errorf("image %s has no circuit.qasm", j.Spec.Image)
+	}
+	var manifest master.RunnerManifest
+	if raw, ok := img.Files["runner.json"]; ok {
+		if err := json.Unmarshal(raw, &manifest); err != nil {
+			return logs, nil, fmt.Errorf("image %s runner.json corrupt: %w", j.Spec.Image, err)
+		}
+	}
+	shots := manifest.Shots
+	if shots <= 0 {
+		shots = j.Spec.Shots
+	}
+	if shots <= 0 {
+		shots = 1024
+	}
+
+	circ, err := qasm.Parse(string(qasmSrc))
+	if err != nil {
+		return logs, nil, fmt.Errorf("bundled circuit does not parse: %w", err)
+	}
+	circ.Name = j.Name
+
+	backend, err := k.State.Backend(k.NodeName)
+	if err != nil {
+		return logs, nil, fmt.Errorf("reading local backend file: %w", err)
+	}
+	logs = append(logs, fmt.Sprintf("[qrio] backend %s: %d qubits, %d edges, avg 2q error %.4f",
+		backend.Name, backend.NumQubits, backend.Coupling.NumEdges(), backend.AvgTwoQubitErr()))
+
+	est := fidelity.Estimator{Shots: shots, Seed: k.Seed + int64(len(j.Name))}
+	ex, err := est.Execute(circ, backend)
+	if err != nil {
+		return logs, nil, err
+	}
+	ops := ex.Transpiled.CountOps()
+	logs = append(logs,
+		fmt.Sprintf("[qrio] transpiled: %d gates (%d cx), depth %d, %d swaps inserted",
+			ex.Transpiled.Size(), ops["cx"], ex.Transpiled.Depth(), ex.AddedSwaps),
+		fmt.Sprintf("[qrio] executed %d shots via %s simulation", shots, ex.Method),
+		fmt.Sprintf("[qrio] top counts: %s", strings.Join(fidelity.TopCounts(ex.Counts, 5), " ")),
+		fmt.Sprintf("[qrio] estimated fidelity: %.4f", ex.Fidelity),
+		fmt.Sprintf("[qrio] job %s succeeded", j.Name),
+	)
+	return logs, ex, nil
+}

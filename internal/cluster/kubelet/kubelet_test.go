@@ -1,0 +1,154 @@
+package kubelet_test
+
+import (
+	"strings"
+	"testing"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/kubelet"
+	"qrio/internal/cluster/state"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+	"qrio/internal/master"
+	"qrio/internal/registry"
+)
+
+const ghzQASM = `OPENQASM 2.0;
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+measure q -> c;
+`
+
+// setup builds a one-node cluster with a job bound to it via the master.
+func setup(t *testing.T, e2 float64) (*kubelet.Kubelet, *state.Cluster) {
+	t.Helper()
+	st := state.New()
+	b, err := device.UniformBackend("node-a", graph.Line(6), e2, 0.005, 0.01, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	m := master.NewServer(st, reg)
+	if _, err := m.Submit(master.SubmitRequest{
+		JobName: "ghz", QASM: ghzQASM, Shots: 256,
+		Strategy: api.StrategyFidelity, TargetFidelity: 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindJob("ghz", "node-a", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	return kubelet.New("node-a", st, reg, 3), st
+}
+
+func TestExecutesBoundJob(t *testing.T) {
+	k, st := setup(t, 0.02)
+	if ran := k.SyncOnce(); !ran {
+		t.Fatal("kubelet did not pick up the bound job")
+	}
+	j, _, _ := st.Jobs.Get("ghz")
+	if j.Status.Phase != api.JobSucceeded {
+		t.Fatalf("job phase = %s (%s)", j.Status.Phase, j.Status.Message)
+	}
+	if j.Status.Attempts != 1 || j.Status.StartedAt == nil || j.Status.FinishedAt == nil {
+		t.Fatalf("status bookkeeping wrong: %+v", j.Status)
+	}
+	res, _, err := st.Results.Get("ghz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != 256 {
+		t.Fatalf("shot count = %d, want 256", total)
+	}
+	if res.Fidelity <= 0.5 {
+		t.Fatalf("fidelity = %v on a clean device", res.Fidelity)
+	}
+	if !strings.Contains(strings.Join(res.LogLines, "\n"), "succeeded") {
+		t.Fatalf("logs incomplete: %v", res.LogLines)
+	}
+	// Node released.
+	n, _, _ := st.Nodes.Get("node-a")
+	if n.Status.RunningJob != "" {
+		t.Fatalf("node not released: %+v", n.Status)
+	}
+}
+
+func TestIgnoresJobsForOtherNodes(t *testing.T) {
+	_, st := setup(t, 0.02)
+	other := kubelet.New("node-b", st, registry.New(), 1)
+	if ran := other.SyncOnce(); ran {
+		t.Fatal("kubelet executed another node's job")
+	}
+	j, _, _ := st.Jobs.Get("ghz")
+	if j.Status.Phase != api.JobScheduled {
+		t.Fatalf("job phase = %s", j.Status.Phase)
+	}
+}
+
+func TestBrokenImageFailsJob(t *testing.T) {
+	st := state.New()
+	b, _ := device.UniformBackend("node-a", graph.Line(4), 0.1, 0.01, 0.05, 100e3, 100e3)
+	st.AddNode(b)
+	reg := registry.New() // empty: pull will fail
+	st.SubmitJob(api.QuantumJob{
+		ObjectMeta: api.ObjectMeta{Name: "broken"},
+		Spec: api.JobSpec{
+			QASM: ghzQASM, Image: "ghost:latest",
+			Strategy: api.StrategyFidelity, TargetFidelity: 1,
+		},
+	})
+	st.BindJob("broken", "node-a", 0)
+	k := kubelet.New("node-a", st, reg, 1)
+	k.SyncOnce()
+	j, _, _ := st.Jobs.Get("broken")
+	if j.Status.Phase != api.JobFailed {
+		t.Fatalf("job with missing image: phase = %s", j.Status.Phase)
+	}
+	if !strings.Contains(j.Status.Message, "pulling image") {
+		t.Fatalf("unhelpful failure message: %q", j.Status.Message)
+	}
+	// Failure must still produce logs and release the node.
+	res, _, err := st.Results.Get("broken")
+	if err != nil || len(res.LogLines) == 0 {
+		t.Fatalf("failed job has no logs: %v", err)
+	}
+	n, _, _ := st.Nodes.Get("node-a")
+	if n.Status.RunningJob != "" {
+		t.Fatal("node not released after failure")
+	}
+}
+
+func TestOversizedCircuitFailsCleanly(t *testing.T) {
+	st := state.New()
+	b, _ := device.UniformBackend("tiny", graph.Line(2), 0.1, 0.01, 0.05, 100e3, 100e3)
+	st.AddNode(b)
+	reg := registry.New()
+	m := master.NewServer(st, reg)
+	if _, err := m.Submit(master.SubmitRequest{
+		JobName: "big", QASM: ghzQASM, // 3 qubits on a 2-qubit device
+		Strategy: api.StrategyFidelity, TargetFidelity: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Force-bind despite the size mismatch (bypassing filters) to test the
+	// kubelet's own error handling.
+	if err := st.BindJob("big", "tiny", 0); err != nil {
+		t.Fatal(err)
+	}
+	k := kubelet.New("tiny", st, reg, 1)
+	k.SyncOnce()
+	j, _, _ := st.Jobs.Get("big")
+	if j.Status.Phase != api.JobFailed {
+		t.Fatalf("oversized job phase = %s", j.Status.Phase)
+	}
+}

@@ -1,0 +1,110 @@
+package kubelet_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/kubelet"
+	"qrio/internal/cluster/state"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+	"qrio/internal/master"
+	"qrio/internal/registry"
+)
+
+// TestRunLoopExecutesAndHeartbeats drives the kubelet through its own Run
+// loop (watch + tick + heartbeat) rather than SyncOnce.
+func TestRunLoopExecutesAndHeartbeats(t *testing.T) {
+	st := state.New()
+	b, err := device.UniformBackend("looper", graph.Line(6), 0.05, 0.005, 0.01, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	m := master.NewServer(st, reg)
+
+	k := kubelet.New("looper", st, reg, 5)
+	k.Interval = 5 * time.Millisecond
+	k.Heartbeat = 5 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		k.Run(ctx)
+		close(done)
+	}()
+
+	before, _, _ := st.Nodes.Get("looper")
+	if _, err := m.Submit(master.SubmitRequest{
+		JobName: "loop-job", QASM: ghzQASM, Shots: 64,
+		Strategy: api.StrategyFidelity, TargetFidelity: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindJob("loop-job", "looper", 0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, _, _ := st.Jobs.Get("loop-job")
+		if j.Status.Phase.Terminal() {
+			if j.Status.Phase != api.JobSucceeded {
+				t.Fatalf("phase = %s (%s)", j.Status.Phase, j.Status.Message)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run loop never executed the job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Heartbeats must have advanced the node's timestamp.
+	time.Sleep(20 * time.Millisecond)
+	after, _, _ := st.Nodes.Get("looper")
+	if !after.Status.LastHeartbeat.After(before.Status.LastHeartbeat) {
+		t.Fatal("no heartbeat recorded")
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("run loop did not stop on context cancel")
+	}
+}
+
+// TestHeartbeatRevivesNotReadyNode: a node marked NotReady (e.g. by the
+// controller after a hiccup) returns to Ready on its next heartbeat.
+func TestHeartbeatRevivesNotReadyNode(t *testing.T) {
+	st := state.New()
+	b, err := device.UniformBackend("reviver", graph.Line(4), 0.05, 0.005, 0.01, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddNode(b)
+	st.Nodes.Update("reviver", func(n api.Node) (api.Node, error) {
+		n.Status.Phase = api.NodeNotReady
+		return n, nil
+	})
+	k := kubelet.New("reviver", st, registry.New(), 1)
+	k.Interval = time.Millisecond
+	k.Heartbeat = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	go k.Run(ctx)
+	deadline := time.Now().Add(250 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		n, _, _ := st.Nodes.Get("reviver")
+		if n.Status.Phase == api.NodeReady {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("heartbeat did not revive the node")
+}

@@ -1,0 +1,221 @@
+// Package state bundles the typed object stores that make up a QRIO
+// cluster's control-plane state (the API server's backing storage) and the
+// constructors that turn vendor backends into labelled cluster nodes.
+package state
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/store"
+	"qrio/internal/device"
+)
+
+// Cluster is the complete control-plane state.
+type Cluster struct {
+	Nodes   *store.Store[api.Node]
+	Jobs    *store.Store[api.QuantumJob]
+	Results *store.Store[api.Result]
+	Events  *store.Store[api.Event]
+
+	uid atomic.Int64
+	// backendCache avoids re-decoding node backend JSON on every access.
+	mu           sync.Mutex
+	backendCache map[string]*device.Backend
+}
+
+// New returns an empty cluster state.
+func New() *Cluster {
+	return &Cluster{
+		Nodes:        store.New(api.Node.DeepCopy, func(n api.Node) string { return n.Name }),
+		Jobs:         store.New(api.QuantumJob.DeepCopy, func(j api.QuantumJob) string { return j.Name }),
+		Results:      store.New(api.Result.DeepCopy, func(r api.Result) string { return r.Name }),
+		Events:       store.New(api.Event.DeepCopy, func(e api.Event) string { return e.Name }),
+		backendCache: make(map[string]*device.Backend),
+	}
+}
+
+// NextUID mints a unique object UID.
+func (c *Cluster) NextUID(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, c.uid.Add(1))
+}
+
+// NodeLabels derives the scheduling labels of §3.1 from a backend.
+func NodeLabels(b *device.Backend) map[string]string {
+	return map[string]string{
+		api.LabelQubits:     strconv.Itoa(b.NumQubits),
+		api.LabelAvg2QErr:   api.FormatFloatLabel(b.AvgTwoQubitErr()),
+		api.LabelAvgT1us:    api.FormatFloatLabel(b.AvgT1us()),
+		api.LabelAvgT2us:    api.FormatFloatLabel(b.AvgT2us()),
+		api.LabelAvgReadout: api.FormatFloatLabel(b.AvgReadoutErr()),
+		api.LabelCPUMillis:  strconv.FormatInt(b.CPUMillis, 10),
+		api.LabelMemoryMB:   strconv.FormatInt(b.MemoryMB, 10),
+	}
+}
+
+// AddNode registers a vendor backend as a ready cluster node.
+func (c *Cluster) AddNode(b *device.Backend) (api.Node, error) {
+	if err := b.Validate(); err != nil {
+		return api.Node{}, fmt.Errorf("state: refusing invalid backend: %w", err)
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return api.Node{}, err
+	}
+	n := api.Node{
+		ObjectMeta: api.ObjectMeta{
+			Name:      b.Name,
+			UID:       c.NextUID("node"),
+			CreatedAt: time.Now(),
+			Labels:    NodeLabels(b),
+		},
+		Spec: api.NodeSpec{
+			BackendJSON: raw,
+			CPUMillis:   b.CPUMillis,
+			MemoryMB:    b.MemoryMB,
+		},
+		Status: api.NodeStatus{Phase: api.NodeReady, LastHeartbeat: time.Now()},
+	}
+	if _, err := c.Nodes.Create(n); err != nil {
+		return api.Node{}, err
+	}
+	return n, nil
+}
+
+// Backend decodes (and caches) the device behind a node.
+func (c *Cluster) Backend(nodeName string) (*device.Backend, error) {
+	c.mu.Lock()
+	if b, ok := c.backendCache[nodeName]; ok {
+		c.mu.Unlock()
+		return b, nil
+	}
+	c.mu.Unlock()
+	n, _, err := c.Nodes.Get(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	var b device.Backend
+	if err := json.Unmarshal(n.Spec.BackendJSON, &b); err != nil {
+		return nil, fmt.Errorf("state: node %s backend corrupt: %w", nodeName, err)
+	}
+	c.mu.Lock()
+	c.backendCache[nodeName] = &b
+	c.mu.Unlock()
+	return &b, nil
+}
+
+// SubmitJob validates and stores a new job in the Pending phase.
+func (c *Cluster) SubmitJob(j api.QuantumJob) error {
+	if j.Spec.Shots == 0 {
+		j.Spec.Shots = 1024
+	}
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	j.UID = c.NextUID("job")
+	j.CreatedAt = time.Now()
+	j.Status = api.JobStatus{Phase: api.JobPending}
+	if _, err := c.Jobs.Create(j); err != nil {
+		return err
+	}
+	c.RecordEvent("Job", j.Name, "Submitted", "job accepted by the API server")
+	return nil
+}
+
+// BindJob assigns a pending job to a node (the scheduler's binding step)
+// and reserves the node's classical resources.
+func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
+	job, _, err := c.Jobs.Get(jobName)
+	if err != nil {
+		return err
+	}
+	if job.Status.Phase != api.JobPending {
+		return fmt.Errorf("state: job %s is %s, not pending", jobName, job.Status.Phase)
+	}
+	_, _, err = c.Nodes.Update(nodeName, func(n api.Node) (api.Node, error) {
+		if n.Status.Phase != api.NodeReady {
+			return n, fmt.Errorf("state: node %s not ready", nodeName)
+		}
+		if n.Status.RunningJob != "" {
+			return n, fmt.Errorf("state: node %s already running %s", nodeName, n.Status.RunningJob)
+		}
+		n.Status.RunningJob = jobName
+		n.Status.CPUMillisInUse += job.Spec.Resources.CPUMillis
+		n.Status.MemoryMBInUse += job.Spec.Resources.MemoryMB
+		return n, nil
+	})
+	if err != nil {
+		return err
+	}
+	_, _, err = c.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+		j.Status.Phase = api.JobScheduled
+		j.Status.Node = nodeName
+		j.Status.Score = score
+		return j, nil
+	})
+	if err != nil {
+		return err
+	}
+	c.RecordEvent("Job", jobName, "Scheduled",
+		fmt.Sprintf("bound to node %s (score %.4f)", nodeName, score))
+	return nil
+}
+
+// ReleaseNode clears a node's running job and resource reservation.
+func (c *Cluster) ReleaseNode(nodeName, jobName string) {
+	c.Nodes.Update(nodeName, func(n api.Node) (api.Node, error) {
+		if n.Status.RunningJob == jobName {
+			n.Status.RunningJob = ""
+			job, _, err := c.Jobs.Get(jobName)
+			if err == nil {
+				n.Status.CPUMillisInUse -= job.Spec.Resources.CPUMillis
+				n.Status.MemoryMBInUse -= job.Spec.Resources.MemoryMB
+				if n.Status.CPUMillisInUse < 0 {
+					n.Status.CPUMillisInUse = 0
+				}
+				if n.Status.MemoryMBInUse < 0 {
+					n.Status.MemoryMBInUse = 0
+				}
+			}
+		}
+		return n, nil
+	})
+}
+
+// RecordEvent appends an observability event.
+func (c *Cluster) RecordEvent(kind, about, reason, message string) {
+	name := c.NextUID("event")
+	c.Events.Create(api.Event{
+		ObjectMeta: api.ObjectMeta{Name: name, CreatedAt: time.Now()},
+		Kind:       kind,
+		About:      about,
+		Reason:     reason,
+		Message:    message,
+		Time:       time.Now(),
+	})
+}
+
+// EventsAbout lists events for one object, oldest first.
+func (c *Cluster) EventsAbout(about string) []api.Event {
+	var out []api.Event
+	for _, e := range c.Events.List() {
+		if e.About == about {
+			out = append(out, e)
+		}
+	}
+	sortEventsByTime(out)
+	return out
+}
+
+func sortEventsByTime(events []api.Event) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].Time.Before(events[j-1].Time); j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package state
+
+import (
+	"strconv"
+	"testing"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+)
+
+func testBackend(t *testing.T, name string) *device.Backend {
+	t.Helper()
+	b, err := device.UniformBackend(name, graph.Line(5), 0.1, 0.01, 0.05, 500e3, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func fidelityJob(name string) api.QuantumJob {
+	return api.QuantumJob{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec: api.JobSpec{
+			QASM:           "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];",
+			Strategy:       api.StrategyFidelity,
+			TargetFidelity: 0.9,
+		},
+	}
+}
+
+func TestAddNodePublishesLabels(t *testing.T) {
+	c := New()
+	b := testBackend(t, "dev-a")
+	n, err := c.AddNode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Labels[api.LabelQubits] != "5" {
+		t.Errorf("qubit label = %q", n.Labels[api.LabelQubits])
+	}
+	if v, ok := api.ParseFloatLabel(n.Labels, api.LabelAvg2QErr); !ok || v != 0.1 {
+		t.Errorf("avg 2q label = %v %v", v, ok)
+	}
+	if v, ok := api.ParseFloatLabel(n.Labels, api.LabelAvgT1us); !ok || v != 500e3 {
+		t.Errorf("T1 label = %v %v", v, ok)
+	}
+	if got, _ := strconv.ParseInt(n.Labels[api.LabelCPUMillis], 10, 64); got != b.CPUMillis {
+		t.Errorf("cpu label = %v", n.Labels[api.LabelCPUMillis])
+	}
+	if n.Status.Phase != api.NodeReady {
+		t.Errorf("new node phase = %s", n.Status.Phase)
+	}
+	// Backend round trip through the node object.
+	back, err := c.Backend("dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "dev-a" || back.NumQubits != 5 {
+		t.Errorf("backend decode = %v", back)
+	}
+}
+
+func TestAddNodeRejectsDuplicatesAndInvalid(t *testing.T) {
+	c := New()
+	b := testBackend(t, "dev-a")
+	if _, err := c.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNode(b); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	bad := testBackend(t, "dev-bad")
+	bad.Name = "" // invalidate after construction
+	if _, err := c.AddNode(bad); err == nil {
+		t.Fatal("invalid backend accepted")
+	}
+}
+
+func TestSubmitJobDefaultsAndValidation(t *testing.T) {
+	c := New()
+	if err := c.SubmitJob(fidelityJob("j1")); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := c.Jobs.Get("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.Shots != 1024 {
+		t.Errorf("default shots = %d", j.Spec.Shots)
+	}
+	if j.Status.Phase != api.JobPending {
+		t.Errorf("phase = %s", j.Status.Phase)
+	}
+	bad := fidelityJob("j2")
+	bad.Spec.TargetFidelity = 1.5
+	if err := c.SubmitJob(bad); err == nil {
+		t.Fatal("invalid fidelity accepted")
+	}
+	noStrategy := fidelityJob("j3")
+	noStrategy.Spec.Strategy = "magic"
+	if err := c.SubmitJob(noStrategy); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestBindJobLifecycle(t *testing.T) {
+	c := New()
+	c.AddNode(testBackend(t, "dev-a"))
+	job := fidelityJob("j1")
+	job.Spec.Resources = api.ResourceRequirements{CPUMillis: 1000, MemoryMB: 512}
+	if err := c.SubmitJob(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindJob("j1", "dev-a", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	j, _, _ := c.Jobs.Get("j1")
+	if j.Status.Phase != api.JobScheduled || j.Status.Node != "dev-a" || j.Status.Score != 0.25 {
+		t.Fatalf("bound job = %+v", j.Status)
+	}
+	n, _, _ := c.Nodes.Get("dev-a")
+	if n.Status.RunningJob != "j1" || n.Status.CPUMillisInUse != 1000 || n.Status.MemoryMBInUse != 512 {
+		t.Fatalf("node after bind = %+v", n.Status)
+	}
+	// Double bind must fail (job no longer pending).
+	if err := c.BindJob("j1", "dev-a", 0); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	// A second pending job cannot bind to the busy node.
+	c.SubmitJob(fidelityJob("j2"))
+	if err := c.BindJob("j2", "dev-a", 0); err == nil {
+		t.Fatal("bind to busy node accepted")
+	}
+	c.ReleaseNode("dev-a", "j1")
+	n, _, _ = c.Nodes.Get("dev-a")
+	if n.Status.RunningJob != "" || n.Status.CPUMillisInUse != 0 {
+		t.Fatalf("node after release = %+v", n.Status)
+	}
+	if err := c.BindJob("j2", "dev-a", 0.5); err != nil {
+		t.Fatalf("bind after release failed: %v", err)
+	}
+}
+
+func TestEventsAboutSortsByTime(t *testing.T) {
+	c := New()
+	c.RecordEvent("Job", "j1", "A", "first")
+	c.RecordEvent("Job", "j2", "X", "other subject")
+	c.RecordEvent("Job", "j1", "B", "second")
+	events := c.EventsAbout("j1")
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Reason != "A" || events[1].Reason != "B" {
+		t.Fatalf("order wrong: %v %v", events[0].Reason, events[1].Reason)
+	}
+}
+
+func TestNextUIDUnique(t *testing.T) {
+	c := New()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		uid := c.NextUID("x")
+		if seen[uid] {
+			t.Fatalf("duplicate uid %s", uid)
+		}
+		seen[uid] = true
+	}
+}

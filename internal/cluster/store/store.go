@@ -1,0 +1,198 @@
+// Package store provides the versioned, watchable, in-memory object store
+// backing the QRIO API server — the role etcd plays under a Kubernetes API
+// server. Every mutation bumps a monotonically increasing resource version
+// and is broadcast to watchers, giving controllers, the scheduler and
+// kubelets level- and edge-triggered views of cluster state.
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EventType classifies a watch event.
+type EventType string
+
+const (
+	Added    EventType = "ADDED"
+	Modified EventType = "MODIFIED"
+	Deleted  EventType = "DELETED"
+)
+
+// WatchEvent is one change notification.
+type WatchEvent[T any] struct {
+	Type    EventType
+	Object  T
+	Version int64
+}
+
+// Store is a thread-safe, versioned map of named objects of one kind.
+// DeepCopy isolation: objects are copied on the way in and out, so callers
+// can never mutate stored state except through Update.
+type Store[T any] struct {
+	mu       sync.RWMutex
+	items    map[string]T
+	versions map[string]int64
+	version  int64
+	deepCopy func(T) T
+	name     func(T) string
+	watchers map[int]chan WatchEvent[T]
+	nextWID  int
+}
+
+// New creates a store for objects of type T. deepCopy must return an
+// independent copy; name must return the object key.
+func New[T any](deepCopy func(T) T, name func(T) string) *Store[T] {
+	return &Store[T]{
+		items:    make(map[string]T),
+		versions: make(map[string]int64),
+		deepCopy: deepCopy,
+		name:     name,
+		watchers: make(map[int]chan WatchEvent[T]),
+	}
+}
+
+// ErrNotFound is returned for missing objects.
+type ErrNotFound struct{ Name string }
+
+func (e ErrNotFound) Error() string { return fmt.Sprintf("store: %q not found", e.Name) }
+
+// ErrExists is returned when creating a duplicate.
+type ErrExists struct{ Name string }
+
+func (e ErrExists) Error() string { return fmt.Sprintf("store: %q already exists", e.Name) }
+
+// Create inserts a new object and returns its resource version.
+func (s *Store[T]) Create(obj T) (int64, error) {
+	key := s.name(obj)
+	if key == "" {
+		return 0, fmt.Errorf("store: object has empty name")
+	}
+	s.mu.Lock()
+	if _, ok := s.items[key]; ok {
+		s.mu.Unlock()
+		return 0, ErrExists{key}
+	}
+	s.version++
+	v := s.version
+	s.items[key] = s.deepCopy(obj)
+	s.versions[key] = v
+	cp := s.deepCopy(obj)
+	s.notifyLocked(WatchEvent[T]{Type: Added, Object: cp, Version: v})
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Get returns a copy of the named object.
+func (s *Store[T]) Get(name string) (T, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, ok := s.items[name]
+	if !ok {
+		var zero T
+		return zero, 0, ErrNotFound{name}
+	}
+	return s.deepCopy(obj), s.versions[name], nil
+}
+
+// List returns copies of all objects (order unspecified).
+func (s *Store[T]) List() []T {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]T, 0, len(s.items))
+	for _, obj := range s.items {
+		out = append(out, s.deepCopy(obj))
+	}
+	return out
+}
+
+// Len returns the object count.
+func (s *Store[T]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// Update applies mutate to the named object atomically. The callback
+// receives a private copy; returning an error aborts without change.
+func (s *Store[T]) Update(name string, mutate func(T) (T, error)) (T, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.items[name]
+	if !ok {
+		var zero T
+		return zero, 0, ErrNotFound{name}
+	}
+	next, err := mutate(s.deepCopy(obj))
+	if err != nil {
+		var zero T
+		return zero, 0, err
+	}
+	if s.name(next) != name {
+		var zero T
+		return zero, 0, fmt.Errorf("store: update may not rename %q to %q", name, s.name(next))
+	}
+	s.version++
+	v := s.version
+	s.items[name] = s.deepCopy(next)
+	s.versions[name] = v
+	s.notifyLocked(WatchEvent[T]{Type: Modified, Object: s.deepCopy(next), Version: v})
+	return next, v, nil
+}
+
+// Delete removes the named object.
+func (s *Store[T]) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.items[name]
+	if !ok {
+		return ErrNotFound{name}
+	}
+	delete(s.items, name)
+	delete(s.versions, name)
+	s.version++
+	s.notifyLocked(WatchEvent[T]{Type: Deleted, Object: s.deepCopy(obj), Version: s.version})
+	return nil
+}
+
+// Watch returns a buffered channel of future change events plus a cancel
+// function. Watchers that fall more than the buffer behind lose events —
+// consumers are expected to re-List on their own cadence (level-triggered
+// reconciliation), exactly as Kubernetes clients do.
+func (s *Store[T]) Watch(buffer int) (<-chan WatchEvent[T], func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan WatchEvent[T], buffer)
+	s.mu.Lock()
+	id := s.nextWID
+	s.nextWID++
+	s.watchers[id] = ch
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		if c, ok := s.watchers[id]; ok {
+			delete(s.watchers, id)
+			close(c)
+		}
+		s.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// notifyLocked broadcasts to watchers, dropping events for slow consumers.
+func (s *Store[T]) notifyLocked(ev WatchEvent[T]) {
+	for _, ch := range s.watchers {
+		select {
+		case ch <- ev:
+		default: // watcher too slow: drop, it must re-List
+		}
+	}
+}
+
+// Version returns the store's latest resource version.
+func (s *Store[T]) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type obj struct {
+	Name  string
+	Value int
+	Tags  []string
+}
+
+func deepCopy(o obj) obj {
+	o.Tags = append([]string(nil), o.Tags...)
+	return o
+}
+
+func newStore() *Store[obj] {
+	return New(deepCopy, func(o obj) string { return o.Name })
+}
+
+func TestCRUD(t *testing.T) {
+	s := newStore()
+	if _, err := s.Create(obj{Name: "a", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(obj{Name: "a"}); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	got, v, err := s.Get("a")
+	if err != nil || got.Value != 1 || v == 0 {
+		t.Fatalf("Get = %v, %d, %v", got, v, err)
+	}
+	if _, _, err := s.Get("zzz"); err == nil {
+		t.Fatal("missing get succeeded")
+	}
+	if _, _, err := s.Update("a", func(o obj) (obj, error) {
+		o.Value = 42
+		return o, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Get("a")
+	if got.Value != 42 {
+		t.Fatalf("update lost: %v", got)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestDeepCopyIsolation(t *testing.T) {
+	s := newStore()
+	in := obj{Name: "a", Tags: []string{"x"}}
+	s.Create(in)
+	in.Tags[0] = "mutated"
+	got, _, _ := s.Get("a")
+	if got.Tags[0] != "x" {
+		t.Fatal("store kept caller's slice")
+	}
+	got.Tags[0] = "mutated-out"
+	again, _, _ := s.Get("a")
+	if again.Tags[0] != "x" {
+		t.Fatal("store handed out its internal slice")
+	}
+}
+
+func TestUpdateAbortsOnError(t *testing.T) {
+	s := newStore()
+	s.Create(obj{Name: "a", Value: 1})
+	_, _, err := s.Update("a", func(o obj) (obj, error) {
+		o.Value = 99
+		return o, fmt.Errorf("nope")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	got, _, _ := s.Get("a")
+	if got.Value != 1 {
+		t.Fatal("aborted update persisted")
+	}
+}
+
+func TestUpdateCannotRename(t *testing.T) {
+	s := newStore()
+	s.Create(obj{Name: "a"})
+	if _, _, err := s.Update("a", func(o obj) (obj, error) {
+		o.Name = "b"
+		return o, nil
+	}); err == nil {
+		t.Fatal("rename via update accepted")
+	}
+}
+
+func TestVersionsIncrease(t *testing.T) {
+	s := newStore()
+	v1, _ := s.Create(obj{Name: "a"})
+	_, v2, _ := s.Update("a", func(o obj) (obj, error) { return o, nil })
+	if v2 <= v1 {
+		t.Fatalf("versions not monotonic: %d then %d", v1, v2)
+	}
+	if s.Version() != v2 {
+		t.Fatalf("store version %d != last %d", s.Version(), v2)
+	}
+}
+
+func TestWatchDeliversEvents(t *testing.T) {
+	s := newStore()
+	ch, cancel := s.Watch(16)
+	defer cancel()
+	s.Create(obj{Name: "a", Value: 1})
+	s.Update("a", func(o obj) (obj, error) { o.Value = 2; return o, nil })
+	s.Delete("a")
+	want := []EventType{Added, Modified, Deleted}
+	for i, w := range want {
+		ev := <-ch
+		if ev.Type != w {
+			t.Fatalf("event %d = %s, want %s", i, ev.Type, w)
+		}
+		if ev.Object.Name != "a" {
+			t.Fatalf("event %d object = %v", i, ev.Object)
+		}
+	}
+}
+
+func TestWatchCancelCloses(t *testing.T) {
+	s := newStore()
+	ch, cancel := s.Watch(1)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	cancel()                 // idempotent
+	s.Create(obj{Name: "a"}) // must not panic with cancelled watcher
+}
+
+func TestSlowWatcherDropsNotBlocks(t *testing.T) {
+	s := newStore()
+	_, cancel := s.Watch(1)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			s.Create(obj{Name: fmt.Sprintf("n%d", i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-make(chan struct{}): // unreachable; compile-time placeholder
+	}
+	if s.Len() != 100 {
+		t.Fatalf("writes blocked by slow watcher: %d stored", s.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := newStore()
+	s.Create(obj{Name: "counter", Value: 0})
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				s.Update("counter", func(o obj) (obj, error) {
+					o.Value++
+					return o, nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	got, _, _ := s.Get("counter")
+	if got.Value != 1000 {
+		t.Fatalf("lost updates: %d != 1000", got.Value)
+	}
+}

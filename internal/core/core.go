@@ -1,0 +1,225 @@
+// Package core assembles the complete QRIO system — the paper's primary
+// contribution (§3): cluster state, Meta Server, Master Server, image
+// registry, scheduler (filter + meta-score ranking), one kubelet per node
+// and the lifecycle controller — into a single deployable orchestrator.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/controller"
+	"qrio/internal/cluster/kubelet"
+	"qrio/internal/cluster/state"
+	"qrio/internal/device"
+	"qrio/internal/master"
+	"qrio/internal/meta"
+	"qrio/internal/registry"
+	"qrio/internal/sched"
+)
+
+// Config describes a QRIO deployment.
+type Config struct {
+	// Backends are the vendor devices forming the cluster (§3.1).
+	Backends []*device.Backend
+	// Meta tunes the Meta Server's scoring engines.
+	Meta meta.Options
+	// Concurrency is the scheduler's jobs-per-pass cap (default 1, the
+	// paper's single-job architecture; >1 enables the §5 extension).
+	Concurrency int
+	// KubeletSeed seeds node execution RNGs for reproducible runs.
+	KubeletSeed int64
+	// MaxRetries bounds automatic retries of failed jobs.
+	MaxRetries int
+}
+
+// QRIO is a running orchestrator instance.
+type QRIO struct {
+	State      *state.Cluster
+	Meta       *meta.Server
+	Master     *master.Server
+	Registry   *registry.Registry
+	Scheduler  *sched.Scheduler
+	Controller *controller.Controller
+	Kubelets   []*kubelet.Kubelet
+
+	mu              sync.Mutex
+	ctx             context.Context
+	cancel          context.CancelFunc
+	wg              sync.WaitGroup
+	started         bool
+	nextKubeletSeed int64
+}
+
+// New wires a QRIO deployment from the config. Backends are registered
+// both as cluster nodes and with the Meta Server (§3.1: a copy of every
+// vendor backend file is kept in the Meta Server).
+func New(cfg Config) (*QRIO, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("core: a QRIO cluster needs at least one backend")
+	}
+	st := state.New()
+	metaSrv := meta.NewServer(cfg.Meta)
+	reg := registry.New()
+	for _, b := range cfg.Backends {
+		if _, err := st.AddNode(b); err != nil {
+			return nil, fmt.Errorf("core: adding node %s: %w", b.Name, err)
+		}
+		if err := metaSrv.RegisterBackend(b); err != nil {
+			return nil, fmt.Errorf("core: registering backend %s: %w", b.Name, err)
+		}
+	}
+	fw := sched.NewFramework(sched.MetaScore{Scorer: metaSrv}, sched.DefaultFilters()...)
+	scheduler := sched.New(st, fw)
+	if cfg.Concurrency > 0 {
+		scheduler.Concurrency = cfg.Concurrency
+	}
+	ctl := controller.New(st)
+	if cfg.MaxRetries > 0 {
+		ctl.MaxRetries = cfg.MaxRetries
+	}
+	q := &QRIO{
+		State:      st,
+		Meta:       metaSrv,
+		Master:     master.NewServer(st, reg),
+		Registry:   reg,
+		Scheduler:  scheduler,
+		Controller: ctl,
+	}
+	for i, b := range cfg.Backends {
+		q.Kubelets = append(q.Kubelets,
+			kubelet.New(b.Name, st, reg, cfg.KubeletSeed+int64(i)))
+	}
+	q.nextKubeletSeed = cfg.KubeletSeed + int64(len(cfg.Backends))
+	return q, nil
+}
+
+// AddBackend registers a new vendor device at runtime (the vendor
+// dashboard path): the backend becomes a labelled node, is copied to the
+// Meta Server, and gets a kubelet — started immediately when the
+// orchestrator is already running.
+func (q *QRIO) AddBackend(b *device.Backend) error {
+	if _, err := q.State.AddNode(b); err != nil {
+		return err
+	}
+	if err := q.Meta.RegisterBackend(b); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	k := kubelet.New(b.Name, q.State, q.Registry, q.nextKubeletSeed)
+	q.nextKubeletSeed++
+	q.Kubelets = append(q.Kubelets, k)
+	if q.started {
+		q.wg.Add(1)
+		ctx := q.ctx
+		go func() {
+			defer q.wg.Done()
+			k.Run(ctx)
+		}()
+	}
+	return nil
+}
+
+// Start launches the control loops (scheduler, controller, kubelets).
+func (q *QRIO) Start() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.started {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q.ctx = ctx
+	q.cancel = cancel
+	q.started = true
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		q.Scheduler.Run(ctx)
+	}()
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		q.Controller.Run(ctx)
+	}()
+	for _, k := range q.Kubelets {
+		k := k
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			k.Run(ctx)
+		}()
+	}
+}
+
+// Stop halts all control loops and waits for them to exit.
+func (q *QRIO) Stop() {
+	q.mu.Lock()
+	if !q.started {
+		q.mu.Unlock()
+		return
+	}
+	q.cancel()
+	q.started = false
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// Submit routes a full job request through the Master Server, uploading
+// the strategy metadata to the Meta Server first (the Visualizer's flow:
+// step 2 uploads metadata, step 3 sends the job to the master, §3).
+func (q *QRIO) Submit(req master.SubmitRequest) (api.QuantumJob, error) {
+	m := meta.JobMeta{
+		JobName:        req.JobName,
+		Strategy:       req.Strategy,
+		TargetFidelity: req.TargetFidelity,
+		CircuitQASM:    req.QASM,
+		TopologyQASM:   req.TopologyQASM,
+	}
+	if req.Strategy == api.StrategyTopology {
+		m.CircuitQASM = "" // Table 1: topology uploads carry only the topology file
+		m.TargetFidelity = 0
+	}
+	if err := q.Meta.PutJobMeta(m); err != nil {
+		return api.QuantumJob{}, err
+	}
+	return q.Master.Submit(req)
+}
+
+// WaitForJob blocks until the job reaches a terminal phase or the timeout
+// elapses, returning the final job object.
+func (q *QRIO) WaitForJob(jobName string, timeout time.Duration) (api.QuantumJob, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		j, _, err := q.State.Jobs.Get(jobName)
+		if err != nil {
+			return api.QuantumJob{}, err
+		}
+		if j.Status.Phase.Terminal() {
+			return j, nil
+		}
+		if time.Now().After(deadline) {
+			return j, fmt.Errorf("core: job %s still %s after %v", jobName, j.Status.Phase, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// SubmitAndWait is the end-to-end convenience: submit, wait, fetch logs.
+func (q *QRIO) SubmitAndWait(req master.SubmitRequest, timeout time.Duration) (api.QuantumJob, api.Result, error) {
+	if _, err := q.Submit(req); err != nil {
+		return api.QuantumJob{}, api.Result{}, err
+	}
+	job, err := q.WaitForJob(req.JobName, timeout)
+	if err != nil {
+		return job, api.Result{}, err
+	}
+	res, _, err := q.State.Results.Get(req.JobName)
+	if err != nil {
+		return job, api.Result{}, fmt.Errorf("core: job %s finished without logs: %w", req.JobName, err)
+	}
+	return job, res, nil
+}

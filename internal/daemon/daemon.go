@@ -1,0 +1,26 @@
+// Package daemon wires a running orchestrator's HTTP surfaces onto one
+// mux — the composition the qrio binary serves.
+package daemon
+
+import (
+	"net/http"
+
+	"qrio/internal/cluster/apiserver"
+	"qrio/internal/core"
+	"qrio/internal/visualizer"
+)
+
+// Handler mounts the full QRIO HTTP surface:
+//
+//	/            — Visualizer dashboard
+//	/apiserver/  — cluster REST API (nodes, jobs, logs, events)
+//	/meta/       — Meta Server REST (backends, job metadata, scoring)
+//	/master/     — Master Server REST (submission, logs)
+func Handler(q *core.QRIO) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/apiserver/", http.StripPrefix("/apiserver", apiserver.New(q.State).Handler()))
+	mux.Handle("/meta/", http.StripPrefix("/meta", q.Meta.Handler()))
+	mux.Handle("/master/", http.StripPrefix("/master", q.Master.Handler()))
+	mux.Handle("/", visualizer.New(q).Handler())
+	return mux
+}

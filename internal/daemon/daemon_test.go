@@ -1,0 +1,152 @@
+package daemon_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/apiserver"
+	"qrio/internal/core"
+	"qrio/internal/daemon"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+	"qrio/internal/master"
+	"qrio/internal/meta"
+	"qrio/internal/quantum/qasm"
+	"qrio/internal/workload"
+)
+
+// TestFullDaemonFlowOverHTTP drives the complete qrioctl user journey over
+// the wire: metadata upload to the Meta Server, submission through the
+// Master Server, scheduling/execution in the cluster, and log retrieval
+// through the API server — all via the composed daemon mux.
+func TestFullDaemonFlowOverHTTP(t *testing.T) {
+	var fleet []*device.Backend
+	for _, cfg := range []struct {
+		name string
+		e2   float64
+	}{{"good", 0.03}, {"bad", 0.5}} {
+		b, err := device.UniformBackend(cfg.name, graph.Ring(12), cfg.e2, 0.005, 0.01, 500e3, 500e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, b)
+	}
+	q, err := core.New(core.Config{Backends: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Stop()
+	srv := httptest.NewServer(daemon.Handler(q))
+	defer srv.Close()
+
+	apiClient := apiserver.NewClient(srv.URL + "/apiserver")
+	masterClient := master.NewClient(srv.URL + "/master")
+	metaClient := meta.NewClient(srv.URL + "/meta")
+
+	// qrioctl nodes
+	nodes, err := apiClient.Nodes()
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("nodes = %v, %v", nodes, err)
+	}
+	// The daemon's meta server already knows the fleet backends.
+	names, err := metaClient.BackendNames()
+	if err != nil || len(names) != 2 {
+		t.Fatalf("meta backends = %v, %v", names, err)
+	}
+
+	// qrioctl submit: metadata first (Table 1), then the master request.
+	src, err := qasm.Dump(workload.GHZ(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metaClient.PutJobMeta(meta.JobMeta{
+		JobName:        "wire-ghz",
+		Strategy:       api.StrategyFidelity,
+		TargetFidelity: 1.0,
+		CircuitQASM:    src,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	job, err := masterClient.Submit(master.SubmitRequest{
+		JobName:        "wire-ghz",
+		QASM:           src,
+		Shots:          128,
+		Strategy:       api.StrategyFidelity,
+		TargetFidelity: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status.Phase != api.JobPending {
+		t.Fatalf("submitted phase = %s", job.Status.Phase)
+	}
+
+	// Poll over HTTP until terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := apiClient.Job("wire-ghz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status.Phase.Terminal() {
+			if j.Status.Phase != api.JobSucceeded {
+				t.Fatalf("phase = %s (%s)", j.Status.Phase, j.Status.Message)
+			}
+			if j.Status.Node != "good" {
+				t.Fatalf("scheduled on %s, want the clean device", j.Status.Node)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// qrioctl logs
+	res, err := apiClient.Logs("wire-ghz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity <= 0 || len(res.LogLines) == 0 {
+		t.Fatalf("logs over HTTP incomplete: %+v", res)
+	}
+	// Master's log proxy agrees.
+	res2, err := masterClient.Logs("wire-ghz")
+	if err != nil || res2.Fidelity != res.Fidelity {
+		t.Fatalf("master log proxy mismatch: %v %v", res2.Fidelity, err)
+	}
+	// qrioctl events
+	events, err := apiClient.Events("wire-ghz")
+	if err != nil || len(events) == 0 {
+		t.Fatalf("events = %v, %v", events, err)
+	}
+	// Remote scoring through the meta endpoint.
+	score, err := metaClient.Score("wire-ghz", "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badScore, err := metaClient.Score("wire-ghz", "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score >= badScore {
+		t.Fatalf("remote scoring inverted: good %v vs bad %v", score, badScore)
+	}
+
+	// The visualizer is mounted at the root of the same mux.
+	resp, err := srv.Client().Get(srv.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), "good") {
+		t.Fatal("visualizer not serving under the daemon mux")
+	}
+}

@@ -1,0 +1,450 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated 100-device testbed:
+//
+//	Table 2 — the controllable backend parameters / fleet summary
+//	Fig. 6  — QRIO vs random scheduler scores on five default topologies
+//	Fig. 7  — achieved fidelity: Oracle / Clifford / Random / Average / Median
+//	Fig. 8/9 — user-topology device choice among tree/ring/line devices
+//	Fig. 10 — filtered device count vs the user's max two-qubit error bound
+//
+// Every experiment is deterministic per seed and returns typed rows plus a
+// text rendering; cmd/qrio-experiments and the root bench harness call in.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qrio/internal/device"
+	"qrio/internal/fidelity"
+	"qrio/internal/graph"
+	"qrio/internal/mapomatic"
+	"qrio/internal/workload"
+)
+
+// Config parameterises the experiment harness. Zero values select the
+// paper's settings.
+type Config struct {
+	Fleet device.FleetSpec
+	// Seed drives random-scheduler draws (the fleet has its own seed).
+	Seed int64
+	// Trials: Fig. 6 uses 25 repetitions, Fig. 9 uses 50 (paper values).
+	Trials int
+	// Shots per fidelity evaluation (default 512; low shot counts blur
+	// the canary ranking among the best devices).
+	Shots int
+	// MaxDenseQubits bounds oracle simulation per device (default 16).
+	MaxDenseQubits int
+	// Workers bounds parallel device evaluation (default NumCPU).
+	Workers int
+	// Mapomatic bounds the topology-scoring search.
+	Mapomatic mapomatic.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fleet.QubitCounts == nil {
+		c.Fleet = device.DefaultFleetSpec()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Trials <= 0 {
+		c.Trials = 25
+	}
+	if c.Shots <= 0 {
+		// The best fleet devices differ by only a few percent in fidelity;
+		// the canary ranking needs this many shots to separate them (see
+		// EXPERIMENTS.md — at low shot counts the Clifford pick degrades
+		// towards random for the deepest circuit, Grover).
+		c.Shots = 4096
+	}
+	if c.MaxDenseQubits <= 0 {
+		c.MaxDenseQubits = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.Mapomatic.MaxLayouts == 0 {
+		c.Mapomatic.MaxLayouts = 128
+	}
+	if c.Mapomatic.VF2MaxVisits == 0 {
+		c.Mapomatic.VF2MaxVisits = 300_000
+	}
+	return c
+}
+
+// forEachDevice runs fn over the fleet in parallel, preserving index order
+// in the results the caller collects.
+func forEachDevice(fleet []*device.Backend, workers int, fn func(i int, b *device.Backend)) {
+	if workers <= 1 {
+		for i, b := range fleet {
+			fn(i, b)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, b := range fleet {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, b *device.Backend) {
+			defer wg.Done()
+			fn(i, b)
+			<-sem
+		}(i, b)
+	}
+	wg.Wait()
+}
+
+// deviceSeed derives a stable per-device RNG seed so parallel execution
+// stays deterministic.
+func deviceSeed(base int64, name string) int64 {
+	h := int64(1469598103934665603)
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	return base ^ h
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+
+// Table2Row summarises one fleet axis.
+type Table2Row struct {
+	Parameter string
+	Values    string
+}
+
+// Table2 renders the controllable-parameter table plus a generated-fleet
+// summary, verifying the fleet builds.
+func Table2(cfg Config) ([]Table2Row, []*device.Backend, error) {
+	cfg = cfg.withDefaults()
+	fleet, err := device.GenerateFleet(cfg.Fleet)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := cfg.Fleet
+	rows := []Table2Row{
+		{"Number of qubits", fmt.Sprint(s.QubitCounts)},
+		{"2-qubit gate error rate", fmt.Sprintf("%.2f - %.2f (per-device mean, ±%.0f%% jitter)", s.ErrLow, s.ErrHigh, s.Jitter*100)},
+		{"1-qubit gate error rate", fmt.Sprintf("%.3f - %.3f (scaled ×%.2f)", s.ErrLow*s.OneQubitScale, s.ErrHigh*s.OneQubitScale, s.OneQubitScale)},
+		{"Readout rate", fmt.Sprint(s.ReadoutChoices)},
+		{"T1 / T2 (µs)", fmt.Sprint(s.T1T2Choices)},
+		{"Readout length (ns)", fmt.Sprintf("%g", s.ReadoutLenNS)},
+		{"Edge connect probabilities", fmt.Sprint(s.EdgeProbs)},
+		{"Basis gates", fmt.Sprint(device.DefaultBasis)},
+		{"Devices generated", fmt.Sprint(len(fleet))},
+	}
+	return rows, fleet, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — default-topology scheduling scores
+
+// DefaultTopologies returns the five §4.2 topology requests in the paper's
+// reporting order.
+func DefaultTopologies() []struct {
+	Name string
+	G    *graph.Graph
+} {
+	hs, err := graph.HeavySquare(6)
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	return []struct {
+		Name string
+		G    *graph.Graph
+	}{
+		{"grid-4", graph.Grid(2, 2)},
+		{"heavy-square-6", hs},
+		{"full-6", graph.Full(6)},
+		{"line-6", graph.Line(6)},
+		{"ring-7", graph.Ring(7)},
+	}
+}
+
+// Fig6Row is one bar of Fig. 6.
+type Fig6Row struct {
+	Topology string
+	// QRIOScore is the deterministic lowest score across the fleet.
+	QRIOScore float64
+	// RandomScore is the mean score of a uniformly random feasible device
+	// over Trials draws.
+	RandomScore float64
+	// Decrease = RandomScore − QRIOScore (the paper's reported quantity).
+	Decrease float64
+	// Feasible counts devices that could host the topology at all.
+	Feasible int
+}
+
+// Fig6 reproduces the default-topology experiment (§4.2): for each default
+// topology, compare the score of QRIO's choice (minimum Mapomatic-style
+// cost across the fleet) with a random scheduler's choice, averaged over
+// cfg.Trials repetitions.
+func Fig6(cfg Config) ([]Fig6Row, error) {
+	cfg = cfg.withDefaults()
+	fleet, err := device.GenerateFleet(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []Fig6Row
+	for _, topo := range DefaultTopologies() {
+		tc := mapomatic.TopologyCircuit(topo.G)
+		scores := make([]float64, len(fleet))
+		valid := make([]bool, len(fleet))
+		forEachDevice(fleet, cfg.Workers, func(i int, b *device.Backend) {
+			s, err := mapomatic.BestLayout(tc, b, cfg.Mapomatic)
+			if err != nil || math.IsInf(s.Cost, 1) {
+				return
+			}
+			scores[i] = s.Cost
+			valid[i] = true
+		})
+		var feasible []float64
+		for i, ok := range valid {
+			if ok {
+				feasible = append(feasible, scores[i])
+			}
+		}
+		if len(feasible) == 0 {
+			return nil, fmt.Errorf("experiments: no device can host topology %s", topo.Name)
+		}
+		qrio := feasible[0]
+		for _, s := range feasible {
+			if s < qrio {
+				qrio = s
+			}
+		}
+		randomSum := 0.0
+		for t := 0; t < cfg.Trials; t++ {
+			randomSum += feasible[rng.Intn(len(feasible))]
+		}
+		randomAvg := randomSum / float64(cfg.Trials)
+		rows = append(rows, Fig6Row{
+			Topology:    topo.Name,
+			QRIOScore:   qrio,
+			RandomScore: randomAvg,
+			Decrease:    randomAvg - qrio,
+			Feasible:    len(feasible),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — achieved fidelity by scheduling strategy
+
+// Fig7Row is one circuit's bar group in Fig. 7.
+type Fig7Row struct {
+	Circuit string
+	// Achieved fidelity of the actual circuit on the device each strategy
+	// picked; Average/Median are over all evaluable devices.
+	Oracle   float64
+	Clifford float64
+	Random   float64
+	Average  float64
+	Median   float64
+	// Evaluated counts devices where the achieved fidelity was computable.
+	Evaluated int
+}
+
+// Fig7 reproduces the fidelity experiment (§4.3) with a 100% fidelity
+// demand: the Oracle strategy scores devices on the real circuit, the
+// Clifford strategy on the canary, Random picks blindly; all three are then
+// judged by the achieved fidelity of the real circuit on their pick.
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	cfg = cfg.withDefaults()
+	fleet, err := device.GenerateFleet(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []Fig7Row
+	for _, pc := range workload.PaperCircuits() {
+		achieved := make([]float64, len(fleet))
+		canary := make([]float64, len(fleet))
+		valid := make([]bool, len(fleet))
+		forEachDevice(fleet, cfg.Workers, func(i int, b *device.Backend) {
+			est := fidelity.Estimator{
+				Shots:          cfg.Shots,
+				Seed:           deviceSeed(cfg.Seed, b.Name+pc.Name),
+				MaxDenseQubits: cfg.MaxDenseQubits,
+			}
+			ex, err := est.Execute(pc.Circuit, b)
+			if err != nil {
+				return // device not evaluable for this circuit (e.g. routed too wide)
+			}
+			cf, err := est.CanaryFidelity(pc.Circuit, b)
+			if err != nil {
+				return
+			}
+			achieved[i] = ex.Fidelity
+			canary[i] = cf
+			valid[i] = true
+		})
+		var pool []int
+		for i, ok := range valid {
+			if ok {
+				pool = append(pool, i)
+			}
+		}
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("experiments: circuit %s evaluable on no device", pc.Name)
+		}
+		argmax := func(vals []float64) int {
+			best := pool[0]
+			for _, i := range pool {
+				if vals[i] > vals[best] {
+					best = i
+				}
+			}
+			return best
+		}
+		oraclePick := argmax(achieved)
+		cliffordPick := argmax(canary)
+		randomSum := 0.0
+		for t := 0; t < cfg.Trials; t++ {
+			randomSum += achieved[pool[rng.Intn(len(pool))]]
+		}
+		all := make([]float64, 0, len(pool))
+		for _, i := range pool {
+			all = append(all, achieved[i])
+		}
+		rows = append(rows, Fig7Row{
+			Circuit:   pc.Name,
+			Oracle:    achieved[oraclePick],
+			Clifford:  achieved[cliffordPick],
+			Random:    randomSum / float64(cfg.Trials),
+			Average:   mean(all),
+			Median:    median(all),
+			Evaluated: len(pool),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8/9 — user-topology device choice
+
+// Fig9Result records the §4.4 qualitative experiment.
+type Fig9Result struct {
+	// Chosen is the device the scheduler selected (expected: "tree").
+	Chosen string
+	// Consistent counts trials (of Trials) that chose the same device.
+	Trials, Consistent int
+	// Scores holds each candidate's topology score.
+	Scores map[string]float64
+}
+
+// Fig9 builds the paper's three 10-qubit devices — tree-like, ring and
+// line, with identical uniform error rates so only topology matters — and
+// asks the topology-ranking strategy to place a user topology drawn to
+// match the tree device. The tree device must win, repeatedly.
+func Fig9(cfg Config) (Fig9Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trials == 25 {
+		cfg.Trials = 50 // paper repeats this experiment 50 times
+	}
+	mk := func(name string, g *graph.Graph) (*device.Backend, error) {
+		return device.UniformBackend(name, g, 0.05, 0.01, 0.02, 500e3, 500e3)
+	}
+	tree, err := mk("tree", graph.BalancedBinaryTree(10))
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	ring, err := mk("ring", graph.Ring(10))
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	line, err := mk("line", graph.Line(10))
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	devices := []*device.Backend{tree, ring, line}
+	// The user draws a topology matching the tree device (Fig. 8).
+	userTopology := graph.BalancedBinaryTree(10)
+	tc := mapomatic.TopologyCircuit(userTopology)
+
+	res := Fig9Result{Trials: cfg.Trials, Scores: map[string]float64{}}
+	for t := 0; t < cfg.Trials; t++ {
+		ranked := mapomatic.RankBackends(tc, devices, cfg.Mapomatic)
+		if len(ranked) == 0 {
+			return res, fmt.Errorf("experiments: no device hosts the user topology")
+		}
+		if t == 0 {
+			res.Chosen = ranked[0].Backend
+			for _, s := range ranked {
+				res.Scores[s.Backend] = s.Cost
+			}
+		}
+		if ranked[0].Backend == res.Chosen {
+			res.Consistent++
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — filtering by requested characteristics
+
+// Fig10Row is one point of the filtering sweep.
+type Fig10Row struct {
+	MaxTwoQubitError float64
+	Devices          int
+}
+
+// Fig10Thresholds are the paper's ten x-axis values.
+func Fig10Thresholds() []float64 {
+	return []float64{0.07, 0.147, 0.214, 0.280, 0.347, 0.414, 0.480, 0.547, 0.613, 0.680}
+}
+
+// Fig10 reproduces the filtering experiment (§4.5): how many of the 100
+// devices survive a user bound on average two-qubit error.
+func Fig10(cfg Config) ([]Fig10Row, error) {
+	cfg = cfg.withDefaults()
+	fleet, err := device.GenerateFleet(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for _, th := range Fig10Thresholds() {
+		count := 0
+		for _, b := range fleet {
+			if b.AvgTwoQubitErr() <= th {
+				count++
+			}
+		}
+		rows = append(rows, Fig10Row{MaxTwoQubitError: th, Devices: count})
+	}
+	return rows, nil
+}

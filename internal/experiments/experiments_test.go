@@ -1,0 +1,197 @@
+package experiments_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qrio/internal/device"
+	"qrio/internal/experiments"
+)
+
+// smallConfig shrinks the fleet (30 devices) and shot budget so the shape
+// tests run in seconds; the full Table 2 fleet is exercised by the bench
+// harness and cmd/qrio-experiments.
+func smallConfig() experiments.Config {
+	spec := device.DefaultFleetSpec()
+	spec.QubitCounts = []int{15, 20, 27}
+	return experiments.Config{Fleet: spec, Seed: 1, Shots: 2048}
+}
+
+func TestTable2(t *testing.T) {
+	rows, fleet, err := experiments.Table2(experiments.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 100 {
+		t.Fatalf("fleet = %d devices, want 100 (Table 2)", len(fleet))
+	}
+	text := experiments.RenderTable2(rows)
+	for _, want := range []string{"qubits", "Edge connect", "Basis gates", "u1 u2 u3 cx"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table 2 rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, err := experiments.Fig6(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("Fig 6 rows = %d, want 5 topologies", len(rows))
+	}
+	byName := map[string]experiments.Fig6Row{}
+	for _, r := range rows {
+		byName[r.Topology] = r
+		// Headline claim: QRIO always beats the random scheduler.
+		if r.Decrease <= 0 {
+			t.Errorf("%s: decrease = %v, QRIO must beat random", r.Topology, r.Decrease)
+		}
+		if r.QRIOScore < 0 || math.IsInf(r.QRIOScore, 0) {
+			t.Errorf("%s: bad QRIO score %v", r.Topology, r.QRIOScore)
+		}
+	}
+	// Second claim: the fully-connected request shows the largest gap —
+	// only a handful of dense devices suit it (paper §4.2).
+	full := byName["full-6"]
+	for name, r := range byName {
+		if name == "full-6" {
+			continue
+		}
+		if full.Decrease <= r.Decrease {
+			t.Errorf("full-6 decrease %v not the largest (vs %s %v)",
+				full.Decrease, name, r.Decrease)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 takes several seconds")
+	}
+	rows, err := experiments.Fig7(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Fig 7 rows = %d, want 6 circuits", len(rows))
+	}
+	for _, r := range rows {
+		// Oracle is the upper bound (small slack for seed differences in
+		// pick-evaluation RNG streams).
+		if r.Clifford > r.Oracle+0.02 {
+			t.Errorf("%s: clifford %v exceeds oracle %v", r.Circuit, r.Clifford, r.Oracle)
+		}
+		// The deployable strategy must beat blind selection decisively on
+		// Clifford circuits, and never fall below it meaningfully.
+		if r.Clifford < r.Random-0.05 {
+			t.Errorf("%s: clifford %v below random %v", r.Circuit, r.Clifford, r.Random)
+		}
+		if r.Oracle <= r.Average {
+			t.Errorf("%s: oracle %v <= fleet average %v", r.Circuit, r.Oracle, r.Average)
+		}
+		if r.Median > r.Average+0.1 {
+			t.Errorf("%s: median %v implausibly above average %v", r.Circuit, r.Median, r.Average)
+		}
+		for _, v := range []float64{r.Oracle, r.Clifford, r.Random, r.Average, r.Median} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Errorf("%s: fidelity out of range: %v", r.Circuit, v)
+			}
+		}
+	}
+	// Clifford-only circuits: canary sees the real circuit, picks must agree.
+	for _, r := range rows {
+		switch r.Circuit {
+		case "bv", "hsp", "rep":
+			if math.Abs(r.Clifford-r.Oracle) > 0.05 {
+				t.Errorf("%s is Clifford: clifford %v should equal oracle %v",
+					r.Circuit, r.Clifford, r.Oracle)
+			}
+		}
+	}
+}
+
+func TestFig9TreeWins(t *testing.T) {
+	res, err := experiments.Fig9(experiments.Config{Trials: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen != "tree" {
+		t.Fatalf("chosen = %s, want tree (paper §4.4)", res.Chosen)
+	}
+	if res.Consistent != res.Trials {
+		t.Fatalf("consistency = %d/%d, paper reports identical results in all runs",
+			res.Consistent, res.Trials)
+	}
+	if res.Scores["tree"] >= res.Scores["ring"] || res.Scores["tree"] >= res.Scores["line"] {
+		t.Fatalf("tree score %v not the lowest: %v", res.Scores["tree"], res.Scores)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	cfg := experiments.Config{} // full 100-device fleet: cheap
+	rows, err := experiments.Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("Fig 10 rows = %d, want 10 thresholds", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Devices < rows[i-1].Devices {
+			t.Fatalf("filter counts not monotone: %v", rows)
+		}
+	}
+	if rows[0].Devices > 15 {
+		t.Errorf("at 0.07 max error %d devices pass; expected almost none", rows[0].Devices)
+	}
+	if rows[len(rows)-1].Devices < 90 {
+		t.Errorf("at 0.68 max error only %d devices pass; expected nearly all",
+			rows[len(rows)-1].Devices)
+	}
+}
+
+func TestFig10SchedulerPathAgrees(t *testing.T) {
+	cfg := experiments.Config{}
+	analytic, err := experiments.Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSched, err := experiments.Fig10ViaScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range analytic {
+		if analytic[i].Devices != viaSched[i].Devices {
+			t.Fatalf("threshold %.3f: analytic %d != scheduler path %d",
+				analytic[i].MaxTwoQubitError, analytic[i].Devices, viaSched[i].Devices)
+		}
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	cfg := smallConfig()
+	f6, err := experiments.Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(experiments.RenderFig6(f6), "full-6") {
+		t.Error("Fig6 rendering incomplete")
+	}
+	f9, err := experiments.Fig9(experiments.Config{Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(experiments.RenderFig9(f9), "tree") {
+		t.Error("Fig9 rendering incomplete")
+	}
+	f10, err := experiments.Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(experiments.RenderFig10(f10), "devices") {
+		t.Error("Fig10 rendering incomplete")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/device"
+	"qrio/internal/sched"
+)
+
+// RenderTable2 renders the Table 2 rows as text.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Controllable Backend Parameters\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %s\n", r.Parameter, r.Values)
+	}
+	return b.String()
+}
+
+// RenderFig6 renders the Fig. 6 rows as text.
+func RenderFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6: Average decrease in score, QRIO scheduler vs random scheduler\n")
+	fmt.Fprintf(&b, "  %-16s %12s %12s %12s %10s\n",
+		"topology", "qrio", "random(avg)", "decrease", "feasible")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %12.3f %12.3f %12.3f %10d\n",
+			r.Topology, r.QRIOScore, r.RandomScore, r.Decrease, r.Feasible)
+	}
+	return b.String()
+}
+
+// RenderFig7 renders the Fig. 7 rows as text.
+func RenderFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: Achieved fidelity by device-selection strategy (demand = 1.0)\n")
+	fmt.Fprintf(&b, "  %-8s %8s %9s %8s %8s %8s %10s\n",
+		"circuit", "oracle", "clifford", "random", "average", "median", "evaluated")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %8.4f %9.4f %8.4f %8.4f %8.4f %10d\n",
+			r.Circuit, r.Oracle, r.Clifford, r.Random, r.Average, r.Median, r.Evaluated)
+	}
+	return b.String()
+}
+
+// RenderFig9 renders the Fig. 9 result as text.
+func RenderFig9(r Fig9Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 8/9: Device choice for a user-drawn (tree) topology\n")
+	fmt.Fprintf(&b, "  chosen device: %s (%d/%d trials consistent)\n",
+		r.Chosen, r.Consistent, r.Trials)
+	for _, name := range []string{"tree", "ring", "line"} {
+		if s, ok := r.Scores[name]; ok {
+			fmt.Fprintf(&b, "  score[%s] = %.4f\n", name, s)
+		} else {
+			fmt.Fprintf(&b, "  score[%s] = (cannot host)\n", name)
+		}
+	}
+	return b.String()
+}
+
+// RenderFig10 renders the Fig. 10 rows as text.
+func RenderFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 10: Number of filtered devices vs max two-qubit error desired\n")
+	fmt.Fprintf(&b, "  %-12s %s\n", "max 2q err", "devices")
+	for _, r := range rows {
+		bar := strings.Repeat("#", r.Devices/2)
+		fmt.Fprintf(&b, "  %-12.3f %4d %s\n", r.MaxTwoQubitError, r.Devices, bar)
+	}
+	return b.String()
+}
+
+// Fig10ViaScheduler re-runs the Fig. 10 sweep through the real scheduler
+// filter chain (node labels + Characteristics plugin) instead of raw
+// backend arithmetic — validating that the deployed filtering path agrees
+// with the analytical count.
+func Fig10ViaScheduler(cfg Config) ([]Fig10Row, error) {
+	cfg = cfg.withDefaults()
+	fleet, err := device.GenerateFleet(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	st := state.New()
+	for _, b := range fleet {
+		if _, err := st.AddNode(b); err != nil {
+			return nil, err
+		}
+	}
+	fw := sched.NewFramework(nil, sched.NodeReady{}, sched.Characteristics{})
+	nodes := st.Nodes.List()
+	var rows []Fig10Row
+	for _, th := range Fig10Thresholds() {
+		job := api.QuantumJob{
+			ObjectMeta: api.ObjectMeta{Name: "sweep"},
+			Spec: api.JobSpec{
+				QASM:     "OPENQASM 2.0;\nqreg q[1];\nh q[0];",
+				Strategy: api.StrategyFidelity, TargetFidelity: 1,
+				Requirements: api.DeviceRequirements{MaxAvg2QError: th},
+			},
+		}
+		feasible, _ := fw.FilterNodes(job, nodes)
+		rows = append(rows, Fig10Row{MaxTwoQubitError: th, Devices: len(feasible)})
+	}
+	return rows, nil
+}

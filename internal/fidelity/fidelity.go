@@ -1,0 +1,356 @@
+// Package fidelity estimates how faithfully a device executes a circuit.
+// It implements the three device-scoring strategies of the paper's
+// evaluation (§4.3):
+//
+//   - Canary: the deployable estimator (§3.4.1) — transpile, cliffordize,
+//     simulate the Clifford canary both noiselessly and under the device's
+//     noise model with the polynomial-time stabilizer engine, and compare.
+//   - Oracle: the ground truth — exact ideal distribution of the original
+//     circuit (dense simulation) against its noisy execution. Unusable in a
+//     real scheduler (it requires knowing the correct answer) but the
+//     natural upper bound.
+//   - Analytic: the "simplistic" product-of-success-rates estimate the
+//     paper argues degrades with circuit complexity; kept for ablations.
+//
+// All comparisons use the Hellinger fidelity (Σ√(p·q))², Qiskit's
+// convention for distribution fidelity.
+package fidelity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qrio/internal/device"
+	"qrio/internal/mapomatic"
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/clifford"
+	"qrio/internal/quantum/noise"
+	"qrio/internal/quantum/stabilizer"
+	"qrio/internal/quantum/statevec"
+	"qrio/internal/transpile"
+)
+
+// Hellinger returns the Hellinger fidelity (Σ_s √(p(s)·q(s)))² between two
+// distributions given as probability maps over bitstrings.
+func Hellinger(p, q map[string]float64) float64 {
+	s := 0.0
+	for k, pv := range p {
+		if qv, ok := q[k]; ok && pv > 0 && qv > 0 {
+			s += math.Sqrt(pv * qv)
+		}
+	}
+	return s * s
+}
+
+// HellingerCounts compares an exact distribution with an empirical
+// histogram.
+func HellingerCounts(ideal map[string]float64, counts map[string]int) float64 {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	s := 0.0
+	for k, n := range counts {
+		if p, ok := ideal[k]; ok && p > 0 {
+			s += math.Sqrt(p * float64(n) / float64(total))
+		}
+	}
+	return s * s
+}
+
+// TVD returns the total variation distance between two distributions.
+func TVD(p, q map[string]float64) float64 {
+	seen := map[string]bool{}
+	d := 0.0
+	for k, pv := range p {
+		d += math.Abs(pv - q[k])
+		seen[k] = true
+	}
+	for k, qv := range q {
+		if !seen[k] {
+			d += qv
+		}
+	}
+	return d / 2
+}
+
+// Estimator configures fidelity evaluation. The zero value is invalid; use
+// NewEstimator or set Shots explicitly.
+type Estimator struct {
+	Shots     int
+	Seed      int64
+	Transpile transpile.Options
+	// MaxDenseQubits caps dense (state-vector) simulation below the hard
+	// limit of statevec.MaxQubits; 0 means the hard limit. Fleet-scale
+	// experiments lower this so a routed circuit that wanders across a
+	// sparse device fails fast instead of grinding through 2^20+ amplitude
+	// simulations.
+	MaxDenseQubits int
+	// CanaryEnsemble is the number of randomised-rounding canary variants
+	// averaged by CanaryFidelity (0 = 5; 1 = single deterministic canary).
+	// See clifford.Ensemble for why a single canary can be blind.
+	CanaryEnsemble int
+}
+
+// canarySize resolves the canary ensemble size.
+func (e Estimator) canarySize() int {
+	if e.CanaryEnsemble <= 0 {
+		return 5
+	}
+	return e.CanaryEnsemble
+}
+
+// denseLimit resolves the effective dense-simulation qubit cap.
+func (e Estimator) denseLimit() int {
+	if e.MaxDenseQubits > 0 && e.MaxDenseQubits < statevec.MaxQubits {
+		return e.MaxDenseQubits
+	}
+	return statevec.MaxQubits
+}
+
+// NewEstimator returns an estimator with sensible defaults.
+func NewEstimator(seed int64) Estimator {
+	return Estimator{Shots: 256, Seed: seed}
+}
+
+// ensureMeasured returns c itself when it measures, or a copy measuring
+// every qubit.
+func ensureMeasured(c *circuit.Circuit) *circuit.Circuit {
+	if c.HasMeasurements() {
+		return c
+	}
+	m := c.Copy()
+	m.MeasureAll()
+	return m
+}
+
+// prepare transpiles the circuit for the backend and deflates the physical
+// circuit to its active qubits, returning the compact circuit plus the
+// matching compact noise model.
+func (e Estimator) prepare(c *circuit.Circuit, b *device.Backend) (*circuit.Circuit, *noise.Model, error) {
+	tr, err := transpile.Transpile(ensureMeasured(c), b, e.Transpile)
+	if err != nil {
+		return nil, nil, err
+	}
+	compact, active, err := mapomatic.Deflate(tr.Circuit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return compact, compactModel(b, active), nil
+}
+
+// compactModel restricts a backend's noise model to the given physical
+// qubits, reindexed 0..len(active)-1.
+func compactModel(b *device.Backend, active []int) *noise.Model {
+	idx := make(map[int]int, len(active))
+	for i, p := range active {
+		idx[p] = i
+	}
+	m := &noise.Model{
+		NumQubits:       len(active),
+		OneQubit:        make([]float64, len(active)),
+		Readout:         make([]float64, len(active)),
+		TwoQubit:        map[[2]int]float64{},
+		TwoQubitDefault: 0.99,
+	}
+	for i, p := range active {
+		m.OneQubit[i] = b.OneQubitErr[p]
+		m.Readout[i] = b.ReadoutErr[p]
+	}
+	for e2, err := range b.TwoQubitErr {
+		a, ok1 := idx[e2[0]]
+		c, ok2 := idx[e2[1]]
+		if ok1 && ok2 {
+			m.TwoQubit[noise.NormPair(a, c)] = err
+		}
+	}
+	return m
+}
+
+// CanaryFidelity estimates the fidelity circuit c would achieve on backend
+// b using the Clifford canary method, averaging over a randomised-rounding
+// canary ensemble (clifford.Ensemble). It is computable for any device
+// size — the whole point of the strategy (§3.4.1).
+//
+// The ensemble is built from the *logical* circuit, so every device is
+// scored against the same reference canaries; each member is then
+// transpiled to the device under test (cliffordizing after transpilation
+// would hand every device a structurally different canary and make
+// cross-device fidelities incomparable).
+func (e Estimator) CanaryFidelity(c *circuit.Circuit, b *device.Backend) (float64, error) {
+	if e.Shots <= 0 {
+		return 0, fmt.Errorf("fidelity: estimator needs positive Shots")
+	}
+	measured := ensureMeasured(c).Decompose()
+	members := selectCanaries(measured, e.canarySize())
+	shots := e.Shots / len(members)
+	if shots < 128 {
+		shots = 128 // member estimates need enough shots to separate the
+		// best devices, whose fidelities differ by a few percent
+	}
+	sum := 0.0
+	for k, canary := range members {
+		f, err := e.canaryMemberFidelity(canary, b, e.Seed+int64(k)*7919, shots)
+		if err != nil {
+			return 0, err
+		}
+		sum += f
+	}
+	return sum / float64(len(members)), nil
+}
+
+// selectCanaries picks the canary ensemble for a (decomposed, measured)
+// logical circuit. Candidates come from clifford.Ensemble with a seed
+// derived from the circuit itself — NOT from the estimator seed — so every
+// device is judged against identical reference canaries. From an
+// oversampled candidate pool it keeps the members whose ideal output
+// distributions are most concentrated: a canary whose ideal distribution is
+// (near-)uniform is blind to noise under the Hellinger metric, so
+// preferring concentrated members maximises ranking signal (the
+// canary-sensitivity selection of Quancorde [24]).
+func selectCanaries(measured *circuit.Circuit, size int) []*circuit.Circuit {
+	seed := circuitSeed(measured)
+	candidates := clifford.Ensemble(measured, 3*size, seed)
+	type scored struct {
+		c    *circuit.Circuit
+		conc float64
+		idx  int
+	}
+	items := make([]scored, 0, len(candidates))
+	for i, cand := range candidates {
+		items = append(items, scored{c: cand, conc: concentration(cand, seed), idx: i})
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].conc > items[b].conc })
+	if len(items) > size {
+		items = items[:size]
+	}
+	out := make([]*circuit.Circuit, len(items))
+	for i, it := range items {
+		out[i] = it.c
+	}
+	return out
+}
+
+// concentration estimates the probability of a canary's most likely ideal
+// outcome: sample a few noiseless shots, then evaluate the modal outcome's
+// exact probability.
+func concentration(c *circuit.Circuit, seed int64) float64 {
+	counts, err := stabilizer.Runner{Shots: 96, Seed: seed}.Counts(c)
+	if err != nil {
+		return 0
+	}
+	mode, best := "", 0
+	for bits, n := range counts {
+		if n > best || (n == best && bits < mode) {
+			mode, best = bits, n
+		}
+	}
+	p, err := stabilizer.OutcomeProbability(c, mode)
+	if err != nil {
+		return 0
+	}
+	return p
+}
+
+// circuitSeed derives a stable seed from a circuit's structure so canary
+// ensembles are identical across devices and processes.
+func circuitSeed(c *circuit.Circuit) int64 {
+	h := int64(1469598103934665603)
+	mix := func(v int64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(int64(c.NumQubits))
+	for _, g := range c.Gates {
+		for _, b := range []byte(g.Name) {
+			mix(int64(b))
+		}
+		for _, q := range g.Qubits {
+			mix(int64(q))
+		}
+		for _, p := range g.Params {
+			mix(int64(math.Float64bits(p)))
+		}
+	}
+	return h
+}
+
+// canaryMemberFidelity transpiles one canary variant to the device, runs it
+// under the device noise model, and compares against the member's exact
+// ideal outcome probabilities (stabilizer states have dyadic outcome
+// probabilities, so the ideal side is exact, not sampled). The ideal
+// distribution over classical bits is device-independent, so it is
+// evaluated on the logical member.
+func (e Estimator) canaryMemberFidelity(canary *circuit.Circuit, b *device.Backend, seed int64, shots int) (float64, error) {
+	tr, err := transpile.Transpile(canary, b, e.Transpile)
+	if err != nil {
+		return 0, err
+	}
+	compact, active, err := mapomatic.Deflate(tr.Circuit)
+	if err != nil {
+		return 0, err
+	}
+	model := compactModel(b, active)
+	noisy, err := stabilizer.Runner{Model: model, Shots: shots, Seed: seed}.Counts(compact)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range noisy {
+		total += n
+	}
+	s := 0.0
+	for bits, n := range noisy {
+		p, err := stabilizer.OutcomeProbability(canary, bits)
+		if err != nil {
+			return 0, err
+		}
+		if p > 0 {
+			s += math.Sqrt(p * float64(n) / float64(total))
+		}
+	}
+	return s * s, nil
+}
+
+// OracleFidelity computes the achieved fidelity of the actual circuit on
+// the backend: exact ideal distribution vs Monte-Carlo noisy execution.
+// It fails when the circuit (after routing) touches more qubits than dense
+// simulation allows.
+func (e Estimator) OracleFidelity(c *circuit.Circuit, b *device.Backend) (float64, error) {
+	if e.Shots <= 0 {
+		return 0, fmt.Errorf("fidelity: estimator needs positive Shots")
+	}
+	compact, model, err := e.prepare(c, b)
+	if err != nil {
+		return 0, err
+	}
+	if compact.NumQubits > e.denseLimit() {
+		return 0, fmt.Errorf("fidelity: oracle needs %d qubits (> %d) on %s",
+			compact.NumQubits, e.denseLimit(), b.Name)
+	}
+	ideal, err := statevec.IdealDistribution(compact)
+	if err != nil {
+		return 0, err
+	}
+	noisy, err := statevec.Noisy{Model: model, Shots: e.Shots, Seed: e.Seed}.Counts(compact)
+	if err != nil {
+		return 0, err
+	}
+	return HellingerCounts(ideal, noisy), nil
+}
+
+// AnalyticFidelity is the simplistic estimate Π(1−e_i) over the transpiled
+// circuit's gates and readouts (no simulation). Kept as an ablation
+// baseline for the canary method.
+func (e Estimator) AnalyticFidelity(c *circuit.Circuit, b *device.Backend) (float64, error) {
+	tr, err := transpile.Transpile(ensureMeasured(c), b, e.Transpile)
+	if err != nil {
+		return 0, err
+	}
+	cost := mapomatic.PhysicalCost(tr.Circuit, b)
+	return math.Exp(-cost), nil
+}

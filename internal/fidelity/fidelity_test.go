@@ -1,0 +1,212 @@
+package fidelity_test
+
+import (
+	"math"
+	"testing"
+
+	"qrio/internal/device"
+	"qrio/internal/fidelity"
+	"qrio/internal/graph"
+	"qrio/internal/quantum/circuit"
+)
+
+func uniform(t *testing.T, name string, g *graph.Graph, e2, e1, ro float64) *device.Backend {
+	t.Helper()
+	b, err := device.UniformBackend(name, g, e2, e1, ro, 100e3, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestHellingerIdentical(t *testing.T) {
+	p := map[string]float64{"00": 0.5, "11": 0.5}
+	if f := fidelity.Hellinger(p, p); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("Hellinger(p,p) = %v, want 1", f)
+	}
+}
+
+func TestHellingerDisjoint(t *testing.T) {
+	p := map[string]float64{"00": 1}
+	q := map[string]float64{"11": 1}
+	if f := fidelity.Hellinger(p, q); f != 0 {
+		t.Fatalf("Hellinger(disjoint) = %v, want 0", f)
+	}
+}
+
+func TestHellingerCounts(t *testing.T) {
+	ideal := map[string]float64{"0": 0.5, "1": 0.5}
+	counts := map[string]int{"0": 500, "1": 500}
+	if f := fidelity.HellingerCounts(ideal, counts); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("HellingerCounts = %v, want 1", f)
+	}
+	if f := fidelity.HellingerCounts(ideal, map[string]int{}); f != 0 {
+		t.Fatalf("empty counts fidelity = %v, want 0", f)
+	}
+}
+
+func TestTVD(t *testing.T) {
+	p := map[string]float64{"0": 1}
+	q := map[string]float64{"1": 1}
+	if d := fidelity.TVD(p, q); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("TVD(disjoint) = %v, want 1", d)
+	}
+	if d := fidelity.TVD(p, p); d != 0 {
+		t.Fatalf("TVD(p,p) = %v, want 0", d)
+	}
+}
+
+func bell() *circuit.Circuit {
+	c := circuit.New(2)
+	c.Name = "bell"
+	c.H(0)
+	c.CX(0, 1)
+	c.MeasureAll()
+	return c
+}
+
+func TestNoiselessFidelityIsNearOne(t *testing.T) {
+	b := uniform(t, "clean", graph.Line(4), 0, 0, 0)
+	e := fidelity.NewEstimator(1)
+	can, err := e.CanaryFidelity(bell(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if can < 0.99 {
+		t.Fatalf("noiseless canary fidelity = %v, want ~1", can)
+	}
+	orc, err := e.OracleFidelity(bell(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orc < 0.999 {
+		t.Fatalf("noiseless oracle fidelity = %v, want ~1", orc)
+	}
+	an, err := e.AnalyticFidelity(bell(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an < 0.999 {
+		t.Fatalf("noiseless analytic fidelity = %v, want ~1", an)
+	}
+}
+
+func TestFidelityOrdersDevicesByNoise(t *testing.T) {
+	good := uniform(t, "good", graph.Line(4), 0.02, 0.005, 0.01)
+	bad := uniform(t, "bad", graph.Line(4), 0.4, 0.1, 0.1)
+	e := fidelity.Estimator{Shots: 512, Seed: 5}
+	for _, method := range []struct {
+		name string
+		f    func(*circuit.Circuit, *device.Backend) (float64, error)
+	}{
+		{"canary", e.CanaryFidelity},
+		{"oracle", e.OracleFidelity},
+		{"analytic", e.AnalyticFidelity},
+	} {
+		fg, err := method.f(bell(), good)
+		if err != nil {
+			t.Fatalf("%s(good): %v", method.name, err)
+		}
+		fb, err := method.f(bell(), bad)
+		if err != nil {
+			t.Fatalf("%s(bad): %v", method.name, err)
+		}
+		if fg <= fb {
+			t.Errorf("%s: good device %v <= bad device %v", method.name, fg, fb)
+		}
+		if fg < 0 || fg > 1 || fb < 0 || fb > 1 {
+			t.Errorf("%s: fidelity out of [0,1]: %v %v", method.name, fg, fb)
+		}
+	}
+}
+
+func TestCanaryTracksOracleOnCliffordCircuit(t *testing.T) {
+	// BV-style circuit is all-Clifford: canary and oracle see the same
+	// circuit, so estimates must land close.
+	c := circuit.New(4)
+	c.X(3)
+	for q := 0; q < 4; q++ {
+		c.H(q)
+	}
+	c.CX(0, 3)
+	c.CX(2, 3)
+	for q := 0; q < 3; q++ {
+		c.H(q)
+	}
+	for q := 0; q < 3; q++ {
+		c.Measure(q, q)
+	}
+	b := uniform(t, "mid", graph.Line(6), 0.08, 0.01, 0.02)
+	e := fidelity.Estimator{Shots: 2048, Seed: 11}
+	can, err := e.CanaryFidelity(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := e.OracleFidelity(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(can-orc) > 0.1 {
+		t.Fatalf("canary %v deviates from oracle %v on Clifford circuit", can, orc)
+	}
+}
+
+func TestCanaryWorksOnLargeDevice(t *testing.T) {
+	// The whole point of the canary: still computable when the device has
+	// 60 qubits (transpiled circuit is deflated, but routing may wander).
+	spec := device.DefaultFleetSpec()
+	b, err := device.GenerateBackend("big", 60, 0.3, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fidelity.Estimator{Shots: 128, Seed: 7}
+	f, err := e.CanaryFidelity(bell(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0 || f > 1 {
+		t.Fatalf("fidelity out of range: %v", f)
+	}
+}
+
+func TestUnmeasuredCircuitGetsMeasured(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.CX(0, 1)
+	b := uniform(t, "clean", graph.Line(3), 0, 0, 0)
+	e := fidelity.NewEstimator(2)
+	f, err := e.CanaryFidelity(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0.99 {
+		t.Fatalf("auto-measured canary fidelity = %v", f)
+	}
+}
+
+func TestEstimatorRejectsZeroShots(t *testing.T) {
+	b := uniform(t, "x", graph.Line(2), 0, 0, 0)
+	var e fidelity.Estimator
+	if _, err := e.CanaryFidelity(bell(), b); err == nil {
+		t.Fatal("zero-shot estimator accepted")
+	}
+	if _, err := e.OracleFidelity(bell(), b); err == nil {
+		t.Fatal("zero-shot estimator accepted")
+	}
+}
+
+func TestAnalyticMatchesClosedForm(t *testing.T) {
+	b := uniform(t, "cf", graph.Line(2), 0.1, 0, 0.05)
+	c := circuit.New(2)
+	c.CX(0, 1)
+	c.MeasureAll()
+	e := fidelity.NewEstimator(1)
+	got, err := e.AnalyticFidelity(c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - 0.1) * (1 - 0.05) * (1 - 0.05)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("analytic = %v, want %v", got, want)
+	}
+}

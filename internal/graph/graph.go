@@ -1,0 +1,225 @@
+// Package graph provides the undirected-graph machinery QRIO uses for
+// device coupling maps and user topology requests: named topologies
+// (line/ring/grid/heavy-square/fully-connected/tree/star), the paper's
+// bounded-degree random coupling-map generator (§4.1), BFS distances for
+// routing, and VF2 subgraph monomorphism search for Mapomatic-style
+// topology scoring (§3.4.2).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..n-1.
+type Graph struct {
+	n    int
+	adj  [][]int
+	seen map[[2]int]bool
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]int, n), seen: make(map[[2]int]bool)}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.seen) }
+
+func normPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// AddEdge inserts the undirected edge (a, b); duplicates are ignored.
+func (g *Graph) AddEdge(a, b int) error {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range (n=%d)", a, b, g.n)
+	}
+	if a == b {
+		return fmt.Errorf("graph: self-loop on %d", a)
+	}
+	key := normPair(a, b)
+	if g.seen[key] {
+		return nil
+	}
+	g.seen[key] = true
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return nil
+}
+
+// MustAddEdge panics on error; for statically correct constructors.
+func (g *Graph) MustAddEdge(a, b int) {
+	if err := g.AddEdge(a, b); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		return false
+	}
+	return g.seen[normPair(a, b)]
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the largest vertex degree (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns v's adjacency list (do not mutate).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Edges returns all edges as normalised pairs in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.seen))
+	for e := range g.seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Copy returns a deep copy.
+func (g *Graph) Copy() *Graph {
+	c := New(g.n)
+	for e := range g.seen {
+		c.MustAddEdge(e[0], e[1])
+	}
+	return c
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.Distances(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Distances returns BFS hop counts from src; -1 marks unreachable vertices.
+func (g *Graph) Distances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDistances returns the full BFS distance matrix.
+func (g *Graph) AllPairsDistances() [][]int {
+	out := make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		out[v] = g.Distances(v)
+	}
+	return out
+}
+
+// ShortestPath returns one shortest path from a to b inclusive, or nil if
+// unreachable.
+func (g *Graph) ShortestPath(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[a] = a
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if prev[w] < 0 {
+				prev[w] = v
+				if w == b {
+					var path []int
+					for x := b; x != a; x = prev[x] {
+						path = append(path, x)
+					}
+					path = append(path, a)
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
+
+// DegreeSequence returns the sorted (descending) degree sequence.
+func (g *Graph) DegreeSequence() []int {
+	ds := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		ds[v] = len(g.adj[v])
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ds)))
+	return ds
+}
+
+// Equal reports whether two graphs have identical vertex and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || len(g.seen) != len(h.seen) {
+		return false
+	}
+	for e := range g.seen {
+		if !h.seen[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph compactly for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(%d vertices, %d edges)", g.n, len(g.seen))
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Line returns the path topology 0-1-...-n-1 (paper default "line").
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Ring returns the cycle topology (paper default "ring").
+func Ring(n int) *Graph {
+	g := Line(n)
+	if n >= 3 {
+		g.MustAddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Grid returns a rows x cols grid topology (paper default "grid", 2x2 for
+// the 4-qubit case).
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Full returns the complete graph K_n (paper default "fully connected").
+func Full(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns a star with vertex 0 at the centre.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// HeavySquare returns the paper's "heavy square" default: a square (4-cycle)
+// whose edges carry extra bridge vertices, in the style of IBM's
+// heavy-square lattices. Vertices 0..3 are the corners; bridge vertices are
+// inserted on edges (0,1), (1,2), (2,3), (3,0) in order until n vertices
+// are used. n must be at least 4.
+func HeavySquare(n int) (*Graph, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("graph: heavy square needs >= 4 vertices, got %d", n)
+	}
+	g := New(n)
+	corners := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	next := 4
+	for _, c := range corners {
+		if next < n {
+			g.MustAddEdge(c[0], next)
+			g.MustAddEdge(next, c[1])
+			next++
+		} else {
+			g.MustAddEdge(c[0], c[1])
+		}
+	}
+	// Any leftover vertices hang off corner 0 to keep the graph connected.
+	for ; next < n; next++ {
+		g.MustAddEdge(0, next)
+	}
+	return g, nil
+}
+
+// BalancedBinaryTree returns a tree where vertex i has children 2i+1, 2i+2
+// (the "tree-like" 10-qubit device of the paper's §4.4 experiment).
+func BalancedBinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge((i-1)/2, i)
+	}
+	return g
+}
+
+// Named builds a topology by name; qubit count semantics follow the paper's
+// defaults ("grid" is as close to square as possible).
+func Named(name string, n int) (*Graph, error) {
+	switch name {
+	case "line":
+		return Line(n), nil
+	case "ring":
+		return Ring(n), nil
+	case "grid":
+		rows := 1
+		for r := 2; r*r <= n; r++ {
+			if n%r == 0 {
+				rows = r
+			}
+		}
+		return Grid(rows, n/rows), nil
+	case "full", "fully-connected":
+		return Full(n), nil
+	case "heavy-square":
+		return HeavySquare(n)
+	case "star":
+		return Star(n), nil
+	case "tree":
+		return BalancedBinaryTree(n), nil
+	}
+	return nil, fmt.Errorf("graph: unknown topology %q", name)
+}
+
+// TopologyNames lists the names accepted by Named.
+func TopologyNames() []string {
+	return []string{"line", "ring", "grid", "full", "heavy-square", "star", "tree"}
+}
+
+// RandomConnected generates a connected random graph in the style of the
+// paper's coupling-map generator (§4.1): a random spanning tree guarantees
+// connectivity, then every remaining vertex pair becomes an edge with
+// probability edgeProb, subject to a maximum vertex degree (the paper caps
+// qubits at 4 connections).
+func RandomConnected(n int, edgeProb float64, maxDegree int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if maxDegree < 2 {
+		maxDegree = 2 // a spanning structure needs at least degree 2
+	}
+	// Random spanning tree: attach each vertex (in random order) to a
+	// random already-attached vertex with spare degree.
+	order := rng.Perm(n)
+	attached := []int{order[0]}
+	for _, v := range order[1:] {
+		// Collect candidates with spare degree; fall back to the least
+		// loaded vertex so the tree always completes.
+		var candidates []int
+		for _, u := range attached {
+			if g.Degree(u) < maxDegree {
+				candidates = append(candidates, u)
+			}
+		}
+		var u int
+		if len(candidates) > 0 {
+			u = candidates[rng.Intn(len(candidates))]
+		} else {
+			u = attached[0]
+			for _, w := range attached {
+				if g.Degree(w) < g.Degree(u) {
+					u = w
+				}
+			}
+		}
+		g.MustAddEdge(u, v)
+		attached = append(attached, v)
+	}
+	// Density pass.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if g.HasEdge(i, j) || g.Degree(i) >= maxDegree || g.Degree(j) >= maxDegree {
+				continue
+			}
+			if rng.Float64() < edgeProb {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,194 @@
+package graph
+
+import "sort"
+
+// VF2 subgraph monomorphism: find injective mappings m from pattern
+// vertices to target vertices such that every pattern edge (u,v) maps to a
+// target edge (m[u],m[v]). This is the search Mapomatic performs to locate
+// device subgraphs matching a circuit's interaction graph (paper §3.4.2).
+// Non-induced matching is used deliberately: extra device edges never hurt.
+
+// MonomorphismOptions bounds the search.
+type MonomorphismOptions struct {
+	// MaxResults stops enumeration after this many mappings (0 = just one).
+	MaxResults int
+	// MaxVisits caps search-tree nodes to bound worst-case time (0 = 5e6).
+	MaxVisits int
+}
+
+// defaultMaxVisits keeps dense-pattern searches (the paper notes Mapomatic
+// can take ~45 minutes on dense devices) within interactive bounds.
+const defaultMaxVisits = 5_000_000
+
+// FindMonomorphism returns one mapping (len = pattern vertices) or nil.
+func FindMonomorphism(pattern, target *Graph) []int {
+	res := EnumerateMonomorphisms(pattern, target, MonomorphismOptions{MaxResults: 1})
+	if len(res) == 0 {
+		return nil
+	}
+	return res[0]
+}
+
+// EnumerateMonomorphisms returns up to opts.MaxResults mappings.
+func EnumerateMonomorphisms(pattern, target *Graph, opts MonomorphismOptions) [][]int {
+	if pattern.NumVertices() > target.NumVertices() {
+		return nil
+	}
+	maxResults := opts.MaxResults
+	if maxResults <= 0 {
+		maxResults = 1
+	}
+	maxVisits := opts.MaxVisits
+	if maxVisits <= 0 {
+		maxVisits = defaultMaxVisits
+	}
+	s := &vf2State{
+		pattern:    pattern,
+		target:     target,
+		order:      matchOrder(pattern),
+		mapping:    make([]int, pattern.NumVertices()),
+		used:       make([]bool, target.NumVertices()),
+		maxResults: maxResults,
+		maxVisits:  maxVisits,
+	}
+	for i := range s.mapping {
+		s.mapping[i] = -1
+	}
+	s.search(0)
+	return s.results
+}
+
+// matchOrder sorts pattern vertices so each vertex (after the first) is
+// adjacent to an earlier one when possible, maximising early pruning.
+// Within the constraint, higher-degree vertices come first.
+func matchOrder(p *Graph) []int {
+	n := p.NumVertices()
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	byDegree := make([]int, n)
+	for i := range byDegree {
+		byDegree[i] = i
+	}
+	sort.Slice(byDegree, func(a, b int) bool {
+		if p.Degree(byDegree[a]) != p.Degree(byDegree[b]) {
+			return p.Degree(byDegree[a]) > p.Degree(byDegree[b])
+		}
+		return byDegree[a] < byDegree[b]
+	})
+	for len(order) < n {
+		// Prefer the highest-degree unplaced vertex adjacent to the placed
+		// set; otherwise start a new component with the highest-degree one.
+		best := -1
+		for _, v := range byDegree {
+			if placed[v] {
+				continue
+			}
+			adj := false
+			for _, w := range p.Neighbors(v) {
+				if placed[w] {
+					adj = true
+					break
+				}
+			}
+			if adj {
+				best = v
+				break
+			}
+		}
+		if best < 0 {
+			for _, v := range byDegree {
+				if !placed[v] {
+					best = v
+					break
+				}
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+type vf2State struct {
+	pattern, target *Graph
+	order           []int
+	mapping         []int
+	used            []bool
+	results         [][]int
+	maxResults      int
+	maxVisits       int
+	visits          int
+}
+
+func (s *vf2State) search(depth int) bool {
+	if len(s.results) >= s.maxResults {
+		return true
+	}
+	s.visits++
+	if s.visits > s.maxVisits {
+		return true // budget exhausted; return what we have
+	}
+	if depth == len(s.order) {
+		s.results = append(s.results, append([]int(nil), s.mapping...))
+		return len(s.results) >= s.maxResults
+	}
+	v := s.order[depth]
+	for _, cand := range s.candidates(v) {
+		s.mapping[v] = cand
+		s.used[cand] = true
+		if s.search(depth + 1) {
+			s.mapping[v] = -1
+			s.used[cand] = false
+			return true
+		}
+		s.mapping[v] = -1
+		s.used[cand] = false
+	}
+	return false
+}
+
+// candidates lists feasible target vertices for pattern vertex v given the
+// current partial mapping: unused, degree-compatible, and adjacent to the
+// images of all already-mapped pattern neighbours.
+func (s *vf2State) candidates(v int) []int {
+	// If some neighbour is mapped, restrict to the image's neighbourhood.
+	var anchor = -1
+	for _, w := range s.pattern.Neighbors(v) {
+		if s.mapping[w] >= 0 {
+			anchor = s.mapping[w]
+			break
+		}
+	}
+	var pool []int
+	if anchor >= 0 {
+		pool = s.target.Neighbors(anchor)
+	} else {
+		pool = make([]int, s.target.NumVertices())
+		for i := range pool {
+			pool[i] = i
+		}
+	}
+	out := make([]int, 0, len(pool))
+	deg := s.pattern.Degree(v)
+	for _, c := range pool {
+		if s.used[c] || s.target.Degree(c) < deg {
+			continue
+		}
+		ok := true
+		for _, w := range s.pattern.Neighbors(v) {
+			if m := s.mapping[w]; m >= 0 && !s.target.HasEdge(c, m) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasMonomorphism reports whether the pattern embeds in the target.
+func HasMonomorphism(pattern, target *Graph) bool {
+	return FindMonomorphism(pattern, target) != nil
+}

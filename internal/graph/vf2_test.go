@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// verifyMapping checks that m is a valid monomorphism.
+func verifyMapping(t *testing.T, pattern, target *Graph, m []int) {
+	t.Helper()
+	if len(m) != pattern.NumVertices() {
+		t.Fatalf("mapping length %d != %d", len(m), pattern.NumVertices())
+	}
+	seen := map[int]bool{}
+	for _, v := range m {
+		if v < 0 || v >= target.NumVertices() {
+			t.Fatalf("mapping image %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("mapping not injective: %v", m)
+		}
+		seen[v] = true
+	}
+	for _, e := range pattern.Edges() {
+		if !target.HasEdge(m[e[0]], m[e[1]]) {
+			t.Fatalf("pattern edge %v maps to non-edge (%d,%d)", e, m[e[0]], m[e[1]])
+		}
+	}
+}
+
+func TestLineEmbedsInRing(t *testing.T) {
+	m := FindMonomorphism(Line(4), Ring(6))
+	if m == nil {
+		t.Fatal("line-4 should embed in ring-6")
+	}
+	verifyMapping(t, Line(4), Ring(6), m)
+}
+
+func TestRingDoesNotEmbedInLine(t *testing.T) {
+	if m := FindMonomorphism(Ring(4), Line(8)); m != nil {
+		t.Fatalf("ring-4 embedded in line-8: %v", m)
+	}
+}
+
+func TestFullRequiresDenseTarget(t *testing.T) {
+	if FindMonomorphism(Full(4), Grid(2, 2)) != nil {
+		t.Fatal("K4 embedded in 2x2 grid")
+	}
+	if m := FindMonomorphism(Full(4), Full(6)); m == nil {
+		t.Fatal("K4 should embed in K6")
+	}
+	// K4 needs degree >= 3 everywhere; the max-degree-4 random device may
+	// or may not host it, but K6 needs degree 5 and can never embed.
+	rng := rand.New(rand.NewSource(1))
+	dev := RandomConnected(50, 0.98, 4, rng)
+	if FindMonomorphism(Full(6), dev) != nil {
+		t.Fatal("K6 embedded in degree-4-capped device")
+	}
+}
+
+func TestGridInGrid(t *testing.T) {
+	m := FindMonomorphism(Grid(2, 2), Grid(3, 3))
+	if m == nil {
+		t.Fatal("2x2 grid should embed in 3x3 grid")
+	}
+	verifyMapping(t, Grid(2, 2), Grid(3, 3), m)
+}
+
+func TestStarDegreeBound(t *testing.T) {
+	// Star-6 centre has degree 5; a ring (degree 2) cannot host it.
+	if FindMonomorphism(Star(6), Ring(20)) != nil {
+		t.Fatal("star-6 embedded in ring")
+	}
+	if m := FindMonomorphism(Star(4), Star(8)); m == nil {
+		t.Fatal("star-4 should embed in star-8")
+	}
+}
+
+func TestIsolatedPatternVertices(t *testing.T) {
+	// A pattern with isolated vertices maps them to any free target vertex.
+	p := New(3)
+	p.MustAddEdge(0, 1) // vertex 2 isolated
+	m := FindMonomorphism(p, Line(3))
+	if m == nil {
+		t.Fatal("pattern with isolated vertex should embed")
+	}
+	verifyMapping(t, p, Line(3), m)
+}
+
+func TestPatternLargerThanTarget(t *testing.T) {
+	if FindMonomorphism(Line(5), Line(4)) != nil {
+		t.Fatal("5-vertex pattern embedded in 4-vertex target")
+	}
+}
+
+func TestEnumerateCountsRingAutomorphisms(t *testing.T) {
+	// Ring-4 into ring-4: 8 monomorphisms (4 rotations x 2 reflections).
+	res := EnumerateMonomorphisms(Ring(4), Ring(4), MonomorphismOptions{MaxResults: 100})
+	if len(res) != 8 {
+		t.Fatalf("ring-4 automorphism count = %d, want 8", len(res))
+	}
+	for _, m := range res {
+		verifyMapping(t, Ring(4), Ring(4), m)
+	}
+}
+
+func TestEnumerateRespectsLimit(t *testing.T) {
+	res := EnumerateMonomorphisms(Line(3), Full(8), MonomorphismOptions{MaxResults: 5})
+	if len(res) != 5 {
+		t.Fatalf("limit ignored: got %d results", len(res))
+	}
+}
+
+// bruteForceCount exhaustively counts monomorphisms for small graphs.
+func bruteForceCount(pattern, target *Graph) int {
+	n, m := pattern.NumVertices(), target.NumVertices()
+	perm := make([]int, n)
+	used := make([]bool, m)
+	count := 0
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			count++
+			return
+		}
+		for v := 0; v < m; v++ {
+			if used[v] {
+				continue
+			}
+			ok := true
+			for _, e := range pattern.Edges() {
+				a, b := e[0], e[1]
+				if a < i && b == i && !target.HasEdge(perm[a], v) {
+					ok = false
+					break
+				}
+				if b < i && a == i && !target.HasEdge(perm[b], v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[i] = v
+			used[v] = true
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestEnumerationMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		pn := 2 + rng.Intn(3)
+		tn := pn + rng.Intn(3)
+		pattern := RandomConnected(pn, rng.Float64(), 4, rng)
+		target := RandomConnected(tn, rng.Float64(), 4, rng)
+		want := bruteForceCount(pattern, target)
+		got := len(EnumerateMonomorphisms(pattern, target, MonomorphismOptions{MaxResults: 100000}))
+		if got != want {
+			t.Fatalf("trial %d: VF2 found %d, brute force %d\npattern %v edges %v\ntarget %v edges %v",
+				trial, got, want, pattern, pattern.Edges(), target, target.Edges())
+		}
+	}
+}
+
+func TestVisitBudgetTerminates(t *testing.T) {
+	// A pathological dense-in-dense search must respect the visit cap.
+	res := EnumerateMonomorphisms(Full(8), Full(12), MonomorphismOptions{
+		MaxResults: 1 << 30, MaxVisits: 1000,
+	})
+	if len(res) == 0 {
+		t.Fatal("budgeted search found nothing at all")
+	}
+}

@@ -1,0 +1,229 @@
+package meta
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"qrio/internal/device"
+)
+
+// Handler exposes the Meta Server over REST. QRIO components interact with
+// circuits purely through QASM-over-HTTP (all payloads are JSON strings),
+// so the Meta Server can run out-of-process.
+//
+//	POST /v1/backends                 — register a backend (device JSON)
+//	GET  /v1/backends                 — list backend names
+//	GET  /v1/backends/{name}          — fetch one backend
+//	POST /v1/jobs/{name}/meta         — upload job metadata (Table 1)
+//	GET  /v1/jobs/{name}/meta         — fetch job metadata
+//	GET  /v1/score?job=J&backend=B    — score a job against a backend
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var b device.Backend
+			if err := decodeJSON(r, &b); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			if err := s.RegisterBackend(&b); err != nil {
+				httpError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, map[string]string{"registered": b.Name})
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.BackendNames())
+		default:
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		}
+	})
+	mux.HandleFunc("/v1/backends/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/v1/backends/")
+		if r.Method != http.MethodGet || name == "" {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET /v1/backends/{name} only"))
+			return
+		}
+		b, err := s.Backend(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, b)
+	})
+	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		name, ok := strings.CutSuffix(rest, "/meta")
+		if !ok || name == "" {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+			return
+		}
+		switch r.Method {
+		case http.MethodPost:
+			var m JobMeta
+			if err := decodeJSON(r, &m); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			m.JobName = name
+			if err := s.PutJobMeta(m); err != nil {
+				httpError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, map[string]string{"stored": name})
+		case http.MethodGet:
+			m, err := s.JobMeta(name)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, m)
+		default:
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		}
+	})
+	mux.HandleFunc("/v1/score", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			return
+		}
+		job := r.URL.Query().Get("job")
+		backend := r.URL.Query().Get("backend")
+		if job == "" || backend == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("need job and backend query params"))
+			return
+		}
+		score, err := s.Score(job, backend)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]float64{"score": score})
+	})
+	return mux
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// Client talks to a remote Meta Server over REST and satisfies Scorer, so
+// the scheduler works identically in- and out-of-process.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the given base URL (e.g. http://host:port).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP: &http.Client{Timeout: 120 * time.Second}}
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("meta: %s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("meta: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// RegisterBackend uploads a backend.
+func (c *Client) RegisterBackend(b *device.Backend) error {
+	return c.do(http.MethodPost, "/v1/backends", b, nil)
+}
+
+// BackendNames lists registered backends.
+func (c *Client) BackendNames() ([]string, error) {
+	var names []string
+	err := c.do(http.MethodGet, "/v1/backends", nil, &names)
+	return names, err
+}
+
+// Backend fetches one backend.
+func (c *Client) Backend(name string) (*device.Backend, error) {
+	var b device.Backend
+	if err := c.do(http.MethodGet, "/v1/backends/"+name, nil, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// PutJobMeta uploads job metadata.
+func (c *Client) PutJobMeta(m JobMeta) error {
+	return c.do(http.MethodPost, "/v1/jobs/"+m.JobName+"/meta", m, nil)
+}
+
+// JobMeta fetches job metadata.
+func (c *Client) JobMeta(jobName string) (JobMeta, error) {
+	var m JobMeta
+	err := c.do(http.MethodGet, "/v1/jobs/"+jobName+"/meta", nil, &m)
+	return m, err
+}
+
+// Score asks the server to score a job against a backend.
+func (c *Client) Score(jobName, backendName string) (float64, error) {
+	var out map[string]float64
+	q := "/v1/score?job=" + jobName + "&backend=" + backendName
+	if err := c.do(http.MethodGet, q, nil, &out); err != nil {
+		return 0, err
+	}
+	score, ok := out["score"]
+	if !ok {
+		return 0, fmt.Errorf("meta: malformed score response %v", out)
+	}
+	return score, nil
+}
+
+var _ Scorer = (*Client)(nil)

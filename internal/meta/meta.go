@@ -1,0 +1,225 @@
+// Package meta implements the QRIO Meta Server (§3.4): it stores the
+// per-job metadata of Table 1 (fidelity target plus the original circuit,
+// or the user's topology circuit), keeps the vendor backend files for every
+// node, and answers scoring requests from the scheduler's ranking plugin —
+// dispatching to the Fidelity Ranking strategy (Clifford canaries,
+// §3.4.1) or the Topology Ranking strategy (Mapomatic, §3.4.2).
+package meta
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/device"
+	"qrio/internal/fidelity"
+	"qrio/internal/mapomatic"
+	"qrio/internal/quantum/qasm"
+)
+
+// JobMeta is the metadata the Visualizer uploads per Table 1.
+type JobMeta struct {
+	JobName  string       `json:"jobName"`
+	Strategy api.Strategy `json:"strategy"`
+	// Fidelity strategy: the target in (0,1] and the original circuit.
+	TargetFidelity float64 `json:"targetFidelity,omitempty"`
+	CircuitQASM    string  `json:"circuitQASM,omitempty"`
+	// Topology strategy: the user-drawn topology as a pseudo-circuit.
+	TopologyQASM string `json:"topologyQASM,omitempty"`
+}
+
+// Validate checks the metadata against Table 1's contract.
+func (m JobMeta) Validate() error {
+	if m.JobName == "" {
+		return fmt.Errorf("meta: job metadata without job name")
+	}
+	switch m.Strategy {
+	case api.StrategyFidelity:
+		if m.TargetFidelity <= 0 || m.TargetFidelity > 1 {
+			return fmt.Errorf("meta: job %s fidelity %g out of (0,1]", m.JobName, m.TargetFidelity)
+		}
+		if m.CircuitQASM == "" {
+			return fmt.Errorf("meta: job %s fidelity strategy needs the circuit", m.JobName)
+		}
+	case api.StrategyTopology:
+		if m.TopologyQASM == "" {
+			return fmt.Errorf("meta: job %s topology strategy needs the topology circuit", m.JobName)
+		}
+	default:
+		return fmt.Errorf("meta: job %s unknown strategy %q", m.JobName, m.Strategy)
+	}
+	return nil
+}
+
+// Options tunes the server's scoring engines.
+type Options struct {
+	// Estimator drives canary simulation (zero value = 256 shots, seed 1).
+	Estimator fidelity.Estimator
+	// Mapomatic bounds the topology layout search.
+	Mapomatic mapomatic.Options
+	// OverTargetPenalty discounts fidelity overshoot: a device whose
+	// canary fidelity exceeds the target scores (F−target)·penalty so
+	// "loosely matching" devices are preferred over wastefully good ones
+	// with penalty < 1 (§3.4.1's "loosely match"). Default 0.25.
+	OverTargetPenalty float64
+}
+
+// Server is the Meta Server's core. It is safe for concurrent use and is
+// exposed over REST by Handler (see http.go).
+type Server struct {
+	opts Options
+
+	mu       sync.RWMutex
+	backends map[string]*device.Backend
+	jobs     map[string]JobMeta
+}
+
+// NewServer builds a Meta Server.
+func NewServer(opts Options) *Server {
+	if opts.Estimator.Shots <= 0 {
+		// The best devices in a fleet differ by only a few percent in
+		// canary fidelity; the ranking needs a healthy shot budget to
+		// separate them (stabilizer shots are cheap).
+		opts.Estimator = fidelity.Estimator{Shots: 2048, Seed: 1}
+	}
+	if opts.OverTargetPenalty <= 0 {
+		opts.OverTargetPenalty = 0.25
+	}
+	return &Server{
+		opts:     opts,
+		backends: make(map[string]*device.Backend),
+		jobs:     make(map[string]JobMeta),
+	}
+}
+
+// RegisterBackend stores (a copy of the pointer to) a vendor backend file.
+func (s *Server) RegisterBackend(b *device.Backend) error {
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("meta: rejecting backend: %w", err)
+	}
+	s.mu.Lock()
+	s.backends[b.Name] = b
+	s.mu.Unlock()
+	return nil
+}
+
+// Backend returns a registered backend.
+func (s *Server) Backend(name string) (*device.Backend, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("meta: unknown backend %q", name)
+	}
+	return b, nil
+}
+
+// BackendNames lists registered backends.
+func (s *Server) BackendNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.backends))
+	for n := range s.backends {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PutJobMeta stores job metadata (Table 1 upload).
+func (s *Server) PutJobMeta(m JobMeta) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	// The QASM payloads must parse — reject garbage at the door.
+	if m.CircuitQASM != "" {
+		if _, err := qasm.Parse(m.CircuitQASM); err != nil {
+			return fmt.Errorf("meta: job %s circuit does not parse: %w", m.JobName, err)
+		}
+	}
+	if m.TopologyQASM != "" {
+		if _, err := qasm.Parse(m.TopologyQASM); err != nil {
+			return fmt.Errorf("meta: job %s topology does not parse: %w", m.JobName, err)
+		}
+	}
+	s.mu.Lock()
+	s.jobs[m.JobName] = m
+	s.mu.Unlock()
+	return nil
+}
+
+// JobMeta returns stored metadata.
+func (s *Server) JobMeta(jobName string) (JobMeta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.jobs[jobName]
+	if !ok {
+		return JobMeta{}, fmt.Errorf("meta: no metadata for job %q", jobName)
+	}
+	return m, nil
+}
+
+// Score answers a scoring request: the job's strategy decides the engine
+// (§3.4: "checks the database if a fidelity threshold exists for the job").
+// Lower scores are better.
+func (s *Server) Score(jobName, backendName string) (float64, error) {
+	m, err := s.JobMeta(jobName)
+	if err != nil {
+		return 0, err
+	}
+	b, err := s.Backend(backendName)
+	if err != nil {
+		return 0, err
+	}
+	switch m.Strategy {
+	case api.StrategyFidelity:
+		return s.fidelityScore(m, b)
+	case api.StrategyTopology:
+		return s.topologyScore(m, b)
+	}
+	return 0, fmt.Errorf("meta: job %s has unknown strategy %q", jobName, m.Strategy)
+}
+
+// fidelityScore implements the Fidelity Ranking strategy: estimate the
+// canary fidelity on the device and measure the miss against the target.
+func (s *Server) fidelityScore(m JobMeta, b *device.Backend) (float64, error) {
+	c, err := qasm.Parse(m.CircuitQASM)
+	if err != nil {
+		return 0, err
+	}
+	c.Name = m.JobName
+	f, err := s.opts.Estimator.CanaryFidelity(c, b)
+	if err != nil {
+		return 0, err
+	}
+	if f >= m.TargetFidelity {
+		return (f - m.TargetFidelity) * s.opts.OverTargetPenalty, nil
+	}
+	return m.TargetFidelity - f, nil
+}
+
+// topologyScore implements the Topology Ranking strategy via Mapomatic.
+func (s *Server) topologyScore(m JobMeta, b *device.Backend) (float64, error) {
+	tc, err := qasm.Parse(m.TopologyQASM)
+	if err != nil {
+		return 0, err
+	}
+	tc.Name = m.JobName + "-topology"
+	score, err := mapomatic.BestLayout(tc, b, s.opts.Mapomatic)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(score.Cost, 1) {
+		return 0, fmt.Errorf("meta: backend %s cannot host job %s topology", b.Name, m.JobName)
+	}
+	return score.Cost, nil
+}
+
+// Scorer is the dependency the scheduler's ranking plugin needs: anything
+// that can score a (job, backend) pair. *Server and the HTTP Client both
+// satisfy it.
+type Scorer interface {
+	Score(jobName, backendName string) (float64, error)
+}
+
+var _ Scorer = (*Server)(nil)

@@ -1,0 +1,240 @@
+package meta_test
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+	"qrio/internal/mapomatic"
+	"qrio/internal/meta"
+	"qrio/internal/quantum/qasm"
+)
+
+const bellQASM = `OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q -> c;
+`
+
+func ringTopologyQASM(t *testing.T, n int) string {
+	t.Helper()
+	src, err := qasm.Dump(mapomatic.TopologyCircuit(graph.Ring(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func backend(t *testing.T, name string, g *graph.Graph, e2 float64) *device.Backend {
+	t.Helper()
+	b, err := device.UniformBackend(name, g, e2, 0.01, 0.02, 500e3, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFidelityScoringPrefersCleanDevice(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	clean := backend(t, "clean", graph.Line(4), 0.02)
+	noisy := backend(t, "noisy", graph.Line(4), 0.5)
+	if err := s.RegisterBackend(clean); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterBackend(noisy); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJobMeta(meta.JobMeta{
+		JobName: "bell", Strategy: api.StrategyFidelity,
+		TargetFidelity: 1.0, CircuitQASM: bellQASM,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.Score("bell", "clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := s.Score("bell", "noisy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc >= sn {
+		t.Fatalf("clean score %v >= noisy score %v (lower must be better)", sc, sn)
+	}
+}
+
+func TestOverTargetPenaltyPrefersLooseMatch(t *testing.T) {
+	// Target 0.9: an excellent device (~0.97 canary fidelity) overshoots
+	// slightly; a terrible one misses by a lot. The overshoot must (a)
+	// still beat the big miss and (b) be discounted relative to an
+	// undíscounted |F−target| metric.
+	discounted := meta.NewServer(meta.Options{OverTargetPenalty: 0.25})
+	flat := meta.NewServer(meta.Options{OverTargetPenalty: 1.0})
+	excellent := backend(t, "excellent", graph.Line(4), 0.005)
+	terrible := backend(t, "terrible", graph.Line(4), 0.7)
+	for _, s := range []*meta.Server{discounted, flat} {
+		s.RegisterBackend(excellent)
+		s.RegisterBackend(terrible)
+		if err := s.PutJobMeta(meta.JobMeta{
+			JobName: "loose", Strategy: api.StrategyFidelity,
+			TargetFidelity: 0.9, CircuitQASM: bellQASM,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se, err := discounted.Score("loose", "excellent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := discounted.Score("loose", "terrible")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se >= st {
+		t.Fatalf("overshoot penalised harder than a big miss: excellent %v vs terrible %v", se, st)
+	}
+	if se < 0 || st < 0 {
+		t.Fatalf("negative scores: %v %v", se, st)
+	}
+	seFlat, err := flat.Score("loose", "excellent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se >= seFlat {
+		t.Fatalf("penalty 0.25 did not discount overshoot: %v vs flat %v", se, seFlat)
+	}
+}
+
+func TestTopologyScoring(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	ringDev := backend(t, "ring", graph.Ring(8), 0.1)
+	lineDev := backend(t, "line", graph.Line(8), 0.1)
+	s.RegisterBackend(ringDev)
+	s.RegisterBackend(lineDev)
+	s.PutJobMeta(meta.JobMeta{
+		JobName: "topo", Strategy: api.StrategyTopology,
+		TopologyQASM: ringTopologyQASM(t, 6),
+	})
+	sr, err := s.Score("topo", "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := s.Score("topo", "line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring topology embeds in the ring device; the line device must route.
+	if sr >= sl {
+		t.Fatalf("ring device score %v >= line device %v for a ring request", sr, sl)
+	}
+}
+
+func TestMetaValidation(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	cases := []meta.JobMeta{
+		{}, // no name
+		{JobName: "x", Strategy: api.StrategyFidelity, TargetFidelity: 0, CircuitQASM: bellQASM},
+		{JobName: "x", Strategy: api.StrategyFidelity, TargetFidelity: 2, CircuitQASM: bellQASM},
+		{JobName: "x", Strategy: api.StrategyFidelity, TargetFidelity: 0.5}, // no circuit
+		{JobName: "x", Strategy: api.StrategyTopology},                      // no topology
+		{JobName: "x", Strategy: "magic"},
+		{JobName: "x", Strategy: api.StrategyFidelity, TargetFidelity: 0.5, CircuitQASM: "garbage"},
+	}
+	for i, m := range cases {
+		if err := s.PutJobMeta(m); err == nil {
+			t.Errorf("case %d: invalid metadata accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestScoreUnknownJobOrBackend(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	if _, err := s.Score("ghost", "ghost"); err == nil {
+		t.Fatal("scored unknown job")
+	}
+	s.PutJobMeta(meta.JobMeta{
+		JobName: "j", Strategy: api.StrategyFidelity,
+		TargetFidelity: 1, CircuitQASM: bellQASM,
+	})
+	if _, err := s.Score("j", "ghost"); err == nil {
+		t.Fatal("scored unknown backend")
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := meta.NewClient(srv.URL)
+
+	b := backend(t, "dev", graph.Line(4), 0.05)
+	if err := c.RegisterBackend(b); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.BackendNames()
+	if err != nil || len(names) != 1 || names[0] != "dev" {
+		t.Fatalf("names = %v, %v", names, err)
+	}
+	got, err := c.Backend("dev")
+	if err != nil || got.NumQubits != 4 {
+		t.Fatalf("backend fetch = %v, %v", got, err)
+	}
+	m := meta.JobMeta{
+		JobName: "bell", Strategy: api.StrategyFidelity,
+		TargetFidelity: 1, CircuitQASM: bellQASM,
+	}
+	if err := c.PutJobMeta(m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.JobMeta("bell")
+	if err != nil || back.TargetFidelity != 1 {
+		t.Fatalf("meta fetch = %+v, %v", back, err)
+	}
+	score, err := c.Score("bell", "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(score) || score < 0 {
+		t.Fatalf("score = %v", score)
+	}
+	// Server-side errors surface as client errors.
+	if _, err := c.Score("ghost", "dev"); err == nil {
+		t.Fatal("remote error swallowed")
+	}
+	if _, err := c.Backend("ghost"); err == nil {
+		t.Fatal("missing backend fetch succeeded")
+	}
+}
+
+func TestTable1MetadataRouting(t *testing.T) {
+	// Table 1: fidelity uploads carry {fidelity, job name, circuit};
+	// topology uploads carry {job name, topology file} only.
+	s := meta.NewServer(meta.Options{})
+	fid := meta.JobMeta{
+		JobName: "f", Strategy: api.StrategyFidelity,
+		TargetFidelity: 0.8, CircuitQASM: bellQASM,
+	}
+	topo := meta.JobMeta{
+		JobName: "t", Strategy: api.StrategyTopology,
+		TopologyQASM: ringTopologyQASM(t, 4),
+	}
+	if err := s.PutJobMeta(fid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutJobMeta(topo); err != nil {
+		t.Fatal(err)
+	}
+	gotF, _ := s.JobMeta("f")
+	if gotF.CircuitQASM == "" || gotF.TargetFidelity != 0.8 || gotF.TopologyQASM != "" {
+		t.Fatalf("fidelity metadata wrong: %+v", gotF)
+	}
+	gotT, _ := s.JobMeta("t")
+	if gotT.TopologyQASM == "" || gotT.CircuitQASM != "" || gotT.TargetFidelity != 0 {
+		t.Fatalf("topology metadata wrong: %+v", gotT)
+	}
+}

@@ -1,0 +1,255 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateValidate(t *testing.T) {
+	cases := []struct {
+		g  Gate
+		ok bool
+	}{
+		{Gate{Name: GateH, Qubits: []int{0}}, true},
+		{Gate{Name: GateH, Qubits: []int{0, 1}}, false},
+		{Gate{Name: GateCX, Qubits: []int{0, 1}}, true},
+		{Gate{Name: GateCX, Qubits: []int{1, 1}}, false},
+		{Gate{Name: GateCX, Qubits: []int{1}}, false},
+		{Gate{Name: GateU3, Qubits: []int{0}, Params: []float64{1, 2, 3}}, true},
+		{Gate{Name: GateU3, Qubits: []int{0}, Params: []float64{1}}, false},
+		{Gate{Name: "bogus", Qubits: []int{0}}, false},
+		{Gate{Name: GateMeasure, Qubits: []int{0}, Clbits: []int{0}}, true},
+		{Gate{Name: GateMeasure, Qubits: []int{0}}, false},
+		{Gate{Name: GateBarrier, Qubits: []int{0, 1, 2}}, true},
+		{Gate{Name: GateBarrier}, true},
+		{Gate{Name: GateX, Qubits: []int{-1}}, false},
+	}
+	for i, c := range cases {
+		err := c.g.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d (%v): Validate() = %v, want ok=%v", i, c.g, err, c.ok)
+		}
+	}
+}
+
+func TestCircuitAppendRangeChecks(t *testing.T) {
+	c := New(2)
+	if err := c.Append(Gate{Name: GateH, Qubits: []int{2}}); err == nil {
+		t.Fatal("expected out-of-range qubit error")
+	}
+	if err := c.Append(Gate{Name: GateMeasure, Qubits: []int{0}, Clbits: []int{5}}); err == nil {
+		t.Fatal("expected out-of-range clbit error")
+	}
+	if err := c.Append(Gate{Name: GateCX, Qubits: []int{0, 1}}); err != nil {
+		t.Fatalf("valid append failed: %v", err)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New(3)
+	if got := c.Depth(); got != 0 {
+		t.Fatalf("empty depth = %d, want 0", got)
+	}
+	c.H(0)
+	c.H(1)
+	c.H(2)
+	if got := c.Depth(); got != 1 {
+		t.Fatalf("parallel depth = %d, want 1", got)
+	}
+	c.CX(0, 1)
+	if got := c.Depth(); got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+	c.CX(1, 2)
+	if got := c.Depth(); got != 3 {
+		t.Fatalf("chained depth = %d, want 3", got)
+	}
+}
+
+func TestDepthWithMeasureAndBarrier(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.Barrier() // all-qubit barrier synchronises
+	c.X(1)
+	// After barrier, x(1) must wait for h(0)'s level.
+	if got := c.Depth(); got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+	c.Measure(0, 0)
+	c.Measure(1, 1)
+	if got := c.Depth(); got != 3 {
+		t.Fatalf("depth with measures = %d, want 3", got)
+	}
+}
+
+func TestInteractionGraph(t *testing.T) {
+	c := New(4)
+	c.CX(0, 1)
+	c.CX(1, 0) // same undirected edge
+	c.CZ(2, 3)
+	c.H(0)
+	g := c.InteractionGraph()
+	if g[Edge{0, 1}] != 2 {
+		t.Errorf("edge 0-1 count = %d, want 2", g[Edge{0, 1}])
+	}
+	if g[Edge{2, 3}] != 1 {
+		t.Errorf("edge 2-3 count = %d, want 1", g[Edge{2, 3}])
+	}
+	if len(g) != 2 {
+		t.Errorf("edge count = %d, want 2", len(g))
+	}
+	edges := c.InteractionEdges()
+	if len(edges) != 2 || edges[0] != (Edge{0, 1}) || edges[1] != (Edge{2, 3}) {
+		t.Errorf("InteractionEdges = %v", edges)
+	}
+}
+
+func TestRemapQubits(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.CX(0, 1)
+	out, err := c.RemapQubits(map[int]int{0: 3, 1: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Gates[0].Qubits[0] != 3 {
+		t.Errorf("h qubit = %d, want 3", out.Gates[0].Qubits[0])
+	}
+	if out.Gates[1].Qubits[0] != 3 || out.Gates[1].Qubits[1] != 1 {
+		t.Errorf("cx qubits = %v, want [3 1]", out.Gates[1].Qubits)
+	}
+	if _, err := c.RemapQubits(map[int]int{0: 9, 1: 1}, 5); err == nil {
+		t.Error("expected range error for image 9 in size-5 register")
+	}
+	if _, err := c.RemapQubits(map[int]int{0: 0}, 5); err == nil {
+		t.Error("expected missing-image error")
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	c := New(2)
+	c.U3(0, 1, 2, 3)
+	d := c.Copy()
+	d.Gates[0].Params[0] = 99
+	d.Gates[0].Qubits[0] = 1
+	if c.Gates[0].Params[0] != 1 || c.Gates[0].Qubits[0] != 0 {
+		t.Fatal("Copy shares backing arrays with original")
+	}
+}
+
+func TestIsCliffordGate(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		want bool
+	}{
+		{Gate{Name: GateH, Qubits: []int{0}}, true},
+		{Gate{Name: GateT, Qubits: []int{0}}, false},
+		{Gate{Name: GateCX, Qubits: []int{0, 1}}, true},
+		{Gate{Name: GateCCX, Qubits: []int{0, 1, 2}}, false},
+		{Gate{Name: GateRZ, Qubits: []int{0}, Params: []float64{math.Pi / 2}}, true},
+		{Gate{Name: GateRZ, Qubits: []int{0}, Params: []float64{math.Pi / 3}}, false},
+		{Gate{Name: GateU3, Qubits: []int{0}, Params: []float64{math.Pi, 0, math.Pi}}, true},
+		{Gate{Name: GateU3, Qubits: []int{0}, Params: []float64{0.3, 0, 0}}, false},
+		{Gate{Name: GateU1, Qubits: []int{0}, Params: []float64{-math.Pi}}, true},
+	}
+	for i, c := range cases {
+		if got := c.g.IsClifford(); got != c.want {
+			t.Errorf("case %d (%v): IsClifford = %v, want %v", i, c.g, got, c.want)
+		}
+	}
+}
+
+func TestDecomposeProducesOnlyBasicGates(t *testing.T) {
+	c := New(3)
+	c.CCX(0, 1, 2)
+	c.Swap(0, 2)
+	c.CZ(1, 2)
+	c.MustAppend(Gate{Name: GateCSwap, Qubits: []int{0, 1, 2}})
+	c.MustAppend(Gate{Name: GateCCZ, Qubits: []int{0, 1, 2}})
+	d := c.Decompose()
+	for _, g := range d.Gates {
+		if len(g.Qubits) > 2 {
+			t.Fatalf("gate %v survived decomposition", g)
+		}
+		if len(g.Qubits) == 2 && g.Name != GateCX {
+			t.Fatalf("2q gate %v is not cx after decomposition", g)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("decomposed circuit invalid: %v", err)
+	}
+}
+
+func TestU3MatrixIsUnitary(t *testing.T) {
+	f := func(t0, p0, l0 float64) bool {
+		// Constrain angles to a sane range: trig of astronomically large
+		// arguments legitimately loses all precision.
+		theta := math.Mod(t0, 2*math.Pi)
+		phi := math.Mod(p0, 2*math.Pi)
+		lambda := math.Mod(l0, 2*math.Pi)
+		m := U3Matrix(theta, phi, lambda)
+		// m * m† = I
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				var s complex128
+				for k := 0; k < 2; k++ {
+					mj := m[j][k]
+					s += m[i][k] * complex(real(mj), -imag(mj))
+				}
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if d := s - want; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveQubits(t *testing.T) {
+	c := New(5)
+	c.H(3)
+	c.CX(1, 3)
+	got := c.ActiveQubits()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ActiveQubits = %v, want [1 3]", got)
+	}
+}
+
+func TestMeasureAllGrowsClbits(t *testing.T) {
+	c := &Circuit{NumQubits: 3, NumClbits: 0}
+	c.MeasureAll()
+	if c.NumClbits != 3 {
+		t.Fatalf("NumClbits = %d, want 3", c.NumClbits)
+	}
+	qs, cs := c.MeasuredQubits()
+	if len(qs) != 3 || len(cs) != 3 {
+		t.Fatalf("measured pairs = %v -> %v", qs, cs)
+	}
+}
+
+func TestCountOpsAndSize(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.H(1)
+	c.CX(0, 1)
+	c.Barrier()
+	c.Measure(0, 0)
+	ops := c.CountOps()
+	if ops["h"] != 2 || ops["cx"] != 1 || ops["barrier"] != 1 || ops["measure"] != 1 {
+		t.Fatalf("CountOps = %v", ops)
+	}
+	if c.Size() != 4 {
+		t.Fatalf("Size = %d, want 4 (barrier excluded)", c.Size())
+	}
+	if c.TwoQubitGateCount() != 1 {
+		t.Fatalf("TwoQubitGateCount = %d, want 1", c.TwoQubitGateCount())
+	}
+}

@@ -1,0 +1,188 @@
+package circuit_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/statevec"
+)
+
+// TestEveryDecompositionIsEquivalent verifies each multi-qubit gate's
+// decomposition against direct simulation: applying the gate and applying
+// its decomposition from a random product state must produce the same
+// state up to global phase. This pins down all the textbook identities in
+// Gate.Decompose.
+func TestEveryDecompositionIsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	gates := []circuit.Gate{
+		{Name: circuit.GateCZ, Qubits: []int{0, 1}},
+		{Name: circuit.GateCY, Qubits: []int{0, 1}},
+		{Name: circuit.GateCH, Qubits: []int{0, 1}},
+		{Name: circuit.GateSwap, Qubits: []int{0, 1}},
+		{Name: circuit.GateCRZ, Qubits: []int{0, 1}, Params: []float64{0.7}},
+		{Name: circuit.GateCU1, Qubits: []int{0, 1}, Params: []float64{1.3}},
+		{Name: circuit.GateRZZ, Qubits: []int{0, 1}, Params: []float64{0.9}},
+		{Name: circuit.GateCCX, Qubits: []int{0, 1, 2}},
+		{Name: circuit.GateCCZ, Qubits: []int{0, 1, 2}},
+		{Name: circuit.GateCSwap, Qubits: []int{0, 1, 2}},
+		// Reversed operand orders exercise qubit-index plumbing.
+		{Name: circuit.GateCCX, Qubits: []int{2, 0, 1}},
+		{Name: circuit.GateCRZ, Qubits: []int{1, 0}, Params: []float64{-2.1}},
+	}
+	for _, g := range gates {
+		for trial := 0; trial < 4; trial++ {
+			n := 3
+			// Random separable input state via random u3 on each qubit.
+			prep := circuit.New(n)
+			for q := 0; q < n; q++ {
+				prep.U3(q, rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+			}
+
+			direct := prep.Copy()
+			direct.MustAppend(g.Copy())
+			sDirect, err := statevec.Run(direct)
+			if err != nil {
+				t.Fatalf("%s direct: %v", g.Name, err)
+			}
+
+			decomposed := prep.Copy()
+			sub := g.Decompose()
+			if len(sub) == 1 && sub[0].Name == g.Name {
+				t.Fatalf("%s has no decomposition", g.Name)
+			}
+			for _, sg := range sub {
+				decomposed.MustAppend(sg)
+			}
+			sDecomp, err := statevec.Run(decomposed)
+			if err != nil {
+				t.Fatalf("%s decomposed: %v", g.Name, err)
+			}
+			if !sDirect.EqualUpToGlobalPhase(sDecomp, 1e-9) {
+				t.Fatalf("%s %v: decomposition is not equivalent", g.Name, g.Qubits)
+			}
+		}
+	}
+}
+
+// TestNamed1QGatesMatchTheirU3Forms verifies every named 1-qubit gate's
+// matrix against simulation of its canonical u3 form.
+func TestNamed1QGatesMatchTheirU3Forms(t *testing.T) {
+	forms := map[string][3]float64{
+		"x":  {math.Pi, 0, math.Pi},
+		"y":  {math.Pi, math.Pi / 2, math.Pi / 2},
+		"h":  {math.Pi / 2, 0, math.Pi},
+		"id": {0, 0, 0},
+	}
+	for name, angles := range forms {
+		a := circuit.New(1)
+		a.H(0) // non-trivial input
+		a.MustAppend(circuit.Gate{Name: name, Qubits: []int{0}})
+		b := circuit.New(1)
+		b.H(0)
+		b.U3(0, angles[0], angles[1], angles[2])
+		sa, err := statevec.Run(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := statevec.Run(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sa.EqualUpToGlobalPhase(sb, 1e-9) {
+			t.Errorf("%s does not match its u3 form", name)
+		}
+	}
+	// Phase-gate ladder: z = s·s = t·t·t·t.
+	z1 := circuit.New(1)
+	z1.H(0)
+	z1.Z(0)
+	z2 := circuit.New(1)
+	z2.H(0)
+	for i := 0; i < 4; i++ {
+		z2.T(0)
+	}
+	sa, _ := statevec.Run(z1)
+	sb, _ := statevec.Run(z2)
+	if !sa.EqualUpToGlobalPhase(sb, 1e-9) {
+		t.Error("t^4 != z")
+	}
+	// sx² = x.
+	x1 := circuit.New(1)
+	x1.H(0)
+	x1.MustAppend(circuit.Gate{Name: circuit.GateSX, Qubits: []int{0}})
+	x1.MustAppend(circuit.Gate{Name: circuit.GateSX, Qubits: []int{0}})
+	x2 := circuit.New(1)
+	x2.H(0)
+	x2.X(0)
+	sa, _ = statevec.Run(x1)
+	sb, _ = statevec.Run(x2)
+	if !sa.EqualUpToGlobalPhase(sb, 1e-9) {
+		t.Error("sx² != x")
+	}
+}
+
+// TestRotationGatesCompose checks rx/ry/rz additivity: r(a)·r(b) = r(a+b).
+func TestRotationGatesCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, name := range []string{"rx", "ry", "rz"} {
+		for trial := 0; trial < 5; trial++ {
+			a, b := rng.Float64()*3, rng.Float64()*3
+			c1 := circuit.New(1)
+			c1.H(0)
+			c1.MustAppend(circuit.Gate{Name: name, Qubits: []int{0}, Params: []float64{a}})
+			c1.MustAppend(circuit.Gate{Name: name, Qubits: []int{0}, Params: []float64{b}})
+			c2 := circuit.New(1)
+			c2.H(0)
+			c2.MustAppend(circuit.Gate{Name: name, Qubits: []int{0}, Params: []float64{a + b}})
+			s1, err := statevec.Run(c1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := statevec.Run(c2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s1.EqualUpToGlobalPhase(s2, 1e-9) {
+				t.Fatalf("%s(%v)·%s(%v) != %s(%v)", name, a, name, b, name, a+b)
+			}
+		}
+	}
+}
+
+func TestGateStringRendering(t *testing.T) {
+	g := circuit.Gate{Name: "u3", Qubits: []int{2}, Params: []float64{1, 2, 3}}
+	if got := g.String(); got != "u3(1,2,3) q[2]" {
+		t.Errorf("String = %q", got)
+	}
+	m := circuit.Gate{Name: "measure", Qubits: []int{0}, Clbits: []int{4}}
+	if got := m.String(); got != "measure q[0] -> c[4]" {
+		t.Errorf("String = %q", got)
+	}
+	cx := circuit.Gate{Name: "cx", Qubits: []int{0, 1}}
+	if got := cx.String(); got != "cx q[0],q[1]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestGateArityAndParamLookups(t *testing.T) {
+	if n, ok := circuit.GateArity("ccx"); !ok || n != 3 {
+		t.Errorf("GateArity(ccx) = %d, %v", n, ok)
+	}
+	if n, ok := circuit.GateArity("barrier"); !ok || n != -1 {
+		t.Errorf("GateArity(barrier) = %d, %v", n, ok)
+	}
+	if _, ok := circuit.GateArity("bogus"); ok {
+		t.Error("GateArity(bogus) ok")
+	}
+	if n, ok := circuit.GateParamCount("u2"); !ok || n != 2 {
+		t.Errorf("GateParamCount(u2) = %d, %v", n, ok)
+	}
+	if _, ok := circuit.GateParamCount("bogus"); ok {
+		t.Error("GateParamCount(bogus) ok")
+	}
+	if !circuit.KnownGate("h") || circuit.KnownGate("hh") {
+		t.Error("KnownGate wrong")
+	}
+}

@@ -1,0 +1,148 @@
+package clifford_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/clifford"
+	"qrio/internal/quantum/statevec"
+)
+
+func TestCanaryOfCliffordCircuitIsEquivalent(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.S(1)
+	c.CX(0, 1)
+	c.CZ(1, 2)
+	c.Swap(0, 2)
+	can := clifford.Canary(c)
+	a, err := statevec.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := statevec.Run(can)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualUpToGlobalPhase(b, 1e-9) {
+		t.Fatal("canary of a Clifford circuit changed its state")
+	}
+	if clifford.Distance(c) != 0 {
+		t.Fatalf("Distance of Clifford circuit = %v, want 0", clifford.Distance(c))
+	}
+}
+
+func TestCanaryIsAlwaysClifford(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		c := circuit.New(4)
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				c.T(rng.Intn(4))
+			case 1:
+				c.U3(rng.Intn(4), rng.Float64()*6, rng.Float64()*6, rng.Float64()*6)
+			case 2:
+				c.RZ(rng.Intn(4), rng.Float64()*2*math.Pi)
+			case 3:
+				a := rng.Intn(4)
+				c.CX(a, (a+1)%4)
+			case 4:
+				c.CCX(0, 1, 2+rng.Intn(2))
+			}
+		}
+		c.MeasureAll()
+		can := clifford.Canary(c)
+		if !can.IsClifford() {
+			t.Fatalf("trial %d: canary still contains non-Clifford gates: %v",
+				trial, can.CountOps())
+		}
+		if err := can.Validate(); err != nil {
+			t.Fatalf("trial %d: canary invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestCanaryPreservesTwoQubitStructure(t *testing.T) {
+	// Canaries must keep all original cx gates in place (the noisy gates
+	// drive device fidelity, per the paper's argument).
+	c := circuit.New(3)
+	c.H(0)
+	c.T(0)
+	c.CX(0, 1)
+	c.U3(1, 0.3, 0.1, 0.2)
+	c.CX(1, 2)
+	can := clifford.Canary(c)
+	if got, want := can.TwoQubitGateCount(), 2; got != want {
+		t.Fatalf("canary 2q gates = %d, want %d", got, want)
+	}
+	// cx positions relative to other cx gates must be preserved.
+	var origPairs, canPairs [][2]int
+	for _, g := range c.Gates {
+		if g.Name == circuit.GateCX {
+			origPairs = append(origPairs, [2]int{g.Qubits[0], g.Qubits[1]})
+		}
+	}
+	for _, g := range can.Gates {
+		if g.Name == circuit.GateCX {
+			canPairs = append(canPairs, [2]int{g.Qubits[0], g.Qubits[1]})
+		}
+	}
+	if len(origPairs) != len(canPairs) {
+		t.Fatal("cx count changed")
+	}
+	for i := range origPairs {
+		if origPairs[i] != canPairs[i] {
+			t.Fatalf("cx %d moved: %v -> %v", i, origPairs[i], canPairs[i])
+		}
+	}
+}
+
+func TestAngleRounding(t *testing.T) {
+	c := circuit.New(1)
+	c.RZ(0, math.Pi/2+0.1) // near s
+	can := clifford.Canary(c)
+	got := can.Gates[0].Params[0]
+	if math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("rounded angle = %v, want π/2", got)
+	}
+	if !can.Gates[0].IsClifford() {
+		t.Fatal("rounded gate is not Clifford")
+	}
+}
+
+func TestTBecomesS(t *testing.T) {
+	c := circuit.New(1)
+	c.T(0)
+	c.Tdg(0)
+	can := clifford.Canary(c)
+	if can.Gates[0].Name != circuit.GateS || can.Gates[1].Name != circuit.GateSdg {
+		t.Fatalf("t/tdg mapped to %v/%v", can.Gates[0].Name, can.Gates[1].Name)
+	}
+}
+
+func TestDistanceMonotone(t *testing.T) {
+	near := circuit.New(1)
+	near.RZ(0, math.Pi/2+0.01)
+	far := circuit.New(1)
+	far.RZ(0, math.Pi/4)
+	if clifford.Distance(near) >= clifford.Distance(far) {
+		t.Fatalf("Distance(near)=%v should be < Distance(far)=%v",
+			clifford.Distance(near), clifford.Distance(far))
+	}
+}
+
+func TestCanaryKeepsMeasurements(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.T(0)
+	c.Measure(0, 0)
+	c.Measure(1, 1)
+	can := clifford.Canary(c)
+	qs, cs := can.MeasuredQubits()
+	if len(qs) != 2 || qs[0] != 0 || cs[1] != 1 {
+		t.Fatalf("canary measurements broken: %v -> %v", qs, cs)
+	}
+}

@@ -1,0 +1,173 @@
+package clifford_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/clifford"
+)
+
+func randomNonClifford(seed int64, n, gates int) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.U3(rng.Intn(n), rng.Float64()*3, rng.Float64()*3, rng.Float64()*3)
+		case 1:
+			c.T(rng.Intn(n))
+		case 2:
+			a := rng.Intn(n)
+			c.CX(a, (a+1)%n)
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+func TestEnsembleAllMembersClifford(t *testing.T) {
+	c := randomNonClifford(3, 4, 30)
+	members := clifford.Ensemble(c, 7, 11)
+	if len(members) != 7 {
+		t.Fatalf("got %d members, want 7", len(members))
+	}
+	for i, m := range members {
+		if !m.IsClifford() {
+			t.Errorf("member %d not Clifford: %v", i, m.CountOps())
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("member %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestEnsembleMemberZeroIsDeterministicCanary(t *testing.T) {
+	c := randomNonClifford(5, 3, 20)
+	members := clifford.Ensemble(c, 4, 9)
+	want := clifford.Canary(c)
+	if len(members[0].Gates) != len(want.Gates) {
+		t.Fatal("member 0 is not the deterministic canary")
+	}
+	for i := range want.Gates {
+		a, b := members[0].Gates[i], want.Gates[i]
+		if a.Name != b.Name {
+			t.Fatalf("member 0 gate %d: %s != %s", i, a.Name, b.Name)
+		}
+		for j := range a.Params {
+			if math.Abs(a.Params[j]-b.Params[j]) > 1e-12 {
+				t.Fatalf("member 0 gate %d params differ", i)
+			}
+		}
+	}
+}
+
+func TestEnsembleDeterministicPerSeed(t *testing.T) {
+	c := randomNonClifford(7, 4, 25)
+	a := clifford.Ensemble(c, 5, 42)
+	b := clifford.Ensemble(c, 5, 42)
+	for k := range a {
+		if len(a[k].Gates) != len(b[k].Gates) {
+			t.Fatalf("member %d differs across identical seeds", k)
+		}
+		for i := range a[k].Gates {
+			ga, gb := a[k].Gates[i], b[k].Gates[i]
+			if ga.Name != gb.Name {
+				t.Fatalf("member %d gate %d: %s != %s", k, i, ga.Name, gb.Name)
+			}
+			for j := range ga.Params {
+				if ga.Params[j] != gb.Params[j] {
+					t.Fatalf("member %d gate %d param %d differs", k, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestEnsembleMembersActuallyVary(t *testing.T) {
+	// With many non-Clifford angles, random rounding must produce at least
+	// two distinct members.
+	c := randomNonClifford(9, 4, 40)
+	members := clifford.Ensemble(c, 6, 13)
+	distinct := false
+	base := members[1]
+	for _, m := range members[2:] {
+		if len(m.Gates) != len(base.Gates) {
+			distinct = true
+			break
+		}
+		for i := range m.Gates {
+			for j := range m.Gates[i].Params {
+				if m.Gates[i].Params[j] != base.Gates[i].Params[j] {
+					distinct = true
+				}
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("all random members identical — rounding not stochastic")
+	}
+}
+
+func TestEnsembleRoundingStaysAdjacent(t *testing.T) {
+	// Every rounded angle must be one of the two π/2 multiples bracketing
+	// the original angle.
+	c := circuit.New(1)
+	angle := 0.3 + math.Pi/2 // between π/2 and π
+	c.RZ(0, angle)
+	members := clifford.Ensemble(c, 20, 3)
+	lo := math.Floor(angle/(math.Pi/2)) * (math.Pi / 2)
+	hi := lo + math.Pi/2
+	for i, m := range members {
+		got := m.Gates[0].Params[0]
+		if math.Abs(got-lo) > 1e-12 && math.Abs(got-hi) > 1e-12 {
+			t.Fatalf("member %d rounded %v to %v, outside {%v, %v}", i, angle, got, lo, hi)
+		}
+	}
+}
+
+func TestEnsembleSizeOne(t *testing.T) {
+	c := randomNonClifford(11, 3, 10)
+	members := clifford.Ensemble(c, 1, 5)
+	if len(members) != 1 {
+		t.Fatalf("size-1 ensemble has %d members", len(members))
+	}
+	if !members[0].IsClifford() {
+		t.Fatal("single member not Clifford")
+	}
+}
+
+func TestEnsembleOfCliffordCircuitIsStable(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.CX(0, 1)
+	c.S(2)
+	c.MeasureAll()
+	for _, m := range clifford.Ensemble(c, 4, 1) {
+		if len(m.Gates) != len(c.Gates) {
+			t.Fatal("Clifford circuit mutated by ensemble")
+		}
+	}
+}
+
+func TestEnsembleTGateBothRoundings(t *testing.T) {
+	// t rounds to identity (drop) or s with equal probability; across many
+	// members both outcomes must appear.
+	c := circuit.New(1)
+	c.T(0)
+	c.MeasureAll()
+	sawDrop, sawS := false, false
+	for _, m := range clifford.Ensemble(c, 40, 17)[1:] {
+		ops := m.CountOps()
+		switch {
+		case ops["s"] == 1:
+			sawS = true
+		case ops["s"] == 0 && ops["sdg"] == 0:
+			sawDrop = true
+		}
+	}
+	if !sawDrop || !sawS {
+		t.Fatalf("t roundings not both observed: drop=%v s=%v", sawDrop, sawS)
+	}
+}

@@ -1,0 +1,194 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// expr is a parameter-expression AST node. OpenQASM 2.0 allows real
+// arithmetic over literals, pi, gate parameters and the unary functions
+// sin/cos/tan/exp/ln/sqrt.
+type expr struct {
+	kind  exprKind
+	num   float64
+	name  string // ident or function name
+	op    tokenKind
+	left  *expr
+	right *expr
+	arg   *expr
+}
+
+type exprKind int
+
+const (
+	exprNum exprKind = iota
+	exprIdent
+	exprBinary
+	exprUnaryNeg
+	exprCall
+)
+
+func (e *expr) eval(env map[string]float64) (float64, error) {
+	switch e.kind {
+	case exprNum:
+		return e.num, nil
+	case exprIdent:
+		if e.name == "pi" {
+			return math.Pi, nil
+		}
+		if env != nil {
+			if v, ok := env[e.name]; ok {
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("unknown identifier %q in expression", e.name)
+	case exprUnaryNeg:
+		v, err := e.arg.eval(env)
+		return -v, err
+	case exprCall:
+		v, err := e.arg.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.name {
+		case "sin":
+			return math.Sin(v), nil
+		case "cos":
+			return math.Cos(v), nil
+		case "tan":
+			return math.Tan(v), nil
+		case "exp":
+			return math.Exp(v), nil
+		case "ln":
+			return math.Log(v), nil
+		case "sqrt":
+			return math.Sqrt(v), nil
+		}
+		return 0, fmt.Errorf("unknown function %q", e.name)
+	case exprBinary:
+		l, err := e.left.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.right.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.op {
+		case tokPlus:
+			return l + r, nil
+		case tokMinus:
+			return l - r, nil
+		case tokStar:
+			return l * r, nil
+		case tokSlash:
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in expression")
+			}
+			return l / r, nil
+		case tokCaret:
+			return math.Pow(l, r), nil
+		}
+	}
+	return 0, fmt.Errorf("malformed expression")
+}
+
+// parseExpr parses an additive expression.
+func (p *parser) parseExpr() (*expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokPlus && k != tokMinus {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr{kind: exprBinary, op: k, left: left, right: right}
+	}
+}
+
+func (p *parser) parseTerm() (*expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.peek().kind
+		if k != tokStar && k != tokSlash {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr{kind: exprBinary, op: k, left: left, right: right}
+	}
+}
+
+// parseFactor handles exponentiation (right-associative).
+func (p *parser) parseFactor() (*expr, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokCaret {
+		p.advance()
+		exp, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{kind: exprBinary, op: tokCaret, left: base, right: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseAtom() (*expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad number %q", t.text)
+		}
+		return &expr{kind: exprNum, num: v}, nil
+	case tokMinus:
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{kind: exprUnaryNeg, arg: a}, nil
+	case tokPlus:
+		return p.parseAtom()
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.advance()
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return &expr{kind: exprCall, name: t.text, arg: a}, nil
+		}
+		return &expr{kind: exprIdent, name: t.text}, nil
+	}
+	return nil, p.errf(t, "expected expression, got %s", t)
+}

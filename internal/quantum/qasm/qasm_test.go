@@ -1,0 +1,280 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qrio/internal/quantum/circuit"
+)
+
+const bvSample = `
+OPENQASM 2.0;
+include "qelib1.inc";
+// 4-qubit Bernstein-Vazirani with secret 101
+qreg q[4];
+creg c[3];
+x q[3];
+h q;
+cx q[0],q[3];
+cx q[2],q[3];
+h q[0];
+h q[1];
+h q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+`
+
+func TestParseBV(t *testing.T) {
+	c, err := Parse(bvSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 4 || c.NumClbits != 3 {
+		t.Fatalf("registers = (%d,%d), want (4,3)", c.NumQubits, c.NumClbits)
+	}
+	ops := c.CountOps()
+	if ops["h"] != 7 { // broadcast h q; expands to 4, plus 3 singles
+		t.Errorf("h count = %d, want 7", ops["h"])
+	}
+	if ops["cx"] != 2 || ops["measure"] != 3 || ops["x"] != 1 {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestParseParameterExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[1];
+u3(pi/2, -pi/4, 2*pi) q[0];
+u1(1.5e-1) q[0];
+rz(cos(0)) q[0];
+u1(2^3) q[0];
+u1((1+2)*3) q[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Gates[0]
+	want := []float64{math.Pi / 2, -math.Pi / 4, 2 * math.Pi}
+	for i, w := range want {
+		if math.Abs(g.Params[i]-w) > 1e-12 {
+			t.Errorf("u3 param %d = %g, want %g", i, g.Params[i], w)
+		}
+	}
+	if math.Abs(c.Gates[1].Params[0]-0.15) > 1e-12 {
+		t.Errorf("u1 param = %g, want 0.15", c.Gates[1].Params[0])
+	}
+	if math.Abs(c.Gates[2].Params[0]-1) > 1e-12 {
+		t.Errorf("rz(cos(0)) = %g, want 1", c.Gates[2].Params[0])
+	}
+	if math.Abs(c.Gates[3].Params[0]-8) > 1e-12 {
+		t.Errorf("2^3 = %g, want 8", c.Gates[3].Params[0])
+	}
+	if math.Abs(c.Gates[4].Params[0]-9) > 1e-12 {
+		t.Errorf("(1+2)*3 = %g, want 9", c.Gates[4].Params[0])
+	}
+}
+
+func TestParseCustomGate(t *testing.T) {
+	src := `OPENQASM 2.0;
+gate majority a,b,c {
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+gate rot(theta) q { ry(theta/2) q; ry(theta/2) q; }
+qreg q[3];
+majority q[0],q[1],q[2];
+rot(pi) q[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := c.CountOps()
+	if ops["cx"] != 2 || ops["ccx"] != 1 || ops["ry"] != 2 {
+		t.Fatalf("ops = %v", ops)
+	}
+	if math.Abs(c.Gates[3].Params[0]-math.Pi/2) > 1e-12 {
+		t.Errorf("expanded ry angle = %g, want pi/2", c.Gates[3].Params[0])
+	}
+}
+
+func TestParseNestedCustomGates(t *testing.T) {
+	src := `OPENQASM 2.0;
+gate bell a,b { h a; cx a,b; }
+gate doublebell a,b,c,d { bell a,b; bell c,d; }
+qreg q[4];
+doublebell q[0],q[1],q[2],q[3];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := c.CountOps()
+	if ops["h"] != 2 || ops["cx"] != 2 {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+func TestParseMultipleRegisters(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg a[2];
+qreg b[3];
+creg m[2];
+h a[1];
+cx a[1],b[0];
+measure a -> m;
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 5 {
+		t.Fatalf("NumQubits = %d, want 5", c.NumQubits)
+	}
+	// a occupies 0-1, b occupies 2-4.
+	if c.Gates[0].Qubits[0] != 1 {
+		t.Errorf("h target = %d, want 1", c.Gates[0].Qubits[0])
+	}
+	if c.Gates[1].Qubits[0] != 1 || c.Gates[1].Qubits[1] != 2 {
+		t.Errorf("cx operands = %v, want [1 2]", c.Gates[1].Qubits)
+	}
+	qs, cs := c.MeasuredQubits()
+	if len(qs) != 2 || qs[0] != 0 || qs[1] != 1 || cs[0] != 0 || cs[1] != 1 {
+		t.Errorf("measures = %v -> %v", qs, cs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                             // missing header
+		"OPENQASM 2.0;\nqreg q[0];",                    // zero-size register
+		"OPENQASM 2.0;\nqreg q[2];\nh q[5];",           // index out of range
+		"OPENQASM 2.0;\nqreg q[2];\nbogus q[0];",       // unknown gate
+		"OPENQASM 2.0;\nqreg q[2];\ncx q[0];",          // wrong arity
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0]",            // missing semicolon
+		"OPENQASM 2.0;\nqreg q[2];\nqreg q[2];",        // duplicate register
+		"OPENQASM 2.0;\nqreg q[1];\nu1(zzz) q[0];",     // unknown identifier in expr
+		"OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];",     // repeated qubit
+		"OPENQASM 2.0;\nqreg q[1];\nif (c==1) x q[0];", // classical control
+		"OPENQASM 2.0;\nqreg q[1];\nu1(1/0) q[0];",     // division by zero
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+func TestOpaqueIsSkipped(t *testing.T) {
+	src := `OPENQASM 2.0;
+opaque magic(a,b) q0, q1;
+qreg q[1];
+h q[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Name != "h" {
+		t.Fatalf("gates = %v", c.Gates)
+	}
+}
+
+func TestBuiltinAliases(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[2];
+U(0.1,0.2,0.3) q[0];
+CX q[0],q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Name != circuit.GateU3 || c.Gates[1].Name != circuit.GateCX {
+		t.Fatalf("gates = %v", c.Gates)
+	}
+}
+
+// randomCircuit builds a random circuit over the full vocabulary the writer
+// supports, for round-trip testing.
+func randomCircuit(rng *rand.Rand, nq int) *circuit.Circuit {
+	c := circuit.New(nq)
+	names1 := []string{"h", "x", "y", "z", "s", "sdg", "t", "tdg"}
+	for i := 0; i < 30; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.MustAppend(circuit.Gate{Name: names1[rng.Intn(len(names1))], Qubits: []int{rng.Intn(nq)}})
+		case 1:
+			a := rng.Intn(nq)
+			b := (a + 1 + rng.Intn(nq-1)) % nq
+			c.CX(a, b)
+		case 2:
+			c.U3(rng.Intn(nq), rng.Float64()*6, rng.Float64()*6-3, rng.Float64()*6)
+		case 3:
+			c.RZ(rng.Intn(nq), rng.Float64()*2*math.Pi)
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		orig := randomCircuit(rng, 2+rng.Intn(4))
+		src, err := Dump(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nsource:\n%s", err, src)
+		}
+		if back.NumQubits != orig.NumQubits || back.NumClbits != orig.NumClbits {
+			t.Fatalf("register mismatch after round trip")
+		}
+		if len(back.Gates) != len(orig.Gates) {
+			t.Fatalf("gate count %d != %d", len(back.Gates), len(orig.Gates))
+		}
+		for i := range orig.Gates {
+			a, b := orig.Gates[i], back.Gates[i]
+			if a.Name != b.Name || len(a.Qubits) != len(b.Qubits) {
+				t.Fatalf("gate %d mismatch: %v vs %v", i, a, b)
+			}
+			for j := range a.Qubits {
+				if a.Qubits[j] != b.Qubits[j] {
+					t.Fatalf("gate %d qubit mismatch: %v vs %v", i, a, b)
+				}
+			}
+			for j := range a.Params {
+				if math.Abs(a.Params[j]-b.Params[j]) > 1e-12 {
+					t.Fatalf("gate %d param mismatch: %v vs %v", i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDumpBarrierForms(t *testing.T) {
+	c := circuit.New(3)
+	c.Barrier()
+	c.Barrier(0, 2)
+	s, err := Dump(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "barrier q;") {
+		t.Errorf("missing whole-register barrier in:\n%s", s)
+	}
+	if !strings.Contains(s, "barrier q[0],q[2];") {
+		t.Errorf("missing explicit barrier in:\n%s", s)
+	}
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("dumped barriers do not re-parse: %v", err)
+	}
+}

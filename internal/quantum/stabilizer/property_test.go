@@ -1,0 +1,123 @@
+package stabilizer_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qrio/internal/quantum/stabilizer"
+	"qrio/internal/quantum/statevec"
+)
+
+// TestOutcomeProbabilitiesSumToOne: over all basis states, a Clifford
+// circuit's exact outcome probabilities form a distribution.
+func TestOutcomeProbabilitiesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c := randomCliffordCircuit(rng, n, 20)
+		total := 0.0
+		for idx := 0; idx < 1<<n; idx++ {
+			p, err := stabilizer.OutcomeProbability(c, statevec.FormatBits(idx, n))
+			if err != nil {
+				return false
+			}
+			if p < 0 {
+				return false
+			}
+			total += p
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOutcomeProbabilitiesAreDyadic: stabilizer outcome probabilities are
+// always 0 or a power of 1/2 (Gottesman–Knill structure).
+func TestOutcomeProbabilitiesAreDyadic(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(3)
+		c := randomCliffordCircuit(rng, n, 15)
+		for idx := 0; idx < 1<<n; idx++ {
+			p, err := stabilizer.OutcomeProbability(c, statevec.FormatBits(idx, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p == 0 {
+				continue
+			}
+			k := math.Log2(1 / p)
+			if math.Abs(k-math.Round(k)) > 1e-9 {
+				t.Fatalf("P = %v is not dyadic", p)
+			}
+		}
+	}
+}
+
+// TestGateInversesRestoreState: g followed by g† leaves all outcome
+// probabilities unchanged.
+func TestGateInversesRestoreState(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		n := 3
+		base := randomCliffordCircuit(rng, n, 12)
+		withPair := base.Copy()
+		// Append a random gate and its inverse.
+		switch rng.Intn(4) {
+		case 0:
+			withPair.H(0)
+			withPair.H(0)
+		case 1:
+			withPair.S(1)
+			withPair.Sdg(1)
+		case 2:
+			withPair.CX(0, 2)
+			withPair.CX(0, 2)
+		case 3:
+			withPair.Swap(1, 2)
+			withPair.Swap(1, 2)
+		}
+		for idx := 0; idx < 1<<n; idx++ {
+			bits := statevec.FormatBits(idx, n)
+			p1, err := stabilizer.OutcomeProbability(base, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := stabilizer.OutcomeProbability(withPair, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(p1-p2) > 1e-12 {
+				t.Fatalf("trial %d: inverse pair changed P(%s): %v -> %v", trial, bits, p1, p2)
+			}
+		}
+	}
+}
+
+// TestSamplingMatchesExactProbabilities: empirical frequencies converge to
+// OutcomeProbability values.
+func TestSamplingMatchesExactProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	c := randomCliffordCircuit(rng, 3, 18)
+	c.MeasureAll()
+	const shots = 20000
+	counts, err := stabilizer.Runner{Shots: shots, Seed: 2}.Counts(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < 8; idx++ {
+		bits := statevec.FormatBits(idx, 3)
+		want, err := stabilizer.OutcomeProbability(c, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(counts[bits]) / shots
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("P(%s): sampled %v, exact %v", bits, got, want)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package stabilizer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/noise"
+)
+
+// ApplyGate applies a unitary Clifford gate from the circuit vocabulary.
+// Parameterised gates are accepted when their angles are multiples of π/2.
+// Non-Clifford gates return an error: callers should cliffordize first.
+func (t *Tableau) ApplyGate(g circuit.Gate) error {
+	for _, q := range g.Qubits {
+		if q < 0 || q >= t.n {
+			return fmt.Errorf("stabilizer: qubit %d out of range (n=%d)", q, t.n)
+		}
+	}
+	q := g.Qubits
+	switch g.Name {
+	case circuit.GateID, circuit.GateBarrier:
+		return nil
+	case circuit.GateX:
+		t.X(q[0])
+	case circuit.GateY:
+		t.Y(q[0])
+	case circuit.GateZ:
+		t.Z(q[0])
+	case circuit.GateH:
+		t.H(q[0])
+	case circuit.GateS:
+		t.S(q[0])
+	case circuit.GateSdg:
+		t.Sdg(q[0])
+	case circuit.GateSX:
+		t.SX(q[0])
+	case circuit.GateCX:
+		t.CX(q[0], q[1])
+	case circuit.GateCZ:
+		t.CZ(q[0], q[1])
+	case circuit.GateCY:
+		t.Sdg(q[1])
+		t.CX(q[0], q[1])
+		t.S(q[1])
+	case circuit.GateSwap:
+		t.Swap(q[0], q[1])
+	case circuit.GateU1, circuit.GateP, circuit.GateRZ:
+		return t.applyRZ(q[0], g.Params[0])
+	case circuit.GateRX:
+		return t.applyRX(q[0], g.Params[0])
+	case circuit.GateRY:
+		return t.applyRY(q[0], g.Params[0])
+	case circuit.GateU2:
+		return t.applyU3(q[0], math.Pi/2, g.Params[0], g.Params[1])
+	case circuit.GateU3:
+		return t.applyU3(q[0], g.Params[0], g.Params[1], g.Params[2])
+	default:
+		return fmt.Errorf("%w: %q", errNotClifford, g.Name)
+	}
+	return nil
+}
+
+// quarterTurns converts an angle to its multiple of π/2 mod 4, or errors.
+func quarterTurns(a float64) (int, error) {
+	k := a / (math.Pi / 2)
+	r := math.Round(k)
+	if math.Abs(k-r) > 1e-7 {
+		return 0, fmt.Errorf("%w: angle %g is not a multiple of π/2", errNotClifford, a)
+	}
+	m := int(r) % 4
+	if m < 0 {
+		m += 4
+	}
+	return m, nil
+}
+
+func (t *Tableau) applyRZ(q int, a float64) error {
+	m, err := quarterTurns(a)
+	if err != nil {
+		return err
+	}
+	switch m {
+	case 1:
+		t.S(q)
+	case 2:
+		t.Z(q)
+	case 3:
+		t.Sdg(q)
+	}
+	return nil
+}
+
+func (t *Tableau) applyRX(q int, a float64) error {
+	m, err := quarterTurns(a)
+	if err != nil {
+		return err
+	}
+	switch m {
+	case 1: // rx(π/2) ≅ sqrt(X) = H·S·H up to global phase
+		t.H(q)
+		t.S(q)
+		t.H(q)
+	case 2:
+		t.X(q)
+	case 3:
+		t.H(q)
+		t.Sdg(q)
+		t.H(q)
+	}
+	return nil
+}
+
+func (t *Tableau) applyRY(q int, a float64) error {
+	m, err := quarterTurns(a)
+	if err != nil {
+		return err
+	}
+	switch m {
+	case 1: // ry(π/2) ≅ H·Z: conjugation Z→X, X→-Z
+		t.Z(q)
+		t.H(q)
+	case 2:
+		t.Y(q)
+	case 3:
+		t.H(q)
+		t.Z(q)
+	}
+	return nil
+}
+
+// applyU3 uses u3(θ,φ,λ) ≅ rz(φ)·ry(θ)·rz(λ) up to global phase.
+func (t *Tableau) applyU3(q int, theta, phi, lambda float64) error {
+	if err := t.applyRZ(q, lambda); err != nil {
+		return err
+	}
+	if err := t.applyRY(q, theta); err != nil {
+		return err
+	}
+	return t.applyRZ(q, phi)
+}
+
+// Runner executes Clifford circuits shot-by-shot, optionally under a Pauli
+// + readout noise model. It supports mid-circuit measurement and reset.
+type Runner struct {
+	Model *noise.Model // nil means noiseless
+	Shots int
+	Seed  int64
+}
+
+// Counts returns a histogram over classical bitstrings. When the circuit
+// has no measurements every qubit is measured at the end in qubit order.
+// Keys use the Qiskit convention: clbit 0 is the rightmost character.
+// Registers beyond 64 bits are supported (the fleet has 100-qubit devices).
+func (r Runner) Counts(c *circuit.Circuit) (map[string]int, error) {
+	if r.Shots <= 0 {
+		return nil, fmt.Errorf("stabilizer: Shots must be positive, got %d", r.Shots)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	counts := make(map[string]int)
+	hasMeasure := c.HasMeasurements()
+	nc := c.NumClbits
+	if !hasMeasure {
+		nc = c.NumQubits
+	}
+	key := make([]byte, nc)
+	for shot := 0; shot < r.Shots; shot++ {
+		for i := range key {
+			key[i] = '0'
+		}
+		if err := r.runShot(c, hasMeasure, rng, key); err != nil {
+			return nil, err
+		}
+		counts[string(key)]++
+	}
+	return counts, nil
+}
+
+// runShot executes one trajectory, writing outcome bits into key (bit i at
+// position len(key)-1-i).
+func (r Runner) runShot(c *circuit.Circuit, hasMeasure bool, rng *rand.Rand, key []byte) error {
+	t := New(c.NumQubits)
+	record := func(bit, pos int) {
+		if bit == 1 {
+			key[len(key)-1-pos] = '1'
+		} else {
+			key[len(key)-1-pos] = '0'
+		}
+	}
+	for _, g := range c.Gates {
+		switch g.Name {
+		case circuit.GateBarrier:
+			continue
+		case circuit.GateReset:
+			t.Reset(g.Qubits[0], rng)
+			continue
+		case circuit.GateMeasure:
+			q := g.Qubits[0]
+			bit := t.Measure(q, rng)
+			if r.Model != nil && rng.Float64() < r.Model.ReadoutProb(q) {
+				bit ^= 1
+			}
+			record(bit, g.Clbits[0])
+			continue
+		}
+		if err := t.ApplyGate(g); err != nil {
+			return err
+		}
+		if r.Model != nil && g.Name != circuit.GateID {
+			for _, e := range r.Model.SampleGateError(g.Qubits, rng) {
+				switch e.Pauli {
+				case noise.PauliX:
+					t.X(e.Qubit)
+				case noise.PauliY:
+					t.Y(e.Qubit)
+				case noise.PauliZ:
+					t.Z(e.Qubit)
+				}
+			}
+		}
+	}
+	if !hasMeasure {
+		for q := 0; q < c.NumQubits; q++ {
+			bit := t.Measure(q, rng)
+			if r.Model != nil && rng.Float64() < r.Model.ReadoutProb(q) {
+				bit ^= 1
+			}
+			record(bit, q)
+		}
+	}
+	return nil
+}
+
+// FormatBits renders a basis index as a Qiskit-style bitstring (bit 0
+// rightmost); identical convention to package statevec.
+func FormatBits(index, nbits int) string {
+	b := make([]byte, nbits)
+	for i := 0; i < nbits; i++ {
+		if index&(1<<uint(i)) != 0 {
+			b[nbits-1-i] = '1'
+		} else {
+			b[nbits-1-i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// ParseBits inverts FormatBits.
+func ParseBits(s string) (int, error) {
+	v := 0
+	for i := 0; i < len(s); i++ {
+		bit := s[len(s)-1-i]
+		switch bit {
+		case '1':
+			v |= 1 << uint(i)
+		case '0':
+		default:
+			return 0, fmt.Errorf("stabilizer: bad bitstring %q", s)
+		}
+	}
+	return v, nil
+}
+
+// OutcomeProbability returns the exact probability that a noiseless run of
+// the Clifford circuit produces the given classical bitstring. For circuits
+// without measurements the bitstring covers all qubits. Probabilities of
+// stabilizer states are always of the form 2^-k (or 0), so this is exact.
+func OutcomeProbability(c *circuit.Circuit, bits string) (float64, error) {
+	hasMeasure := c.HasMeasurements()
+	if hasMeasure && len(bits) != c.NumClbits {
+		return 0, fmt.Errorf("stabilizer: bitstring length %d != %d clbits", len(bits), c.NumClbits)
+	}
+	if !hasMeasure && len(bits) != c.NumQubits {
+		return 0, fmt.Errorf("stabilizer: bitstring length %d != %d qubits", len(bits), c.NumQubits)
+	}
+	bitAt := func(pos int) (int, error) {
+		switch bits[len(bits)-1-pos] {
+		case '0':
+			return 0, nil
+		case '1':
+			return 1, nil
+		}
+		return 0, fmt.Errorf("stabilizer: bad bitstring %q", bits)
+	}
+	t := New(c.NumQubits)
+	prob := 1.0
+	for _, g := range c.Gates {
+		switch g.Name {
+		case circuit.GateBarrier:
+			continue
+		case circuit.GateReset:
+			return 0, fmt.Errorf("stabilizer: OutcomeProbability does not support reset")
+		case circuit.GateMeasure:
+			want, err := bitAt(g.Clbits[0])
+			if err != nil {
+				return 0, err
+			}
+			prob *= t.ForcedMeasure(g.Qubits[0], want)
+			if prob == 0 {
+				return 0, nil
+			}
+			continue
+		}
+		if err := t.ApplyGate(g); err != nil {
+			return 0, err
+		}
+	}
+	if !hasMeasure {
+		for q := 0; q < c.NumQubits; q++ {
+			want, err := bitAt(q)
+			if err != nil {
+				return 0, err
+			}
+			prob *= t.ForcedMeasure(q, want)
+			if prob == 0 {
+				return 0, nil
+			}
+		}
+	}
+	return prob, nil
+}

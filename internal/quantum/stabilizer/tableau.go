@@ -1,0 +1,304 @@
+// Package stabilizer implements the Aaronson–Gottesman CHP tableau
+// simulator for Clifford circuits (Gottesman–Knill theorem). It is the
+// engine behind QRIO's fidelity-ranking strategy (§3.4.1): Clifford
+// "canary" versions of user circuits are simulated here in polynomial time
+// — both noiselessly (for the reference distribution) and under sampled
+// Pauli noise (for the per-device canary fidelity) — even at the fleet's
+// 100-qubit device sizes where dense simulation is impossible.
+package stabilizer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tableau is the stabilizer tableau of an n-qubit state. Rows 0..n-1 are
+// destabilizer generators, rows n..2n-1 stabilizer generators, and row 2n a
+// scratch row used during measurement. Bits are packed into uint64 words.
+type Tableau struct {
+	n     int
+	words int
+	x     [][]uint64 // X-part bits, (2n+1) rows
+	z     [][]uint64 // Z-part bits
+	r     []uint8    // sign bits (0 = +, 1 = -)
+}
+
+// New returns the tableau of |0...0>: destabilizers X_i, stabilizers Z_i.
+func New(n int) *Tableau {
+	if n < 0 {
+		panic("stabilizer: negative qubit count")
+	}
+	words := (n + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	t := &Tableau{n: n, words: words}
+	rows := 2*n + 1
+	t.x = make([][]uint64, rows)
+	t.z = make([][]uint64, rows)
+	t.r = make([]uint8, rows)
+	for i := range t.x {
+		t.x[i] = make([]uint64, words)
+		t.z[i] = make([]uint64, words)
+	}
+	for i := 0; i < n; i++ {
+		setBit(t.x[i], i)   // destabilizer i = X_i
+		setBit(t.z[i+n], i) // stabilizer i = Z_i
+	}
+	return t
+}
+
+// NumQubits returns the register size.
+func (t *Tableau) NumQubits() int { return t.n }
+
+// Copy returns a deep copy of the tableau.
+func (t *Tableau) Copy() *Tableau {
+	c := &Tableau{n: t.n, words: t.words}
+	c.x = make([][]uint64, len(t.x))
+	c.z = make([][]uint64, len(t.z))
+	c.r = append([]uint8(nil), t.r...)
+	for i := range t.x {
+		c.x[i] = append([]uint64(nil), t.x[i]...)
+		c.z[i] = append([]uint64(nil), t.z[i]...)
+	}
+	return c
+}
+
+func setBit(w []uint64, i int)   { w[i>>6] |= 1 << uint(i&63) }
+func clearBit(w []uint64, i int) { w[i>>6] &^= 1 << uint(i&63) }
+func getBit(w []uint64, i int) uint8 {
+	return uint8((w[i>>6] >> uint(i&63)) & 1)
+}
+func assignBit(w []uint64, i int, v uint8) {
+	if v != 0 {
+		setBit(w, i)
+	} else {
+		clearBit(w, i)
+	}
+}
+
+// H applies a Hadamard on qubit a.
+func (t *Tableau) H(a int) {
+	for i := 0; i < 2*t.n; i++ {
+		xa, za := getBit(t.x[i], a), getBit(t.z[i], a)
+		t.r[i] ^= xa & za
+		assignBit(t.x[i], a, za)
+		assignBit(t.z[i], a, xa)
+	}
+}
+
+// S applies the phase gate diag(1, i) on qubit a.
+func (t *Tableau) S(a int) {
+	for i := 0; i < 2*t.n; i++ {
+		xa, za := getBit(t.x[i], a), getBit(t.z[i], a)
+		t.r[i] ^= xa & za
+		assignBit(t.z[i], a, za^xa)
+	}
+}
+
+// Sdg applies S† = diag(1, -i) on qubit a.
+func (t *Tableau) Sdg(a int) {
+	t.Z(a)
+	t.S(a)
+}
+
+// X applies a Pauli X on qubit a.
+func (t *Tableau) X(a int) {
+	for i := 0; i < 2*t.n; i++ {
+		t.r[i] ^= getBit(t.z[i], a)
+	}
+}
+
+// Z applies a Pauli Z on qubit a.
+func (t *Tableau) Z(a int) {
+	for i := 0; i < 2*t.n; i++ {
+		t.r[i] ^= getBit(t.x[i], a)
+	}
+}
+
+// Y applies a Pauli Y on qubit a.
+func (t *Tableau) Y(a int) {
+	for i := 0; i < 2*t.n; i++ {
+		t.r[i] ^= getBit(t.x[i], a) ^ getBit(t.z[i], a)
+	}
+}
+
+// CX applies controlled-X with control a and target b.
+func (t *Tableau) CX(a, b int) {
+	for i := 0; i < 2*t.n; i++ {
+		xa, za := getBit(t.x[i], a), getBit(t.z[i], a)
+		xb, zb := getBit(t.x[i], b), getBit(t.z[i], b)
+		t.r[i] ^= xa & zb & (xb ^ za ^ 1)
+		assignBit(t.x[i], b, xb^xa)
+		assignBit(t.z[i], a, za^zb)
+	}
+}
+
+// CZ applies controlled-Z on the pair (a, b).
+func (t *Tableau) CZ(a, b int) {
+	t.H(b)
+	t.CX(a, b)
+	t.H(b)
+}
+
+// Swap exchanges qubits a and b.
+func (t *Tableau) Swap(a, b int) {
+	t.CX(a, b)
+	t.CX(b, a)
+	t.CX(a, b)
+}
+
+// SX applies sqrt(X) (equal to H·S·H up to global phase).
+func (t *Tableau) SX(a int) {
+	t.H(a)
+	t.S(a)
+	t.H(a)
+}
+
+// g is the phase exponent contribution when multiplying single-qubit Pauli
+// (x1,z1) into (x2,z2); see Aaronson & Gottesman, PRA 70, 052328 (2004).
+func g(x1, z1, x2, z2 uint8) int {
+	switch {
+	case x1 == 0 && z1 == 0:
+		return 0
+	case x1 == 1 && z1 == 1:
+		return int(z2) - int(x2)
+	case x1 == 1 && z1 == 0:
+		return int(z2) * (2*int(x2) - 1)
+	default: // x1 == 0 && z1 == 1
+		return int(x2) * (1 - 2*int(z2))
+	}
+}
+
+// rowsum multiplies generator row i into row h, tracking the sign.
+func (t *Tableau) rowsum(h, i int) {
+	phase := 2*int(t.r[h]) + 2*int(t.r[i])
+	for j := 0; j < t.n; j++ {
+		phase += g(getBit(t.x[i], j), getBit(t.z[i], j),
+			getBit(t.x[h], j), getBit(t.z[h], j))
+	}
+	phase = ((phase % 4) + 4) % 4
+	if phase == 0 {
+		t.r[h] = 0
+	} else {
+		t.r[h] = 1 // phase is guaranteed to be 0 or 2 for valid tableaus
+	}
+	for w := 0; w < t.words; w++ {
+		t.x[h][w] ^= t.x[i][w]
+		t.z[h][w] ^= t.z[i][w]
+	}
+}
+
+// anticommutingStabilizer returns the first stabilizer row index p in
+// [n, 2n) whose X part has bit a set, or -1 when the measurement of Z_a is
+// deterministic.
+func (t *Tableau) anticommutingStabilizer(a int) int {
+	for p := t.n; p < 2*t.n; p++ {
+		if getBit(t.x[p], a) == 1 {
+			return p
+		}
+	}
+	return -1
+}
+
+// Measure performs a Z-basis measurement of qubit a, collapsing the state.
+// rng supplies the coin for random outcomes.
+func (t *Tableau) Measure(a int, rng *rand.Rand) int {
+	p := t.anticommutingStabilizer(a)
+	if p < 0 {
+		return t.deterministicOutcome(a)
+	}
+	out := uint8(rng.Intn(2))
+	t.collapse(a, p, out)
+	return int(out)
+}
+
+// ForcedMeasure measures qubit a forcing the given outcome. It returns the
+// probability of that outcome (1, 0.5 or 0); on probability 0 the state is
+// left untouched.
+func (t *Tableau) ForcedMeasure(a, outcome int) float64 {
+	p := t.anticommutingStabilizer(a)
+	if p < 0 {
+		if t.deterministicOutcome(a) == outcome {
+			return 1
+		}
+		return 0
+	}
+	t.collapse(a, p, uint8(outcome))
+	return 0.5
+}
+
+// deterministicOutcome computes the determined measurement value of Z_a
+// using the scratch row.
+func (t *Tableau) deterministicOutcome(a int) int {
+	scratch := 2 * t.n
+	for w := 0; w < t.words; w++ {
+		t.x[scratch][w] = 0
+		t.z[scratch][w] = 0
+	}
+	t.r[scratch] = 0
+	for i := 0; i < t.n; i++ {
+		if getBit(t.x[i], a) == 1 {
+			t.rowsum(scratch, i+t.n)
+		}
+	}
+	return int(t.r[scratch])
+}
+
+// collapse performs the random-outcome measurement update: p is an
+// anticommuting stabilizer row and out the chosen outcome bit.
+func (t *Tableau) collapse(a, p int, out uint8) {
+	for i := 0; i < 2*t.n; i++ {
+		if i != p && getBit(t.x[i], a) == 1 {
+			t.rowsum(i, p)
+		}
+	}
+	// Destabilizer p-n becomes the old stabilizer row p.
+	d := p - t.n
+	copy(t.x[d], t.x[p])
+	copy(t.z[d], t.z[p])
+	t.r[d] = t.r[p]
+	// Stabilizer p becomes ±Z_a with the measured sign.
+	for w := 0; w < t.words; w++ {
+		t.x[p][w] = 0
+		t.z[p][w] = 0
+	}
+	setBit(t.z[p], a)
+	t.r[p] = out
+}
+
+// Reset measures qubit a and flips it to |0> when the outcome was 1.
+func (t *Tableau) Reset(a int, rng *rand.Rand) {
+	if t.Measure(a, rng) == 1 {
+		t.X(a)
+	}
+}
+
+// String renders the stabilizer generators for debugging.
+func (t *Tableau) String() string {
+	out := ""
+	for i := t.n; i < 2*t.n; i++ {
+		if t.r[i] == 1 {
+			out += "-"
+		} else {
+			out += "+"
+		}
+		for j := 0; j < t.n; j++ {
+			x, z := getBit(t.x[i], j), getBit(t.z[i], j)
+			switch {
+			case x == 1 && z == 1:
+				out += "Y"
+			case x == 1:
+				out += "X"
+			case z == 1:
+				out += "Z"
+			default:
+				out += "I"
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+var errNotClifford = fmt.Errorf("stabilizer: gate is not Clifford")

@@ -1,0 +1,107 @@
+package statevec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/noise"
+)
+
+// Noisy executes circuits shot-by-shot under a Pauli + readout noise model
+// (Monte-Carlo trajectories). Each shot replays the whole circuit with
+// freshly sampled gate errors, which is exact for Pauli channels.
+type Noisy struct {
+	Model *noise.Model // nil means noiseless
+	Shots int          // number of trajectories; must be > 0
+	Seed  int64        // RNG seed; runs are reproducible per seed
+}
+
+// Counts runs the circuit and returns a histogram over classical bitstrings
+// (or over all qubits when the circuit has no measurements).
+func (r Noisy) Counts(c *circuit.Circuit) (map[string]int, error) {
+	if r.Shots <= 0 {
+		return nil, fmt.Errorf("statevec: Shots must be positive, got %d", r.Shots)
+	}
+	qubits, clbits, err := terminalMeasurements(c)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	counts := make(map[string]int)
+	body := c.WithoutMeasurements()
+	nc := c.NumClbits
+	measureAll := len(qubits) == 0
+	if measureAll {
+		nc = c.NumQubits
+	}
+
+	for shot := 0; shot < r.Shots; shot++ {
+		s, err := New(c.NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range body.Gates {
+			if g.Name == circuit.GateReset {
+				s.ResetQubit(g.Qubits[0], rng)
+				continue
+			}
+			if err := s.ApplyGate(g); err != nil {
+				return nil, err
+			}
+			if r.Model != nil && g.IsUnitary() && g.Name != circuit.GateID {
+				for _, e := range r.Model.SampleGateError(g.Qubits, rng) {
+					s.ApplyPauli(e.Qubit, e.Pauli)
+				}
+			}
+		}
+		idx := s.SampleIndex(rng)
+		var key int
+		if measureAll {
+			key = idx
+			if r.Model != nil {
+				key = flipAllReadout(idx, c.NumQubits, r.Model, rng)
+			}
+		} else {
+			bits := make([]int, len(qubits))
+			for i, q := range qubits {
+				if idx&(1<<uint(q)) != 0 {
+					bits[i] = 1
+				}
+			}
+			r.Model.FlipReadout(qubits, bits, rng)
+			for i, b := range bits {
+				if b == 1 {
+					key |= 1 << uint(clbits[i])
+				}
+			}
+		}
+		counts[FormatBits(key, nc)]++
+	}
+	return counts, nil
+}
+
+func flipAllReadout(idx, n int, m *noise.Model, rng *rand.Rand) int {
+	for q := 0; q < n; q++ {
+		if rng.Float64() < m.ReadoutProb(q) {
+			idx ^= 1 << uint(q)
+		}
+	}
+	return idx
+}
+
+// CountsToDistribution normalises a histogram into a probability map.
+func CountsToDistribution(counts map[string]int) map[string]float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	dist := make(map[string]float64, len(counts))
+	if total == 0 {
+		return dist
+	}
+	for k, c := range counts {
+		dist[k] = float64(c) / float64(total)
+	}
+	return dist
+}

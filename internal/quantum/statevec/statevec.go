@@ -1,0 +1,340 @@
+// Package statevec implements a dense state-vector simulator. It provides
+// the "oracle" execution path of the paper's evaluation (§4.3): exact ideal
+// output distributions for arbitrary circuits, and Monte-Carlo noisy
+// execution under a device noise model. Memory grows as 2^n; it is intended
+// for the ≤ ~20-qubit circuits the paper schedules.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/noise"
+)
+
+// MaxQubits bounds the register size to keep allocations sane (2^24 amps).
+const MaxQubits = 24
+
+// State is an n-qubit pure state. Amplitude indices are little-endian:
+// qubit 0 is the least-significant bit of the index.
+type State struct {
+	n    int
+	amps []complex128
+}
+
+// New returns |0...0> over n qubits.
+func New(n int) (*State, error) {
+	if n < 0 || n > MaxQubits {
+		return nil, fmt.Errorf("statevec: %d qubits out of range [0,%d]", n, MaxQubits)
+	}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	s.amps[0] = 1
+	return s, nil
+}
+
+// NumQubits returns the register size.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitudes exposes the raw amplitude slice (do not mutate).
+func (s *State) Amplitudes() []complex128 { return s.amps }
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	amps := make([]complex128, len(s.amps))
+	copy(amps, s.amps)
+	return &State{n: s.n, amps: amps}
+}
+
+// Apply1Q applies a 2x2 unitary to qubit q.
+func (s *State) Apply1Q(q int, m circuit.Matrix2) {
+	bit := 1 << uint(q)
+	for base := 0; base < len(s.amps); base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			a0, a1 := s.amps[i], s.amps[i|bit]
+			s.amps[i] = m[0][0]*a0 + m[0][1]*a1
+			s.amps[i|bit] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+}
+
+// ApplyCX applies controlled-X with the given control and target.
+func (s *State) ApplyCX(ctl, tgt int) {
+	cb, tb := 1<<uint(ctl), 1<<uint(tgt)
+	for i := range s.amps {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+// ApplyCZ applies controlled-Z on the pair (a, b).
+func (s *State) ApplyCZ(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amps {
+		if i&ab != 0 && i&bb != 0 {
+			s.amps[i] = -s.amps[i]
+		}
+	}
+}
+
+// ApplySwap exchanges qubits a and b.
+func (s *State) ApplySwap(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amps {
+		hasA, hasB := i&ab != 0, i&bb != 0
+		if hasA && !hasB {
+			j := (i &^ ab) | bb
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+// ApplyPauli applies a single-qubit Pauli error.
+func (s *State) ApplyPauli(q int, p noise.Pauli) {
+	switch p {
+	case noise.PauliX:
+		s.Apply1Q(q, circuit.Gate{Name: circuit.GateX}.MustMatrix1Q())
+	case noise.PauliY:
+		s.Apply1Q(q, circuit.Gate{Name: circuit.GateY}.MustMatrix1Q())
+	case noise.PauliZ:
+		s.Apply1Q(q, circuit.Gate{Name: circuit.GateZ}.MustMatrix1Q())
+	}
+}
+
+// ApplyGate applies any unitary gate from the circuit vocabulary,
+// decomposing multi-qubit gates beyond {cx, cz, swap}.
+func (s *State) ApplyGate(g circuit.Gate) error {
+	if !g.IsUnitary() {
+		return fmt.Errorf("statevec: gate %q is not unitary", g.Name)
+	}
+	for _, q := range g.Qubits {
+		if q < 0 || q >= s.n {
+			return fmt.Errorf("statevec: qubit %d out of range (n=%d)", q, s.n)
+		}
+	}
+	switch g.Name {
+	case circuit.GateCX:
+		s.ApplyCX(g.Qubits[0], g.Qubits[1])
+		return nil
+	case circuit.GateCZ:
+		s.ApplyCZ(g.Qubits[0], g.Qubits[1])
+		return nil
+	case circuit.GateSwap:
+		s.ApplySwap(g.Qubits[0], g.Qubits[1])
+		return nil
+	case circuit.GateID, circuit.GateBarrier:
+		return nil
+	}
+	if len(g.Qubits) == 1 {
+		m, err := g.Matrix1Q()
+		if err != nil {
+			return err
+		}
+		s.Apply1Q(g.Qubits[0], m)
+		return nil
+	}
+	// Multi-qubit gate: decompose and recurse.
+	sub := g.Decompose()
+	if len(sub) == 1 && sub[0].Name == g.Name {
+		return fmt.Errorf("statevec: cannot apply gate %q", g.Name)
+	}
+	for _, sg := range sub {
+		if err := s.ApplyGate(sg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustMatrix1Q panics if the gate is not a known 1-qubit unitary.
+// Exposed via the circuit package's Gate for simulator internals.
+
+// Probabilities returns |amp|^2 for every basis state.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.amps))
+	for i, a := range s.amps {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// ProbOne returns the probability of measuring 1 on qubit q.
+func (s *State) ProbOne(q int) float64 {
+	bit := 1 << uint(q)
+	p := 0.0
+	for i, a := range s.amps {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// MeasureQubit projects qubit q, returning the observed bit.
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	p1 := s.ProbOne(q)
+	bit := 1 << uint(q)
+	out := 0
+	if rng.Float64() < p1 {
+		out = 1
+	}
+	var norm float64
+	if out == 1 {
+		norm = math.Sqrt(p1)
+	} else {
+		norm = math.Sqrt(1 - p1)
+	}
+	if norm == 0 {
+		norm = 1 // fully collapsed already; avoid division by zero
+	}
+	for i := range s.amps {
+		if (i&bit != 0) != (out == 1) {
+			s.amps[i] = 0
+		} else {
+			s.amps[i] /= complex(norm, 0)
+		}
+	}
+	return out
+}
+
+// ResetQubit measures q and flips it back to |0> if needed.
+func (s *State) ResetQubit(q int, rng *rand.Rand) {
+	if s.MeasureQubit(q, rng) == 1 {
+		s.Apply1Q(q, circuit.Gate{Name: circuit.GateX}.MustMatrix1Q())
+	}
+}
+
+// SampleIndex draws one basis-state index from the state's distribution.
+func (s *State) SampleIndex(rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	last := 0
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if r < acc {
+			return i
+		}
+		last = i
+	}
+	return last // numerical slack: fall back to the final index
+}
+
+// FidelityTo returns |<s|t>|^2, the state fidelity with another pure state.
+func (s *State) FidelityTo(t *State) (float64, error) {
+	if s.n != t.n {
+		return 0, fmt.Errorf("statevec: size mismatch %d vs %d", s.n, t.n)
+	}
+	var ip complex128
+	for i := range s.amps {
+		ip += cmplx.Conj(s.amps[i]) * t.amps[i]
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip), nil
+}
+
+// EqualUpToGlobalPhase reports whether two states are equal modulo a global
+// phase, within tolerance tol on fidelity.
+func (s *State) EqualUpToGlobalPhase(t *State, tol float64) bool {
+	f, err := s.FidelityTo(t)
+	return err == nil && f >= 1-tol
+}
+
+// Run executes all unitary gates of c (skipping barriers) on a fresh state.
+// It rejects measure/reset: strip them first or use Counts.
+func Run(c *circuit.Circuit) (*State, error) {
+	s, err := New(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range c.Gates {
+		switch g.Name {
+		case circuit.GateBarrier:
+			continue
+		case circuit.GateMeasure, circuit.GateReset:
+			return nil, fmt.Errorf("statevec: Run cannot handle %q; use Counts", g.Name)
+		}
+		if err := s.ApplyGate(g); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// FormatBits renders a basis index over nbits as a Qiskit-style bitstring:
+// bit 0 is the rightmost character.
+func FormatBits(index, nbits int) string {
+	b := make([]byte, nbits)
+	for i := 0; i < nbits; i++ {
+		if index&(1<<uint(i)) != 0 {
+			b[nbits-1-i] = '1'
+		} else {
+			b[nbits-1-i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// terminalMeasurements validates that measures appear only after the last
+// unitary touching the measured qubit and returns the (qubit, clbit) pairs.
+func terminalMeasurements(c *circuit.Circuit) (qubits, clbits []int, err error) {
+	measured := map[int]bool{}
+	for _, g := range c.Gates {
+		switch g.Name {
+		case circuit.GateMeasure:
+			measured[g.Qubits[0]] = true
+			qubits = append(qubits, g.Qubits[0])
+			clbits = append(clbits, g.Clbits[0])
+		case circuit.GateBarrier:
+			continue
+		default:
+			for _, q := range g.Qubits {
+				if measured[q] {
+					return nil, nil, fmt.Errorf(
+						"statevec: qubit %d used after measurement (mid-circuit measurement unsupported)", q)
+				}
+			}
+		}
+	}
+	return qubits, clbits, nil
+}
+
+// IdealDistribution returns the exact outcome distribution of the circuit
+// over its classical register (or over all qubits when there are no
+// measurements). Keys are Qiskit-style bitstrings.
+func IdealDistribution(c *circuit.Circuit) (map[string]float64, error) {
+	qubits, clbits, err := terminalMeasurements(c)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Run(c.WithoutMeasurements())
+	if err != nil {
+		return nil, err
+	}
+	probs := s.Probabilities()
+	dist := make(map[string]float64)
+	if len(qubits) == 0 {
+		for i, p := range probs {
+			if p > 1e-15 {
+				dist[FormatBits(i, c.NumQubits)] += p
+			}
+		}
+		return dist, nil
+	}
+	nc := c.NumClbits
+	for i, p := range probs {
+		if p <= 1e-15 {
+			continue
+		}
+		key := 0
+		for k, q := range qubits {
+			if i&(1<<uint(q)) != 0 {
+				key |= 1 << uint(clbits[k])
+			}
+		}
+		dist[FormatBits(key, nc)] += p
+	}
+	return dist, nil
+}

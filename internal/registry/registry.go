@@ -1,0 +1,108 @@
+// Package registry is a content-addressed image registry — the stand-in
+// for the Docker Hub the paper's Master Server pushes job containers to
+// (§3.3). An image is a named bundle of files (the user circuit, the
+// runner manifest, requirements.txt and the Dockerfile text); its digest is
+// the SHA-256 of the canonicalised content, so identical bundles dedupe.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Image is a job bundle.
+type Image struct {
+	// Name is the human tag, e.g. "qrio/bv10:latest".
+	Name string `json:"name"`
+	// Digest is assigned on push: "sha256:<hex>".
+	Digest string `json:"digest,omitempty"`
+	// Files maps path -> content.
+	Files map[string][]byte `json:"files"`
+}
+
+// DeepCopy returns an independent copy.
+func (im Image) DeepCopy() Image {
+	out := Image{Name: im.Name, Digest: im.Digest, Files: make(map[string][]byte, len(im.Files))}
+	for k, v := range im.Files {
+		out.Files[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// computeDigest hashes the canonicalised file set.
+func computeDigest(im Image) string {
+	h := sha256.New()
+	paths := make([]string, 0, len(im.Files))
+	for p := range im.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(h, "%s\x00%d\x00", p, len(im.Files[p]))
+		h.Write(im.Files[p])
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Registry stores images by tag and digest.
+type Registry struct {
+	mu       sync.RWMutex
+	byDigest map[string]Image
+	byName   map[string]string // tag -> digest (latest push wins)
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byDigest: make(map[string]Image), byName: make(map[string]string)}
+}
+
+// Push stores an image and returns its digest.
+func (r *Registry) Push(im Image) (string, error) {
+	if im.Name == "" {
+		return "", fmt.Errorf("registry: image needs a name")
+	}
+	if len(im.Files) == 0 {
+		return "", fmt.Errorf("registry: image %q has no files", im.Name)
+	}
+	im = im.DeepCopy()
+	im.Digest = computeDigest(im)
+	r.mu.Lock()
+	r.byDigest[im.Digest] = im
+	r.byName[im.Name] = im.Digest
+	r.mu.Unlock()
+	return im.Digest, nil
+}
+
+// Pull fetches an image by digest ("sha256:...") or tag.
+func (r *Registry) Pull(ref string) (Image, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if im, ok := r.byDigest[ref]; ok {
+		return im.DeepCopy(), nil
+	}
+	if digest, ok := r.byName[ref]; ok {
+		return r.byDigest[digest].DeepCopy(), nil
+	}
+	return Image{}, fmt.Errorf("registry: no image %q", ref)
+}
+
+// List returns all stored tags with their digests.
+func (r *Registry) List() map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]string, len(r.byName))
+	for n, d := range r.byName {
+		out[n] = d
+	}
+	return out
+}
+
+// Len returns the number of distinct image contents.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byDigest)
+}

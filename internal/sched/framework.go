@@ -1,0 +1,168 @@
+// Package sched implements the QRIO Scheduler (§3.5): a Kubernetes-style
+// scheduling framework with pluggable Filter and Score stages. Filtering
+// compares node labels against the job's requested characteristics
+// (Fig. 10's experiment); ranking asks the Meta Server for a per-device
+// score and binds the job to the lowest-scoring feasible node.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"qrio/internal/cluster/api"
+)
+
+// FilterPlugin decides whether a node can host a job at all.
+type FilterPlugin interface {
+	Name() string
+	// Filter returns ok=false with a human-readable reason.
+	Filter(job api.QuantumJob, node api.Node) (bool, string)
+}
+
+// ScorePlugin ranks a feasible node for a job; lower scores are better
+// (QRIO's convention — the Meta Server returns costs/fidelity misses).
+type ScorePlugin interface {
+	Name() string
+	Score(job api.QuantumJob, node api.Node) (float64, error)
+}
+
+// NodeScore pairs a node with its score.
+type NodeScore struct {
+	Node  string
+	Score float64
+}
+
+// Picker chooses the target node among feasible candidates. score lazily
+// evaluates a node (so baselines that ignore scores don't pay for them).
+type Picker interface {
+	Name() string
+	Pick(job api.QuantumJob, feasible []api.Node, score func(api.Node) (float64, error)) (NodeScore, error)
+}
+
+// Framework runs the filter → score → pick pipeline.
+type Framework struct {
+	Filters []FilterPlugin
+	Scorer  ScorePlugin
+	Picker  Picker
+}
+
+// NewFramework assembles a framework with the default lowest-score picker.
+func NewFramework(scorer ScorePlugin, filters ...FilterPlugin) *Framework {
+	return &Framework{Filters: filters, Scorer: scorer, Picker: LowestScore{}}
+}
+
+// FilterNodes returns the feasible nodes and, for the rest, the reason the
+// first failing plugin gave.
+func (f *Framework) FilterNodes(job api.QuantumJob, nodes []api.Node) ([]api.Node, map[string]string) {
+	feasible := make([]api.Node, 0, len(nodes))
+	rejected := make(map[string]string)
+	for _, n := range nodes {
+		ok := true
+		for _, p := range f.Filters {
+			if pass, reason := p.Filter(job, n); !pass {
+				rejected[n.Name] = fmt.Sprintf("%s: %s", p.Name(), reason)
+				ok = false
+				break
+			}
+		}
+		if ok {
+			feasible = append(feasible, n)
+		}
+	}
+	sort.Slice(feasible, func(i, j int) bool { return feasible[i].Name < feasible[j].Name })
+	return feasible, rejected
+}
+
+// Select runs the full pipeline and returns the chosen node.
+func (f *Framework) Select(job api.QuantumJob, nodes []api.Node) (NodeScore, error) {
+	feasible, rejected := f.FilterNodes(job, nodes)
+	if len(feasible) == 0 {
+		return NodeScore{}, &UnschedulableError{Job: job.Name, Rejected: rejected}
+	}
+	picker := f.Picker
+	if picker == nil {
+		picker = LowestScore{}
+	}
+	scoreFn := func(n api.Node) (float64, error) {
+		if f.Scorer == nil {
+			return 0, nil
+		}
+		return f.Scorer.Score(job, n)
+	}
+	return picker.Pick(job, feasible, scoreFn)
+}
+
+// UnschedulableError reports that no node passed filtering — the paper's
+// "the user's job is not fit for scheduling in the cluster" outcome.
+type UnschedulableError struct {
+	Job      string
+	Rejected map[string]string
+}
+
+func (e *UnschedulableError) Error() string {
+	return fmt.Sprintf("sched: job %s unschedulable (%d nodes rejected)", e.Job, len(e.Rejected))
+}
+
+// LowestScore scores every feasible node and picks the minimum
+// (deterministic tie-break on name) — QRIO's default ranking behaviour.
+type LowestScore struct{}
+
+// Name implements Picker.
+func (LowestScore) Name() string { return "LowestScore" }
+
+// Pick implements Picker.
+func (LowestScore) Pick(job api.QuantumJob, feasible []api.Node, score func(api.Node) (float64, error)) (NodeScore, error) {
+	best := NodeScore{Score: math.Inf(1)}
+	var firstErr error
+	scored := 0
+	for _, n := range feasible {
+		s, err := score(n)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sched: scoring %s for %s: %w", n.Name, job.Name, err)
+			}
+			continue
+		}
+		scored++
+		if s < best.Score || (s == best.Score && n.Name < best.Node) {
+			best = NodeScore{Node: n.Name, Score: s}
+		}
+	}
+	if scored == 0 {
+		if firstErr != nil {
+			return NodeScore{}, firstErr
+		}
+		return NodeScore{}, fmt.Errorf("sched: no nodes scored for %s", job.Name)
+	}
+	return best, nil
+}
+
+// RandomPicker is the paper's baseline scheduler (§4.2): it picks a
+// feasible node uniformly at random, then reports that node's score so
+// experiments can compare against QRIO's choice.
+type RandomPicker struct {
+	Rng *rand.Rand
+	// SkipScore leaves Score as NaN instead of evaluating the choice.
+	SkipScore bool
+}
+
+// Name implements Picker.
+func (p *RandomPicker) Name() string { return "Random" }
+
+// Pick implements Picker.
+func (p *RandomPicker) Pick(job api.QuantumJob, feasible []api.Node, score func(api.Node) (float64, error)) (NodeScore, error) {
+	if len(feasible) == 0 {
+		return NodeScore{}, fmt.Errorf("sched: random picker has no candidates")
+	}
+	n := feasible[p.Rng.Intn(len(feasible))]
+	if p.SkipScore {
+		return NodeScore{Node: n.Name, Score: math.NaN()}, nil
+	}
+	s, err := score(n)
+	if err != nil {
+		return NodeScore{Node: n.Name, Score: math.NaN()}, nil
+	}
+	return NodeScore{Node: n.Name, Score: s}, nil
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+)
+
+// TestRunLoopBindsOnWatchEvent verifies the scheduler's live loop reacts to
+// job submissions without waiting for the ticker.
+func TestRunLoopBindsOnWatchEvent(t *testing.T) {
+	st := state.New()
+	node(t, st, "live", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"live": 1}}, DefaultFilters()...)
+	s := New(st, fw)
+	s.Interval = time.Hour // force the watch path, not the ticker
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		s.Run(ctx)
+		close(done)
+	}()
+	// Give the loop a moment to install its watcher.
+	time.Sleep(20 * time.Millisecond)
+
+	if err := st.SubmitJob(job("evt", 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, _, _ := st.Jobs.Get("evt")
+		if j.Status.Phase == api.JobScheduled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch-driven scheduling never happened")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("scheduler loop did not stop")
+	}
+}
+
+func TestRandomPickerSkipScore(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	fw := &Framework{
+		Filters: DefaultFilters(),
+		Picker:  &RandomPicker{Rng: rand.New(rand.NewSource(2)), SkipScore: true},
+	}
+	pick, err := fw.Select(job("j", 0, 0), st.Nodes.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(pick.Score) {
+		t.Fatalf("SkipScore picker returned score %v, want NaN", pick.Score)
+	}
+	if pick.Node != "a" {
+		t.Fatalf("picked %s", pick.Node)
+	}
+}
+
+func TestRandomPickerEmptyFeasible(t *testing.T) {
+	p := &RandomPicker{Rng: rand.New(rand.NewSource(1))}
+	if _, err := p.Pick(api.QuantumJob{}, nil, nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}
+
+func TestFrameworkNilPickerDefaultsToLowest(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	node(t, st, "b", 5, 0.1)
+	fw := &Framework{
+		Filters: DefaultFilters(),
+		Scorer:  MetaScore{Scorer: mapScorer{"a": 2, "b": 1}},
+		// Picker left nil on purpose.
+	}
+	pick, err := fw.Select(job("j", 0, 0), st.Nodes.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Node != "b" {
+		t.Fatalf("nil picker chose %s, want lowest-score b", pick.Node)
+	}
+}
+
+func TestNilScorerScoresZero(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	fw := NewFramework(nil, DefaultFilters()...)
+	pick, err := fw.Select(job("j", 0, 0), st.Nodes.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Score != 0 {
+		t.Fatalf("nil scorer gave %v", pick.Score)
+	}
+}
+
+func TestMetaScoreWithoutScorerErrors(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	fw := NewFramework(MetaScore{}, DefaultFilters()...)
+	if _, err := fw.Select(job("j", 0, 0), st.Nodes.List()); err == nil {
+		t.Fatal("MetaScore without a scorer must fail")
+	}
+}
+
+func TestScheduleOneWithoutFramework(t *testing.T) {
+	s := &Scheduler{State: state.New()}
+	if err := s.ScheduleOne(api.QuantumJob{}); err == nil {
+		t.Fatal("nil framework accepted")
+	}
+}

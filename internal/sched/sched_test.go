@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+)
+
+func node(t *testing.T, st *state.Cluster, name string, qubits int, e2 float64) {
+	t.Helper()
+	b, err := device.UniformBackend(name, graph.Line(qubits), e2, 0.01, 0.05, 500e3, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func job(name string, minQubits int, maxErr float64) api.QuantumJob {
+	return api.QuantumJob{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Spec: api.JobSpec{
+			QASM:           "OPENQASM 2.0;\nqreg q[2];\nh q[0];",
+			Strategy:       api.StrategyFidelity,
+			TargetFidelity: 1,
+			Requirements: api.DeviceRequirements{
+				MinQubits:     minQubits,
+				MaxAvg2QError: maxErr,
+			},
+		},
+	}
+}
+
+// mapScorer scores by a fixed map.
+type mapScorer map[string]float64
+
+func (m mapScorer) Score(_, backend string) (float64, error) {
+	s, ok := m[backend]
+	if !ok {
+		return 0, fmt.Errorf("no score for %s", backend)
+	}
+	return s, nil
+}
+
+func TestFiltersByQubitCount(t *testing.T) {
+	st := state.New()
+	node(t, st, "small", 3, 0.1)
+	node(t, st, "big", 10, 0.1)
+	fw := NewFramework(nil, DefaultFilters()...)
+	feasible, rejected := fw.FilterNodes(job("j", 5, 0), st.Nodes.List())
+	if len(feasible) != 1 || feasible[0].Name != "big" {
+		t.Fatalf("feasible = %v", feasible)
+	}
+	if _, ok := rejected["small"]; !ok {
+		t.Fatalf("rejected = %v", rejected)
+	}
+}
+
+func TestFiltersByCharacteristics(t *testing.T) {
+	st := state.New()
+	node(t, st, "clean", 5, 0.05)
+	node(t, st, "noisy", 5, 0.5)
+	fw := NewFramework(nil, DefaultFilters()...)
+	feasible, _ := fw.FilterNodes(job("j", 0, 0.1), st.Nodes.List())
+	if len(feasible) != 1 || feasible[0].Name != "clean" {
+		t.Fatalf("feasible = %v", feasible)
+	}
+	// No constraint: both pass.
+	feasible, _ = fw.FilterNodes(job("j", 0, 0), st.Nodes.List())
+	if len(feasible) != 2 {
+		t.Fatalf("unconstrained feasible = %d", len(feasible))
+	}
+}
+
+func TestResourceFitUsesFreeCapacity(t *testing.T) {
+	st := state.New()
+	node(t, st, "n", 5, 0.1)
+	st.Nodes.Update("n", func(n api.Node) (api.Node, error) {
+		n.Status.CPUMillisInUse = n.Spec.CPUMillis - 100
+		return n, nil
+	})
+	j := job("j", 0, 0)
+	j.Spec.Resources.CPUMillis = 500
+	fw := NewFramework(nil, DefaultFilters()...)
+	feasible, rejected := fw.FilterNodes(j, st.Nodes.List())
+	if len(feasible) != 0 {
+		t.Fatalf("overcommitted node passed: %v", feasible)
+	}
+	if r := rejected["n"]; r == "" {
+		t.Fatal("no rejection reason")
+	}
+}
+
+func TestNodeReadyFilter(t *testing.T) {
+	st := state.New()
+	node(t, st, "busy", 5, 0.1)
+	st.Nodes.Update("busy", func(n api.Node) (api.Node, error) {
+		n.Status.RunningJob = "other"
+		return n, nil
+	})
+	node(t, st, "down", 5, 0.1)
+	st.Nodes.Update("down", func(n api.Node) (api.Node, error) {
+		n.Status.Phase = api.NodeNotReady
+		return n, nil
+	})
+	fw := NewFramework(nil, DefaultFilters()...)
+	feasible, _ := fw.FilterNodes(job("j", 0, 0), st.Nodes.List())
+	if len(feasible) != 0 {
+		t.Fatalf("busy/down nodes passed: %v", feasible)
+	}
+}
+
+func TestLowestScorePick(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	node(t, st, "b", 5, 0.1)
+	node(t, st, "c", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"a": 3, "b": 1, "c": 2}}, DefaultFilters()...)
+	pick, err := fw.Select(job("j", 0, 0), st.Nodes.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Node != "b" || pick.Score != 1 {
+		t.Fatalf("pick = %+v, want b/1", pick)
+	}
+}
+
+func TestLowestScoreSkipsFailingNodes(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	node(t, st, "b", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"b": 7}}, DefaultFilters()...)
+	pick, err := fw.Select(job("j", 0, 0), st.Nodes.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Node != "b" {
+		t.Fatalf("pick = %+v", pick)
+	}
+}
+
+func TestUnschedulableError(t *testing.T) {
+	st := state.New()
+	node(t, st, "small", 2, 0.1)
+	fw := NewFramework(nil, DefaultFilters()...)
+	_, err := fw.Select(job("j", 50, 0), st.Nodes.List())
+	var unsched *UnschedulableError
+	if !errors.As(err, &unsched) {
+		t.Fatalf("err = %v, want UnschedulableError", err)
+	}
+	if len(unsched.Rejected) != 1 {
+		t.Fatalf("rejected = %v", unsched.Rejected)
+	}
+}
+
+func TestRandomPickerReportsScore(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	node(t, st, "b", 5, 0.1)
+	fw := &Framework{
+		Filters: DefaultFilters(),
+		Scorer:  MetaScore{Scorer: mapScorer{"a": 3, "b": 1}},
+		Picker:  &RandomPicker{Rng: rand.New(rand.NewSource(1))},
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		pick, err := fw.Select(job("j", 0, 0), st.Nodes.List())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[pick.Node] = true
+		if math.IsNaN(pick.Score) {
+			t.Fatal("random picker lost the score")
+		}
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("random picker not random: %v", seen)
+	}
+}
+
+func TestSchedulerPassFIFOOneAtATime(t *testing.T) {
+	st := state.New()
+	node(t, st, "only", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"only": 1}}, DefaultFilters()...)
+	s := New(st, fw)
+
+	j1 := job("j1", 0, 0)
+	j2 := job("j2", 0, 0)
+	if err := st.SubmitJob(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SubmitJob(j2); err != nil {
+		t.Fatal(err)
+	}
+	if bound := s.SchedulePass(); bound != 1 {
+		t.Fatalf("bound %d jobs, want 1 (single-job architecture)", bound)
+	}
+	first, _, _ := st.Jobs.Get("j1")
+	second, _, _ := st.Jobs.Get("j2")
+	if first.Status.Phase != api.JobScheduled {
+		t.Fatalf("j1 phase = %s (FIFO broken)", first.Status.Phase)
+	}
+	if second.Status.Phase != api.JobPending {
+		t.Fatalf("j2 phase = %s, want Pending", second.Status.Phase)
+	}
+	// Node busy now; next pass binds nothing.
+	if bound := s.SchedulePass(); bound != 0 {
+		t.Fatalf("second pass bound %d", bound)
+	}
+}
+
+func TestSchedulerConcurrencyExtension(t *testing.T) {
+	st := state.New()
+	node(t, st, "n1", 5, 0.1)
+	node(t, st, "n2", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"n1": 1, "n2": 2}}, DefaultFilters()...)
+	s := New(st, fw)
+	s.Concurrency = 4
+	st.SubmitJob(job("j1", 0, 0))
+	st.SubmitJob(job("j2", 0, 0))
+	if bound := s.SchedulePass(); bound != 2 {
+		t.Fatalf("bound %d, want 2 with concurrency", bound)
+	}
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+)
+
+// Scheduler drives the cluster's scheduling loop: it watches for pending
+// jobs, runs the framework's filter/score pipeline, and binds each job to
+// the winning node. By default it processes one job at a time in FIFO
+// order, matching the paper's current architecture (§5); Concurrency > 1
+// enables the future-work extension of dispatching several queued jobs as
+// long as free nodes remain.
+type Scheduler struct {
+	State     *state.Cluster
+	Framework *Framework
+	// Interval is the reconcile cadence (default 10ms; in-process stores
+	// make this cheap).
+	Interval time.Duration
+	// Concurrency caps jobs dispatched per pass (default 1 = paper).
+	Concurrency int
+}
+
+// New assembles a scheduler over cluster state.
+func New(st *state.Cluster, fw *Framework) *Scheduler {
+	return &Scheduler{State: st, Framework: fw, Interval: 10 * time.Millisecond, Concurrency: 1}
+}
+
+// Run reconciles until the context is cancelled.
+func (s *Scheduler) Run(ctx context.Context) {
+	interval := s.Interval
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	events, cancel := s.State.Jobs.Watch(128)
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-events:
+			s.SchedulePass()
+		case <-ticker.C:
+			s.SchedulePass()
+		}
+	}
+}
+
+// SchedulePass schedules up to Concurrency pending jobs, oldest first.
+// It returns the number of jobs bound.
+func (s *Scheduler) SchedulePass() int {
+	limit := s.Concurrency
+	if limit <= 0 {
+		limit = 1
+	}
+	pending := s.pendingFIFO()
+	bound := 0
+	for _, job := range pending {
+		if bound >= limit {
+			break
+		}
+		if err := s.ScheduleOne(job); err != nil {
+			var unsched *UnschedulableError
+			if errors.As(err, &unsched) {
+				// Leave pending; a node may free up. Record once per pass.
+				s.State.RecordEvent("Job", job.Name, "Unschedulable", err.Error())
+				continue
+			}
+			s.State.RecordEvent("Job", job.Name, "SchedulingError", err.Error())
+			continue
+		}
+		bound++
+	}
+	return bound
+}
+
+// pendingFIFO lists pending jobs oldest-first (stable on name).
+func (s *Scheduler) pendingFIFO() []api.QuantumJob {
+	var pending []api.QuantumJob
+	for _, j := range s.State.Jobs.List() {
+		if j.Status.Phase == api.JobPending {
+			pending = append(pending, j)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if !pending[i].CreatedAt.Equal(pending[j].CreatedAt) {
+			return pending[i].CreatedAt.Before(pending[j].CreatedAt)
+		}
+		return pending[i].Name < pending[j].Name
+	})
+	return pending
+}
+
+// ScheduleOne runs the pipeline for a single job and binds it.
+func (s *Scheduler) ScheduleOne(job api.QuantumJob) error {
+	if s.Framework == nil {
+		return fmt.Errorf("sched: scheduler has no framework")
+	}
+	choice, err := s.Framework.Select(job, s.State.Nodes.List())
+	if err != nil {
+		return err
+	}
+	return s.State.BindJob(job.Name, choice.Node, choice.Score)
+}

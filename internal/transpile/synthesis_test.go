@@ -1,0 +1,166 @@
+package transpile
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qrio/internal/quantum/circuit"
+)
+
+// matricesEqualUpToPhase compares 2x2 matrices modulo a global phase.
+func matricesEqualUpToPhase(a, b circuit.Matrix2, tol float64) bool {
+	// Find a reference entry with decent magnitude in a.
+	var phase complex128
+	found := false
+	for i := 0; i < 2 && !found; i++ {
+		for j := 0; j < 2 && !found; j++ {
+			if cmplx.Abs(a[i][j]) > 1e-6 && cmplx.Abs(b[i][j]) > 1e-6 {
+				phase = b[i][j] / a[i][j]
+				found = true
+			}
+		}
+	}
+	if !found {
+		return false
+	}
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(a[i][j]*phase-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestZYZRoundTrip: decomposing any 1-qubit unitary into (θ, φ, λ) and
+// rebuilding u3(θ, φ, λ) must reproduce the matrix up to global phase —
+// the core invariant of the basis translator.
+func TestZYZRoundTrip(t *testing.T) {
+	f := func(t0, p0, l0, g0 float64) bool {
+		theta := math.Mod(t0, 2*math.Pi)
+		phi := math.Mod(p0, 2*math.Pi)
+		lambda := math.Mod(l0, 2*math.Pi)
+		m := circuit.U3Matrix(theta, phi, lambda)
+		// Inject a random global phase — zyz must be insensitive to it.
+		ph := cmplx.Exp(complex(0, math.Mod(g0, 2*math.Pi)))
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				m[i][j] *= ph
+			}
+		}
+		th, p, l := zyzAngles(m)
+		re := circuit.U3Matrix(th, p, l)
+		return matricesEqualUpToPhase(m, re, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZYZEdgeCases covers the degenerate branches: diagonal (θ=0) and
+// anti-diagonal (θ=π) unitaries.
+func TestZYZEdgeCases(t *testing.T) {
+	cases := []circuit.Matrix2{
+		circuit.U3Matrix(0, 0, 1.3),           // pure phase
+		circuit.U3Matrix(math.Pi, 0, 0.4),     // anti-diagonal
+		circuit.U3Matrix(0, 0, 0),             // identity
+		circuit.U3Matrix(math.Pi, 0, math.Pi), // x
+		circuit.U3Matrix(math.Pi/2, 0, math.Pi),
+	}
+	for i, m := range cases {
+		th, p, l := zyzAngles(m)
+		re := circuit.U3Matrix(th, p, l)
+		if !matricesEqualUpToPhase(m, re, 1e-9) {
+			t.Errorf("case %d: zyz round trip failed", i)
+		}
+	}
+}
+
+// TestSynthesizeUPicksCheapestForm verifies gate-form selection: phase-only
+// → u1, θ=π/2 → u2, general → u3, identity → dropped.
+func TestSynthesizeUPicksCheapestForm(t *testing.T) {
+	check := func(m circuit.Matrix2, wantName string, wantOK bool) {
+		t.Helper()
+		g, ok := synthesizeU(0, m)
+		if ok != wantOK {
+			t.Fatalf("ok = %v, want %v", ok, wantOK)
+		}
+		if ok && g.Name != wantName {
+			t.Fatalf("name = %s, want %s", g.Name, wantName)
+		}
+	}
+	check(circuit.U3Matrix(0, 0, 0.7), circuit.GateU1, true)
+	check(circuit.U3Matrix(math.Pi/2, 0.3, 0.9), circuit.GateU2, true)
+	check(circuit.U3Matrix(1.1, 0.3, 0.9), circuit.GateU3, true)
+	check(circuit.U3Matrix(0, 0, 0), "", false) // identity dropped
+	// Identity up to a global phase is still identity.
+	m := circuit.U3Matrix(0, 0, 0)
+	ph := cmplx.Exp(complex(0, 1.234))
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m[i][j] *= ph
+		}
+	}
+	check(m, "", false)
+}
+
+// TestNormalizeAngleProperty: output is always in (-π, π] and congruent to
+// the input mod 2π.
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e9 {
+			return true // out of scope for angles
+		}
+		n := normalizeAngle(a)
+		if n <= -math.Pi || n > math.Pi {
+			return false
+		}
+		d := math.Mod(a-n, 2*math.Pi)
+		if d > math.Pi {
+			d -= 2 * math.Pi
+		}
+		if d < -math.Pi {
+			d += 2 * math.Pi
+		}
+		return math.Abs(d) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuse1QRunsIsExact: fusing a run of random u gates equals their
+// product.
+func TestFuse1QRunsIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		c := &circuit.Circuit{NumQubits: 1, NumClbits: 1}
+		product := circuit.U3Matrix(0, 0, 0) // identity
+		for i := 0; i < 5; i++ {
+			th, p, l := rng.Float64()*3, rng.Float64()*3, rng.Float64()*3
+			c.MustAppend(circuit.Gate{Name: circuit.GateU3, Qubits: []int{0},
+				Params: []float64{th, p, l}})
+			product = mul2(circuit.U3Matrix(th, p, l), product)
+		}
+		fused := fuseOneQubitRuns(c)
+		if len(fused.Gates) > 1 {
+			t.Fatalf("trial %d: %d gates after fusion", trial, len(fused.Gates))
+		}
+		var got circuit.Matrix2
+		if len(fused.Gates) == 0 {
+			got = circuit.U3Matrix(0, 0, 0)
+		} else {
+			got = fused.Gates[0].MustMatrix1Q()
+		}
+		if !matricesEqualUpToPhase(product, got, 1e-8) {
+			t.Fatalf("trial %d: fusion changed the unitary", trial)
+		}
+	}
+}

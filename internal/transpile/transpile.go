@@ -1,0 +1,110 @@
+// Package transpile rewrites logical circuits into executables that respect
+// a device's qubit connectivity and native gate set — the six broad stages
+// the paper attributes to the Qiskit transpiler (§2.3): gate decomposition,
+// placement on physical qubits, routing on the restricted topology,
+// translation to basis gates, and physical-circuit optimisation.
+package transpile
+
+import (
+	"fmt"
+
+	"qrio/internal/device"
+	"qrio/internal/quantum/circuit"
+)
+
+// Options tunes the pipeline. The zero value gives the default pipeline.
+type Options struct {
+	// Lookahead is the routing heuristic's window of upcoming 2-qubit
+	// gates (0 means the default of 10).
+	Lookahead int
+	// DisableVF2Layout skips the perfect-embedding layout search
+	// (ablation: greedy placement only).
+	DisableVF2Layout bool
+	// NaiveRouting replaces the SABRE-lite heuristic with plain
+	// shortest-path swapping (ablation baseline).
+	NaiveRouting bool
+	// SkipOptimize disables the peephole optimisation stage.
+	SkipOptimize bool
+	// VF2MaxVisits caps the embedding search (0 = package default).
+	VF2MaxVisits int
+}
+
+// Result is a transpiled circuit plus its qubit mappings.
+type Result struct {
+	// Circuit acts on the device's physical qubits and uses only the
+	// {u1, u2, u3, cx} basis plus measure/barrier/reset.
+	Circuit *circuit.Circuit
+	// InitialLayout[l] is the physical qubit initially holding logical l.
+	InitialLayout []int
+	// FinalLayout[l] is the physical qubit holding logical l after routing.
+	FinalLayout []int
+	// AddedSwaps counts routing swaps inserted (3 cx each).
+	AddedSwaps int
+	// PerfectLayout reports whether the interaction graph embedded into
+	// the coupling map without any routing.
+	PerfectLayout bool
+}
+
+// Transpile runs the full pipeline for a backend.
+func Transpile(c *circuit.Circuit, b *device.Backend, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("transpile: input circuit invalid: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("transpile: backend invalid: %w", err)
+	}
+	if c.NumQubits > b.NumQubits {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits, device %s has %d",
+			c.NumQubits, b.Name, b.NumQubits)
+	}
+	if !supportsBasis(b) {
+		return nil, fmt.Errorf("transpile: device %s basis %v lacks {u1,u2,u3,cx}",
+			b.Name, b.BasisGates)
+	}
+
+	// Stage 1-2: virtual optimisation + 3+ qubit gate decomposition.
+	flat := c.Decompose()
+
+	// Stage 3: placement on physical qubits.
+	layout, perfect := chooseLayout(flat, b, opts)
+
+	// Stage 4: routing on the restricted topology.
+	routed, finalLayout, swaps, err := route(flat, b, layout, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 5: translation to basis gates.
+	translated, err := translate(routed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 6: physical circuit optimisation.
+	if !opts.SkipOptimize {
+		translated = optimize(translated)
+	}
+	if err := translated.Validate(); err != nil {
+		return nil, fmt.Errorf("transpile: produced invalid circuit: %w", err)
+	}
+	return &Result{
+		Circuit:       translated,
+		InitialLayout: layout,
+		FinalLayout:   finalLayout,
+		AddedSwaps:    swaps,
+		PerfectLayout: perfect,
+	}, nil
+}
+
+func supportsBasis(b *device.Backend) bool {
+	have := map[string]bool{}
+	for _, g := range b.BasisGates {
+		have[g] = true
+	}
+	for _, want := range []string{"u1", "u2", "u3", "cx"} {
+		if !have[want] {
+			return false
+		}
+	}
+	return true
+}

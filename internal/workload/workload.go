@@ -1,0 +1,205 @@
+// Package workload provides the benchmark circuits of the paper's
+// evaluation (§4.3) — Bernstein–Vazirani, a hidden-subgroup instance,
+// Grover search, the repetition-code encoder and the two seeded random
+// circuits Circ and Circ_2 — plus common extras (GHZ, QFT, QAOA) used by
+// the examples and tests.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"qrio/internal/quantum/circuit"
+)
+
+// BernsteinVazirani builds the n-qubit BV circuit: qubits 0..n-2 hold the
+// input register, qubit n-1 the oracle ancilla. secret's bit i controls a
+// cx from input qubit i. Inputs are measured into clbits 0..n-2.
+// The paper's Fig. 5/Fig. 7 instance is BernsteinVazirani(10, ...).
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Name = "bv"
+	anc := n - 1
+	c.X(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for i := 0; i < n-1; i++ {
+		if secret&(1<<uint(i)) != 0 {
+			c.CX(i, anc)
+		}
+	}
+	for q := 0; q < n-1; q++ {
+		c.H(q)
+	}
+	for q := 0; q < n-1; q++ {
+		c.Measure(q, q)
+	}
+	return c
+}
+
+// HiddenSubgroup is the paper's 4-qubit "Hsp" benchmark: a Simon-style
+// coset-sampling circuit for the hidden subgroup {00, 11} of (Z_2)^2.
+// The oracle computes f(x0,x1) = (x0⊕x1, x0⊕x1), which is constant exactly
+// on cosets of the subgroup, so noiseless samples satisfy y·(11) = 0 —
+// a structured output distribution ({00, 11} only) that noise visibly
+// degrades.
+func HiddenSubgroup() *circuit.Circuit {
+	c := circuit.New(4)
+	c.Name = "hsp"
+	c.H(0)
+	c.H(1)
+	c.CX(0, 2)
+	c.CX(1, 2)
+	c.CX(0, 3)
+	c.CX(1, 3)
+	c.H(0)
+	c.H(1)
+	c.Measure(0, 0)
+	c.Measure(1, 1)
+	return c
+}
+
+// Grover builds the 3-qubit Grover search marking |111> with the optimal
+// two iterations.
+func Grover() *circuit.Circuit {
+	c := circuit.New(3)
+	c.Name = "grover"
+	for q := 0; q < 3; q++ {
+		c.H(q)
+	}
+	for iter := 0; iter < 2; iter++ {
+		// Oracle: phase-flip |111> (ccz).
+		c.MustAppend(circuit.Gate{Name: circuit.GateCCZ, Qubits: []int{0, 1, 2}})
+		// Diffusion about the mean.
+		for q := 0; q < 3; q++ {
+			c.H(q)
+			c.X(q)
+		}
+		c.MustAppend(circuit.Gate{Name: circuit.GateCCZ, Qubits: []int{0, 1, 2}})
+		for q := 0; q < 3; q++ {
+			c.X(q)
+			c.H(q)
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+// RepetitionEncoder builds the 5-qubit repetition-code encoder ("Rep"):
+// qubit 0's state is copied (in the bit-flip code sense) onto the rest.
+func RepetitionEncoder() *circuit.Circuit {
+	c := circuit.New(5)
+	c.Name = "rep"
+	c.H(0) // encode a superposition so the output is non-trivial
+	for q := 1; q < 5; q++ {
+		c.CX(0, q)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// RandomCircuit builds a seeded random circuit with the given qubit count
+// and exactly cxCount cx gates interleaved with random u3 rotations —
+// the construction behind the paper's Circ / Circ_2 benchmarks.
+func RandomCircuit(name string, n, cxCount int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	c.Name = name
+	for i := 0; i < cxCount; i++ {
+		// A layer of sparse random 1q rotations...
+		for q := 0; q < n; q++ {
+			if rng.Float64() < 0.4 {
+				c.U3(q, rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+			}
+		}
+		// ...then one cx on a random pair.
+		a := rng.Intn(n)
+		b := (a + 1 + rng.Intn(n-1)) % n
+		c.CX(a, b)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// Circ is the paper's random 7-qubit benchmark.
+func Circ() *circuit.Circuit { return RandomCircuit("circ", 7, 9, 70) }
+
+// Circ2 is the paper's random 8-qubit benchmark with 12 cx gates.
+func Circ2() *circuit.Circuit { return RandomCircuit("circ_2", 8, 12, 80) }
+
+// GHZ builds the n-qubit GHZ state preparation with measurement.
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Name = "ghz"
+	c.H(0)
+	for q := 0; q < n-1; q++ {
+		c.CX(q, q+1)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// QFT builds the n-qubit quantum Fourier transform (with final swaps).
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Name = "qft"
+	for i := n - 1; i >= 0; i-- {
+		c.H(i)
+		for j := i - 1; j >= 0; j-- {
+			angle := math.Pi / math.Pow(2, float64(i-j))
+			c.MustAppend(circuit.Gate{Name: circuit.GateCU1,
+				Qubits: []int{j, i}, Params: []float64{angle}})
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.Swap(i, n-1-i)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// QAOARing builds a depth-p QAOA circuit for MaxCut on an n-ring — the
+// kind of optimisation workload whose preferred topology a user can
+// "easily discern" (§1, use case 3).
+func QAOARing(n, p int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	c.Name = "qaoa-ring"
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for layer := 0; layer < p; layer++ {
+		gamma := rng.Float64() * math.Pi
+		beta := rng.Float64() * math.Pi
+		for q := 0; q < n; q++ {
+			c.MustAppend(circuit.Gate{Name: circuit.GateRZZ,
+				Qubits: []int{q, (q + 1) % n}, Params: []float64{2 * gamma}})
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, 2*beta)
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+// PaperCircuit is one §4.3 evaluation workload.
+type PaperCircuit struct {
+	Name    string
+	Circuit *circuit.Circuit
+}
+
+// PaperCircuits returns the six circuits of Fig. 7 with the paper's sizes:
+// bv (10 qubits), Hsp (4), Grover (3), Rep (5), Circ (random 7), Circ_2
+// (random 8 with 12 cx).
+func PaperCircuits() []PaperCircuit {
+	return []PaperCircuit{
+		{"bv", BernsteinVazirani(10, 0b101101101)},
+		{"hsp", HiddenSubgroup()},
+		{"grover", Grover()},
+		{"rep", RepetitionEncoder()},
+		{"circ", Circ()},
+		{"circ_2", Circ2()},
+	}
+}

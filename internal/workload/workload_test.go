@@ -1,0 +1,145 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"qrio/internal/quantum/statevec"
+	"qrio/internal/workload"
+)
+
+func TestBVRecoversSecret(t *testing.T) {
+	for _, secret := range []uint64{0b1011, 0b0001, 0b1111, 0} {
+		c := workload.BernsteinVazirani(5, secret)
+		dist, err := statevec.IdealDistribution(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := statevec.FormatBits(int(secret), 5)
+		if math.Abs(dist[want]-1) > 1e-9 {
+			t.Fatalf("secret %b: dist = %v, want all mass on %s", secret, dist, want)
+		}
+	}
+}
+
+func TestBVPaperInstanceIsClifford(t *testing.T) {
+	c := workload.BernsteinVazirani(10, 0b101101101)
+	if c.NumQubits != 10 {
+		t.Fatalf("paper BV has %d qubits", c.NumQubits)
+	}
+	if !c.IsClifford() {
+		t.Fatal("BV must be a Clifford circuit")
+	}
+}
+
+func TestGroverFindsMarkedState(t *testing.T) {
+	dist, err := statevec.IdealDistribution(workload.Grover())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist["111"] < 0.9 {
+		t.Fatalf("Grover P(111) = %v, want > 0.9 after 2 iterations", dist["111"])
+	}
+}
+
+func TestRepetitionEncoderCorrelates(t *testing.T) {
+	dist, err := statevec.IdealDistribution(workload.RepetitionEncoder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist["00000"]-0.5) > 1e-9 || math.Abs(dist["11111"]-0.5) > 1e-9 {
+		t.Fatalf("encoder dist = %v", dist)
+	}
+}
+
+func TestHiddenSubgroupShape(t *testing.T) {
+	c := workload.HiddenSubgroup()
+	if c.NumQubits != 4 {
+		t.Fatalf("hsp qubits = %d, want 4", c.NumQubits)
+	}
+	if !c.IsClifford() {
+		t.Fatal("hsp should be Clifford")
+	}
+	if _, err := statevec.IdealDistribution(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomCircuitsAreSeededAndSized(t *testing.T) {
+	a := workload.Circ()
+	b := workload.Circ()
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("Circ not deterministic")
+	}
+	if a.NumQubits != 7 {
+		t.Fatalf("Circ qubits = %d", a.NumQubits)
+	}
+	c2 := workload.Circ2()
+	if c2.NumQubits != 8 {
+		t.Fatalf("Circ_2 qubits = %d", c2.NumQubits)
+	}
+	if got := c2.CountOps()["cx"]; got != 12 {
+		t.Fatalf("Circ_2 cx count = %d, want 12 (paper)", got)
+	}
+	if a.IsClifford() {
+		t.Fatal("Circ should contain non-Clifford gates")
+	}
+}
+
+func TestGHZ(t *testing.T) {
+	dist, err := statevec.IdealDistribution(workload.GHZ(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist["0000"]-0.5) > 1e-9 || math.Abs(dist["1111"]-0.5) > 1e-9 {
+		t.Fatalf("GHZ dist = %v", dist)
+	}
+}
+
+func TestQFTOnBasisState(t *testing.T) {
+	// QFT|0...0> has a uniform output distribution.
+	dist, err := statevec.IdealDistribution(workload.QFT(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits, p := range dist {
+		if math.Abs(p-0.125) > 1e-9 {
+			t.Fatalf("QFT|000> P(%s) = %v, want 1/8", bits, p)
+		}
+	}
+}
+
+func TestQAOARingValidAndSized(t *testing.T) {
+	c := workload.QAOARing(6, 2, 11)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 6 {
+		t.Fatalf("qaoa qubits = %d", c.NumQubits)
+	}
+	// Ring interaction pattern: 6 distinct edges.
+	if got := len(c.InteractionEdges()); got != 6 {
+		t.Fatalf("qaoa ring edges = %d, want 6", got)
+	}
+}
+
+func TestPaperCircuitsRoster(t *testing.T) {
+	pcs := workload.PaperCircuits()
+	if len(pcs) != 6 {
+		t.Fatalf("roster size = %d, want 6", len(pcs))
+	}
+	wantQubits := map[string]int{
+		"bv": 10, "hsp": 4, "grover": 3, "rep": 5, "circ": 7, "circ_2": 8,
+	}
+	for _, pc := range pcs {
+		if pc.Circuit.NumQubits != wantQubits[pc.Name] {
+			t.Errorf("%s qubits = %d, want %d", pc.Name, pc.Circuit.NumQubits, wantQubits[pc.Name])
+		}
+		if err := pc.Circuit.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", pc.Name, err)
+		}
+		if !pc.Circuit.HasMeasurements() {
+			t.Errorf("%s has no measurements", pc.Name)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package qrio is the public API of the QRIO reproduction — a Quantum
+// Resource Infrastructure Orchestrator (Chakraborty et al., IISWC 2024):
+// a Kubernetes-style cloud resource manager for quantum devices.
+//
+// A QRIO deployment manages a fleet of quantum backends (real devices in
+// the paper's vision; high-fidelity simulated devices here). Users submit
+// OpenQASM 2.0 circuits together with classical resource requests, device
+// characteristic bounds, and one of two device-selection strategies:
+//
+//   - a fidelity requirement — QRIO estimates each candidate device's
+//     execution fidelity with classically simulable Clifford "canary"
+//     circuits and picks the closest match, or
+//   - a topology requirement — QRIO scores devices by Mapomatic-style
+//     subgraph matching against the user's desired qubit connectivity.
+//
+// The orchestrator filters devices on published calibration labels
+// (qubits, average two-qubit error, T1/T2, readout, CPU/memory), ranks the
+// survivors through the Meta Server, containerises the job via the Master
+// Server and registry, executes it on the chosen node, and serves the
+// resulting logs.
+//
+// # Quick start
+//
+//	fleet, _ := qrio.GenerateFleet(qrio.DefaultFleetSpec())
+//	q, _ := qrio.New(qrio.Config{Backends: fleet})
+//	q.Start()
+//	defer q.Stop()
+//
+//	job, res, _ := q.SubmitAndWait(qrio.SubmitRequest{
+//		JobName:        "bv10",
+//		QASM:           myQASM,
+//		Strategy:       qrio.StrategyFidelity,
+//		TargetFidelity: 1.0,
+//	}, time.Minute)
+//	fmt.Println(job.Status.Node, res.Fidelity)
+//
+// See the examples directory for runnable end-to-end scenarios and
+// cmd/qrio-experiments for the paper's evaluation.
+package qrio
+
+import (
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/apiserver"
+	"qrio/internal/core"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+	"qrio/internal/mapomatic"
+	"qrio/internal/master"
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/qasm"
+	"qrio/internal/visualizer"
+	"qrio/internal/workload"
+)
+
+// Orchestrator is a running QRIO deployment: cluster state, Meta Server,
+// Master Server, registry, scheduler, per-node kubelets and the lifecycle
+// controller. Create one with New, then Start it.
+type Orchestrator = core.QRIO
+
+// Config describes a deployment; Backends is required.
+type Config = core.Config
+
+// New assembles an orchestrator from a device fleet.
+func New(cfg Config) (*Orchestrator, error) { return core.New(cfg) }
+
+// SubmitRequest is a complete user job: circuit, resources, characteristic
+// bounds and selection strategy (the Visualizer's three-step form).
+type SubmitRequest = master.SubmitRequest
+
+// Job is a scheduled quantum job with its spec and live status.
+type Job = api.QuantumJob
+
+// Result is a finished job's execution record: counts, fidelity, logs and
+// the transpiled executable.
+type Result = api.Result
+
+// DeviceRequirements bound the device characteristics a job accepts.
+type DeviceRequirements = api.DeviceRequirements
+
+// Strategy selects fidelity- or topology-driven device ranking.
+type Strategy = api.Strategy
+
+// Selection strategies.
+const (
+	StrategyFidelity = api.StrategyFidelity
+	StrategyTopology = api.StrategyTopology
+)
+
+// Job lifecycle phases.
+const (
+	JobPending   = api.JobPending
+	JobScheduled = api.JobScheduled
+	JobRunning   = api.JobRunning
+	JobSucceeded = api.JobSucceeded
+	JobFailed    = api.JobFailed
+)
+
+// Backend is one quantum device's vendor calibration: coupling map, error
+// rates, coherence times, basis gates and host-node classical capacity.
+type Backend = device.Backend
+
+// FleetSpec parameterises the random device generator (paper Table 2).
+type FleetSpec = device.FleetSpec
+
+// DefaultFleetSpec returns the paper's 100-device testbed parameters.
+func DefaultFleetSpec() FleetSpec { return device.DefaultFleetSpec() }
+
+// GenerateFleet builds the simulated device fleet for a spec.
+func GenerateFleet(spec FleetSpec) ([]*Backend, error) { return device.GenerateFleet(spec) }
+
+// UniformBackend builds a single device with a fixed topology and uniform
+// error rates — useful for controlled experiments.
+func UniformBackend(name string, coupling *Graph, twoQubitErr, oneQubitErr, readoutErr, t1us, t2us float64) (*Backend, error) {
+	return device.UniformBackend(name, coupling, twoQubitErr, oneQubitErr, readoutErr, t1us, t2us)
+}
+
+// Circuit is the quantum-circuit IR shared across QRIO.
+type Circuit = circuit.Circuit
+
+// NewCircuit returns an empty circuit over n qubits (and n classical bits).
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// ParseQASM reads OpenQASM 2.0 source.
+func ParseQASM(src string) (*Circuit, error) { return qasm.Parse(src) }
+
+// DumpQASM renders a circuit as OpenQASM 2.0 source.
+func DumpQASM(c *Circuit) (string, error) { return qasm.Dump(c) }
+
+// Graph is an undirected topology graph (device coupling maps and user
+// topology requests).
+type Graph = graph.Graph
+
+// NewGraph returns an empty topology over n qubits.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NamedTopology builds one of the built-in topologies: "line", "ring",
+// "grid", "full", "heavy-square", "star" or "tree".
+func NamedTopology(name string, n int) (*Graph, error) { return graph.Named(name, n) }
+
+// TopologyQASM converts a topology request into the pseudo-circuit QASM
+// the Meta Server scores (one cx per requested edge).
+func TopologyQASM(g *Graph) (string, error) {
+	return qasm.Dump(mapomatic.TopologyCircuit(g))
+}
+
+// Workload constructors (the paper's benchmark circuits).
+var (
+	// BernsteinVazirani builds the n-qubit BV circuit for a secret.
+	BernsteinVazirani = workload.BernsteinVazirani
+	// GHZ builds an n-qubit GHZ preparation.
+	GHZ = workload.GHZ
+	// QFT builds the n-qubit quantum Fourier transform.
+	QFT = workload.QFT
+	// Grover builds the paper's 3-qubit Grover search.
+	Grover = workload.Grover
+	// QAOARing builds a depth-p QAOA MaxCut circuit on an n-ring.
+	QAOARing = workload.QAOARing
+)
+
+// NewVisualizer returns the web dashboard server for an orchestrator
+// (submission form, cluster and job views, vendor page); its Handler
+// method plugs into net/http.
+func NewVisualizer(q *Orchestrator) *visualizer.Server { return visualizer.New(q) }
+
+// NewAPIServer returns the cluster REST API server for an orchestrator's
+// state; its Handler method plugs into net/http.
+func NewAPIServer(q *Orchestrator) *apiserver.Server { return apiserver.New(q.State) }
+
+// NewAPIClient returns a typed client for a remote cluster API.
+func NewAPIClient(baseURL string) *apiserver.Client { return apiserver.NewClient(baseURL) }

@@ -1,0 +1,138 @@
+package qrio_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qrio"
+)
+
+// TestPublicAPIEndToEnd drives the entire system exclusively through the
+// public facade — the path a downstream user takes.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec := qrio.DefaultFleetSpec()
+	spec.QubitCounts = []int{15, 20}
+	fleet, err := qrio.GenerateFleet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 20 {
+		t.Fatalf("fleet = %d devices", len(fleet))
+	}
+	q, err := qrio.New(qrio.Config{Backends: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Stop()
+
+	// Build a circuit with the public builders, round-trip through QASM.
+	c := qrio.NewCircuit(4)
+	c.H(0)
+	c.CX(0, 1)
+	c.CX(1, 2)
+	c.CX(2, 3)
+	c.MeasureAll()
+	src, err := qrio.DumpQASM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := qrio.ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQubits != 4 {
+		t.Fatalf("round trip lost qubits: %d", back.NumQubits)
+	}
+
+	job, res, err := q.SubmitAndWait(qrio.SubmitRequest{
+		JobName:        "public-ghz",
+		QASM:           src,
+		Shots:          256,
+		Strategy:       qrio.StrategyFidelity,
+		TargetFidelity: 1.0,
+	}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status.Phase != qrio.JobSucceeded {
+		t.Fatalf("phase = %s", job.Status.Phase)
+	}
+	if res.Fidelity <= 0 || len(res.Counts) == 0 {
+		t.Fatalf("result empty: %+v", res)
+	}
+}
+
+func TestPublicTopologyHelpers(t *testing.T) {
+	g, err := qrio.NamedTopology("ring", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoQASM, err := qrio.TopologyQASM(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(topoQASM, "cx") {
+		t.Fatalf("topology circuit has no cx gates:\n%s", topoQASM)
+	}
+	parsed, err := qrio.ParseQASM(topoQASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.TwoQubitGateCount() != 5 {
+		t.Fatalf("ring-5 topology circuit has %d cx", parsed.TwoQubitGateCount())
+	}
+	if _, err := qrio.NamedTopology("klein-bottle", 5); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	for name, c := range map[string]*qrio.Circuit{
+		"bv":     qrio.BernsteinVazirani(6, 0b10101),
+		"ghz":    qrio.GHZ(5),
+		"qft":    qrio.QFT(4),
+		"grover": qrio.Grover(),
+		"qaoa":   qrio.QAOARing(6, 1, 3),
+	} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPublicServers(t *testing.T) {
+	g, err := qrio.NamedTopology("line", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := qrio.UniformBackend("pub", g, 0.05, 0.01, 0.02, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qrio.New(qrio.Config{Backends: []*qrio.Backend{b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// API server + client round trip.
+	srv := httptest.NewServer(qrio.NewAPIServer(q).Handler())
+	defer srv.Close()
+	client := qrio.NewAPIClient(srv.URL)
+	nodes, err := client.Nodes()
+	if err != nil || len(nodes) != 1 || nodes[0].Name != "pub" {
+		t.Fatalf("nodes over public API = %v, %v", nodes, err)
+	}
+	// Visualizer handler serves the dashboard.
+	viz := httptest.NewServer(qrio.NewVisualizer(q).Handler())
+	defer viz.Close()
+	resp, err := viz.Client().Get(viz.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("visualizer /cluster = %d", resp.StatusCode)
+	}
+}
