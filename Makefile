@@ -1,0 +1,33 @@
+# QRIO build entry points. CI (.github/workflows/ci.yml) invokes exactly
+# these targets so local runs and CI never diverge.
+
+GO ?= go
+
+# Packages the concurrent scheduling pipeline touches; they get the -race
+# treatment on every CI run.
+RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/...
+
+.PHONY: all build vet fmt test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails when any file needs reformatting (CI), and prints the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+ci: build vet fmt test race

@@ -12,6 +12,7 @@
 // Usage:
 //
 //	qrio [-addr :8080] [-fleet fleet.json] [-small] [-concurrency N]
+//	     [-node-concurrency N] [-score-workers N]
 package main
 
 import (
@@ -34,14 +35,21 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	fleetPath := flag.String("fleet", "", "JSON fleet file (default: generate the Table 2 fleet)")
 	small := flag.Bool("small", false, "generate a reduced 30-device fleet")
-	concurrency := flag.Int("concurrency", 1, "scheduler jobs per pass (1 = paper behaviour)")
+	concurrency := flag.Int("concurrency", 1, "scheduler jobs per pass (1 = paper behaviour, >1 = batched dispatch)")
+	nodeConcurrency := flag.Int("node-concurrency", 1, "containers per node (1 = paper behaviour; >1 bounded by node CPU capacity)")
+	scoreWorkers := flag.Int("score-workers", 0, "total concurrent Meta-Server scoring calls across the ranked batch (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	fleet, err := loadFleet(*fleetPath, *small)
 	if err != nil {
 		log.Fatalf("loading fleet: %v", err)
 	}
-	q, err := qrio.New(qrio.Config{Backends: fleet, Concurrency: *concurrency})
+	q, err := qrio.New(qrio.Config{
+		Backends:        fleet,
+		Concurrency:     *concurrency,
+		NodeConcurrency: *nodeConcurrency,
+		ScoreWorkers:    *scoreWorkers,
+	})
 	if err != nil {
 		log.Fatalf("assembling QRIO: %v", err)
 	}

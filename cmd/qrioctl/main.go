@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"qrio"
 
@@ -45,7 +46,7 @@ func main() {
 			fmt.Printf("%-18s %-9s %7s %10.10s %10.10s %s\n",
 				n.Name, n.Status.Phase, n.Labels["qrio.io/qubits"],
 				n.Labels["qrio.io/avg-2q-error"], n.Labels["qrio.io/avg-readout-error"],
-				n.Status.RunningJob)
+				strings.Join(n.Status.RunningJobs, ","))
 		}
 	case "jobs":
 		jobs, err := apiClient.Jobs()

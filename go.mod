@@ -1,0 +1,3 @@
+module qrio
+
+go 1.24

@@ -26,6 +26,7 @@ func (n Node) DeepCopy() Node {
 	out := n
 	out.ObjectMeta = copyMeta(n.ObjectMeta)
 	out.Spec.BackendJSON = append([]byte(nil), n.Spec.BackendJSON...)
+	out.Status.RunningJobs = append([]string(nil), n.Status.RunningJobs...)
 	return out
 }
 

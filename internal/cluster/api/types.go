@@ -47,18 +47,42 @@ type NodeSpec struct {
 	// CPUMillis and MemoryMB are the node's classical capacity.
 	CPUMillis int64 `json:"cpuMillis"`
 	MemoryMB  int64 `json:"memoryMB"`
+	// MaxContainers caps how many job containers the node executes
+	// concurrently. 0 and 1 both mean the paper's serial one-job-per-node
+	// execution; the orchestrator raises it (bounded by the node's
+	// classical CPU capacity) when node concurrency is enabled.
+	MaxContainers int `json:"maxContainers,omitempty"`
 }
 
 // NodeStatus is the cluster-maintained part of a node.
 type NodeStatus struct {
 	Phase         NodePhase `json:"phase"`
 	LastHeartbeat time.Time `json:"lastHeartbeat,omitempty"`
-	// RunningJob is the job currently executing (QRIO schedules one job
-	// per node at a time, mirroring the paper's single-job architecture).
-	RunningJob string `json:"runningJob,omitempty"`
+	// RunningJobs are the jobs currently bound to or executing on the node
+	// (at most ContainerSlots entries; the paper's architecture keeps this
+	// to a single job).
+	RunningJobs []string `json:"runningJobs,omitempty"`
 	// CPUMillisInUse/MemoryMBInUse track committed classical resources.
 	CPUMillisInUse int64 `json:"cpuMillisInUse,omitempty"`
 	MemoryMBInUse  int64 `json:"memoryMBInUse,omitempty"`
+}
+
+// ContainerSlots is the node's concurrent-container capacity (at least 1).
+func (n *Node) ContainerSlots() int {
+	if n.Spec.MaxContainers > 1 {
+		return n.Spec.MaxContainers
+	}
+	return 1
+}
+
+// HasRunningJob reports whether the named job is bound to the node.
+func (s *NodeStatus) HasRunningJob(jobName string) bool {
+	for _, j := range s.RunningJobs {
+		if j == jobName {
+			return true
+		}
+	}
+	return false
 }
 
 // Scheduling strategy names (paper §3.4).

@@ -93,7 +93,7 @@ func TestStrandedJobRequeued(t *testing.T) {
 	}
 	// Node resources released.
 	n, _, _ := st.Nodes.Get("n1")
-	if n.Status.RunningJob != "" {
+	if len(n.Status.RunningJobs) != 0 {
 		t.Fatalf("node still holds job: %+v", n.Status)
 	}
 }

@@ -2,14 +2,18 @@
 // watching the cluster state for jobs bound to it, pulling the job's image
 // bundle from the registry, transpiling the bundled circuit to the node's
 // local backend file and executing it (§3.1/§3.3), then publishing the
-// result logs and releasing the node.
+// result logs and releasing the node's container slot. Nodes whose spec
+// grants more than one container slot execute that many bound jobs
+// concurrently; the paper's default of one slot keeps execution serial.
 package kubelet
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"qrio/internal/cluster/api"
@@ -33,6 +37,10 @@ type Kubelet struct {
 	Seed int64
 	// Clock is injectable for tests (default time.Now).
 	Clock func() time.Time
+
+	mu       sync.Mutex
+	inflight map[string]struct{}
+	jobs     sync.WaitGroup
 }
 
 // New builds a kubelet for a node.
@@ -45,10 +53,12 @@ func New(nodeName string, st *state.Cluster, reg *registry.Registry, seed int64)
 		Heartbeat: 250 * time.Millisecond,
 		Seed:      seed,
 		Clock:     time.Now,
+		inflight:  make(map[string]struct{}),
 	}
 }
 
-// Run reconciles until the context is cancelled.
+// Run reconciles until the context is cancelled, then waits for in-flight
+// containers to finish so no execution outlives the agent.
 func (k *Kubelet) Run(ctx context.Context) {
 	interval := k.Interval
 	if interval <= 0 {
@@ -60,6 +70,7 @@ func (k *Kubelet) Run(ctx context.Context) {
 	}
 	tick := time.NewTicker(interval)
 	beat := time.NewTicker(hb)
+	defer k.jobs.Wait()
 	defer tick.Stop()
 	defer beat.Stop()
 	events, cancel := k.State.Jobs.Watch(128)
@@ -71,9 +82,9 @@ func (k *Kubelet) Run(ctx context.Context) {
 		case <-beat.C:
 			k.heartbeat()
 		case <-events:
-			k.SyncOnce()
+			k.launch()
 		case <-tick.C:
-			k.SyncOnce()
+			k.launch()
 		}
 	}
 }
@@ -88,16 +99,71 @@ func (k *Kubelet) heartbeat() {
 	})
 }
 
-// SyncOnce executes at most one job currently bound to this node.
-// It returns true when a job was run.
-func (k *Kubelet) SyncOnce() bool {
+// slots reads the node's container capacity from its spec (1 when the
+// node is unknown, matching the paper's serial execution).
+func (k *Kubelet) slots() int {
+	n, _, err := k.State.Nodes.Get(k.NodeName)
+	if err != nil {
+		return 1
+	}
+	return n.ContainerSlots()
+}
+
+// launch starts a container goroutine for every bound job this node has a
+// free slot for, without waiting for them, and returns the launched job
+// names (oldest bindings first, for determinism).
+func (k *Kubelet) launch() []string {
+	var runnable []api.QuantumJob
 	for _, j := range k.State.Jobs.List() {
 		if j.Status.Node == k.NodeName && j.Status.Phase == api.JobScheduled {
-			k.runJob(j.Name)
-			return true
+			runnable = append(runnable, j)
 		}
 	}
-	return false
+	sort.Slice(runnable, func(i, j int) bool {
+		if !runnable[i].CreatedAt.Equal(runnable[j].CreatedAt) {
+			return runnable[i].CreatedAt.Before(runnable[j].CreatedAt)
+		}
+		return runnable[i].Name < runnable[j].Name
+	})
+	slots := k.slots()
+	var started []string
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.inflight == nil { // zero-value Kubelet, built without New
+		k.inflight = make(map[string]struct{})
+	}
+	for _, j := range runnable {
+		if len(k.inflight) >= slots {
+			break
+		}
+		name := j.Name
+		if _, busy := k.inflight[name]; busy {
+			continue
+		}
+		k.inflight[name] = struct{}{}
+		k.jobs.Add(1)
+		started = append(started, name)
+		go func() {
+			defer k.jobs.Done()
+			defer func() {
+				k.mu.Lock()
+				delete(k.inflight, name)
+				k.mu.Unlock()
+			}()
+			k.runJob(name)
+		}()
+	}
+	return started
+}
+
+// SyncOnce launches every runnable job bound to this node (up to its free
+// container slots) and waits for the batch to finish — the synchronous
+// reconcile used by tests and single-step drivers. It returns true when at
+// least one job ran.
+func (k *Kubelet) SyncOnce() bool {
+	started := k.launch()
+	k.jobs.Wait()
+	return len(started) > 0
 }
 
 // runJob drives one job through Running to a terminal phase.

@@ -78,8 +78,71 @@ func TestExecutesBoundJob(t *testing.T) {
 	}
 	// Node released.
 	n, _, _ := st.Nodes.Get("node-a")
-	if n.Status.RunningJob != "" {
+	if len(n.Status.RunningJobs) != 0 {
 		t.Fatalf("node not released: %+v", n.Status)
+	}
+}
+
+// TestRunsConcurrentContainers: a node with two container slots executes
+// two bound jobs in a single sync, and both actually overlap (each job
+// observes the other in flight via the shared state).
+func TestRunsConcurrentContainers(t *testing.T) {
+	st := state.New()
+	b, err := device.UniformBackend("wide", graph.Line(6), 0.02, 0.005, 0.01, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddNode(b); err != nil {
+		t.Fatal(err)
+	}
+	st.Nodes.Update("wide", func(n api.Node) (api.Node, error) {
+		n.Spec.MaxContainers = 2
+		return n, nil
+	})
+	reg := registry.New()
+	m := master.NewServer(st, reg)
+	for _, name := range []string{"ghz-a", "ghz-b"} {
+		if _, err := m.Submit(master.SubmitRequest{
+			JobName: name, QASM: ghzQASM, Shots: 256,
+			Strategy: api.StrategyFidelity, TargetFidelity: 1.0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.BindJob(name, "wide", 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _, _ := st.Nodes.Get("wide")
+	if len(n.Status.RunningJobs) != 2 {
+		t.Fatalf("bound containers = %v", n.Status.RunningJobs)
+	}
+	k := kubelet.New("wide", st, reg, 7)
+	if ran := k.SyncOnce(); !ran {
+		t.Fatal("kubelet did not pick up the bound jobs")
+	}
+	overlapped := false
+	for _, name := range []string{"ghz-a", "ghz-b"} {
+		j, _, _ := st.Jobs.Get(name)
+		if j.Status.Phase != api.JobSucceeded {
+			t.Fatalf("%s phase = %s (%s)", name, j.Status.Phase, j.Status.Message)
+		}
+		other := "ghz-b"
+		if name == "ghz-b" {
+			other = "ghz-a"
+		}
+		oj, _, _ := st.Jobs.Get(other)
+		// Overlap: this job started before the other finished.
+		if j.Status.StartedAt != nil && oj.Status.FinishedAt != nil &&
+			j.Status.StartedAt.Before(*oj.Status.FinishedAt) {
+			overlapped = true
+		}
+	}
+	if !overlapped {
+		t.Fatal("containers ran strictly serially on a two-slot node")
+	}
+	n, _, _ = st.Nodes.Get("wide")
+	if len(n.Status.RunningJobs) != 0 {
+		t.Fatalf("slots not released: %v", n.Status.RunningJobs)
 	}
 }
 
@@ -123,7 +186,7 @@ func TestBrokenImageFailsJob(t *testing.T) {
 		t.Fatalf("failed job has no logs: %v", err)
 	}
 	n, _, _ := st.Nodes.Get("node-a")
-	if n.Status.RunningJob != "" {
+	if len(n.Status.RunningJobs) != 0 {
 		t.Fatal("node not released after failure")
 	}
 }

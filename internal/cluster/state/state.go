@@ -128,7 +128,9 @@ func (c *Cluster) SubmitJob(j api.QuantumJob) error {
 }
 
 // BindJob assigns a pending job to a node (the scheduler's binding step)
-// and reserves the node's classical resources.
+// and reserves one of the node's container slots plus the job's classical
+// resources. The node update is the serialisation point: concurrent binds
+// racing for the last free slot fail here rather than overcommitting.
 func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
 	job, _, err := c.Jobs.Get(jobName)
 	if err != nil {
@@ -141,10 +143,22 @@ func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
 		if n.Status.Phase != api.NodeReady {
 			return n, fmt.Errorf("state: node %s not ready", nodeName)
 		}
-		if n.Status.RunningJob != "" {
-			return n, fmt.Errorf("state: node %s already running %s", nodeName, n.Status.RunningJob)
+		if slots := n.ContainerSlots(); len(n.Status.RunningJobs) >= slots {
+			return n, fmt.Errorf("state: node %s at container capacity (%d/%d)",
+				nodeName, len(n.Status.RunningJobs), slots)
 		}
-		n.Status.RunningJob = jobName
+		if n.Status.HasRunningJob(jobName) {
+			return n, fmt.Errorf("state: job %s already bound to node %s", jobName, nodeName)
+		}
+		if free := n.Spec.CPUMillis - n.Status.CPUMillisInUse; job.Spec.Resources.CPUMillis > free {
+			return n, fmt.Errorf("state: node %s has %dm CPU free, job %s needs %dm",
+				nodeName, free, jobName, job.Spec.Resources.CPUMillis)
+		}
+		if free := n.Spec.MemoryMB - n.Status.MemoryMBInUse; job.Spec.Resources.MemoryMB > free {
+			return n, fmt.Errorf("state: node %s has %dMB memory free, job %s needs %dMB",
+				nodeName, free, jobName, job.Spec.Resources.MemoryMB)
+		}
+		n.Status.RunningJobs = append(n.Status.RunningJobs, jobName)
 		n.Status.CPUMillisInUse += job.Spec.Resources.CPUMillis
 		n.Status.MemoryMBInUse += job.Spec.Resources.MemoryMB
 		return n, nil
@@ -166,21 +180,32 @@ func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
 	return nil
 }
 
-// ReleaseNode clears a node's running job and resource reservation.
+// ReleaseNode frees the container slot and resource reservation a job held
+// on a node.
 func (c *Cluster) ReleaseNode(nodeName, jobName string) {
 	c.Nodes.Update(nodeName, func(n api.Node) (api.Node, error) {
-		if n.Status.RunningJob == jobName {
-			n.Status.RunningJob = ""
-			job, _, err := c.Jobs.Get(jobName)
-			if err == nil {
-				n.Status.CPUMillisInUse -= job.Spec.Resources.CPUMillis
-				n.Status.MemoryMBInUse -= job.Spec.Resources.MemoryMB
-				if n.Status.CPUMillisInUse < 0 {
-					n.Status.CPUMillisInUse = 0
-				}
-				if n.Status.MemoryMBInUse < 0 {
-					n.Status.MemoryMBInUse = 0
-				}
+		if !n.Status.HasRunningJob(jobName) {
+			return n, nil
+		}
+		kept := n.Status.RunningJobs[:0]
+		for _, j := range n.Status.RunningJobs {
+			if j != jobName {
+				kept = append(kept, j)
+			}
+		}
+		n.Status.RunningJobs = kept
+		if len(n.Status.RunningJobs) == 0 {
+			n.Status.RunningJobs = nil
+		}
+		job, _, err := c.Jobs.Get(jobName)
+		if err == nil {
+			n.Status.CPUMillisInUse -= job.Spec.Resources.CPUMillis
+			n.Status.MemoryMBInUse -= job.Spec.Resources.MemoryMB
+			if n.Status.CPUMillisInUse < 0 {
+				n.Status.CPUMillisInUse = 0
+			}
+			if n.Status.MemoryMBInUse < 0 {
+				n.Status.MemoryMBInUse = 0
 			}
 		}
 		return n, nil

@@ -120,7 +120,7 @@ func TestBindJobLifecycle(t *testing.T) {
 		t.Fatalf("bound job = %+v", j.Status)
 	}
 	n, _, _ := c.Nodes.Get("dev-a")
-	if n.Status.RunningJob != "j1" || n.Status.CPUMillisInUse != 1000 || n.Status.MemoryMBInUse != 512 {
+	if !n.Status.HasRunningJob("j1") || n.Status.CPUMillisInUse != 1000 || n.Status.MemoryMBInUse != 512 {
 		t.Fatalf("node after bind = %+v", n.Status)
 	}
 	// Double bind must fail (job no longer pending).
@@ -134,11 +134,75 @@ func TestBindJobLifecycle(t *testing.T) {
 	}
 	c.ReleaseNode("dev-a", "j1")
 	n, _, _ = c.Nodes.Get("dev-a")
-	if n.Status.RunningJob != "" || n.Status.CPUMillisInUse != 0 {
+	if len(n.Status.RunningJobs) != 0 || n.Status.CPUMillisInUse != 0 {
 		t.Fatalf("node after release = %+v", n.Status)
 	}
 	if err := c.BindJob("j2", "dev-a", 0.5); err != nil {
 		t.Fatalf("bind after release failed: %v", err)
+	}
+}
+
+func TestBindJobMultiSlotNode(t *testing.T) {
+	c := New()
+	c.AddNode(testBackend(t, "multi"))
+	c.Nodes.Update("multi", func(n api.Node) (api.Node, error) {
+		n.Spec.MaxContainers = 2
+		return n, nil
+	})
+	for _, name := range []string{"j1", "j2", "j3"} {
+		if err := c.SubmitJob(fidelityJob(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.BindJob("j1", "multi", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindJob("j2", "multi", 0); err != nil {
+		t.Fatalf("second slot rejected: %v", err)
+	}
+	// Third bind exceeds the slot cap.
+	if err := c.BindJob("j3", "multi", 0); err == nil {
+		t.Fatal("bind beyond container capacity accepted")
+	}
+	n, _, _ := c.Nodes.Get("multi")
+	if len(n.Status.RunningJobs) != 2 || !n.Status.HasRunningJob("j1") || !n.Status.HasRunningJob("j2") {
+		t.Fatalf("running jobs = %v", n.Status.RunningJobs)
+	}
+	// Releasing one slot admits the waiting job.
+	c.ReleaseNode("multi", "j1")
+	if err := c.BindJob("j3", "multi", 0); err != nil {
+		t.Fatalf("bind after slot release failed: %v", err)
+	}
+	n, _, _ = c.Nodes.Get("multi")
+	if n.Status.HasRunningJob("j1") || !n.Status.HasRunningJob("j3") {
+		t.Fatalf("running jobs after release = %v", n.Status.RunningJobs)
+	}
+}
+
+func TestBindJobRejectsResourceOvercommit(t *testing.T) {
+	c := New()
+	c.AddNode(testBackend(t, "dev"))
+	c.Nodes.Update("dev", func(n api.Node) (api.Node, error) {
+		n.Spec.MaxContainers = 8
+		return n, nil
+	})
+	n, _, _ := c.Nodes.Get("dev")
+	big := fidelityJob("big")
+	big.Spec.Resources.CPUMillis = n.Spec.CPUMillis - 100
+	if err := c.SubmitJob(big); err != nil {
+		t.Fatal(err)
+	}
+	small := fidelityJob("small")
+	small.Spec.Resources.CPUMillis = 500
+	if err := c.SubmitJob(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindJob("big", "dev", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Free slots remain, but CPU headroom is gone: bind must refuse.
+	if err := c.BindJob("small", "dev", 0); err == nil {
+		t.Fatal("CPU overcommit accepted")
 	}
 }
 

@@ -28,12 +28,39 @@ type Config struct {
 	// Meta tunes the Meta Server's scoring engines.
 	Meta meta.Options
 	// Concurrency is the scheduler's jobs-per-pass cap (default 1, the
-	// paper's single-job architecture; >1 enables the §5 extension).
+	// paper's single-job architecture; >1 selects batched dispatch, the
+	// §5 extension: the pass ranks that many pending jobs in parallel and
+	// binds them greedily to free container slots).
 	Concurrency int
+	// NodeConcurrency caps how many job containers a single node executes
+	// at once (default 1 = the paper's serial node). Values > 1 are
+	// additionally bounded per node by its classical CPU capacity: a node
+	// never gets more slots than max(1, CPUMillis/1000).
+	NodeConcurrency int
+	// ScoreWorkers bounds concurrent Meta-Server scoring calls fleet-wide
+	// during batched dispatch — a single budget shared by every job being
+	// ranked, not a per-job pool (0 = GOMAXPROCS).
+	ScoreWorkers int
 	// KubeletSeed seeds node execution RNGs for reproducible runs.
 	KubeletSeed int64
 	// MaxRetries bounds automatic retries of failed jobs.
 	MaxRetries int
+}
+
+// containerSlots resolves a backend's container capacity under the
+// deployment's NodeConcurrency cap.
+func containerSlots(nodeConcurrency int, b *device.Backend) int {
+	if nodeConcurrency <= 1 {
+		return 1
+	}
+	capacity := int(b.CPUMillis / 1000)
+	if capacity < 1 {
+		capacity = 1
+	}
+	if nodeConcurrency < capacity {
+		return nodeConcurrency
+	}
+	return capacity
 }
 
 // QRIO is a running orchestrator instance.
@@ -52,6 +79,7 @@ type QRIO struct {
 	wg              sync.WaitGroup
 	started         bool
 	nextKubeletSeed int64
+	nodeConcurrency int
 }
 
 // New wires a QRIO deployment from the config. Backends are registered
@@ -68,11 +96,18 @@ func New(cfg Config) (*QRIO, error) {
 		if _, err := st.AddNode(b); err != nil {
 			return nil, fmt.Errorf("core: adding node %s: %w", b.Name, err)
 		}
+		if slots := containerSlots(cfg.NodeConcurrency, b); slots > 1 {
+			st.Nodes.Update(b.Name, func(n api.Node) (api.Node, error) {
+				n.Spec.MaxContainers = slots
+				return n, nil
+			})
+		}
 		if err := metaSrv.RegisterBackend(b); err != nil {
 			return nil, fmt.Errorf("core: registering backend %s: %w", b.Name, err)
 		}
 	}
 	fw := sched.NewFramework(sched.MetaScore{Scorer: metaSrv}, sched.DefaultFilters()...)
+	fw.ScoreParallelism = cfg.ScoreWorkers
 	scheduler := sched.New(st, fw)
 	if cfg.Concurrency > 0 {
 		scheduler.Concurrency = cfg.Concurrency
@@ -94,6 +129,7 @@ func New(cfg Config) (*QRIO, error) {
 			kubelet.New(b.Name, st, reg, cfg.KubeletSeed+int64(i)))
 	}
 	q.nextKubeletSeed = cfg.KubeletSeed + int64(len(cfg.Backends))
+	q.nodeConcurrency = cfg.NodeConcurrency
 	return q, nil
 }
 
@@ -104,6 +140,12 @@ func New(cfg Config) (*QRIO, error) {
 func (q *QRIO) AddBackend(b *device.Backend) error {
 	if _, err := q.State.AddNode(b); err != nil {
 		return err
+	}
+	if slots := containerSlots(q.nodeConcurrency, b); slots > 1 {
+		q.State.Nodes.Update(b.Name, func(n api.Node) (api.Node, error) {
+			n.Spec.MaxContainers = slots
+			return n, nil
+		})
 	}
 	if err := q.Meta.RegisterBackend(b); err != nil {
 		return err

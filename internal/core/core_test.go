@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -214,8 +215,8 @@ func TestSequentialJobsShareTheCluster(t *testing.T) {
 	}
 	// All nodes released at the end.
 	for _, n := range q.State.Nodes.List() {
-		if n.Status.RunningJob != "" {
-			t.Fatalf("node %s still holds %s", n.Name, n.Status.RunningJob)
+		if len(n.Status.RunningJobs) != 0 {
+			t.Fatalf("node %s still holds %v", n.Name, n.Status.RunningJobs)
 		}
 	}
 }
@@ -223,5 +224,66 @@ func TestSequentialJobsShareTheCluster(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	if _, err := core.New(core.Config{}); err == nil {
 		t.Fatal("empty cluster accepted")
+	}
+}
+
+// TestConcurrentPipelineEndToEnd drives the whole concurrent path: batched
+// dispatch (Concurrency 8), multi-container nodes, parallel ranking and
+// the Meta-Server score cache, with a burst of jobs submitted at once.
+func TestConcurrentPipelineEndToEnd(t *testing.T) {
+	clean, err := device.UniformBackend("clean-line", graph.Line(12), 0.02, 0.005, 0.01, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := device.UniformBackend("clean-ring", graph.Ring(12), 0.02, 0.005, 0.01, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.New(core.Config{
+		Backends:        []*device.Backend{clean, ring},
+		Concurrency:     8,
+		NodeConcurrency: 4, // capped by the devices' 4000m CPU = 4 slots
+		KubeletSeed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Stop()
+
+	src, _ := qasm.Dump(workload.GHZ(3))
+	const jobs = 8
+	names := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("burst-%d", i)
+		names = append(names, name)
+		if _, err := q.Submit(master.SubmitRequest{
+			JobName:        name,
+			QASM:           src,
+			Shots:          64,
+			Strategy:       api.StrategyFidelity,
+			TargetFidelity: 1.0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range names {
+		job, err := q.WaitForJob(name, 60*time.Second)
+		if err != nil {
+			t.Fatalf("job %s: %v", name, err)
+		}
+		if job.Status.Phase != api.JobSucceeded {
+			t.Fatalf("job %s phase = %s (%s)", name, job.Status.Phase, job.Status.Message)
+		}
+	}
+	// All jobs share one circuit: the fleet-wide canary simulations must
+	// have been computed at most once per backend, the rest cache hits.
+	if hits, misses := q.Meta.CacheStats(); misses > 2 || hits == 0 {
+		t.Fatalf("cache stats hits=%d misses=%d; want ≤2 misses for 8 same-circuit jobs on 2 backends", hits, misses)
+	}
+	for _, n := range q.State.Nodes.List() {
+		if len(n.Status.RunningJobs) != 0 {
+			t.Fatalf("node %s still holds %v", n.Name, n.Status.RunningJobs)
+		}
 	}
 }

@@ -17,7 +17,10 @@
 package fidelity
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -115,6 +118,19 @@ func (e Estimator) denseLimit() int {
 // NewEstimator returns an estimator with sensible defaults.
 func NewEstimator(seed int64) Estimator {
 	return Estimator{Shots: 256, Seed: seed}
+}
+
+// CanaryFingerprint digests everything that determines a CanaryFidelity
+// result except the backend: the circuit source and the estimator's canary
+// configuration. Two calls with equal fingerprints against the same
+// backend calibration are guaranteed to return the same fidelity, which is
+// what lets the Meta Server memoise canary simulation across jobs.
+func (e Estimator) CanaryFingerprint(qasmSrc string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "canary|shots=%d|seed=%d|dense=%d|ensemble=%d|tr=%+v|",
+		e.Shots, e.Seed, e.MaxDenseQubits, e.CanaryEnsemble, e.Transpile)
+	io.WriteString(h, qasmSrc)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // ensureMeasured returns c itself when it measures, or a copy measuring

@@ -14,7 +14,10 @@
 package mapomatic
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -42,6 +45,18 @@ func (o Options) maxLayouts() int {
 		return 256
 	}
 	return o.MaxLayouts
+}
+
+// Fingerprint digests everything that determines a BestLayout result
+// except the backend: the topology-circuit source and the search bounds.
+// Equal fingerprints against the same backend calibration yield identical
+// costs, enabling Meta-Server memoisation of the subgraph search.
+func (o Options) Fingerprint(qasmSrc string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "layout|max=%d|visits=%d|tr=%+v|nofallback=%t|",
+		o.MaxLayouts, o.VF2MaxVisits, o.Transpile, o.DisableRoutedFallback)
+	io.WriteString(h, qasmSrc)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Score is the result of evaluating one circuit against one backend.

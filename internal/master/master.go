@@ -95,6 +95,13 @@ func (s *Server) Submit(req SubmitRequest) (api.QuantumJob, error) {
 	if err := req.Validate(); err != nil {
 		return api.QuantumJob{}, err
 	}
+	// Reject duplicate names before containerising: under concurrent
+	// multi-user submission the name collision would otherwise only
+	// surface after an image was built and pushed for nothing. The job
+	// store's create remains the authoritative check for exact races.
+	if _, _, err := s.State.Jobs.Get(req.JobName); err == nil {
+		return api.QuantumJob{}, fmt.Errorf("master: job %q already exists", req.JobName)
+	}
 	circ, err := qasm.Parse(req.QASM)
 	if err != nil {
 		return api.QuantumJob{}, fmt.Errorf("master: job %s circuit rejected: %w", req.JobName, err)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"sort"
 	"strings"
 	"time"
 
@@ -22,6 +24,9 @@ import (
 //	POST /v1/jobs/{name}/meta         — upload job metadata (Table 1)
 //	GET  /v1/jobs/{name}/meta         — fetch job metadata
 //	GET  /v1/score?job=J&backend=B    — score a job against a backend
+//	GET  /v1/score/batch?job=J[&backend=B...]
+//	                                  — score a job against many backends in
+//	                                    parallel (default: all registered)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/backends", func(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +109,23 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]float64{"score": score})
+	})
+	mux.HandleFunc("/v1/score/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			return
+		}
+		job := r.URL.Query().Get("job")
+		if job == "" {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("need job query param"))
+			return
+		}
+		backends := r.URL.Query()["backend"]
+		if len(backends) == 0 {
+			backends = s.BackendNames()
+			sort.Strings(backends)
+		}
+		writeJSON(w, http.StatusOK, s.ScoreBatch(job, backends, 0))
 	})
 	return mux
 }
@@ -224,6 +246,20 @@ func (c *Client) Score(jobName, backendName string) (float64, error) {
 		return 0, fmt.Errorf("meta: malformed score response %v", out)
 	}
 	return score, nil
+}
+
+// ScoreBatch asks the server to score a job against many backends in one
+// round trip (all registered backends when backendNames is empty).
+func (c *Client) ScoreBatch(jobName string, backendNames []string) ([]BatchResult, error) {
+	q := url.Values{"job": {jobName}}
+	for _, b := range backendNames {
+		q.Add("backend", b)
+	}
+	var out []BatchResult
+	if err := c.do(http.MethodGet, "/v1/score/batch?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 var _ Scorer = (*Client)(nil)

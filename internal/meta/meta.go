@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/device"
 	"qrio/internal/fidelity"
 	"qrio/internal/mapomatic"
+	"qrio/internal/par"
 	"qrio/internal/quantum/qasm"
 )
 
@@ -63,6 +65,27 @@ type Options struct {
 	// "loosely matching" devices are preferred over wastefully good ones
 	// with penalty < 1 (§3.4.1's "loosely match"). Default 0.25.
 	OverTargetPenalty float64
+	// DisableScoreCache recomputes every scoring request from scratch —
+	// the seed's per-job behaviour, kept as an ablation/benchmark baseline.
+	DisableScoreCache bool
+}
+
+// cacheKey identifies one memoised scoring-engine result: which backend,
+// which calibration generation of it, and the engine-input fingerprint
+// (circuit source + engine options).
+type cacheKey struct {
+	backend     string
+	gen         uint64
+	fingerprint string
+}
+
+// cacheEntry is a singleflight slot: the first scorer to claim the key
+// computes under the sync.Once; concurrent scorers for the same key block
+// on it and share the result instead of re-simulating.
+type cacheEntry struct {
+	once sync.Once
+	val  float64
+	err  error
 }
 
 // Server is the Meta Server's core. It is safe for concurrent use and is
@@ -73,6 +96,14 @@ type Server struct {
 	mu       sync.RWMutex
 	backends map[string]*device.Backend
 	jobs     map[string]JobMeta
+	// generations counts calibration uploads per backend; re-registering a
+	// backend bumps it, invalidating every cached score for that device.
+	generations map[string]uint64
+	// cache memoises the expensive scoring engines (canary simulation,
+	// subgraph layout search) per (backend, generation, fingerprint).
+	cache map[cacheKey]*cacheEntry
+
+	cacheHits, cacheMisses atomic.Uint64
 }
 
 // NewServer builds a Meta Server.
@@ -87,32 +118,95 @@ func NewServer(opts Options) *Server {
 		opts.OverTargetPenalty = 0.25
 	}
 	return &Server{
-		opts:     opts,
-		backends: make(map[string]*device.Backend),
-		jobs:     make(map[string]JobMeta),
+		opts:        opts,
+		backends:    make(map[string]*device.Backend),
+		jobs:        make(map[string]JobMeta),
+		generations: make(map[string]uint64),
+		cache:       make(map[cacheKey]*cacheEntry),
 	}
 }
 
 // RegisterBackend stores (a copy of the pointer to) a vendor backend file.
+// Re-registering a known backend models a calibration refresh: the
+// backend's generation advances and its cached scores are dropped.
 func (s *Server) RegisterBackend(b *device.Backend) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("meta: rejecting backend: %w", err)
 	}
 	s.mu.Lock()
 	s.backends[b.Name] = b
+	s.generations[b.Name]++
+	for k := range s.cache {
+		if k.backend == b.Name {
+			delete(s.cache, k)
+		}
+	}
 	s.mu.Unlock()
 	return nil
 }
 
+// Generation reports how many times a backend has been registered; cached
+// scores are only shared within one generation.
+func (s *Server) Generation(backendName string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.generations[backendName]
+}
+
+// CacheStats returns the score cache's lifetime hit/miss counters.
+func (s *Server) CacheStats() (hits, misses uint64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
+}
+
+// cached memoises compute under (backendName, gen, fingerprint), where
+// gen is the calibration generation the caller read together with the
+// backend. Concurrent callers for the same key compute once.
+func (s *Server) cached(backendName string, gen uint64, fingerprint string, compute func() (float64, error)) (float64, error) {
+	if s.opts.DisableScoreCache {
+		return compute()
+	}
+	s.mu.Lock()
+	key := cacheKey{backend: backendName, gen: gen, fingerprint: fingerprint}
+	e, hit := s.cache[key]
+	if !hit {
+		e = &cacheEntry{}
+		s.cache[key] = e
+	}
+	s.mu.Unlock()
+	if hit {
+		s.cacheHits.Add(1)
+	} else {
+		s.cacheMisses.Add(1)
+	}
+	e.once.Do(func() {
+		// Pre-set the error: if compute panics, the Once is spent and
+		// later callers would otherwise read the zero value — score 0,
+		// the best possible result. This way they get an error instead.
+		e.err = fmt.Errorf("meta: scoring %s panicked; entry poisoned until recalibration", backendName)
+		e.val, e.err = compute()
+	})
+	return e.val, e.err
+}
+
 // Backend returns a registered backend.
 func (s *Server) Backend(name string) (*device.Backend, error) {
+	b, _, err := s.backendWithGen(name)
+	return b, err
+}
+
+// backendWithGen returns a backend together with its current calibration
+// generation, read atomically: scorers must key the cache with the
+// generation of the exact calibration they computed against, or a
+// concurrent re-registration could cache a stale score under the fresh
+// generation.
+func (s *Server) backendWithGen(name string) (*device.Backend, uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	b, ok := s.backends[name]
 	if !ok {
-		return nil, fmt.Errorf("meta: unknown backend %q", name)
+		return nil, 0, fmt.Errorf("meta: unknown backend %q", name)
 	}
-	return b, nil
+	return b, s.generations[name], nil
 }
 
 // BackendNames lists registered backends.
@@ -167,28 +261,34 @@ func (s *Server) Score(jobName, backendName string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	b, err := s.Backend(backendName)
+	b, gen, err := s.backendWithGen(backendName)
 	if err != nil {
 		return 0, err
 	}
 	switch m.Strategy {
 	case api.StrategyFidelity:
-		return s.fidelityScore(m, b)
+		return s.fidelityScore(m, b, gen)
 	case api.StrategyTopology:
-		return s.topologyScore(m, b)
+		return s.topologyScore(m, b, gen)
 	}
 	return 0, fmt.Errorf("meta: job %s has unknown strategy %q", jobName, m.Strategy)
 }
 
 // fidelityScore implements the Fidelity Ranking strategy: estimate the
 // canary fidelity on the device and measure the miss against the target.
-func (s *Server) fidelityScore(m JobMeta, b *device.Backend) (float64, error) {
-	c, err := qasm.Parse(m.CircuitQASM)
-	if err != nil {
-		return 0, err
-	}
-	c.Name = m.JobName
-	f, err := s.opts.Estimator.CanaryFidelity(c, b)
+// The canary simulation — the expensive part — is memoised per (circuit
+// fingerprint, backend, calibration generation), so jobs re-submitting the
+// same circuit pay it once per fleet calibration; the cheap target
+// comparison stays outside the cache so jobs sharing a circuit but not a
+// target still share the simulation.
+func (s *Server) fidelityScore(m JobMeta, b *device.Backend, gen uint64) (float64, error) {
+	f, err := s.cached(b.Name, gen, s.opts.Estimator.CanaryFingerprint(m.CircuitQASM), func() (float64, error) {
+		c, err := qasm.Parse(m.CircuitQASM)
+		if err != nil {
+			return 0, err
+		}
+		return s.opts.Estimator.CanaryFidelity(c, b)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -198,21 +298,52 @@ func (s *Server) fidelityScore(m JobMeta, b *device.Backend) (float64, error) {
 	return m.TargetFidelity - f, nil
 }
 
-// topologyScore implements the Topology Ranking strategy via Mapomatic.
-func (s *Server) topologyScore(m JobMeta, b *device.Backend) (float64, error) {
-	tc, err := qasm.Parse(m.TopologyQASM)
+// topologyScore implements the Topology Ranking strategy via Mapomatic,
+// with the subgraph search memoised per (topology fingerprint, backend,
+// calibration generation).
+func (s *Server) topologyScore(m JobMeta, b *device.Backend, gen uint64) (float64, error) {
+	cost, err := s.cached(b.Name, gen, s.opts.Mapomatic.Fingerprint(m.TopologyQASM), func() (float64, error) {
+		tc, err := qasm.Parse(m.TopologyQASM)
+		if err != nil {
+			return 0, err
+		}
+		score, err := mapomatic.BestLayout(tc, b, s.opts.Mapomatic)
+		if err != nil {
+			return 0, err
+		}
+		return score.Cost, nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	tc.Name = m.JobName + "-topology"
-	score, err := mapomatic.BestLayout(tc, b, s.opts.Mapomatic)
-	if err != nil {
-		return 0, err
-	}
-	if math.IsInf(score.Cost, 1) {
+	if math.IsInf(cost, 1) {
 		return 0, fmt.Errorf("meta: backend %s cannot host job %s topology", b.Name, m.JobName)
 	}
-	return score.Cost, nil
+	return cost, nil
+}
+
+// BatchResult is one backend's outcome in a ScoreBatch call.
+type BatchResult struct {
+	Backend string  `json:"backend"`
+	Score   float64 `json:"score"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// ScoreBatch scores one job against many candidate backends concurrently
+// (bounded by workers; 0 = GOMAXPROCS) and returns results in input order.
+// Combined with the score cache this turns fleet-wide ranking from
+// |fleet| serial simulations into one parallel sweep whose repeats are
+// free until the next calibration upload.
+func (s *Server) ScoreBatch(jobName string, backendNames []string, workers int) []BatchResult {
+	out := make([]BatchResult, len(backendNames))
+	par.ForEach(len(backendNames), workers, func(i int) {
+		score, err := s.Score(jobName, backendNames[i])
+		out[i] = BatchResult{Backend: backendNames[i], Score: score}
+		if err != nil {
+			out[i].Error = err.Error()
+		}
+	})
+	return out
 }
 
 // Scorer is the dependency the scheduler's ranking plugin needs: anything

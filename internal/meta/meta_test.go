@@ -134,6 +134,136 @@ func TestTopologyScoring(t *testing.T) {
 	}
 }
 
+// TestScoreCacheHitAndInvalidation: a second Score for the same (job
+// fingerprint, backend, calibration generation) must come from the cache;
+// re-registering the backend (a calibration refresh) must invalidate it.
+func TestScoreCacheHitAndInvalidation(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	dev := backend(t, "dev", graph.Line(4), 0.05)
+	if err := s.RegisterBackend(dev); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation("dev"); got != 1 {
+		t.Fatalf("generation after first register = %d", got)
+	}
+	if err := s.PutJobMeta(meta.JobMeta{
+		JobName: "bell", Strategy: api.StrategyFidelity,
+		TargetFidelity: 1, CircuitQASM: bellQASM,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Score("bell", "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := s.CacheStats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("after first score: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	second, err := s.Score("bell", "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatalf("cached score %v != first score %v", second, first)
+	}
+	if hits, misses = s.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("after second score: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// A different job submitting the same circuit shares the simulation.
+	if err := s.PutJobMeta(meta.JobMeta{
+		JobName: "bell-again", Strategy: api.StrategyFidelity,
+		TargetFidelity: 0.9, CircuitQASM: bellQASM,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Score("bell-again", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses = s.CacheStats(); hits != 2 || misses != 1 {
+		t.Fatalf("shared circuit: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	// Calibration refresh: same name, new error rates → new generation,
+	// cold cache, different score.
+	recal := backend(t, "dev", graph.Line(4), 0.4)
+	if err := s.RegisterBackend(recal); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Generation("dev"); got != 2 {
+		t.Fatalf("generation after re-register = %d", got)
+	}
+	refreshed, err := s.Score("bell", "dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses = s.CacheStats(); hits != 2 || misses != 2 {
+		t.Fatalf("after invalidation: hits=%d misses=%d, want 2/2", hits, misses)
+	}
+	if refreshed == first {
+		t.Fatalf("score unchanged (%v) after calibration degraded — stale cache served", refreshed)
+	}
+}
+
+// TestTopologyScoreCached: the subgraph search is memoised too.
+func TestTopologyScoreCached(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	s.RegisterBackend(backend(t, "ring", graph.Ring(8), 0.1))
+	s.PutJobMeta(meta.JobMeta{
+		JobName: "topo", Strategy: api.StrategyTopology,
+		TopologyQASM: ringTopologyQASM(t, 6),
+	})
+	a, err := s.Score("topo", "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Score("topo", "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("cached topology score %v != %v", b, a)
+	}
+	if hits, misses := s.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestScoreBatchParallel: batch scoring returns input order and matches
+// the serial scores.
+func TestScoreBatchParallel(t *testing.T) {
+	s := meta.NewServer(meta.Options{})
+	names := []string{"d1", "d2", "d3"}
+	errs := []float64{0.02, 0.2, 0.5}
+	for i, n := range names {
+		if err := s.RegisterBackend(backend(t, n, graph.Line(4), errs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.PutJobMeta(meta.JobMeta{
+		JobName: "bell", Strategy: api.StrategyFidelity,
+		TargetFidelity: 1, CircuitQASM: bellQASM,
+	})
+	got := s.ScoreBatch("bell", append(names, "ghost"), 4)
+	if len(got) != 4 {
+		t.Fatalf("batch size %d", len(got))
+	}
+	for i, n := range names {
+		if got[i].Backend != n || got[i].Error != "" {
+			t.Fatalf("entry %d = %+v", i, got[i])
+		}
+		serial, err := s.Score("bell", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Score != serial {
+			t.Fatalf("batch score %v != serial %v for %s", got[i].Score, serial, n)
+		}
+	}
+	if got[3].Error == "" {
+		t.Fatal("unknown backend silently scored")
+	}
+}
+
 func TestMetaValidation(t *testing.T) {
 	s := meta.NewServer(meta.Options{})
 	cases := []meta.JobMeta{
@@ -201,6 +331,13 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 	if math.IsNaN(score) || score < 0 {
 		t.Fatalf("score = %v", score)
+	}
+	batch, err := c.ScoreBatch("bell", nil) // nil = all registered backends
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 1 || batch[0].Backend != "dev" || batch[0].Score != score {
+		t.Fatalf("batch = %+v, want one entry matching score %v", batch, score)
 	}
 	// Server-side errors surface as client errors.
 	if _, err := c.Score("ghost", "dev"); err == nil {

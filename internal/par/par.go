@@ -1,0 +1,46 @@
+// Package par provides the bounded fan-out primitive the concurrent
+// scheduling pipeline uses wherever it processes an indexed batch in
+// parallel (Meta-Server batch scoring, batched dispatch ranking).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (0 means GOMAXPROCS) and returns when all calls have completed. fn must
+// write results into caller-owned, index-disjoint slots.
+func ForEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

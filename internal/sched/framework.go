@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"qrio/internal/cluster/api"
 )
@@ -46,6 +48,29 @@ type Framework struct {
 	Filters []FilterPlugin
 	Scorer  ScorePlugin
 	Picker  Picker
+	// ScoreParallelism bounds concurrent Score calls across ALL Rank
+	// invocations sharing this framework — the batched scheduler ranks
+	// many jobs at once, and without a global bound the per-job pools
+	// would multiply into jobs×workers simultaneous simulations. 0 means
+	// GOMAXPROCS; 1 scores serially. Set it before the first Rank call.
+	// Select always scores serially, preserving the paper's behaviour.
+	ScoreParallelism int
+
+	semOnce  sync.Once
+	scoreSem chan struct{}
+}
+
+// scoreSlots returns the framework-wide scoring semaphore, sized on first
+// use from ScoreParallelism.
+func (f *Framework) scoreSlots() chan struct{} {
+	f.semOnce.Do(func() {
+		n := f.ScoreParallelism
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		f.scoreSem = make(chan struct{}, n)
+	})
+	return f.scoreSem
 }
 
 // NewFramework assembles a framework with the default lowest-score picker.
@@ -92,6 +117,61 @@ func (f *Framework) Select(job api.QuantumJob, nodes []api.Node) (NodeScore, err
 		return f.Scorer.Score(job, n)
 	}
 	return picker.Pick(job, feasible, scoreFn)
+}
+
+// Rank runs filtering and then scores every feasible node — concurrently,
+// bounded by ScoreParallelism — returning candidates sorted best-first
+// (score ascending, deterministic tie-break on node name). Nodes whose
+// scoring fails are skipped, like LowestScore does. This is the batched
+// dispatcher's primitive: the greedy binder walks the ranking until a node
+// with a free container slot accepts the job.
+func (f *Framework) Rank(job api.QuantumJob, nodes []api.Node) ([]NodeScore, error) {
+	feasible, rejected := f.FilterNodes(job, nodes)
+	if len(feasible) == 0 {
+		return nil, &UnschedulableError{Job: job.Name, Rejected: rejected}
+	}
+	scores := make([]float64, len(feasible))
+	errs := make([]error, len(feasible))
+	if f.Scorer == nil {
+		// All-zero scores: the ranking degenerates to name order.
+	} else {
+		sem := f.scoreSlots()
+		var wg sync.WaitGroup
+		for i := range feasible {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				scores[i], errs[i] = f.Scorer.Score(job, feasible[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	ranked := make([]NodeScore, 0, len(feasible))
+	var firstErr error
+	for i, n := range feasible {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sched: scoring %s for %s: %w", n.Name, job.Name, errs[i])
+			}
+			continue
+		}
+		ranked = append(ranked, NodeScore{Node: n.Name, Score: scores[i]})
+	}
+	if len(ranked) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("sched: no nodes scored for %s", job.Name)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score < ranked[j].Score
+		}
+		return ranked[i].Node < ranked[j].Node
+	})
+	return ranked, nil
 }
 
 // UnschedulableError reports that no node passed filtering — the paper's

@@ -2,13 +2,16 @@ package sched
 
 import (
 	"fmt"
+	"strings"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/meta"
 )
 
-// NodeReady filters out nodes that are unhealthy or already running a job
-// (QRIO runs one job per node at a time, §5).
+// NodeReady filters out nodes that are unhealthy or out of container
+// slots. With the paper's default of one container per node (§5) this is
+// the classic "busy" check; nodes configured for concurrent containers
+// stay feasible until every slot is taken.
 type NodeReady struct{}
 
 // Name implements FilterPlugin.
@@ -19,8 +22,9 @@ func (NodeReady) Filter(_ api.QuantumJob, n api.Node) (bool, string) {
 	if n.Status.Phase != api.NodeReady {
 		return false, fmt.Sprintf("node is %s", n.Status.Phase)
 	}
-	if n.Status.RunningJob != "" {
-		return false, fmt.Sprintf("busy with job %s", n.Status.RunningJob)
+	if slots := n.ContainerSlots(); len(n.Status.RunningJobs) >= slots {
+		return false, fmt.Sprintf("busy with %d/%d containers (%s)",
+			len(n.Status.RunningJobs), slots, strings.Join(n.Status.RunningJobs, ","))
 	}
 	return true, ""
 }

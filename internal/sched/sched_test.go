@@ -103,7 +103,7 @@ func TestNodeReadyFilter(t *testing.T) {
 	st := state.New()
 	node(t, st, "busy", 5, 0.1)
 	st.Nodes.Update("busy", func(n api.Node) (api.Node, error) {
-		n.Status.RunningJob = "other"
+		n.Status.RunningJobs = []string{"other"}
 		return n, nil
 	})
 	node(t, st, "down", 5, 0.1)
@@ -228,5 +228,150 @@ func TestSchedulerConcurrencyExtension(t *testing.T) {
 	st.SubmitJob(job("j2", 0, 0))
 	if bound := s.SchedulePass(); bound != 2 {
 		t.Fatalf("bound %d, want 2 with concurrency", bound)
+	}
+}
+
+// TestBatchedDispatchDistinctNodes: one batched pass places N pending jobs
+// onto N distinct free nodes, never double-booking a slot, with the
+// best-scoring node going to the oldest job (FIFO greedy order).
+func TestBatchedDispatchDistinctNodes(t *testing.T) {
+	st := state.New()
+	scores := mapScorer{}
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("n%d", i)
+		node(t, st, name, 5, 0.1)
+		scores[name] = float64(i) // n1 best, n4 worst
+	}
+	fw := NewFramework(MetaScore{Scorer: scores}, DefaultFilters()...)
+	s := New(st, fw)
+	s.Concurrency = 8
+	for i := 1; i <= 4; i++ {
+		if err := st.SubmitJob(job(fmt.Sprintf("j%d", i), 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bound := s.SchedulePass(); bound != 4 {
+		t.Fatalf("bound %d jobs, want 4 in one pass", bound)
+	}
+	seen := map[string]string{}
+	for i := 1; i <= 4; i++ {
+		j, _, _ := st.Jobs.Get(fmt.Sprintf("j%d", i))
+		if j.Status.Phase != api.JobScheduled {
+			t.Fatalf("j%d phase = %s", i, j.Status.Phase)
+		}
+		if prev, dup := seen[j.Status.Node]; dup {
+			t.Fatalf("node %s double-booked by %s and j%d", j.Status.Node, prev, i)
+		}
+		seen[j.Status.Node] = j.Name
+	}
+	// FIFO greedy: oldest job got the best node, and so on down the ranking.
+	for i := 1; i <= 4; i++ {
+		j, _, _ := st.Jobs.Get(fmt.Sprintf("j%d", i))
+		if want := fmt.Sprintf("n%d", i); j.Status.Node != want {
+			t.Fatalf("j%d bound to %s, want %s (deterministic greedy order)", i, j.Status.Node, want)
+		}
+	}
+}
+
+// TestBatchedDispatchMoreJobsThanNodes: surplus jobs stay Pending, nodes
+// are never double-bound, and the next pass drains the queue after slots
+// free up.
+func TestBatchedDispatchMoreJobsThanNodes(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	node(t, st, "b", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"a": 1, "b": 1}}, DefaultFilters()...)
+	s := New(st, fw)
+	s.Concurrency = 8
+	for i := 1; i <= 5; i++ {
+		st.SubmitJob(job(fmt.Sprintf("j%d", i), 0, 0))
+	}
+	if bound := s.SchedulePass(); bound != 2 {
+		t.Fatalf("first pass bound %d, want 2 (one per node)", bound)
+	}
+	pendingCount := 0
+	for _, j := range st.Jobs.List() {
+		if j.Status.Phase == api.JobPending {
+			pendingCount++
+		}
+	}
+	if pendingCount != 3 {
+		t.Fatalf("%d jobs pending after full pass, want 3", pendingCount)
+	}
+	// Saturated fleet: another pass binds nothing (and doesn't double-bind).
+	if bound := s.SchedulePass(); bound != 0 {
+		t.Fatalf("saturated pass bound %d", bound)
+	}
+	for _, name := range []string{"a", "b"} {
+		n, _, _ := st.Nodes.Get(name)
+		if len(n.Status.RunningJobs) != 1 {
+			t.Fatalf("node %s runs %v", name, n.Status.RunningJobs)
+		}
+	}
+	// Free both nodes; the following pass places the next two FIFO jobs.
+	for _, name := range []string{"a", "b"} {
+		n, _, _ := st.Nodes.Get(name)
+		jobName := n.Status.RunningJobs[0]
+		st.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+			j.Status.Phase = api.JobSucceeded
+			return j, nil
+		})
+		st.ReleaseNode(name, jobName)
+	}
+	if bound := s.SchedulePass(); bound != 2 {
+		t.Fatalf("post-release pass bound %d, want 2", bound)
+	}
+}
+
+// TestBatchedDispatchSkipsStarvedHead: unschedulable jobs at the head of
+// the FIFO queue must not starve a feasible job queued behind them — the
+// pass walks past the full batch width until it binds or exhausts the
+// queue (the serial path's guarantee).
+func TestBatchedDispatchSkipsStarvedHead(t *testing.T) {
+	st := state.New()
+	node(t, st, "tiny", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"tiny": 1}}, DefaultFilters()...)
+	s := New(st, fw)
+	s.Concurrency = 4
+	// Five impossible jobs (need 100 qubits) fill more than one batch
+	// width ahead of the one feasible job.
+	for i := 1; i <= 5; i++ {
+		if err := st.SubmitJob(job(fmt.Sprintf("stuck%d", i), 100, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.SubmitJob(job("runnable", 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if bound := s.SchedulePass(); bound != 1 {
+		t.Fatalf("bound %d, want 1 (feasible job behind unschedulable head)", bound)
+	}
+	j, _, _ := st.Jobs.Get("runnable")
+	if j.Status.Phase != api.JobScheduled {
+		t.Fatalf("runnable job phase = %s — starved by unschedulable queue head", j.Status.Phase)
+	}
+}
+
+// TestBatchedDispatchFillsMultiSlotNode: with node concurrency enabled, a
+// single node absorbs as many jobs per pass as it has container slots.
+func TestBatchedDispatchFillsMultiSlotNode(t *testing.T) {
+	st := state.New()
+	node(t, st, "wide", 5, 0.1)
+	st.Nodes.Update("wide", func(n api.Node) (api.Node, error) {
+		n.Spec.MaxContainers = 3
+		return n, nil
+	})
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"wide": 1}}, DefaultFilters()...)
+	s := New(st, fw)
+	s.Concurrency = 8
+	for i := 1; i <= 4; i++ {
+		st.SubmitJob(job(fmt.Sprintf("j%d", i), 0, 0))
+	}
+	if bound := s.SchedulePass(); bound != 3 {
+		t.Fatalf("bound %d, want 3 (slot cap)", bound)
+	}
+	n, _, _ := st.Nodes.Get("wide")
+	if len(n.Status.RunningJobs) != 3 {
+		t.Fatalf("node runs %v, want 3 containers", n.Status.RunningJobs)
 	}
 }

@@ -4,27 +4,36 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
+	"qrio/internal/par"
 )
 
 // Scheduler drives the cluster's scheduling loop: it watches for pending
 // jobs, runs the framework's filter/score pipeline, and binds each job to
 // the winning node. By default it processes one job at a time in FIFO
 // order, matching the paper's current architecture (§5); Concurrency > 1
-// enables the future-work extension of dispatching several queued jobs as
-// long as free nodes remain.
+// enables the future-work extension: each pass collects up to Concurrency
+// pending jobs, ranks them against the fleet in parallel (a bounded worker
+// pool calling Framework.Rank), and binds greedily — FIFO job order,
+// best-score-first candidates, deterministic name tie-breaks — so no node
+// slot is ever double-booked.
 type Scheduler struct {
 	State     *state.Cluster
 	Framework *Framework
 	// Interval is the reconcile cadence (default 10ms; in-process stores
 	// make this cheap).
 	Interval time.Duration
-	// Concurrency caps jobs dispatched per pass (default 1 = paper).
+	// Concurrency caps jobs dispatched per pass (default 1 = paper's
+	// serial path; >1 selects batched dispatch).
 	Concurrency int
+	// Workers bounds the ranking worker pool in batched dispatch
+	// (0 = min(Concurrency, GOMAXPROCS)).
+	Workers int
 }
 
 // New assembles a scheduler over cluster state.
@@ -55,31 +64,147 @@ func (s *Scheduler) Run(ctx context.Context) {
 }
 
 // SchedulePass schedules up to Concurrency pending jobs, oldest first.
-// It returns the number of jobs bound.
+// It returns the number of jobs bound. Concurrency == 1 runs the
+// paper-faithful serial pipeline; larger values dispatch a batch.
 func (s *Scheduler) SchedulePass() int {
 	limit := s.Concurrency
 	if limit <= 0 {
 		limit = 1
 	}
 	pending := s.pendingFIFO()
+	if len(pending) == 0 {
+		return 0
+	}
+	if limit == 1 {
+		return s.serialPass(pending, limit)
+	}
+	return s.batchedPass(pending, limit)
+}
+
+// serialPass is the paper's architecture: one job at a time through the
+// full filter/score/pick pipeline.
+func (s *Scheduler) serialPass(pending []api.QuantumJob, limit int) int {
 	bound := 0
 	for _, job := range pending {
 		if bound >= limit {
 			break
 		}
 		if err := s.ScheduleOne(job); err != nil {
-			var unsched *UnschedulableError
-			if errors.As(err, &unsched) {
-				// Leave pending; a node may free up. Record once per pass.
-				s.State.RecordEvent("Job", job.Name, "Unschedulable", err.Error())
-				continue
-			}
-			s.State.RecordEvent("Job", job.Name, "SchedulingError", err.Error())
+			s.recordSchedulingFailure(job.Name, err)
 			continue
 		}
 		bound++
 	}
 	return bound
+}
+
+// headroom is the scheduler's pass-local view of a node's free capacity.
+type headroom struct {
+	slots    int
+	cpu, mem int64
+}
+
+// batchedPass ranks pending jobs in parallel against one node snapshot —
+// limit at a time, walking the whole FIFO queue until limit jobs are
+// bound or the queue is exhausted, so unschedulable jobs at the head
+// cannot starve feasible jobs behind them (the serial loop's guarantee).
+// Binding is greedy in FIFO order with local slot/resource bookkeeping to
+// keep the walk from double-booking a node within the pass; BindJob's own
+// capacity check remains the authoritative guard against races with
+// kubelets and other actors.
+func (s *Scheduler) batchedPass(pending []api.QuantumJob, limit int) int {
+	if s.Framework == nil {
+		return 0
+	}
+	nodes := s.State.Nodes.List()
+	free := make(map[string]*headroom, len(nodes))
+	for _, n := range nodes {
+		free[n.Name] = &headroom{
+			slots: n.ContainerSlots() - len(n.Status.RunningJobs),
+			cpu:   n.Spec.CPUMillis - n.Status.CPUMillisInUse,
+			mem:   n.Spec.MemoryMB - n.Status.MemoryMBInUse,
+		}
+	}
+	bound := 0
+	for start := 0; start < len(pending) && bound < limit; start += limit {
+		end := start + limit
+		if end > len(pending) {
+			end = len(pending)
+		}
+		bound += s.dispatchChunk(pending[start:end], limit-bound, nodes, free)
+	}
+	return bound
+}
+
+// dispatchChunk ranks one chunk of jobs in parallel and binds at most
+// budget of them greedily against the shared pass-local headroom.
+func (s *Scheduler) dispatchChunk(chunk []api.QuantumJob, budget int, nodes []api.Node, free map[string]*headroom) int {
+	rankings := make([][]NodeScore, len(chunk))
+	rankErrs := make([]error, len(chunk))
+	workers := s.Workers
+	if workers <= 0 {
+		workers = len(chunk)
+		if max := runtime.GOMAXPROCS(0); workers > max {
+			workers = max
+		}
+	}
+	par.ForEach(len(chunk), workers, func(i int) {
+		rankings[i], rankErrs[i] = s.Framework.Rank(chunk[i], nodes)
+	})
+
+	bound := 0
+	for i, job := range chunk {
+		if bound >= budget {
+			break
+		}
+		if rankErrs[i] != nil {
+			s.recordSchedulingFailure(job.Name, rankErrs[i])
+			continue
+		}
+		placed := false
+		for _, cand := range rankings[i] {
+			h := free[cand.Node]
+			if h == nil || h.slots <= 0 ||
+				h.cpu < job.Spec.Resources.CPUMillis || h.mem < job.Spec.Resources.MemoryMB {
+				continue
+			}
+			if err := s.State.BindJob(job.Name, cand.Node, cand.Score); err != nil {
+				if j, _, jerr := s.State.Jobs.Get(job.Name); jerr != nil || j.Status.Phase != api.JobPending {
+					// The job itself moved on (bound elsewhere, deleted);
+					// stop trying candidates but count nothing.
+					placed = true
+					break
+				}
+				// Node-side race (kubelet, another scheduler): the local
+				// headroom was stale — drop the node for this pass.
+				h.slots = 0
+				continue
+			}
+			h.slots--
+			h.cpu -= job.Spec.Resources.CPUMillis
+			h.mem -= job.Spec.Resources.MemoryMB
+			placed = true
+			bound++
+			break
+		}
+		if !placed {
+			s.State.RecordEvent("Job", job.Name, "Unschedulable",
+				fmt.Sprintf("sched: job %s ranked %d nodes but all slots taken this pass",
+					job.Name, len(rankings[i])))
+		}
+	}
+	return bound
+}
+
+// recordSchedulingFailure emits the event the serial path always recorded.
+func (s *Scheduler) recordSchedulingFailure(jobName string, err error) {
+	var unsched *UnschedulableError
+	if errors.As(err, &unsched) {
+		// Leave pending; a node may free up. Record once per pass.
+		s.State.RecordEvent("Job", jobName, "Unschedulable", err.Error())
+		return
+	}
+	s.State.RecordEvent("Job", jobName, "SchedulingError", err.Error())
 }
 
 // pendingFIFO lists pending jobs oldest-first (stable on name).

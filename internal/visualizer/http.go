@@ -167,7 +167,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			n.Labels[api.LabelQubits], n.Labels[api.LabelAvg2QErr],
 			n.Labels[api.LabelAvgReadout], n.Labels[api.LabelAvgT1us],
 			n.Labels[api.LabelCPUMillis], n.Labels[api.LabelMemoryMB],
-			template.HTMLEscapeString(n.Status.RunningJob))
+			template.HTMLEscapeString(strings.Join(n.Status.RunningJobs, ", ")))
 	}
 	b.WriteString("</table>")
 	s.render(w, page{Title: fmt.Sprintf("Cluster — %d nodes", len(nodes)), Body: template.HTML(b.String())})

@@ -34,6 +34,21 @@
 //	}, time.Minute)
 //	fmt.Println(job.Status.Node, res.Fidelity)
 //
+// # Concurrency
+//
+// The paper's architecture — one job scheduled at a time, one container
+// per node — is the default. Config exposes the concurrent pipeline:
+// Concurrency > 1 switches the scheduler to batched dispatch (rank up to
+// that many pending jobs per pass in parallel, bind greedily with
+// deterministic tie-breaking), NodeConcurrency > 1 lets each node execute
+// several containers bounded by its classical CPU capacity, and
+// ScoreWorkers caps concurrent scoring calls across the whole batch (a
+// shared budget, not per job). Independently, the Meta
+// Server memoises canary-simulation and subgraph-matching results per
+// (circuit fingerprint, backend, calibration generation), so repeated
+// circuits cost one simulation per fleet calibration; re-registering a
+// backend invalidates its cached scores.
+//
 // See the examples directory for runnable end-to-end scenarios and
 // cmd/qrio-experiments for the paper's evaluation.
 package qrio
