@@ -3,11 +3,11 @@
 
 GO ?= go
 
-# Packages the concurrent scheduling pipeline touches; they get the -race
-# treatment on every CI run.
-RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/...
+# Packages the concurrent scheduling pipeline and the /v1 gateway touch;
+# they get the -race treatment on every CI run.
+RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/... ./internal/gateway/... ./client/...
 
-.PHONY: all build vet fmt test race bench ci
+.PHONY: all build vet fmt test race bench bench-json ci
 
 all: build
 
@@ -29,5 +29,10 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# bench-json emits the same benchmark pass as a test2json stream — the
+# BENCH_results.json artifact CI uploads to track the perf trajectory.
+bench-json:
+	$(GO) test -run xxx -bench . -benchtime 1x -json . > BENCH_results.json
 
 ci: build vet fmt test race

@@ -1,0 +1,279 @@
+// Package client is the official Go client for QRIO's unified /v1
+// gateway. It exposes the full job lifecycle over HTTP: Submit (single
+// and batch), Get, List (field filters and pagination), Cancel, Logs,
+// Events, Watch (server-sent events) and Wait (watch-driven, no polling),
+// plus node registry and Meta-Server scoring access.
+//
+// Every method takes a context for per-request deadlines and
+// cancellation. Errors returned by the gateway are *APIError values
+// carrying the envelope's machine-readable code; branch with the
+// IsNotFound / IsConflict / IsInvalid / IsUnschedulable helpers instead
+// of matching message strings:
+//
+//	c := client.New("http://localhost:8080")
+//	job, err := c.Submit(ctx, client.SubmitRequest{...})
+//	if client.IsConflict(err) { /* name already taken */ }
+//	job, err = c.Wait(ctx, job.Name)  // event-driven, not a poll loop
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/device"
+	"qrio/internal/gateway"
+	"qrio/internal/httpx"
+	"qrio/internal/master"
+	"qrio/internal/meta"
+)
+
+// Re-exported wire types, so downstream code never names an internal
+// package.
+type (
+	// SubmitRequest is a complete user job submission.
+	SubmitRequest = master.SubmitRequest
+	// Job is a quantum job with its spec and live status.
+	Job = api.QuantumJob
+	// JobPhase is a job lifecycle phase.
+	JobPhase = api.JobPhase
+	// Node is a cluster node.
+	Node = api.Node
+	// Result is a finished job's execution record.
+	Result = api.Result
+	// Event is one observability event.
+	Event = api.Event
+	// Backend is a vendor device calibration.
+	Backend = device.Backend
+	// JobList is a page of jobs plus the continuation token.
+	JobList = gateway.JobList
+	// BatchSubmitItem is one per-job outcome of a batch submission.
+	BatchSubmitItem = gateway.BatchSubmitItem
+	// ScoreResult is one backend's score in a batch scoring response.
+	ScoreResult = meta.BatchResult
+)
+
+// APIError is a structured gateway error: the HTTP status plus the
+// envelope's machine-readable code and message.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("qrio: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// code extracts the envelope code from an error chain ("" when the error
+// is not an APIError).
+func code(err error) string {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Code
+	}
+	return ""
+}
+
+// IsNotFound reports whether err is the gateway's not_found error.
+func IsNotFound(err error) bool { return code(err) == httpx.CodeNotFound }
+
+// IsConflict reports whether err is the gateway's conflict error
+// (duplicate submission, cancel of an already-terminal job).
+func IsConflict(err error) bool { return code(err) == httpx.CodeConflict }
+
+// IsInvalid reports whether err is the gateway's invalid error
+// (malformed or rejected request).
+func IsInvalid(err error) bool { return code(err) == httpx.CodeInvalid }
+
+// IsUnschedulable reports whether err is the gateway's unschedulable
+// error (no node in the fleet can ever satisfy the job's requirements).
+func IsUnschedulable(err error) bool { return code(err) == httpx.CodeUnschedulable }
+
+// Client talks to a /v1 gateway.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// New builds a client for a gateway base URL (the daemon address; the /v1
+// prefix is implied). The embedded timeout is a backstop for regular
+// calls — use contexts for per-request deadlines. Watch streams use a
+// separate, timeout-free connection.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Timeout: 120 * time.Second},
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return httpx.DoJSON(ctx, c.HTTP, method, c.BaseURL+path, in, out,
+		func(status int, code, msg string) error {
+			if msg == "" {
+				msg = fmt.Sprintf("%s %s failed", method, path)
+			}
+			if code == "" {
+				code = httpx.CodeInternal
+			}
+			return &APIError{Status: status, Code: code, Message: msg}
+		})
+}
+
+// Healthy pings the gateway.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// Submit sends one job through the gateway (metadata upload,
+// containerisation and cluster admission happen server-side).
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (Job, error) {
+	var job Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &job)
+	return job, err
+}
+
+// SubmitBatch sends many jobs in one round trip. The response is aligned
+// with the request order; each item carries either the accepted job or
+// the structured error that rejected it, so one bad job never fails the
+// batch.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []SubmitRequest) ([]BatchSubmitItem, error) {
+	var items []BatchSubmitItem
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/batch", reqs, &items)
+	return items, err
+}
+
+// ListOptions are the GET /v1/jobs field filters and pagination knobs.
+// Zero values mean "no constraint".
+type ListOptions struct {
+	// Phase filters on the job lifecycle phase (e.g. "Running").
+	Phase JobPhase
+	// Node filters on the bound node name.
+	Node string
+	// Strategy filters on the scheduling strategy ("fidelity"/"topology").
+	Strategy string
+	// Limit caps the page size (0 = everything).
+	Limit int
+	// Continue resumes listing after a previous page's token.
+	Continue string
+}
+
+// List fetches jobs matching the options, name-ordered. When the
+// response's Continue token is non-empty, pass it back to fetch the next
+// page.
+func (c *Client) List(ctx context.Context, opts ListOptions) (JobList, error) {
+	q := url.Values{}
+	if opts.Phase != "" {
+		q.Set("phase", string(opts.Phase))
+	}
+	if opts.Node != "" {
+		q.Set("node", opts.Node)
+	}
+	if opts.Strategy != "" {
+		q.Set("strategy", opts.Strategy)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Continue != "" {
+		q.Set("continue", opts.Continue)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out JobList
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Get fetches one job.
+func (c *Client) Get(ctx context.Context, name string) (Job, error) {
+	var out Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a job through the full lifecycle:
+// pending jobs leave the queue, scheduled jobs give their slot back, and
+// running jobs have their container aborted on the node. It returns the
+// job as of the request; Wait observes the final JobCancelled phase.
+// Cancelling an already-terminal job returns a conflict error.
+func (c *Client) Cancel(ctx context.Context, name string) (Job, error) {
+	var out Job
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// Logs fetches a finished job's execution result.
+func (c *Client) Logs(ctx context.Context, name string) (Result, error) {
+	var out Result
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(name)+"/logs", nil, &out)
+	return out, err
+}
+
+// Events lists a job's event trail, oldest first.
+func (c *Client) Events(ctx context.Context, name string) ([]Event, error) {
+	var out []Event
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(name)+"/events", nil, &out)
+	return out, err
+}
+
+// Nodes lists the cluster's nodes.
+func (c *Client) Nodes(ctx context.Context) ([]Node, error) {
+	var out []Node
+	err := c.do(ctx, http.MethodGet, "/v1/nodes", nil, &out)
+	return out, err
+}
+
+// Node fetches one node.
+func (c *Client) Node(ctx context.Context, name string) (Node, error) {
+	var out Node
+	err := c.do(ctx, http.MethodGet, "/v1/nodes/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// RegisterNode adds a vendor backend to the cluster (node, Meta-Server
+// copy and kubelet).
+func (c *Client) RegisterNode(ctx context.Context, b *Backend) (Node, error) {
+	var out Node
+	err := c.do(ctx, http.MethodPost, "/v1/nodes", b, &out)
+	return out, err
+}
+
+// DeleteNode removes a node.
+func (c *Client) DeleteNode(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/nodes/"+url.PathEscape(name), nil, nil)
+}
+
+// Score asks the Meta Server to score a job against one backend.
+func (c *Client) Score(ctx context.Context, jobName, backendName string) (float64, error) {
+	q := url.Values{"job": {jobName}, "backend": {backendName}}
+	var out map[string]float64
+	if err := c.do(ctx, http.MethodGet, "/v1/score?"+q.Encode(), nil, &out); err != nil {
+		return 0, err
+	}
+	score, ok := out["score"]
+	if !ok {
+		return 0, fmt.Errorf("qrio: malformed score response %v", out)
+	}
+	return score, nil
+}
+
+// ScoreBatch scores a job against many backends in one round trip (all
+// registered backends when backendNames is empty).
+func (c *Client) ScoreBatch(ctx context.Context, jobName string, backendNames []string) ([]ScoreResult, error) {
+	q := url.Values{"job": {jobName}}
+	for _, b := range backendNames {
+		q.Add("backend", b)
+	}
+	var out []ScoreResult
+	err := c.do(ctx, http.MethodGet, "/v1/score/batch?"+q.Encode(), nil, &out)
+	return out, err
+}

@@ -1,0 +1,191 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"qrio/internal/cluster/state"
+	"qrio/internal/httpx"
+)
+
+// Watch event types, mirroring the store's watch semantics plus the
+// gateway's connect-time snapshot marker.
+const (
+	EventAdded    = "ADDED"
+	EventModified = "MODIFIED"
+	EventDeleted  = "DELETED"
+	// EventSync marks the snapshot of current state a watch delivers on
+	// connect, before live transitions start.
+	EventSync = "SYNC"
+)
+
+// WatchEvent is one streamed cluster change: Kind is "job" or "node" and
+// exactly one of Job/Node is set.
+type WatchEvent = state.Notification
+
+// WatchOptions narrow a watch stream. Zero values watch everything.
+type WatchOptions struct {
+	// Kind restricts to "job" or "node" notifications.
+	Kind string
+	// Name restricts to one object.
+	Name string
+}
+
+// Watch opens a server-sent-events stream of cluster changes. On connect
+// the gateway first delivers the current (filtered) objects as SYNC
+// events, then live transitions as they happen — so callers need no
+// list-then-watch dance. The channel closes when the context ends or the
+// stream breaks; consumers that must not miss state should re-Get after
+// the channel closes (delivery is at-most-once under extreme backlog,
+// matching the hub's semantics).
+func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan WatchEvent, error) {
+	q := url.Values{}
+	if opts.Kind != "" {
+		q.Set("kind", opts.Kind)
+	}
+	if opts.Name != "" {
+		q.Set("name", opts.Name)
+	}
+	path := "/v1/watch"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// A dedicated transport-only client: the regular one's blanket
+	// timeout would sever long-lived streams.
+	streamer := &http.Client{}
+	if c.HTTP != nil {
+		streamer.Transport = c.HTTP.Transport
+	}
+	resp, err := streamer.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, httpx.MaxBodyBytes))
+		code, msg, ok := httpx.DecodeErrorBody(raw)
+		if !ok {
+			msg = "watch stream rejected"
+		}
+		if code == "" {
+			code = httpx.CodeInternal
+		}
+		return nil, &APIError{Status: resp.StatusCode, Code: code, Message: msg}
+	}
+	out := make(chan WatchEvent, 64)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), httpx.MaxBodyBytes)
+		var data []string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if len(data) > 0 {
+					var ev WatchEvent
+					// Per the SSE spec, multiple data: lines join with a
+					// newline before dispatch.
+					if json.Unmarshal([]byte(strings.Join(data, "\n")), &ev) == nil {
+						select {
+						case out <- ev:
+						case <-ctx.Done():
+							return
+						}
+					}
+					data = data[:0]
+				}
+			case strings.HasPrefix(line, "data:"):
+				data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+			default:
+				// event: lines are redundant (kind travels in the JSON);
+				// ":" keep-alive comments are ignored.
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Wait blocks until the job reaches a terminal phase
+// (Succeeded/Failed/Cancelled) or the context ends, returning the final
+// job. It is driven by the watch stream — no polling loop — with a
+// coarse re-Get only as a guard against dropped events on a backlogged
+// hub.
+func (c *Client) Wait(ctx context.Context, name string) (Job, error) {
+	// Existence check up front so waiting on a ghost fails immediately.
+	job, err := c.Get(ctx, name)
+	if err != nil {
+		return Job{}, err
+	}
+	if job.Status.Phase.Terminal() {
+		return job, nil
+	}
+	watchCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	events, err := c.Watch(watchCtx, WatchOptions{Kind: "job", Name: name})
+	if err != nil {
+		return job, err
+	}
+	recheck := time.NewTicker(500 * time.Millisecond)
+	defer recheck.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if j, err := c.Get(context.WithoutCancel(ctx), name); err == nil {
+				job = j
+			}
+			return job, ctx.Err()
+		case ev, ok := <-events:
+			if !ok {
+				// Stream broke; the final Get decides.
+				j, err := c.Get(ctx, name)
+				if err != nil {
+					return job, err
+				}
+				if j.Status.Phase.Terminal() {
+					return j, nil
+				}
+				return j, fmt.Errorf("qrio: watch stream closed while waiting for %s", name)
+			}
+			if ev.Job == nil || ev.Job.Name != name {
+				continue
+			}
+			if ev.Type == EventDeleted {
+				return *ev.Job, &APIError{Status: http.StatusNotFound, Code: httpx.CodeNotFound,
+					Message: fmt.Sprintf("job %s deleted while waiting", name)}
+			}
+			job = *ev.Job
+			if job.Status.Phase.Terminal() {
+				return job, nil
+			}
+		case <-recheck.C:
+			j, err := c.Get(ctx, name)
+			if err != nil {
+				// The job vanishing is terminal; anything else (a network
+				// blip, a transient 5xx) is tolerated — the recheck is only
+				// a guard, the healthy stream remains authoritative.
+				if IsNotFound(err) {
+					return job, err
+				}
+				continue
+			}
+			job = j
+			if job.Status.Phase.Terminal() {
+				return job, nil
+			}
+		}
+	}
+}

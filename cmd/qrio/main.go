@@ -5,6 +5,9 @@
 // Endpoints (all on one listener, path-prefixed):
 //
 //	/                — Visualizer dashboard (submit jobs, view cluster/logs)
+//	/v1/             — unified gateway: jobs (submit/batch/list/cancel),
+//	                   nodes, scores, events, SSE watch — what qrioctl and
+//	                   the qrio/client package speak
 //	/apiserver/      — cluster REST API   (nodes, jobs, logs, events)
 //	/meta/           — Meta Server REST   (backends, job metadata, scoring)
 //	/master/         — Master Server REST (job submission, logs)

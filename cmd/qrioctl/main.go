@@ -1,29 +1,34 @@
-// Command qrioctl is the CLI client for a running qrio daemon: submit
-// jobs, inspect nodes and jobs, and fetch execution logs over the REST API.
+// Command qrioctl is the CLI client for a running qrio daemon, speaking
+// the unified /v1 gateway: submit jobs (single or from multiple files),
+// list and filter them, cancel them at any lifecycle stage, stream
+// cluster changes live, and fetch execution logs.
 //
 // Usage:
 //
 //	qrioctl -server http://localhost:8080 nodes
-//	qrioctl -server http://localhost:8080 jobs
+//	qrioctl -server http://localhost:8080 list [-phase Running] [-node N] [-strategy fidelity] [-limit K]
 //	qrioctl -server http://localhost:8080 submit -name bv -qasm circuit.qasm \
 //	        -fidelity 1.0 [-max2q 0.2] [-shots 1024]
 //	qrioctl -server http://localhost:8080 submit -name opt -qasm c.qasm \
 //	        -topology ring -topology-qubits 6
+//	qrioctl -server http://localhost:8080 cancel bv
+//	qrioctl -server http://localhost:8080 watch [JOB]
 //	qrioctl -server http://localhost:8080 logs bv
 //	qrioctl -server http://localhost:8080 events bv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"qrio"
-
-	"qrio/internal/master"
-	"qrio/internal/meta"
+	"qrio/client"
 )
 
 func main() {
@@ -33,13 +38,13 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	apiClient := qrio.NewAPIClient(*server + "/apiserver")
-	masterClient := master.NewClient(*server + "/master")
-	metaClient := meta.NewClient(*server + "/meta")
+	c := client.New(*server)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch args[0] {
 	case "nodes":
-		nodes, err := apiClient.Nodes()
+		nodes, err := c.Nodes(ctx)
 		check(err)
 		fmt.Printf("%-18s %-9s %7s %10s %10s %s\n", "NAME", "PHASE", "QUBITS", "AVG2QERR", "READOUT", "RUNNING")
 		for _, n := range nodes {
@@ -48,19 +53,13 @@ func main() {
 				n.Labels["qrio.io/avg-2q-error"], n.Labels["qrio.io/avg-readout-error"],
 				strings.Join(n.Status.RunningJobs, ","))
 		}
-	case "jobs":
-		jobs, err := apiClient.Jobs()
-		check(err)
-		fmt.Printf("%-20s %-10s %-9s %-18s %8s\n", "NAME", "PHASE", "STRATEGY", "NODE", "SCORE")
-		for _, j := range jobs {
-			fmt.Printf("%-20s %-10s %-9s %-18s %8.4f\n",
-				j.Name, j.Status.Phase, j.Spec.Strategy, j.Status.Node, j.Status.Score)
-		}
+	case "jobs", "list":
+		list(ctx, c, args[1:])
 	case "logs":
 		if len(args) < 2 {
 			usage()
 		}
-		res, err := apiClient.Logs(args[1])
+		res, err := c.Logs(ctx, args[1])
 		check(err)
 		for _, line := range res.LogLines {
 			fmt.Println(line)
@@ -70,19 +69,99 @@ func main() {
 		if len(args) < 2 {
 			usage()
 		}
-		events, err := apiClient.Events(args[1])
+		events, err := c.Events(ctx, args[1])
 		check(err)
 		for _, e := range events {
 			fmt.Printf("%s  %-14s %s\n", e.Time.Format("15:04:05.000"), e.Reason, e.Message)
 		}
 	case "submit":
-		submit(masterClient, metaClient, args[1:])
+		submit(ctx, c, args[1:])
+	case "cancel":
+		if len(args) < 2 {
+			usage()
+		}
+		job, err := c.Cancel(ctx, args[1])
+		check(err)
+		if job.Status.Phase == qrio.JobCancelled {
+			fmt.Printf("job %s cancelled (%s)\n", job.Name, job.Status.Message)
+			return
+		}
+		fmt.Printf("job %s: cancellation requested, aborting container on %s\n", job.Name, job.Status.Node)
+		final, err := c.Wait(ctx, job.Name)
+		check(err)
+		fmt.Printf("job %s now %s (%s)\n", final.Name, final.Status.Phase, final.Status.Message)
+	case "watch":
+		watch(ctx, c, args[1:])
 	default:
 		usage()
 	}
 }
 
-func submit(masterClient *master.Client, metaClient *meta.Client, args []string) {
+func list(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	phase := fs.String("phase", "", "filter by phase (Pending|Scheduled|Running|Succeeded|Failed|Cancelled)")
+	node := fs.String("node", "", "filter by bound node")
+	strategy := fs.String("strategy", "", "filter by strategy (fidelity|topology)")
+	limit := fs.Int("limit", 0, "page size (0 = everything; pages are fetched until exhausted)")
+	check(fs.Parse(args))
+	opts := client.ListOptions{
+		Phase:    client.JobPhase(*phase),
+		Node:     *node,
+		Strategy: *strategy,
+		Limit:    *limit,
+	}
+	fmt.Printf("%-20s %-10s %-9s %-18s %8s\n", "NAME", "PHASE", "STRATEGY", "NODE", "SCORE")
+	for {
+		page, err := c.List(ctx, opts)
+		check(err)
+		for _, j := range page.Items {
+			fmt.Printf("%-20s %-10s %-9s %-18s %8.4f\n",
+				j.Name, j.Status.Phase, j.Spec.Strategy, j.Status.Node, j.Status.Score)
+		}
+		if page.Continue == "" {
+			return
+		}
+		opts.Continue = page.Continue
+	}
+}
+
+// watch streams cluster changes. With a job name it follows that job and
+// exits when it reaches a terminal phase; without one it streams all job
+// and node transitions until interrupted.
+func watch(ctx context.Context, c *client.Client, args []string) {
+	opts := client.WatchOptions{}
+	follow := ""
+	if len(args) > 0 {
+		follow = args[0]
+		opts = client.WatchOptions{Kind: "job", Name: follow}
+		// Fail fast on a typo'd name instead of streaming silence.
+		if j, err := c.Get(ctx, follow); err != nil {
+			check(err)
+		} else if j.Status.Phase.Terminal() {
+			fmt.Printf("job %s already %s (%s)\n", j.Name, j.Status.Phase, j.Status.Message)
+			return
+		}
+	}
+	events, err := c.Watch(ctx, opts)
+	check(err)
+	for ev := range events {
+		switch {
+		case ev.Job != nil:
+			j := ev.Job
+			fmt.Printf("%-9s job  %-20s %-10s node=%-18s %s\n",
+				ev.Type, j.Name, j.Status.Phase, j.Status.Node, j.Status.Message)
+			if follow != "" && j.Name == follow && j.Status.Phase.Terminal() {
+				return
+			}
+		case ev.Node != nil:
+			n := ev.Node
+			fmt.Printf("%-9s node %-20s %-10s running=%s\n",
+				ev.Type, n.Name, n.Status.Phase, strings.Join(n.Status.RunningJobs, ","))
+		}
+	}
+}
+
+func submit(ctx context.Context, c *client.Client, args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	name := fs.String("name", "", "job name (required)")
 	qasmPath := fs.String("qasm", "", "path to the OpenQASM 2.0 circuit (required)")
@@ -95,6 +174,7 @@ func submit(masterClient *master.Client, metaClient *meta.Client, args []string)
 	minQubits := fs.Int("min-qubits", 0, "minimum device qubits")
 	cpu := fs.Int64("cpu", 0, "CPU request (millicores)")
 	mem := fs.Int64("memory", 0, "memory request (MB)")
+	wait := fs.Bool("wait", false, "wait for the job to finish and print its logs")
 	check(fs.Parse(args))
 	if *name == "" || *qasmPath == "" {
 		log.Fatal("submit needs -name and -qasm")
@@ -102,7 +182,7 @@ func submit(masterClient *master.Client, metaClient *meta.Client, args []string)
 	src, err := os.ReadFile(*qasmPath)
 	check(err)
 
-	req := master.SubmitRequest{
+	req := client.SubmitRequest{
 		JobName:   *name,
 		QASM:      string(src),
 		Shots:     *shots,
@@ -114,14 +194,10 @@ func submit(masterClient *master.Client, metaClient *meta.Client, args []string)
 			MaxReadoutErr: *maxReadout,
 		},
 	}
-	jm := meta.JobMeta{JobName: *name}
 	switch {
 	case *fidelityTarget > 0:
 		req.Strategy = qrio.StrategyFidelity
 		req.TargetFidelity = *fidelityTarget
-		jm.Strategy = qrio.StrategyFidelity
-		jm.TargetFidelity = *fidelityTarget
-		jm.CircuitQASM = string(src)
 	case *topology != "":
 		if *topoQubits <= 0 {
 			log.Fatal("topology strategy needs -topology-qubits")
@@ -132,17 +208,25 @@ func submit(masterClient *master.Client, metaClient *meta.Client, args []string)
 		check(err)
 		req.Strategy = qrio.StrategyTopology
 		req.TopologyQASM = topoQASM
-		jm.Strategy = qrio.StrategyTopology
-		jm.TopologyQASM = topoQASM
 	default:
 		log.Fatal("choose a strategy: -fidelity F or -topology NAME")
 	}
-	// The visualizer flow: metadata to the Meta Server first (Table 1),
-	// then the full request to the Master Server.
-	check(metaClient.PutJobMeta(jm))
-	job, err := masterClient.Submit(req)
+	// One call: the gateway uploads the Meta-Server metadata and routes
+	// through the Master Server on the user's behalf.
+	job, err := c.Submit(ctx, req)
 	check(err)
 	fmt.Printf("job %s submitted (phase %s, image %s)\n", job.Name, job.Status.Phase, job.Spec.Image)
+	if !*wait {
+		return
+	}
+	final, err := c.Wait(ctx, job.Name)
+	check(err)
+	fmt.Printf("job %s: %s on node %s\n", final.Name, final.Status.Phase, final.Status.Node)
+	if res, err := c.Logs(ctx, final.Name); err == nil {
+		for _, line := range res.LogLines {
+			fmt.Println(line)
+		}
+	}
 }
 
 func check(err error) {
@@ -155,8 +239,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: qrioctl [-server URL] <command>
 commands:
   nodes                 list cluster nodes
-  jobs                  list jobs
-  submit -name N -qasm FILE (-fidelity F | -topology NAME -topology-qubits Q) [flags]
+  list [flags]          list jobs (-phase P, -node N, -strategy S, -limit K); "jobs" is an alias
+  submit -name N -qasm FILE (-fidelity F | -topology NAME -topology-qubits Q) [-wait] [flags]
+  cancel JOB            cancel a job (any lifecycle stage; aborts running containers)
+  watch [JOB]           stream live job/node transitions (follow one job to its end)
   logs JOB              fetch a finished job's execution log
   events JOB            list a job's events`)
 	os.Exit(2)

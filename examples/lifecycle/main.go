@@ -1,0 +1,121 @@
+// Lifecycle: the /v1 gateway's full job-lifecycle vocabulary in one run —
+// batch submission with per-item error reporting, live watching over
+// server-sent events, filtered + paginated listing, and cancellation
+// (including aborting a job mid-flight), all through the public Go client.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"qrio"
+	"qrio/client"
+)
+
+func main() {
+	spec := qrio.DefaultFleetSpec()
+	spec.QubitCounts = []int{15, 20}
+	fleet, err := qrio.GenerateFleet(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := qrio.New(qrio.Config{Backends: fleet, Concurrency: 4, NodeConcurrency: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.Start()
+	defer q.Stop()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", qrio.NewGateway(q).Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+
+	// Start a watch before submitting: the SSE stream will carry every
+	// transition of every job — no polling anywhere in this file. The
+	// watch context is cancelled on exit so the streaming connection
+	// closes before the server shuts down.
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	events, err := c.Watch(watchCtx, client.WatchOptions{Kind: "job"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		for ev := range events {
+			if ev.Job != nil && ev.Type != client.EventSync {
+				fmt.Printf("  [watch] %-9s %-12s %s\n", ev.Type, ev.Job.Name, ev.Job.Status.Phase)
+			}
+		}
+	}()
+
+	// Batch submission: three valid jobs plus one malformed one. The bad
+	// job is rejected with a machine-readable code; the rest sail through.
+	ghz, _ := qrio.DumpQASM(qrio.GHZ(5))
+	bv, _ := qrio.DumpQASM(qrio.BernsteinVazirani(8, 0b1011))
+	qft, _ := qrio.DumpQASM(qrio.QFT(4))
+	reqs := []client.SubmitRequest{
+		{JobName: "batch-ghz", QASM: ghz, Strategy: qrio.StrategyFidelity, TargetFidelity: 1.0},
+		{JobName: "batch-bv", QASM: bv, Strategy: qrio.StrategyFidelity, TargetFidelity: 0.9},
+		{JobName: "batch-qft", QASM: qft, Strategy: qrio.StrategyFidelity, TargetFidelity: 1.0},
+		{JobName: "batch-bad", QASM: "not qasm at all", Strategy: qrio.StrategyFidelity, TargetFidelity: 1.0},
+	}
+	items, err := c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Error != nil {
+			fmt.Printf("batch: %-12s rejected (%s)\n", it.Name, it.Error.Code)
+			continue
+		}
+		fmt.Printf("batch: %-12s accepted on image %s\n", it.Name, it.Job.Spec.Image)
+	}
+
+	// Cancel one of the accepted jobs — whatever stage it is in, the
+	// gateway drives it to the terminal Cancelled phase (aborting the
+	// container if it is already running). On this millisecond-scale
+	// simulator the job may already have finished, which the gateway
+	// reports as a structured conflict — exactly what a real client must
+	// tolerate when cancelling against a fast fleet.
+	if _, err := c.Cancel(ctx, "batch-qft"); err != nil {
+		if !client.IsConflict(err) {
+			log.Fatal(err)
+		}
+		fmt.Println("cancel batch-qft: already finished (conflict) — racing a fast fleet")
+	}
+
+	// Wait for everything to settle, then list by phase.
+	for _, name := range []string{"batch-ghz", "batch-bv", "batch-qft"} {
+		if _, err := c.Wait(ctx, name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, phase := range []client.JobPhase{qrio.JobSucceeded, qrio.JobCancelled} {
+		page, err := c.List(ctx, client.ListOptions{Phase: phase, Limit: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d jobs %s:\n", len(page.Items), phase)
+		for _, j := range page.Items {
+			fmt.Printf("  %-12s node=%-18s %s\n", j.Name, j.Status.Node, j.Status.Message)
+		}
+	}
+
+	// The structured error model: a duplicate resubmission is a conflict,
+	// an impossible requirement is unschedulable — branch on codes, not
+	// message strings.
+	_, err = c.Submit(ctx, reqs[0])
+	fmt.Printf("resubmit duplicate: conflict=%v\n", client.IsConflict(err))
+	_, err = c.Submit(ctx, client.SubmitRequest{
+		JobName: "impossible", QASM: ghz, Strategy: qrio.StrategyFidelity,
+		TargetFidelity: 1.0,
+		Requirements:   qrio.DeviceRequirements{MinQubits: 4096},
+	})
+	fmt.Printf("impossible job: unschedulable=%v\n", client.IsUnschedulable(err))
+}

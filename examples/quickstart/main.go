@@ -1,14 +1,19 @@
-// Quickstart: stand up an in-process QRIO cluster, submit a 10-qubit
-// Bernstein–Vazirani circuit with a fidelity requirement, and read back
-// the execution logs — the end-to-end flow of the paper's Fig. 5.
+// Quickstart: stand up a QRIO cluster behind the unified /v1 gateway,
+// submit a 10-qubit Bernstein–Vazirani circuit with a fidelity
+// requirement through the Go client, wait on the event stream (no
+// polling), and read back the execution logs — the end-to-end flow of the
+// paper's Fig. 5, driven exactly the way a remote cloud user would.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
+	"net/http"
+	"net/http/httptest"
 
 	"qrio"
+	"qrio/client"
 )
 
 func main() {
@@ -27,7 +32,16 @@ func main() {
 	}
 	q.Start()
 	defer q.Stop()
-	fmt.Printf("QRIO cluster up with %d nodes\n", len(fleet))
+
+	// Serve the /v1 gateway on a local listener and talk to it over HTTP
+	// like any external client (the qrio daemon serves the same routes).
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", qrio.NewGateway(q).Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+	fmt.Printf("QRIO cluster up with %d nodes, gateway at %s/v1\n", len(fleet), srv.URL)
 
 	// The user's circuit, submitted as OpenQASM (the paper's job format).
 	src, err := qrio.DumpQASM(qrio.BernsteinVazirani(10, 0b101101101))
@@ -35,13 +49,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	job, res, err := q.SubmitAndWait(qrio.SubmitRequest{
+	if _, err := c.Submit(ctx, client.SubmitRequest{
 		JobName:        "bv10",
 		QASM:           src,
 		Shots:          1024,
 		Strategy:       qrio.StrategyFidelity,
 		TargetFidelity: 1.0, // "give me the best you have"
-	}, time.Minute)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Wait rides the /v1/watch SSE stream: the terminal transition is
+	// pushed to us the moment the kubelet publishes it.
+	job, err := c.Wait(ctx, "bv10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Logs(ctx, "bv10")
 	if err != nil {
 		log.Fatal(err)
 	}

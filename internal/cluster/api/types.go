@@ -102,10 +102,20 @@ const (
 	JobRunning   JobPhase = "Running"
 	JobSucceeded JobPhase = "Succeeded"
 	JobFailed    JobPhase = "Failed"
+	// JobCancelled is the terminal phase of a job the user cancelled:
+	// pending jobs leave the queue, scheduled jobs give their slot back,
+	// and running jobs have their container aborted by the node's kubelet.
+	JobCancelled JobPhase = "Cancelled"
 )
 
+// JobPhases lists every phase, lifecycle order first, terminals last —
+// the authoritative set for clients validating filter values.
+var JobPhases = []JobPhase{JobPending, JobScheduled, JobRunning, JobSucceeded, JobFailed, JobCancelled}
+
 // Terminal reports whether the phase is final.
-func (p JobPhase) Terminal() bool { return p == JobSucceeded || p == JobFailed }
+func (p JobPhase) Terminal() bool {
+	return p == JobSucceeded || p == JobFailed || p == JobCancelled
+}
 
 // ResourceRequirements are the classical resources a job requests
 // (the CPU/Memory fields of the visualizer's step-1 form, Fig. 4a).
@@ -153,6 +163,10 @@ type JobStatus struct {
 	Score    float64  `json:"score,omitempty"`
 	Attempts int      `json:"attempts,omitempty"`
 	Message  string   `json:"message,omitempty"`
+	// CancelRequested marks a Running job whose user asked for
+	// cancellation; the owning kubelet aborts the container and moves the
+	// job to JobCancelled. Pending/Scheduled jobs cancel without it.
+	CancelRequested bool `json:"cancelRequested,omitempty"`
 
 	StartedAt  *time.Time `json:"startedAt,omitempty"`
 	FinishedAt *time.Time `json:"finishedAt,omitempty"`

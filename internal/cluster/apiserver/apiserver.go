@@ -5,18 +5,15 @@
 package apiserver
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"strings"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
-	"qrio/internal/cluster/store"
 	"qrio/internal/device"
+	"qrio/internal/httpx"
 )
 
 // Server serves the cluster API.
@@ -40,7 +37,7 @@ func New(st *state.Cluster) *Server { return &Server{State: st} }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		httpx.WriteJSON(w, http.StatusOK, map[string]any{
 			"ok":    true,
 			"nodes": s.State.Nodes.Len(),
 			"jobs":  s.State.Jobs.Len(),
@@ -59,46 +56,46 @@ func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		nodes := s.State.Nodes.List()
 		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
-		writeJSON(w, http.StatusOK, nodes)
+		httpx.WriteJSON(w, http.StatusOK, nodes)
 	case http.MethodPost:
 		var b device.Backend
-		if err := decodeJSON(r, &b); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if err := httpx.DecodeJSON(r, &b); err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
 			return
 		}
 		n, err := s.State.AddNode(&b)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
-		writeJSON(w, http.StatusCreated, n)
+		httpx.WriteJSON(w, http.StatusCreated, n)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		httpx.MethodNotAllowed(w, r)
 	}
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/api/v1/nodes/")
 	if name == "" || strings.Contains(name, "/") {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
 		return
 	}
 	switch r.Method {
 	case http.MethodGet:
 		n, _, err := s.State.Nodes.Get(name)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
-		writeJSON(w, http.StatusOK, n)
+		httpx.WriteJSON(w, http.StatusOK, n)
 	case http.MethodDelete:
 		if err := s.State.Nodes.Delete(name); err != nil {
-			writeError(w, statusFor(err), err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"deleted": name})
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		httpx.MethodNotAllowed(w, r)
 	}
 }
 
@@ -107,21 +104,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		jobs := s.State.Jobs.List()
 		sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
-		writeJSON(w, http.StatusOK, jobs)
+		httpx.WriteJSON(w, http.StatusOK, jobs)
 	case http.MethodPost:
 		var j api.QuantumJob
-		if err := decodeJSON(r, &j); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if err := httpx.DecodeJSON(r, &j); err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
 			return
 		}
 		if err := s.State.SubmitJob(j); err != nil {
-			writeError(w, statusFor(err), err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
 		stored, _, _ := s.State.Jobs.Get(j.Name)
-		writeJSON(w, http.StatusCreated, stored)
+		httpx.WriteJSON(w, http.StatusCreated, stored)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		httpx.MethodNotAllowed(w, r)
 	}
 }
 
@@ -129,45 +126,56 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
 	if name, ok := strings.CutSuffix(rest, "/logs"); ok && name != "" {
 		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			httpx.MethodNotAllowed(w, r)
 			return
 		}
 		res, _, err := s.State.Results.Get(name)
 		if err != nil {
-			writeError(w, http.StatusNotFound,
+			httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
 				fmt.Errorf("no logs for job %q (logs appear once execution finishes)", name))
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		httpx.WriteJSON(w, http.StatusOK, res)
 		return
 	}
 	name := rest
 	if name == "" || strings.Contains(name, "/") {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
 		return
 	}
 	switch r.Method {
 	case http.MethodGet:
 		j, _, err := s.State.Jobs.Get(name)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
-		writeJSON(w, http.StatusOK, j)
+		httpx.WriteJSON(w, http.StatusOK, j)
 	case http.MethodDelete:
+		// Deleting a Scheduled/Running job would orphan its node
+		// reservation (ReleaseNode can no longer look up the job's
+		// resources). Force the cancel path (/v1) first; pending and
+		// terminal jobs hold no reservation and delete freely.
+		if j, _, err := s.State.Jobs.Get(name); err == nil {
+			if p := j.Status.Phase; p == api.JobScheduled || p == api.JobRunning {
+				httpx.WriteError(w, http.StatusConflict, httpx.CodeConflict,
+					fmt.Errorf("job %s is %s and holds a node reservation; cancel it first", name, p))
+				return
+			}
+		}
 		if err := s.State.Jobs.Delete(name); err != nil {
-			writeError(w, statusFor(err), err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"deleted": name})
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		httpx.MethodNotAllowed(w, r)
 	}
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+		httpx.MethodNotAllowed(w, r)
 		return
 	}
 	about := r.URL.Query().Get("about")
@@ -178,36 +186,5 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		events = s.State.Events.List()
 		sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
 	}
-	writeJSON(w, http.StatusOK, events)
-}
-
-func statusFor(err error) int {
-	var notFound store.ErrNotFound
-	var exists store.ErrExists
-	switch {
-	case errors.As(err, &notFound):
-		return http.StatusNotFound
-	case errors.As(err, &exists):
-		return http.StatusConflict
-	default:
-		return http.StatusUnprocessableEntity
-	}
-}
-
-func decodeJSON(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		return err
-	}
-	return json.Unmarshal(body, v)
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	httpx.WriteJSON(w, http.StatusOK, events)
 }

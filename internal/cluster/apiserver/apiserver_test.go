@@ -40,7 +40,7 @@ func testJob(name string) api.QuantumJob {
 func TestHealthz(t *testing.T) {
 	c, _, done := newServer(t)
 	defer done()
-	if err := c.Healthy(); err != nil {
+	if err := c.Healthy(t.Context()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,32 +48,32 @@ func TestHealthz(t *testing.T) {
 func TestNodeLifecycleOverHTTP(t *testing.T) {
 	c, _, done := newServer(t)
 	defer done()
-	n, err := c.RegisterNode(testBackend(t, "dev-a"))
+	n, err := c.RegisterNode(t.Context(), testBackend(t, "dev-a"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n.Name != "dev-a" || n.Labels[api.LabelQubits] != "4" {
 		t.Fatalf("registered node = %+v", n)
 	}
-	nodes, err := c.Nodes()
+	nodes, err := c.Nodes(t.Context())
 	if err != nil || len(nodes) != 1 {
 		t.Fatalf("Nodes = %v, %v", nodes, err)
 	}
-	got, err := c.Node("dev-a")
+	got, err := c.Node(t.Context(), "dev-a")
 	if err != nil || got.Name != "dev-a" {
 		t.Fatalf("Node = %v, %v", got, err)
 	}
 	// Duplicate registration conflicts.
-	if _, err := c.RegisterNode(testBackend(t, "dev-a")); err == nil {
+	if _, err := c.RegisterNode(t.Context(), testBackend(t, "dev-a")); err == nil {
 		t.Fatal("duplicate node accepted over HTTP")
 	}
-	if err := c.DeleteNode("dev-a"); err != nil {
+	if err := c.DeleteNode(t.Context(), "dev-a"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Node("dev-a"); err == nil {
+	if _, err := c.Node(t.Context(), "dev-a"); err == nil {
 		t.Fatal("deleted node still fetchable")
 	}
-	if err := c.DeleteNode("dev-a"); err == nil {
+	if err := c.DeleteNode(t.Context(), "dev-a"); err == nil {
 		t.Fatal("double delete succeeded")
 	}
 }
@@ -81,28 +81,28 @@ func TestNodeLifecycleOverHTTP(t *testing.T) {
 func TestJobLifecycleOverHTTP(t *testing.T) {
 	c, st, done := newServer(t)
 	defer done()
-	if _, err := c.SubmitJob(testJob("j1")); err != nil {
+	if _, err := c.SubmitJob(t.Context(), testJob("j1")); err != nil {
 		t.Fatal(err)
 	}
-	jobs, err := c.Jobs()
+	jobs, err := c.Jobs(t.Context())
 	if err != nil || len(jobs) != 1 || jobs[0].Status.Phase != api.JobPending {
 		t.Fatalf("Jobs = %v, %v", jobs, err)
 	}
 	// Invalid submissions rejected.
 	bad := testJob("j2")
 	bad.Spec.Strategy = "nope"
-	if _, err := c.SubmitJob(bad); err == nil {
+	if _, err := c.SubmitJob(t.Context(), bad); err == nil {
 		t.Fatal("invalid job accepted over HTTP")
 	}
 	// Logs 404 before results exist.
-	if _, err := c.Logs("j1"); err == nil {
+	if _, err := c.Logs(t.Context(), "j1"); err == nil {
 		t.Fatal("premature logs")
 	}
 	st.Results.Create(api.Result{
 		ObjectMeta: api.ObjectMeta{Name: "j1"},
 		JobName:    "j1", Node: "dev", LogLines: []string{"done"}, Fidelity: 0.9,
 	})
-	res, err := c.Logs("j1")
+	res, err := c.Logs(t.Context(), "j1")
 	if err != nil || res.Fidelity != 0.9 {
 		t.Fatalf("Logs = %+v, %v", res, err)
 	}
@@ -113,11 +113,11 @@ func TestEventsOverHTTP(t *testing.T) {
 	defer done()
 	st.RecordEvent("Job", "j1", "A", "one")
 	st.RecordEvent("Job", "j2", "B", "two")
-	all, err := c.Events("")
+	all, err := c.Events(t.Context(), "")
 	if err != nil || len(all) != 2 {
 		t.Fatalf("Events = %v, %v", all, err)
 	}
-	onlyJ1, err := c.Events("j1")
+	onlyJ1, err := c.Events(t.Context(), "j1")
 	if err != nil || len(onlyJ1) != 1 || onlyJ1[0].Reason != "A" {
 		t.Fatalf("filtered events = %v, %v", onlyJ1, err)
 	}

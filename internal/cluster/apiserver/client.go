@@ -1,20 +1,21 @@
 package apiserver
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/device"
+	"qrio/internal/httpx"
 )
 
-// Client is a typed REST client for the cluster API (used by qrioctl and
-// out-of-process components).
+// Client is a typed REST client for the cluster API (used by out-of-process
+// components). Every method takes a context so callers can deadline or
+// cancel individual requests; the embedded client timeout is only a
+// backstop.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -26,112 +27,82 @@ func NewClient(baseURL string) *Client {
 		HTTP: &http.Client{Timeout: 120 * time.Second}}
 }
 
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("apiserver: %s %s: %s", method, path, e.Error)
-		}
-		return fmt.Errorf("apiserver: %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
-	if out != nil {
-		return json.Unmarshal(raw, out)
-	}
-	return nil
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return httpx.DoJSON(ctx, c.HTTP, method, c.BaseURL+path, in, out,
+		func(status int, _, msg string) error {
+			if msg == "" {
+				return fmt.Errorf("apiserver: %s %s: HTTP %d", method, path, status)
+			}
+			return fmt.Errorf("apiserver: %s %s: %s", method, path, msg)
+		})
 }
 
 // Healthy pings /healthz.
-func (c *Client) Healthy() error {
-	return c.do(http.MethodGet, "/healthz", nil, nil)
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
 // Nodes lists cluster nodes.
-func (c *Client) Nodes() ([]api.Node, error) {
+func (c *Client) Nodes(ctx context.Context) ([]api.Node, error) {
 	var out []api.Node
-	err := c.do(http.MethodGet, "/api/v1/nodes", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/api/v1/nodes", nil, &out)
 	return out, err
 }
 
 // Node fetches one node.
-func (c *Client) Node(name string) (api.Node, error) {
+func (c *Client) Node(ctx context.Context, name string) (api.Node, error) {
 	var out api.Node
-	err := c.do(http.MethodGet, "/api/v1/nodes/"+name, nil, &out)
+	err := c.do(ctx, http.MethodGet, "/api/v1/nodes/"+name, nil, &out)
 	return out, err
 }
 
 // RegisterNode adds a vendor backend to the cluster.
-func (c *Client) RegisterNode(b *device.Backend) (api.Node, error) {
+func (c *Client) RegisterNode(ctx context.Context, b *device.Backend) (api.Node, error) {
 	var out api.Node
-	err := c.do(http.MethodPost, "/api/v1/nodes", b, &out)
+	err := c.do(ctx, http.MethodPost, "/api/v1/nodes", b, &out)
 	return out, err
 }
 
 // DeleteNode removes a node.
-func (c *Client) DeleteNode(name string) error {
-	return c.do(http.MethodDelete, "/api/v1/nodes/"+name, nil, nil)
+func (c *Client) DeleteNode(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/nodes/"+name, nil, nil)
 }
 
 // Jobs lists jobs.
-func (c *Client) Jobs() ([]api.QuantumJob, error) {
+func (c *Client) Jobs(ctx context.Context) ([]api.QuantumJob, error) {
 	var out []api.QuantumJob
-	err := c.do(http.MethodGet, "/api/v1/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &out)
 	return out, err
 }
 
 // Job fetches one job.
-func (c *Client) Job(name string) (api.QuantumJob, error) {
+func (c *Client) Job(ctx context.Context, name string) (api.QuantumJob, error) {
 	var out api.QuantumJob
-	err := c.do(http.MethodGet, "/api/v1/jobs/"+name, nil, &out)
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+name, nil, &out)
 	return out, err
 }
 
 // SubmitJob posts a raw job object (the Master Server path is preferred).
-func (c *Client) SubmitJob(j api.QuantumJob) (api.QuantumJob, error) {
+func (c *Client) SubmitJob(ctx context.Context, j api.QuantumJob) (api.QuantumJob, error) {
 	var out api.QuantumJob
-	err := c.do(http.MethodPost, "/api/v1/jobs", j, &out)
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", j, &out)
 	return out, err
 }
 
 // Logs fetches a finished job's execution result.
-func (c *Client) Logs(jobName string) (api.Result, error) {
+func (c *Client) Logs(ctx context.Context, jobName string) (api.Result, error) {
 	var out api.Result
-	err := c.do(http.MethodGet, "/api/v1/jobs/"+jobName+"/logs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+jobName+"/logs", nil, &out)
 	return out, err
 }
 
 // Events lists events, optionally filtered by subject.
-func (c *Client) Events(about string) ([]api.Event, error) {
+func (c *Client) Events(ctx context.Context, about string) ([]api.Event, error) {
 	path := "/api/v1/events"
 	if about != "" {
 		path += "?about=" + about
 	}
 	var out []api.Event
-	err := c.do(http.MethodGet, path, nil, &out)
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
 	return out, err
 }

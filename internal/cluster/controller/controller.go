@@ -127,9 +127,21 @@ func (c *Controller) requeueStrandedJobs(now time.Time) {
 			continue
 		}
 		jobName := j.Name
+		cancelled := false
 		c.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
 			if j.Status.Phase != api.JobScheduled && j.Status.Phase != api.JobRunning {
 				return j, fmt.Errorf("controller: phase changed")
+			}
+			if j.Status.CancelRequested {
+				// The kubelet that would abort this container is gone;
+				// finalise the cancellation instead of resurrecting the job.
+				cancelled = true
+				t := now
+				j.Status.Phase = api.JobCancelled
+				j.Status.Node = ""
+				j.Status.FinishedAt = &t
+				j.Status.Message = fmt.Sprintf("cancelled; node %s unavailable", nodeName)
+				return j, nil
 			}
 			j.Status.Phase = api.JobPending
 			j.Status.Node = ""
@@ -138,6 +150,11 @@ func (c *Controller) requeueStrandedJobs(now time.Time) {
 		})
 		if err == nil {
 			c.State.ReleaseNode(nodeName, jobName)
+		}
+		if cancelled {
+			c.State.RecordEvent("Job", jobName, "Cancelled",
+				fmt.Sprintf("node %s unavailable; cancellation finalised by the controller", nodeName))
+			continue
 		}
 		c.State.RecordEvent("Job", jobName, "Requeued",
 			fmt.Sprintf("node %s unavailable; job returned to the queue", nodeName))

@@ -10,6 +10,7 @@ package kubelet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,6 +25,13 @@ import (
 	"qrio/internal/registry"
 )
 
+// RuntimeFunc executes one job's container and returns its log lines and
+// execution record. The context is cancelled when the user cancels the job
+// (DELETE /v1/jobs/{name}) — a conforming runtime aborts promptly, but the
+// kubelet also abandons runtimes that ignore cancellation, so the node
+// slot is freed either way.
+type RuntimeFunc func(ctx context.Context, j api.QuantumJob) ([]string, *fidelity.Execution, error)
+
 // Kubelet is one node's agent.
 type Kubelet struct {
 	NodeName string
@@ -37,9 +45,13 @@ type Kubelet struct {
 	Seed int64
 	// Clock is injectable for tests (default time.Now).
 	Clock func() time.Time
+	// Runtime is the container runtime seam; nil selects the built-in
+	// simulator-backed executor. Tests and alternative execution backends
+	// inject here.
+	Runtime RuntimeFunc
 
 	mu       sync.Mutex
-	inflight map[string]struct{}
+	inflight map[string]context.CancelFunc
 	jobs     sync.WaitGroup
 }
 
@@ -53,7 +65,7 @@ func New(nodeName string, st *state.Cluster, reg *registry.Registry, seed int64)
 		Heartbeat: 250 * time.Millisecond,
 		Seed:      seed,
 		Clock:     time.Now,
-		inflight:  make(map[string]struct{}),
+		inflight:  make(map[string]context.CancelFunc),
 	}
 }
 
@@ -82,8 +94,10 @@ func (k *Kubelet) Run(ctx context.Context) {
 		case <-beat.C:
 			k.heartbeat()
 		case <-events:
+			k.reapCancelled()
 			k.launch()
 		case <-tick.C:
+			k.reapCancelled()
 			k.launch()
 		}
 	}
@@ -130,7 +144,7 @@ func (k *Kubelet) launch() []string {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if k.inflight == nil { // zero-value Kubelet, built without New
-		k.inflight = make(map[string]struct{})
+		k.inflight = make(map[string]context.CancelFunc)
 	}
 	for _, j := range runnable {
 		if len(k.inflight) >= slots {
@@ -140,7 +154,8 @@ func (k *Kubelet) launch() []string {
 		if _, busy := k.inflight[name]; busy {
 			continue
 		}
-		k.inflight[name] = struct{}{}
+		ctx, cancel := context.WithCancel(context.Background())
+		k.inflight[name] = cancel
 		k.jobs.Add(1)
 		started = append(started, name)
 		go func() {
@@ -149,11 +164,35 @@ func (k *Kubelet) launch() []string {
 				k.mu.Lock()
 				delete(k.inflight, name)
 				k.mu.Unlock()
+				cancel()
 			}()
-			k.runJob(name)
+			k.runJob(ctx, name)
 		}()
 	}
 	return started
+}
+
+// reapCancelled aborts the containers of in-flight jobs whose user asked
+// for cancellation. Called from the watch/tick loop, so a dropped watch
+// event only delays the abort by one reconcile interval.
+func (k *Kubelet) reapCancelled() {
+	k.mu.Lock()
+	names := make([]string, 0, len(k.inflight))
+	for name := range k.inflight {
+		names = append(names, name)
+	}
+	k.mu.Unlock()
+	for _, name := range names {
+		j, _, err := k.State.Jobs.Get(name)
+		if err != nil || j.Status.Phase != api.JobRunning || !j.Status.CancelRequested {
+			continue
+		}
+		k.mu.Lock()
+		if cancel, ok := k.inflight[name]; ok {
+			cancel()
+		}
+		k.mu.Unlock()
+	}
 }
 
 // SyncOnce launches every runnable job bound to this node (up to its free
@@ -161,13 +200,26 @@ func (k *Kubelet) launch() []string {
 // reconcile used by tests and single-step drivers. It returns true when at
 // least one job ran.
 func (k *Kubelet) SyncOnce() bool {
+	k.reapCancelled()
 	started := k.launch()
 	k.jobs.Wait()
 	return len(started) > 0
 }
 
-// runJob drives one job through Running to a terminal phase.
-func (k *Kubelet) runJob(jobName string) {
+// execOutcome carries a finished runtime invocation across the abort select.
+type execOutcome struct {
+	logs []string
+	ex   *fidelity.Execution
+	err  error
+}
+
+// runJob drives one job through Running to a terminal phase. The context
+// is this job's container lifetime: reapCancelled cancels it when the user
+// requests cancellation, at which point the container is aborted — the
+// runtime gets the cancelled context, and even a non-cooperative runtime
+// is abandoned so the job reaches JobCancelled and the slot frees
+// immediately.
+func (k *Kubelet) runJob(ctx context.Context, jobName string) {
 	start := k.Clock()
 	claimed, _, err := k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
 		if j.Status.Phase != api.JobScheduled || j.Status.Node != k.NodeName {
@@ -182,9 +234,47 @@ func (k *Kubelet) runJob(jobName string) {
 	if err != nil {
 		return // lost the claim; nothing to clean up
 	}
-	logs, result, execErr := k.execute(claimed)
+	runtime := k.Runtime
+	if runtime == nil {
+		runtime = k.execute
+	}
+	outcome := make(chan execOutcome, 1)
+	go func() {
+		logs, ex, err := runtime(ctx, claimed)
+		outcome <- execOutcome{logs: logs, ex: ex, err: err}
+	}()
+	finish := func(o execOutcome) {
+		if ctx.Err() != nil && o.err != nil && errors.Is(o.err, context.Canceled) {
+			k.finishCancelled(jobName, start)
+			return
+		}
+		k.finishExecuted(jobName, start, o)
+	}
+	select {
+	case o := <-outcome:
+		finish(o)
+	case <-ctx.Done():
+		// Cancellation landed — but if the runtime finished at the same
+		// instant, prefer its real result over a fabricated abort record
+		// (the user's cancel then simply lost the race with completion).
+		select {
+		case o := <-outcome:
+			finish(o)
+		default:
+			// The runtime result (if it ever arrives) is discarded: the
+			// send targets a buffered channel, so the goroutine cannot
+			// leak.
+			k.finishCancelled(jobName, start)
+		}
+	}
+}
+
+// finishExecuted publishes a completed execution: result record, terminal
+// phase, slot release and event — the original success/failure path.
+func (k *Kubelet) finishExecuted(jobName string, start time.Time, o execOutcome) {
 	end := k.Clock()
 	elapsed := end.Sub(start).Milliseconds()
+	logs, result, execErr := o.logs, o.ex, o.err
 
 	if execErr != nil {
 		logs = append(logs, fmt.Sprintf("[qrio] ERROR: %v", execErr))
@@ -208,7 +298,10 @@ func (k *Kubelet) runJob(jobName string) {
 		k.State.Results.Update(jobName, func(api.Result) (api.Result, error) { return res, nil })
 	}
 
-	k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+	_, _, err := k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+		if j.Status.Phase != api.JobRunning || j.Status.Node != k.NodeName {
+			return j, fmt.Errorf("kubelet: job no longer ours")
+		}
 		t := k.Clock()
 		j.Status.FinishedAt = &t
 		if execErr != nil {
@@ -220,6 +313,9 @@ func (k *Kubelet) runJob(jobName string) {
 		}
 		return j, nil
 	})
+	if err != nil {
+		return // another actor finalised the job; it owns release + events
+	}
 	k.State.ReleaseNode(k.NodeName, jobName)
 	reason := "Succeeded"
 	if execErr != nil {
@@ -229,11 +325,51 @@ func (k *Kubelet) runJob(jobName string) {
 		fmt.Sprintf("executed on %s in %dms", k.NodeName, elapsed))
 }
 
-// execute pulls the image and runs the bundled circuit on this node's
-// backend. The returned log lines mirror the Fig. 5 log view.
-func (k *Kubelet) execute(j api.QuantumJob) ([]string, *fidelity.Execution, error) {
+// finishCancelled lands a user-requested abort: terminal JobCancelled
+// phase, a minimal result log, slot release and event.
+func (k *Kubelet) finishCancelled(jobName string, start time.Time) {
+	end := k.Clock()
+	elapsed := end.Sub(start).Milliseconds()
+	_, _, err := k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+		if j.Status.Phase != api.JobRunning || j.Status.Node != k.NodeName {
+			return j, fmt.Errorf("kubelet: job no longer ours")
+		}
+		t := k.Clock()
+		j.Status.Phase = api.JobCancelled
+		j.Status.FinishedAt = &t
+		j.Status.Message = fmt.Sprintf("cancelled by user; container aborted on %s", k.NodeName)
+		return j, nil
+	})
+	if err != nil {
+		return // someone else finished the job first
+	}
+	res := api.Result{
+		ObjectMeta: api.ObjectMeta{Name: jobName},
+		JobName:    jobName,
+		Node:       k.NodeName,
+		LogLines: []string{
+			fmt.Sprintf("[qrio] job %s starting on node %s", jobName, k.NodeName),
+			fmt.Sprintf("[qrio] job %s cancelled by user after %dms; container aborted", jobName, elapsed),
+		},
+		ElapsedMS: elapsed,
+	}
+	if _, err := k.State.Results.Create(res); err != nil {
+		k.State.Results.Update(jobName, func(api.Result) (api.Result, error) { return res, nil })
+	}
+	k.State.ReleaseNode(k.NodeName, jobName)
+	k.State.RecordEvent("Job", jobName, "Cancelled",
+		fmt.Sprintf("container aborted on %s after %dms", k.NodeName, elapsed))
+}
+
+// execute is the built-in runtime: it pulls the image and runs the
+// bundled circuit on this node's backend, checking for cancellation at
+// each stage boundary. The returned log lines mirror the Fig. 5 log view.
+func (k *Kubelet) execute(ctx context.Context, j api.QuantumJob) ([]string, *fidelity.Execution, error) {
 	logs := []string{
 		fmt.Sprintf("[qrio] job %s starting on node %s", j.Name, k.NodeName),
+	}
+	if err := ctx.Err(); err != nil {
+		return logs, nil, err
 	}
 	imgRef := j.Spec.Image
 	if at := strings.LastIndex(imgRef, "@"); at >= 0 {
@@ -276,6 +412,9 @@ func (k *Kubelet) execute(j api.QuantumJob) ([]string, *fidelity.Execution, erro
 	logs = append(logs, fmt.Sprintf("[qrio] backend %s: %d qubits, %d edges, avg 2q error %.4f",
 		backend.Name, backend.NumQubits, backend.Coupling.NumEdges(), backend.AvgTwoQubitErr()))
 
+	if err := ctx.Err(); err != nil {
+		return logs, nil, err
+	}
 	est := fidelity.Estimator{Shots: shots, Seed: k.Seed + int64(len(j.Name))}
 	ex, err := est.Execute(circ, backend)
 	if err != nil {

@@ -1,0 +1,82 @@
+package state
+
+import (
+	"sync"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/store"
+)
+
+// Notification kinds.
+const (
+	KindJob  = "job"
+	KindNode = "node"
+)
+
+// Notification is one cluster change fanned out by Subscribe: a job or
+// node transition with the store's watch metadata attached. Exactly one of
+// Job/Node is set, matching Kind.
+type Notification struct {
+	Kind    string          `json:"kind"`
+	Type    store.EventType `json:"type"`
+	Job     *api.QuantumJob `json:"job,omitempty"`
+	Node    *api.Node       `json:"node,omitempty"`
+	Version int64           `json:"version"`
+}
+
+// Subscribe is the cluster's broadcast hub: it merges the job and node
+// stores' watch streams into one ordered channel of typed notifications —
+// the feed behind WaitForJob, the /v1/watch SSE endpoint, qrioctl watch
+// and the visualizer's live job view. The returned cancel function stops
+// the stream and closes the channel.
+//
+// Delivery semantics are the store's: a subscriber that falls more than
+// the buffer behind loses events, so consumers needing certainty must
+// re-List on their own cadence (level-triggered reconciliation).
+func (c *Cluster) Subscribe(buffer int) (<-chan Notification, func()) {
+	if buffer <= 0 {
+		buffer = 128
+	}
+	jobCh, cancelJobs := c.Jobs.Watch(buffer)
+	nodeCh, cancelNodes := c.Nodes.Watch(buffer)
+	out := make(chan Notification, buffer)
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			close(done)
+			cancelJobs()
+			cancelNodes()
+		})
+	}
+	go func() {
+		defer close(out)
+		for jobCh != nil || nodeCh != nil {
+			var n Notification
+			select {
+			case <-done:
+				return
+			case ev, ok := <-jobCh:
+				if !ok {
+					jobCh = nil
+					continue
+				}
+				j := ev.Object
+				n = Notification{Kind: KindJob, Type: ev.Type, Job: &j, Version: ev.Version}
+			case ev, ok := <-nodeCh:
+				if !ok {
+					nodeCh = nil
+					continue
+				}
+				nd := ev.Object
+				n = Notification{Kind: KindNode, Type: ev.Type, Node: &nd, Version: ev.Version}
+			}
+			select {
+			case out <- n:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out, cancel
+}

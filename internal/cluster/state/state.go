@@ -167,17 +167,89 @@ func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
 		return err
 	}
 	_, _, err = c.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+		// Re-check under the job store's lock: a CancelJob (or any other
+		// transition) that landed between the pending check above and
+		// this update must win, not be silently overwritten.
+		if j.Status.Phase != api.JobPending {
+			return j, fmt.Errorf("state: job %s became %s during binding", jobName, j.Status.Phase)
+		}
 		j.Status.Phase = api.JobScheduled
 		j.Status.Node = nodeName
 		j.Status.Score = score
 		return j, nil
 	})
 	if err != nil {
+		// The node reservation above is now orphaned; give it back.
+		c.ReleaseNode(nodeName, jobName)
 		return err
 	}
 	c.RecordEvent("Job", jobName, "Scheduled",
 		fmt.Sprintf("bound to node %s (score %.4f)", nodeName, score))
 	return nil
+}
+
+// TerminalJobError reports a lifecycle operation against a job that has
+// already reached a terminal phase (the /v1 conflict case).
+type TerminalJobError struct {
+	Job   string
+	Phase api.JobPhase
+}
+
+func (e TerminalJobError) Error() string {
+	return fmt.Sprintf("state: job %s is already %s", e.Job, e.Phase)
+}
+
+// HTTPStatus implements httpx.StatusCoder: terminal-phase conflicts map to
+// 409 with the "conflict" envelope code.
+func (e TerminalJobError) HTTPStatus() (int, string) { return 409, "conflict" }
+
+// CancelJob drives the user-initiated cancellation path and returns the
+// updated job. Pending jobs leave the queue immediately; scheduled jobs
+// additionally give their node slot back; running jobs are flagged with
+// CancelRequested and the owning kubelet aborts the container (the job
+// reaches JobCancelled when the abort lands). Cancelling a terminal job
+// returns TerminalJobError. The job update is atomic with the phase check,
+// so a cancel racing a kubelet's Scheduled→Running claim resolves cleanly:
+// exactly one of the two transitions wins.
+func (c *Cluster) CancelJob(name string) (api.QuantumJob, error) {
+	releasedNode := ""
+	running := false
+	updated, _, err := c.Jobs.Update(name, func(j api.QuantumJob) (api.QuantumJob, error) {
+		releasedNode, running = "", false
+		switch j.Status.Phase {
+		case api.JobPending:
+			now := time.Now()
+			j.Status.Phase = api.JobCancelled
+			j.Status.FinishedAt = &now
+			j.Status.Message = "cancelled while pending"
+		case api.JobScheduled:
+			releasedNode = j.Status.Node
+			now := time.Now()
+			j.Status.Phase = api.JobCancelled
+			j.Status.Node = ""
+			j.Status.FinishedAt = &now
+			j.Status.Message = "cancelled before execution started"
+		case api.JobRunning:
+			running = true
+			j.Status.CancelRequested = true
+		default:
+			return j, TerminalJobError{Job: name, Phase: j.Status.Phase}
+		}
+		return j, nil
+	})
+	if err != nil {
+		return api.QuantumJob{}, err
+	}
+	if releasedNode != "" {
+		c.ReleaseNode(releasedNode, name)
+	}
+	if running {
+		c.RecordEvent("Job", name, "CancelRequested",
+			fmt.Sprintf("cancellation requested; aborting container on %s", updated.Status.Node))
+	} else {
+		c.RecordEvent("Job", name, "Cancelled", updated.Status.Message)
+	}
+	return updated, nil
 }
 
 // ReleaseNode frees the container slot and resource reservation a job held

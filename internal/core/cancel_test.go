@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/core"
+	"qrio/internal/device"
+	"qrio/internal/graph"
+	"qrio/internal/master"
+	"qrio/internal/quantum/qasm"
+	"qrio/internal/workload"
+)
+
+func cancelTestDeployment(t *testing.T) *core.QRIO {
+	t.Helper()
+	b, err := device.UniformBackend("only", graph.Ring(10), 0.03, 0.005, 0.01, 500e3, 500e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.New(core.Config{Backends: []*device.Backend{b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestCancelPendingThroughFacade cancels before the control loops ever
+// run: the job must go terminal without a scheduler or kubelet involved.
+func TestCancelPendingThroughFacade(t *testing.T) {
+	q := cancelTestDeployment(t)
+	src, err := qasm.Dump(workload.GHZ(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(master.SubmitRequest{
+		JobName: "doomed", QASM: src,
+		Strategy: api.StrategyFidelity, TargetFidelity: 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := q.Cancel("doomed")
+	if err != nil || j.Status.Phase != api.JobCancelled {
+		t.Fatalf("cancel pending: %+v, %v", j.Status, err)
+	}
+	// WaitForJob on an already-terminal job returns immediately.
+	j, err = q.WaitForJob("doomed", time.Second)
+	if err != nil || j.Status.Phase != api.JobCancelled {
+		t.Fatalf("wait after cancel: %+v, %v", j.Status, err)
+	}
+	// A second cancel is a terminal-phase conflict.
+	_, err = q.Cancel("doomed")
+	var terminal state.TerminalJobError
+	if !errors.As(err, &terminal) {
+		t.Fatalf("double cancel error = %v", err)
+	}
+}
+
+// TestWaitForJobEventDriven runs a job to completion under the live
+// control loops and checks both context- and timeout-flavoured waits.
+func TestWaitForJobEventDriven(t *testing.T) {
+	q := cancelTestDeployment(t)
+	q.Start()
+	defer q.Stop()
+	src, err := qasm.Dump(workload.GHZ(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(master.SubmitRequest{
+		JobName: "waited", QASM: src, Shots: 128,
+		Strategy: api.StrategyFidelity, TargetFidelity: 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	j, err := q.WaitForJobCtx(ctx, "waited")
+	if err != nil || j.Status.Phase != api.JobSucceeded {
+		t.Fatalf("WaitForJobCtx: %+v, %v", j.Status, err)
+	}
+}
+
+// TestWaitForJobTimeoutKeepsSemantics: the pre-hub contract — a timed-out
+// wait returns the job's current state plus a descriptive error.
+func TestWaitForJobTimeoutKeepsSemantics(t *testing.T) {
+	q := cancelTestDeployment(t)
+	// Control loops intentionally NOT started: the job can never finish.
+	src, err := qasm.Dump(workload.GHZ(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(master.SubmitRequest{
+		JobName: "stuck", QASM: src,
+		Strategy: api.StrategyFidelity, TargetFidelity: 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := q.WaitForJob("stuck", 50*time.Millisecond)
+	if err == nil {
+		t.Fatal("timed-out wait returned no error")
+	}
+	if !strings.Contains(err.Error(), "still Pending") {
+		t.Fatalf("error lost the phase context: %v", err)
+	}
+	if j.Status.Phase != api.JobPending {
+		t.Fatalf("returned job = %+v", j.Status)
+	}
+}

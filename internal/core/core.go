@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"qrio/internal/cluster/controller"
 	"qrio/internal/cluster/kubelet"
 	"qrio/internal/cluster/state"
+	"qrio/internal/cluster/store"
 	"qrio/internal/device"
 	"qrio/internal/master"
 	"qrio/internal/meta"
@@ -63,6 +65,18 @@ func containerSlots(nodeConcurrency int, b *device.Backend) int {
 	return capacity
 }
 
+// applySlots writes a backend's resolved container capacity onto its node
+// — shared by initial wiring and runtime vendor registration so the two
+// paths can never drift.
+func applySlots(st *state.Cluster, nodeConcurrency int, b *device.Backend) {
+	if slots := containerSlots(nodeConcurrency, b); slots > 1 {
+		st.Nodes.Update(b.Name, func(n api.Node) (api.Node, error) {
+			n.Spec.MaxContainers = slots
+			return n, nil
+		})
+	}
+}
+
 // QRIO is a running orchestrator instance.
 type QRIO struct {
 	State      *state.Cluster
@@ -96,12 +110,7 @@ func New(cfg Config) (*QRIO, error) {
 		if _, err := st.AddNode(b); err != nil {
 			return nil, fmt.Errorf("core: adding node %s: %w", b.Name, err)
 		}
-		if slots := containerSlots(cfg.NodeConcurrency, b); slots > 1 {
-			st.Nodes.Update(b.Name, func(n api.Node) (api.Node, error) {
-				n.Spec.MaxContainers = slots
-				return n, nil
-			})
-		}
+		applySlots(st, cfg.NodeConcurrency, b)
 		if err := metaSrv.RegisterBackend(b); err != nil {
 			return nil, fmt.Errorf("core: registering backend %s: %w", b.Name, err)
 		}
@@ -141,12 +150,7 @@ func (q *QRIO) AddBackend(b *device.Backend) error {
 	if _, err := q.State.AddNode(b); err != nil {
 		return err
 	}
-	if slots := containerSlots(q.nodeConcurrency, b); slots > 1 {
-		q.State.Nodes.Update(b.Name, func(n api.Node) (api.Node, error) {
-			n.Spec.MaxContainers = slots
-			return n, nil
-		})
-	}
+	applySlots(q.State, q.nodeConcurrency, b)
 	if err := q.Meta.RegisterBackend(b); err != nil {
 		return err
 	}
@@ -231,22 +235,79 @@ func (q *QRIO) Submit(req master.SubmitRequest) (api.QuantumJob, error) {
 	return q.Master.Submit(req)
 }
 
+// Cancel requests cancellation of a job through the full lifecycle:
+// pending jobs leave the queue, scheduled jobs give their slot back, and
+// running jobs have their container aborted by the owning kubelet. It
+// returns the job as of the request; use WaitForJob to observe the final
+// JobCancelled phase of a running job.
+func (q *QRIO) Cancel(jobName string) (api.QuantumJob, error) {
+	return q.State.CancelJob(jobName)
+}
+
 // WaitForJob blocks until the job reaches a terminal phase or the timeout
 // elapses, returning the final job object.
 func (q *QRIO) WaitForJob(jobName string, timeout time.Duration) (api.QuantumJob, error) {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	j, err := q.WaitForJobCtx(ctx, jobName)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return j, fmt.Errorf("core: job %s still %s after %v", jobName, j.Status.Phase, timeout)
+	}
+	return j, err
+}
+
+// WaitForJobCtx blocks until the job reaches a terminal phase or the
+// context ends. It subscribes to the cluster's broadcast hub instead of
+// polling: the hot loop of the old implementation (a 5ms sleep-poll) is
+// replaced by event delivery, with a coarse re-check tick only as a guard
+// against dropped notifications (the hub's documented slow-consumer
+// behaviour). On context expiry the job's last observed state is returned
+// alongside the context error.
+func (q *QRIO) WaitForJobCtx(ctx context.Context, jobName string) (api.QuantumJob, error) {
+	sub, cancel := q.State.Subscribe(256)
+	defer cancel()
+	// Check after subscribing so a transition between Get and Subscribe
+	// cannot be missed.
+	last, _, err := q.State.Jobs.Get(jobName)
+	if err != nil {
+		return api.QuantumJob{}, err
+	}
+	if last.Status.Phase.Terminal() {
+		return last, nil
+	}
+	recheck := time.NewTicker(250 * time.Millisecond)
+	defer recheck.Stop()
 	for {
-		j, _, err := q.State.Jobs.Get(jobName)
-		if err != nil {
-			return api.QuantumJob{}, err
+		select {
+		case <-ctx.Done():
+			if j, _, err := q.State.Jobs.Get(jobName); err == nil {
+				last = j
+			}
+			return last, ctx.Err()
+		case n, ok := <-sub:
+			if !ok {
+				return last, fmt.Errorf("core: watch stream closed while waiting for %s", jobName)
+			}
+			if n.Kind != state.KindJob || n.Job == nil || n.Job.Name != jobName {
+				continue
+			}
+			if n.Type == store.Deleted {
+				return *n.Job, store.ErrNotFound{Name: jobName}
+			}
+			last = *n.Job
+			if last.Status.Phase.Terminal() {
+				return last, nil
+			}
+		case <-recheck.C:
+			j, _, err := q.State.Jobs.Get(jobName)
+			if err != nil {
+				return last, err
+			}
+			last = j
+			if last.Status.Phase.Terminal() {
+				return last, nil
+			}
 		}
-		if j.Status.Phase.Terminal() {
-			return j, nil
-		}
-		if time.Now().After(deadline) {
-			return j, fmt.Errorf("core: job %s still %s after %v", jobName, j.Status.Phase, timeout)
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 

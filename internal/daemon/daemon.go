@@ -7,17 +7,24 @@ import (
 
 	"qrio/internal/cluster/apiserver"
 	"qrio/internal/core"
+	"qrio/internal/gateway"
 	"qrio/internal/visualizer"
 )
 
 // Handler mounts the full QRIO HTTP surface:
 //
 //	/            — Visualizer dashboard
+//	/v1/         — unified gateway (jobs, nodes, scores, events, watch) —
+//	               the surface qrioctl and the Go client package speak
 //	/apiserver/  — cluster REST API (nodes, jobs, logs, events)
 //	/meta/       — Meta Server REST (backends, job metadata, scoring)
 //	/master/     — Master Server REST (submission, logs)
+//
+// The /apiserver, /meta and /master prefixes remain for component-level
+// access and out-of-process deployments; new clients should prefer /v1.
 func Handler(q *core.QRIO) http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("/v1/", gateway.New(q).Handler())
 	mux.Handle("/apiserver/", http.StripPrefix("/apiserver", apiserver.New(q.State).Handler()))
 	mux.Handle("/meta/", http.StripPrefix("/meta", q.Meta.Handler()))
 	mux.Handle("/master/", http.StripPrefix("/master", q.Master.Handler()))

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"qrio/client"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/apiserver"
 	"qrio/internal/core"
@@ -48,12 +49,12 @@ func TestFullDaemonFlowOverHTTP(t *testing.T) {
 	metaClient := meta.NewClient(srv.URL + "/meta")
 
 	// qrioctl nodes
-	nodes, err := apiClient.Nodes()
+	nodes, err := apiClient.Nodes(t.Context())
 	if err != nil || len(nodes) != 2 {
 		t.Fatalf("nodes = %v, %v", nodes, err)
 	}
 	// The daemon's meta server already knows the fleet backends.
-	names, err := metaClient.BackendNames()
+	names, err := metaClient.BackendNames(t.Context())
 	if err != nil || len(names) != 2 {
 		t.Fatalf("meta backends = %v, %v", names, err)
 	}
@@ -63,7 +64,7 @@ func TestFullDaemonFlowOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := metaClient.PutJobMeta(meta.JobMeta{
+	if err := metaClient.PutJobMeta(t.Context(), meta.JobMeta{
 		JobName:        "wire-ghz",
 		Strategy:       api.StrategyFidelity,
 		TargetFidelity: 1.0,
@@ -71,7 +72,7 @@ func TestFullDaemonFlowOverHTTP(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	job, err := masterClient.Submit(master.SubmitRequest{
+	job, err := masterClient.Submit(t.Context(), master.SubmitRequest{
 		JobName:        "wire-ghz",
 		QASM:           src,
 		Shots:          128,
@@ -88,7 +89,7 @@ func TestFullDaemonFlowOverHTTP(t *testing.T) {
 	// Poll over HTTP until terminal.
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		j, err := apiClient.Job("wire-ghz")
+		j, err := apiClient.Job(t.Context(), "wire-ghz")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func TestFullDaemonFlowOverHTTP(t *testing.T) {
 	}
 
 	// qrioctl logs
-	res, err := apiClient.Logs("wire-ghz")
+	res, err := apiClient.Logs(t.Context(), "wire-ghz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,12 +117,12 @@ func TestFullDaemonFlowOverHTTP(t *testing.T) {
 		t.Fatalf("logs over HTTP incomplete: %+v", res)
 	}
 	// Master's log proxy agrees.
-	res2, err := masterClient.Logs("wire-ghz")
+	res2, err := masterClient.Logs(t.Context(), "wire-ghz")
 	if err != nil || res2.Fidelity != res.Fidelity {
 		t.Fatalf("master log proxy mismatch: %v %v", res2.Fidelity, err)
 	}
 	// qrioctl events
-	events, err := apiClient.Events("wire-ghz")
+	events, err := apiClient.Events(t.Context(), "wire-ghz")
 	if err != nil || len(events) == 0 {
 		t.Fatalf("events = %v, %v", events, err)
 	}
@@ -136,6 +137,21 @@ func TestFullDaemonFlowOverHTTP(t *testing.T) {
 	}
 	if score >= badScore {
 		t.Fatalf("remote scoring inverted: good %v vs bad %v", score, badScore)
+	}
+
+	// The unified /v1 gateway is mounted on the same mux: the Go client
+	// sees the job the component-level servers produced.
+	gw := client.New(srv.URL)
+	if err := gw.Healthy(t.Context()); err != nil {
+		t.Fatalf("gateway health under the daemon mux: %v", err)
+	}
+	gwJob, err := gw.Get(t.Context(), "wire-ghz")
+	if err != nil || gwJob.Status.Phase != api.JobSucceeded {
+		t.Fatalf("gateway job view: %+v, %v", gwJob.Status, err)
+	}
+	page, err := gw.List(t.Context(), client.ListOptions{Phase: api.JobSucceeded})
+	if err != nil || len(page.Items) != 1 {
+		t.Fatalf("gateway list: %d items, %v", len(page.Items), err)
 	}
 
 	// The visualizer is mounted at the root of the same mux.

@@ -1,0 +1,384 @@
+// Package gateway is QRIO's unified client-facing API: one versioned /v1
+// surface over the whole orchestrator, replacing the three disjoint HTTP
+// servers (master submit/logs, cluster CRUD, meta scores) users previously
+// had to stitch together. It mounts job, node, score and event routes
+// under /v1 with the shared httpx error envelope, and adds the two verbs
+// the split servers never had: DELETE /v1/jobs/{name} (full-lifecycle
+// cancellation, including aborting a running container) and GET /v1/watch
+// (server-sent events fanned out from the cluster's broadcast hub, so
+// clients observe transitions without polling).
+//
+//	GET    /v1/healthz
+//	POST   /v1/jobs                 — submit one job (SubmitRequest)
+//	POST   /v1/jobs/batch           — submit many ([]SubmitRequest)
+//	GET    /v1/jobs                 — list, filters phase/node/strategy,
+//	                                  pagination via limit/continue
+//	GET    /v1/jobs/{name}          — fetch one job
+//	DELETE /v1/jobs/{name}          — cancel through the full lifecycle
+//	GET    /v1/jobs/{name}/logs     — execution result (Fig. 5)
+//	GET    /v1/jobs/{name}/events   — the job's event trail
+//	GET    /v1/nodes                — list nodes
+//	POST   /v1/nodes                — register a vendor backend
+//	GET    /v1/nodes/{name}         — fetch one node
+//	DELETE /v1/nodes/{name}         — remove a node
+//	GET    /v1/score?job=J&backend=B
+//	GET    /v1/score/batch?job=J[&backend=B...]
+//	GET    /v1/events[?about=X]
+//	GET    /v1/watch[?kind=job|node][&name=X]  — SSE stream
+//
+// Error responses carry machine-readable codes: invalid (400),
+// not_found (404), conflict (409) and unschedulable (422).
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/store"
+	"qrio/internal/core"
+	"qrio/internal/device"
+	"qrio/internal/httpx"
+	"qrio/internal/master"
+	"qrio/internal/quantum/qasm"
+	"qrio/internal/sched"
+)
+
+// SyncEvent marks watch notifications that carry a snapshot of current
+// state (sent when a watch opens) rather than a live transition.
+const SyncEvent = store.EventType("SYNC")
+
+// JobList is the paginated response of GET /v1/jobs. Continue, when set,
+// is the opaque token to pass back to fetch the next page.
+type JobList struct {
+	Items    []api.QuantumJob `json:"items"`
+	Continue string           `json:"continue,omitempty"`
+}
+
+// BatchSubmitItem is one entry of the POST /v1/jobs/batch response,
+// aligned with the request order: either the accepted job or the
+// structured error that rejected it.
+type BatchSubmitItem struct {
+	Name  string           `json:"name"`
+	Job   *api.QuantumJob  `json:"job,omitempty"`
+	Error *httpx.ErrorBody `json:"error,omitempty"`
+}
+
+// Server serves the /v1 gateway over a running orchestrator.
+type Server struct {
+	Core *core.QRIO
+	// PingInterval spaces SSE keep-alive comments (default 15s).
+	PingInterval time.Duration
+}
+
+// New builds a gateway for an orchestrator.
+func New(q *core.QRIO) *Server { return &Server{Core: q} }
+
+// Handler returns the /v1 routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleSubmitBatch)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{name}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{name}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{name}/logs", s.handleJobLogs)
+	mux.HandleFunc("GET /v1/jobs/{name}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/nodes", s.handleListNodes)
+	mux.HandleFunc("POST /v1/nodes", s.handleRegisterNode)
+	mux.HandleFunc("GET /v1/nodes/{name}", s.handleGetNode)
+	mux.HandleFunc("DELETE /v1/nodes/{name}", s.handleDeleteNode)
+	mux.HandleFunc("GET /v1/score", s.handleScore)
+	mux.HandleFunc("GET /v1/score/batch", s.handleScoreBatch)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
+			fmt.Errorf("no /v1 route for %s %s", r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string]any{
+		"ok":    true,
+		"nodes": s.Core.State.Nodes.Len(),
+		"jobs":  s.Core.State.Jobs.Len(),
+	})
+}
+
+// staticFilters are the fleet-invariant admission filters: a job no node
+// can ever satisfy on published device characteristics is rejected at
+// submit time with the unschedulable code, instead of parking forever in
+// the queue. Dynamic conditions (busy slots, committed resources) are
+// deliberately excluded — those clear as the fleet drains.
+func staticFilters() []sched.FilterPlugin {
+	return []sched.FilterPlugin{sched.QubitCount{}, sched.Characteristics{}}
+}
+
+// checkSchedulable runs the static admission filters for one request,
+// including the circuit-derived qubit demand the Master Server will later
+// impose (a 40-qubit circuit is never schedulable on a 27-qubit fleet
+// even with no explicit MinQubits).
+func (s *Server) checkSchedulable(req master.SubmitRequest) error {
+	nodes := s.Core.State.Nodes.List()
+	if len(nodes) == 0 {
+		return nil // an empty fleet queues jobs until vendors register
+	}
+	reqs := req.Requirements
+	if circ, err := qasm.Parse(req.QASM); err == nil && reqs.MinQubits < circ.NumQubits {
+		// Unparseable QASM is left for the Master Server's intake, which
+		// rejects it with the invalid code.
+		reqs.MinQubits = circ.NumQubits
+	}
+	probe := api.QuantumJob{
+		ObjectMeta: api.ObjectMeta{Name: req.JobName},
+		Spec:       api.JobSpec{Requirements: reqs},
+	}
+	fw := sched.Framework{Filters: staticFilters()}
+	feasible, rejected := fw.FilterNodes(probe, nodes)
+	if len(feasible) == 0 {
+		return &sched.UnschedulableError{Job: req.JobName, Rejected: rejected}
+	}
+	return nil
+}
+
+// submitOne validates, admission-checks and submits one request through
+// the orchestrator (meta upload + containerisation + cluster submit).
+func (s *Server) submitOne(req master.SubmitRequest) (api.QuantumJob, error) {
+	if err := req.Validate(); err != nil {
+		return api.QuantumJob{}, err
+	}
+	if err := s.checkSchedulable(req); err != nil {
+		return api.QuantumJob{}, err
+	}
+	return s.Core.Submit(req)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req master.SubmitRequest
+	if err := httpx.DecodeJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
+		return
+	}
+	job, err := s.submitOne(req)
+	if err != nil {
+		httpx.WriteErr(w, err, http.StatusBadRequest, httpx.CodeInvalid)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, job)
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []master.SubmitRequest
+	if err := httpx.DecodeJSON(r, &reqs); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
+		return
+	}
+	if len(reqs) == 0 {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+			fmt.Errorf("gateway: batch submit needs at least one request"))
+		return
+	}
+	items := make([]BatchSubmitItem, len(reqs))
+	for i, req := range reqs {
+		items[i].Name = req.JobName
+		job, err := s.submitOne(req)
+		if err != nil {
+			status, code := httpx.StatusOf(err)
+			if status == 0 {
+				code = httpx.CodeInvalid
+			}
+			items[i].Error = &httpx.ErrorBody{Code: code, Message: err.Error()}
+			continue
+		}
+		items[i].Job = &job
+	}
+	httpx.WriteJSON(w, http.StatusOK, items)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	phase := api.JobPhase(q.Get("phase"))
+	if phase != "" {
+		known := false
+		for _, p := range api.JobPhases {
+			if p == phase {
+				known = true
+				break
+			}
+		}
+		if !known {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+				fmt.Errorf("gateway: unknown phase %q (one of %v)", phase, api.JobPhases))
+			return
+		}
+	}
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+				fmt.Errorf("gateway: bad limit %q", raw))
+			return
+		}
+		limit = v
+	}
+	node := q.Get("node")
+	strategy := q.Get("strategy")
+	cont := q.Get("continue")
+
+	jobs := s.Core.State.Jobs.List()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
+	out := JobList{Items: []api.QuantumJob{}}
+	for _, j := range jobs {
+		if cont != "" && j.Name <= cont {
+			continue
+		}
+		if phase != "" && j.Status.Phase != phase {
+			continue
+		}
+		if node != "" && j.Status.Node != node {
+			continue
+		}
+		if strategy != "" && string(j.Spec.Strategy) != strategy {
+			continue
+		}
+		if limit > 0 && len(out.Items) == limit {
+			// One more match exists beyond the page: emit the token.
+			out.Continue = out.Items[len(out.Items)-1].Name
+			break
+		}
+		out.Items = append(out.Items, j)
+	}
+	httpx.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, _, err := s.Core.State.Jobs.Get(r.PathValue("name"))
+	if err != nil {
+		httpx.WriteErr(w, err, http.StatusNotFound, httpx.CodeNotFound)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Core.Cancel(r.PathValue("name"))
+	if err != nil {
+		httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleJobLogs(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	res, _, err := s.Core.State.Results.Get(name)
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
+			fmt.Errorf("no logs for job %q (logs appear once execution finishes)", name))
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, _, err := s.Core.State.Jobs.Get(name); err != nil {
+		httpx.WriteErr(w, err, http.StatusNotFound, httpx.CodeNotFound)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, s.Core.State.EventsAbout(name))
+}
+
+func (s *Server) handleListNodes(w http.ResponseWriter, r *http.Request) {
+	nodes := s.Core.State.Nodes.List()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	httpx.WriteJSON(w, http.StatusOK, nodes)
+}
+
+func (s *Server) handleRegisterNode(w http.ResponseWriter, r *http.Request) {
+	var b device.Backend
+	if err := httpx.DecodeJSON(r, &b); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
+		return
+	}
+	// Through the orchestrator, not raw state: the backend also reaches
+	// the Meta Server and gets a kubelet.
+	if err := s.Core.AddBackend(&b); err != nil {
+		httpx.WriteErr(w, err, http.StatusBadRequest, httpx.CodeInvalid)
+		return
+	}
+	n, _, err := s.Core.State.Nodes.Get(b.Name)
+	if err != nil {
+		httpx.WriteErr(w, err, http.StatusInternalServerError, httpx.CodeInternal)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, n)
+}
+
+func (s *Server) handleGetNode(w http.ResponseWriter, r *http.Request) {
+	n, _, err := s.Core.State.Nodes.Get(r.PathValue("name"))
+	if err != nil {
+		httpx.WriteErr(w, err, http.StatusNotFound, httpx.CodeNotFound)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, n)
+}
+
+func (s *Server) handleDeleteNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.Core.State.Nodes.Delete(name); err != nil {
+		httpx.WriteErr(w, err, http.StatusNotFound, httpx.CodeNotFound)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	job := r.URL.Query().Get("job")
+	backend := r.URL.Query().Get("backend")
+	if job == "" || backend == "" {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+			fmt.Errorf("need job and backend query params"))
+		return
+	}
+	score, err := s.Core.Meta.Score(job, backend)
+	if err != nil {
+		httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]float64{"score": score})
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	job := r.URL.Query().Get("job")
+	if job == "" {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+			fmt.Errorf("need job query param"))
+		return
+	}
+	backends := r.URL.Query()["backend"]
+	if len(backends) == 0 {
+		backends = s.Core.Meta.BackendNames()
+		sort.Strings(backends)
+	}
+	httpx.WriteJSON(w, http.StatusOK, s.Core.Meta.ScoreBatch(job, backends, 0))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	about := r.URL.Query().Get("about")
+	var events []api.Event
+	if about != "" {
+		events = s.Core.State.EventsAbout(about)
+	} else {
+		events = s.Core.State.Events.List()
+		sort.Slice(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+	}
+	httpx.WriteJSON(w, http.StatusOK, events)
+}

@@ -1,0 +1,114 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"qrio/internal/cluster/state"
+	"qrio/internal/httpx"
+)
+
+// handleWatch streams cluster changes as server-sent events, fanned out
+// from the state broadcast hub. Each SSE message's event name is the
+// notification kind ("job" or "node") and its data is the JSON-encoded
+// state.Notification. On connect the current (filtered) objects are sent
+// as SYNC notifications, so a client that watches after a transition it
+// cares about still observes the object's present state — no list/watch
+// race. Query params: kind=job|node narrows the stream to one kind,
+// name=X to one object. The stream runs until the client disconnects.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	kind := r.URL.Query().Get("kind")
+	if kind != "" && kind != state.KindJob && kind != state.KindNode {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+			fmt.Errorf("gateway: unknown watch kind %q (job or node)", kind))
+		return
+	}
+	name := r.URL.Query().Get("name")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpx.WriteError(w, http.StatusInternalServerError, httpx.CodeInternal,
+			fmt.Errorf("gateway: response writer cannot stream"))
+		return
+	}
+
+	// Subscribe before snapshotting so no transition between the two is
+	// lost; duplicates are fine (watch consumers are level-triggered).
+	sub, cancel := s.Core.State.Subscribe(256)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	match := func(n state.Notification) bool {
+		if kind != "" && n.Kind != kind {
+			return false
+		}
+		if name != "" {
+			switch {
+			case n.Job != nil && n.Job.Name != name:
+				return false
+			case n.Node != nil && n.Node.Name != name:
+				return false
+			}
+		}
+		return true
+	}
+
+	if kind == "" || kind == state.KindJob {
+		for _, j := range s.Core.State.Jobs.List() {
+			j := j
+			n := state.Notification{Kind: state.KindJob, Type: SyncEvent, Job: &j}
+			if match(n) {
+				writeSSE(w, n)
+			}
+		}
+	}
+	if kind == "" || kind == state.KindNode {
+		for _, nd := range s.Core.State.Nodes.List() {
+			nd := nd
+			n := state.Notification{Kind: state.KindNode, Type: SyncEvent, Node: &nd}
+			if match(n) {
+				writeSSE(w, n)
+			}
+		}
+	}
+	flusher.Flush()
+
+	ping := s.PingInterval
+	if ping <= 0 {
+		ping = 15 * time.Second
+	}
+	keepalive := time.NewTicker(ping)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case n, ok := <-sub:
+			if !ok {
+				return
+			}
+			if !match(n) {
+				continue
+			}
+			writeSSE(w, n)
+			flusher.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE renders one notification as an SSE message.
+func writeSSE(w http.ResponseWriter, n state.Notification) {
+	raw, err := json.Marshal(n)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", n.Kind, raw)
+}

@@ -1,0 +1,173 @@
+// Package httpx holds the HTTP plumbing shared by every QRIO server — the
+// JSON codec helpers that were once copy-pasted across the master, cluster
+// API and meta servers, and the /v1 structured error envelope. Every error
+// response carries a machine-readable code so clients can branch on the
+// failure class instead of string-matching messages:
+//
+//	{"error": {"code": "not_found", "message": "store: \"bv\" not found"}}
+//
+// The defined codes are invalid, not_found, conflict, unschedulable,
+// method_not_allowed and internal.
+package httpx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"qrio/internal/cluster/store"
+)
+
+// Machine-readable error codes of the /v1 envelope.
+const (
+	CodeInvalid          = "invalid"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+	CodeUnschedulable    = "unschedulable"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeInternal         = "internal"
+)
+
+// MaxBodyBytes caps request and response bodies (circuits travel as QASM
+// strings inside JSON, so payloads stay modest).
+const MaxBodyBytes = 16 << 20
+
+// ErrorBody is the payload inside the envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the wire shape of every QRIO error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// DecodeJSON reads a bounded request body into v.
+func DecodeJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// WriteJSON writes v with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the envelope with an explicit status and code.
+func WriteError(w http.ResponseWriter, status int, code string, err error) {
+	WriteJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: err.Error()}})
+}
+
+// WriteErr classifies err through StatusOf and writes the envelope, using
+// the fallback status/code when the error carries no known type.
+func WriteErr(w http.ResponseWriter, err error, fallbackStatus int, fallbackCode string) {
+	status, code := StatusOf(err)
+	if status == 0 {
+		status, code = fallbackStatus, fallbackCode
+	}
+	WriteError(w, status, code, err)
+}
+
+// MethodNotAllowed writes the 405 envelope.
+func MethodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	WriteError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+		fmt.Errorf("method %s not allowed on %s", r.Method, r.URL.Path))
+}
+
+// StatusCoder lets domain error types declare their own HTTP status and
+// envelope code without depending on this package — state.TerminalJobError
+// (conflict) and sched.UnschedulableError (unschedulable) implement it.
+type StatusCoder interface {
+	HTTPStatus() (status int, code string)
+}
+
+// StatusOf maps QRIO's typed domain errors onto (HTTP status, code):
+// store lookup errors directly, everything else through StatusCoder.
+// Unknown errors return (0, "") so callers choose their own fallback.
+func StatusOf(err error) (int, string) {
+	var notFound store.ErrNotFound
+	var exists store.ErrExists
+	var coder StatusCoder
+	switch {
+	case errors.As(err, &notFound):
+		return http.StatusNotFound, CodeNotFound
+	case errors.As(err, &exists):
+		return http.StatusConflict, CodeConflict
+	case errors.As(err, &coder):
+		return coder.HTTPStatus()
+	default:
+		return 0, ""
+	}
+}
+
+// DoJSON is the one JSON request/response round trip every QRIO HTTP
+// client shares: marshal in (when non-nil), issue the request under ctx,
+// bound-read the response, and unmarshal into out (when non-nil). Non-2xx
+// responses have their error envelope decoded and are shaped into the
+// caller's error type via onError (message is "" when the body carried no
+// recognisable envelope).
+func DoJSON(ctx context.Context, hc *http.Client, method, url string, in, out any,
+	onError func(status int, code, message string) error) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		code, msg, _ := DecodeErrorBody(raw)
+		return onError(resp.StatusCode, code, msg)
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+// DecodeErrorBody parses an error response body into (code, message). It
+// understands the structured envelope and falls back to the legacy
+// {"error": "message"} string shape.
+func DecodeErrorBody(raw []byte) (code, message string, ok bool) {
+	var env ErrorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Error.Message != "" {
+		return env.Error.Code, env.Error.Message, true
+	}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &legacy) == nil && legacy.Error != "" {
+		return "", legacy.Error, true
+	}
+	return "", "", false
+}

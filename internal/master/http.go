@@ -1,73 +1,58 @@
 package master
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"qrio/internal/cluster/api"
+	"qrio/internal/httpx"
 )
 
 // Handler exposes the Master Server over REST:
 //
 //	POST /v1/submit            — full job request (SubmitRequest JSON)
 //	GET  /v1/jobs/{name}/logs  — proxy to the job's execution result
+//
+// Errors use the shared /v1 envelope (httpx): duplicate names map to 409
+// conflict, malformed requests to 400 invalid.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			httpx.MethodNotAllowed(w, r)
 			return
 		}
 		var req SubmitRequest
-		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if err := httpx.DecodeJSON(r, &req); err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
 			return
 		}
 		job, err := s.Submit(req)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
-		writeJSON(w, http.StatusCreated, job)
+		httpx.WriteJSON(w, http.StatusCreated, job)
 	})
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		name, ok := strings.CutSuffix(rest, "/logs")
 		if !ok || name == "" || r.Method != http.MethodGet {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+			httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
+				fmt.Errorf("unknown path %q", r.URL.Path))
 			return
 		}
 		res, err := s.Logs(name)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		httpx.WriteJSON(w, http.StatusOK, res)
 	})
 	return mux
-}
-
-func decodeJSON(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		return err
-	}
-	return json.Unmarshal(body, v)
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // Client submits jobs to a remote Master Server.
@@ -76,56 +61,33 @@ type Client struct {
 	HTTP    *http.Client
 }
 
-// NewClient builds a master client.
+// NewClient builds a master client. The blanket client timeout is a
+// backstop; pass a context to individual calls to deadline or cancel them.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"),
 		HTTP: &http.Client{Timeout: 120 * time.Second}}
 }
 
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return httpx.DoJSON(ctx, c.HTTP, method, c.BaseURL+path, in, out,
+		func(status int, _, msg string) error {
+			if msg == "" {
+				return fmt.Errorf("master: %s %s: HTTP %d", method, path, status)
+			}
+			return fmt.Errorf("master: %s", msg)
+		})
+}
+
 // Submit sends a full job request.
-func (c *Client) Submit(req SubmitRequest) (api.QuantumJob, error) {
-	raw, err := json.Marshal(req)
-	if err != nil {
-		return api.QuantumJob{}, err
-	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v1/submit", "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return api.QuantumJob{}, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return api.QuantumJob{}, err
-	}
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return api.QuantumJob{}, fmt.Errorf("master: %s", e.Error)
-		}
-		return api.QuantumJob{}, fmt.Errorf("master: HTTP %d", resp.StatusCode)
-	}
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (api.QuantumJob, error) {
 	var job api.QuantumJob
-	err = json.Unmarshal(body, &job)
+	err := c.do(ctx, http.MethodPost, "/v1/submit", req, &job)
 	return job, err
 }
 
 // Logs fetches a job's execution log.
-func (c *Client) Logs(jobName string) (api.Result, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/jobs/" + jobName + "/logs")
-	if err != nil {
-		return api.Result{}, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return api.Result{}, err
-	}
-	if resp.StatusCode >= 300 {
-		return api.Result{}, fmt.Errorf("master: logs for %s: HTTP %d", jobName, resp.StatusCode)
-	}
+func (c *Client) Logs(ctx context.Context, jobName string) (api.Result, error) {
 	var res api.Result
-	err = json.Unmarshal(body, &res)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobName+"/logs", nil, &res)
 	return res, err
 }

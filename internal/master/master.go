@@ -12,6 +12,7 @@ import (
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
+	"qrio/internal/cluster/store"
 	"qrio/internal/quantum/qasm"
 	"qrio/internal/registry"
 )
@@ -99,8 +100,9 @@ func (s *Server) Submit(req SubmitRequest) (api.QuantumJob, error) {
 	// multi-user submission the name collision would otherwise only
 	// surface after an image was built and pushed for nothing. The job
 	// store's create remains the authoritative check for exact races.
+	// Wrapping store.ErrExists lets the HTTP layer map this to 409.
 	if _, _, err := s.State.Jobs.Get(req.JobName); err == nil {
-		return api.QuantumJob{}, fmt.Errorf("master: job %q already exists", req.JobName)
+		return api.QuantumJob{}, fmt.Errorf("master: %w", store.ErrExists{Name: req.JobName})
 	}
 	circ, err := qasm.Parse(req.QASM)
 	if err != nil {

@@ -1,10 +1,8 @@
 package meta
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"sort"
@@ -12,6 +10,7 @@ import (
 	"time"
 
 	"qrio/internal/device"
+	"qrio/internal/httpx"
 )
 
 // Handler exposes the Meta Server over REST. QRIO components interact with
@@ -33,91 +32,91 @@ func (s *Server) Handler() http.Handler {
 		switch r.Method {
 		case http.MethodPost:
 			var b device.Backend
-			if err := decodeJSON(r, &b); err != nil {
-				httpError(w, http.StatusBadRequest, err)
+			if err := httpx.DecodeJSON(r, &b); err != nil {
+				httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
 				return
 			}
 			if err := s.RegisterBackend(&b); err != nil {
-				httpError(w, http.StatusUnprocessableEntity, err)
+				httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 				return
 			}
-			writeJSON(w, http.StatusCreated, map[string]string{"registered": b.Name})
+			httpx.WriteJSON(w, http.StatusCreated, map[string]string{"registered": b.Name})
 		case http.MethodGet:
-			writeJSON(w, http.StatusOK, s.BackendNames())
+			httpx.WriteJSON(w, http.StatusOK, s.BackendNames())
 		default:
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			httpx.MethodNotAllowed(w, r)
 		}
 	})
 	mux.HandleFunc("/v1/backends/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/v1/backends/")
 		if r.Method != http.MethodGet || name == "" {
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET /v1/backends/{name} only"))
+			httpx.WriteError(w, http.StatusMethodNotAllowed, httpx.CodeMethodNotAllowed, fmt.Errorf("GET /v1/backends/{name} only"))
 			return
 		}
 		b, err := s.Backend(name)
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, b)
+		httpx.WriteJSON(w, http.StatusOK, b)
 	})
 	mux.HandleFunc("/v1/jobs/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		name, ok := strings.CutSuffix(rest, "/meta")
 		if !ok || name == "" {
-			httpError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
+			httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
 			return
 		}
 		switch r.Method {
 		case http.MethodPost:
 			var m JobMeta
-			if err := decodeJSON(r, &m); err != nil {
-				httpError(w, http.StatusBadRequest, err)
+			if err := httpx.DecodeJSON(r, &m); err != nil {
+				httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
 				return
 			}
 			m.JobName = name
 			if err := s.PutJobMeta(m); err != nil {
-				httpError(w, http.StatusUnprocessableEntity, err)
+				httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 				return
 			}
-			writeJSON(w, http.StatusCreated, map[string]string{"stored": name})
+			httpx.WriteJSON(w, http.StatusCreated, map[string]string{"stored": name})
 		case http.MethodGet:
 			m, err := s.JobMeta(name)
 			if err != nil {
-				httpError(w, http.StatusNotFound, err)
+				httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, m)
+			httpx.WriteJSON(w, http.StatusOK, m)
 		default:
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			httpx.MethodNotAllowed(w, r)
 		}
 	})
 	mux.HandleFunc("/v1/score", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			httpx.MethodNotAllowed(w, r)
 			return
 		}
 		job := r.URL.Query().Get("job")
 		backend := r.URL.Query().Get("backend")
 		if job == "" || backend == "" {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("need job and backend query params"))
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, fmt.Errorf("need job and backend query params"))
 			return
 		}
 		score, err := s.Score(job, backend)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]float64{"score": score})
+		httpx.WriteJSON(w, http.StatusOK, map[string]float64{"score": score})
 	})
 	mux.HandleFunc("/v1/score/batch", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s", r.Method))
+			httpx.MethodNotAllowed(w, r)
 			return
 		}
 		job := r.URL.Query().Get("job")
 		if job == "" {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("need job query param"))
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, fmt.Errorf("need job query param"))
 			return
 		}
 		backends := r.URL.Query()["backend"]
@@ -125,27 +124,9 @@ func (s *Server) Handler() http.Handler {
 			backends = s.BackendNames()
 			sort.Strings(backends)
 		}
-		writeJSON(w, http.StatusOK, s.ScoreBatch(job, backends, 0))
+		httpx.WriteJSON(w, http.StatusOK, s.ScoreBatch(job, backends, 0))
 	})
 	return mux
-}
-
-func decodeJSON(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		return err
-	}
-	return json.Unmarshal(body, v)
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // Client talks to a remote Meta Server over REST and satisfies Scorer, so
@@ -161,84 +142,62 @@ func NewClient(baseURL string) *Client {
 		HTTP: &http.Client{Timeout: 120 * time.Second}}
 }
 
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("meta: %s %s: %s", method, path, e.Error)
-		}
-		return fmt.Errorf("meta: %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
-	if out != nil {
-		return json.Unmarshal(raw, out)
-	}
-	return nil
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return httpx.DoJSON(ctx, c.HTTP, method, c.BaseURL+path, in, out,
+		func(status int, _, msg string) error {
+			if msg == "" {
+				return fmt.Errorf("meta: %s %s: HTTP %d", method, path, status)
+			}
+			return fmt.Errorf("meta: %s %s: %s", method, path, msg)
+		})
 }
 
 // RegisterBackend uploads a backend.
-func (c *Client) RegisterBackend(b *device.Backend) error {
-	return c.do(http.MethodPost, "/v1/backends", b, nil)
+func (c *Client) RegisterBackend(ctx context.Context, b *device.Backend) error {
+	return c.do(ctx, http.MethodPost, "/v1/backends", b, nil)
 }
 
 // BackendNames lists registered backends.
-func (c *Client) BackendNames() ([]string, error) {
+func (c *Client) BackendNames(ctx context.Context) ([]string, error) {
 	var names []string
-	err := c.do(http.MethodGet, "/v1/backends", nil, &names)
+	err := c.do(ctx, http.MethodGet, "/v1/backends", nil, &names)
 	return names, err
 }
 
 // Backend fetches one backend.
-func (c *Client) Backend(name string) (*device.Backend, error) {
+func (c *Client) Backend(ctx context.Context, name string) (*device.Backend, error) {
 	var b device.Backend
-	if err := c.do(http.MethodGet, "/v1/backends/"+name, nil, &b); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/backends/"+name, nil, &b); err != nil {
 		return nil, err
 	}
 	return &b, nil
 }
 
 // PutJobMeta uploads job metadata.
-func (c *Client) PutJobMeta(m JobMeta) error {
-	return c.do(http.MethodPost, "/v1/jobs/"+m.JobName+"/meta", m, nil)
+func (c *Client) PutJobMeta(ctx context.Context, m JobMeta) error {
+	return c.do(ctx, http.MethodPost, "/v1/jobs/"+m.JobName+"/meta", m, nil)
 }
 
 // JobMeta fetches job metadata.
-func (c *Client) JobMeta(jobName string) (JobMeta, error) {
+func (c *Client) JobMeta(ctx context.Context, jobName string) (JobMeta, error) {
 	var m JobMeta
-	err := c.do(http.MethodGet, "/v1/jobs/"+jobName+"/meta", nil, &m)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobName+"/meta", nil, &m)
 	return m, err
 }
 
-// Score asks the server to score a job against a backend.
+// Score asks the server to score a job against a backend. The
+// context-free signature keeps the client satisfying Scorer, so the
+// scheduler works identically in- and out-of-process; use ScoreContext to
+// deadline an individual call.
 func (c *Client) Score(jobName, backendName string) (float64, error) {
+	return c.ScoreContext(context.Background(), jobName, backendName)
+}
+
+// ScoreContext is Score with caller-controlled cancellation.
+func (c *Client) ScoreContext(ctx context.Context, jobName, backendName string) (float64, error) {
 	var out map[string]float64
-	q := "/v1/score?job=" + jobName + "&backend=" + backendName
-	if err := c.do(http.MethodGet, q, nil, &out); err != nil {
+	q := "/v1/score?job=" + url.QueryEscape(jobName) + "&backend=" + url.QueryEscape(backendName)
+	if err := c.do(ctx, http.MethodGet, q, nil, &out); err != nil {
 		return 0, err
 	}
 	score, ok := out["score"]
@@ -250,13 +209,13 @@ func (c *Client) Score(jobName, backendName string) (float64, error) {
 
 // ScoreBatch asks the server to score a job against many backends in one
 // round trip (all registered backends when backendNames is empty).
-func (c *Client) ScoreBatch(jobName string, backendNames []string) ([]BatchResult, error) {
+func (c *Client) ScoreBatch(ctx context.Context, jobName string, backendNames []string) ([]BatchResult, error) {
 	q := url.Values{"job": {jobName}}
 	for _, b := range backendNames {
 		q.Add("backend", b)
 	}
 	var out []BatchResult
-	if err := c.do(http.MethodGet, "/v1/score/batch?"+q.Encode(), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/score/batch?"+q.Encode(), nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -303,14 +303,14 @@ func TestHTTPRoundTrip(t *testing.T) {
 	c := meta.NewClient(srv.URL)
 
 	b := backend(t, "dev", graph.Line(4), 0.05)
-	if err := c.RegisterBackend(b); err != nil {
+	if err := c.RegisterBackend(t.Context(), b); err != nil {
 		t.Fatal(err)
 	}
-	names, err := c.BackendNames()
+	names, err := c.BackendNames(t.Context())
 	if err != nil || len(names) != 1 || names[0] != "dev" {
 		t.Fatalf("names = %v, %v", names, err)
 	}
-	got, err := c.Backend("dev")
+	got, err := c.Backend(t.Context(), "dev")
 	if err != nil || got.NumQubits != 4 {
 		t.Fatalf("backend fetch = %v, %v", got, err)
 	}
@@ -318,10 +318,10 @@ func TestHTTPRoundTrip(t *testing.T) {
 		JobName: "bell", Strategy: api.StrategyFidelity,
 		TargetFidelity: 1, CircuitQASM: bellQASM,
 	}
-	if err := c.PutJobMeta(m); err != nil {
+	if err := c.PutJobMeta(t.Context(), m); err != nil {
 		t.Fatal(err)
 	}
-	back, err := c.JobMeta("bell")
+	back, err := c.JobMeta(t.Context(), "bell")
 	if err != nil || back.TargetFidelity != 1 {
 		t.Fatalf("meta fetch = %+v, %v", back, err)
 	}
@@ -332,7 +332,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if math.IsNaN(score) || score < 0 {
 		t.Fatalf("score = %v", score)
 	}
-	batch, err := c.ScoreBatch("bell", nil) // nil = all registered backends
+	batch, err := c.ScoreBatch(t.Context(), "bell", nil) // nil = all registered backends
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if _, err := c.Score("ghost", "dev"); err == nil {
 		t.Fatal("remote error swallowed")
 	}
-	if _, err := c.Backend("ghost"); err == nil {
+	if _, err := c.Backend(t.Context(), "ghost"); err == nil {
 		t.Fatal("missing backend fetch succeeded")
 	}
 }

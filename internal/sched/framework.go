@@ -185,6 +185,10 @@ func (e *UnschedulableError) Error() string {
 	return fmt.Sprintf("sched: job %s unschedulable (%d nodes rejected)", e.Job, len(e.Rejected))
 }
 
+// HTTPStatus implements httpx.StatusCoder: unschedulable jobs map to 422
+// with the "unschedulable" envelope code.
+func (e *UnschedulableError) HTTPStatus() (int, string) { return 422, "unschedulable" }
+
 // LowestScore scores every feasible node and picks the minimum
 // (deterministic tie-break on name) — QRIO's default ranking behaviour.
 type LowestScore struct{}

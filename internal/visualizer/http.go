@@ -11,6 +11,7 @@ import (
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/device"
+	"qrio/internal/httpx"
 )
 
 var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
@@ -189,9 +190,27 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.render(w, page{Title: fmt.Sprintf("Jobs — %d total", len(jobs)), Body: template.HTML(b.String())})
 }
 
-// handleJobDetail shows one job with its logs (Fig. 5) and events.
+// handleJobDetail shows one job with its logs (Fig. 5) and events. A
+// non-terminal job gets a Cancel button (POST /jobs/{name}/cancel, wired
+// to the full-lifecycle cancellation path) and a live-update script that
+// subscribes to the /v1 gateway's SSE watch stream and reloads the page
+// when the job transitions — the visualizer consumes the same broadcast
+// hub as qrioctl watch instead of asking users to refresh.
 func (s *Server) handleJobDetail(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if name, ok := strings.CutSuffix(rest, "/cancel"); ok && name != "" && r.Method == http.MethodPost {
+		if _, err := s.Core.Cancel(name); err != nil {
+			status, _ := httpx.StatusOf(err)
+			if status == 0 {
+				status = http.StatusUnprocessableEntity
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		http.Redirect(w, r, "/jobs/"+name, http.StatusSeeOther)
+		return
+	}
+	name := rest
 	if name == "" || strings.Contains(name, "/") {
 		http.NotFound(w, r)
 		return
@@ -208,6 +227,21 @@ func (s *Server) handleJobDetail(w http.ResponseWriter, r *http.Request) {
 			template.HTMLEscapeString(j.Status.Node), j.Status.Score)
 	}
 	b.WriteString("</p>")
+	if !j.Status.Phase.Terminal() {
+		fmt.Fprintf(&b, `<form method="POST" action="/jobs/%s/cancel">
+<button type="submit">Cancel job</button></form>`, template.HTMLEscapeString(name))
+		// Live updates via the /v1 gateway's SSE watch (served on the
+		// same daemon mux); harmless when the gateway is not mounted.
+		fmt.Fprintf(&b, `<script>
+try {
+  var es = new EventSource('/v1/watch?kind=job&name=%s');
+  es.addEventListener('job', function (e) {
+    var n = JSON.parse(e.data);
+    if (n.type !== 'SYNC') { es.close(); location.reload(); }
+  });
+} catch (e) {}
+</script>`, template.JSEscapeString(name))
+	}
 	if res, _, err := s.Core.State.Results.Get(name); err == nil {
 		fmt.Fprintf(&b, "<h2>Logs</h2><pre>%s</pre>",
 			template.HTMLEscapeString(strings.Join(res.LogLines, "\n")))

@@ -34,6 +34,33 @@
 //	}, time.Minute)
 //	fmt.Println(job.Status.Node, res.Fidelity)
 //
+// # The /v1 API
+//
+// A deployment is served to remote users through the unified, versioned
+// gateway (NewGateway; the qrio daemon mounts it at /v1): job routes
+// (POST /v1/jobs and /v1/jobs/batch, GET /v1/jobs with phase/node/strategy
+// filters and limit/continue pagination, GET and DELETE /v1/jobs/{name},
+// GET /v1/jobs/{name}/logs and /events), node routes (GET/POST /v1/nodes,
+// GET/DELETE /v1/nodes/{name}), Meta-Server scoring (GET /v1/score and
+// /v1/score/batch) and a live event stream (GET /v1/watch, server-sent
+// events fanned out from the cluster's broadcast hub). DELETE cancels a
+// job at any lifecycle stage — pending jobs leave the queue, scheduled
+// jobs release their slot, running jobs have their container aborted on
+// the node — landing the terminal JobCancelled phase.
+//
+// Every error response carries one structured envelope,
+// {"error":{"code":...,"message":...}}, with machine-readable codes:
+// "invalid" (400, malformed or rejected request), "not_found" (404),
+// "conflict" (409, duplicate submission or cancelling a finished job) and
+// "unschedulable" (422, no device in the fleet can ever satisfy the job's
+// requirements).
+//
+// The Client type (package qrio/client) speaks this surface: Submit and
+// SubmitBatch, Get, List, Cancel, Logs, Events, Watch and the
+// event-driven Wait, with IsConflict-style helpers over the error codes.
+// The qrioctl command wraps it: submit, list -phase, watch, cancel, logs,
+// events.
+//
 // # Concurrency
 //
 // The paper's architecture — one job scheduled at a time, one container
@@ -54,10 +81,12 @@
 package qrio
 
 import (
+	"qrio/client"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/apiserver"
 	"qrio/internal/core"
 	"qrio/internal/device"
+	"qrio/internal/gateway"
 	"qrio/internal/graph"
 	"qrio/internal/mapomatic"
 	"qrio/internal/master"
@@ -101,13 +130,15 @@ const (
 	StrategyTopology = api.StrategyTopology
 )
 
-// Job lifecycle phases.
+// Job lifecycle phases. JobSucceeded, JobFailed and JobCancelled are
+// terminal.
 const (
 	JobPending   = api.JobPending
 	JobScheduled = api.JobScheduled
 	JobRunning   = api.JobRunning
 	JobSucceeded = api.JobSucceeded
 	JobFailed    = api.JobFailed
+	JobCancelled = api.JobCancelled
 )
 
 // Backend is one quantum device's vendor calibration: coupling map, error
@@ -171,6 +202,27 @@ var (
 	// QAOARing builds a depth-p QAOA MaxCut circuit on an n-ring.
 	QAOARing = workload.QAOARing
 )
+
+// Client is the Go client for the unified /v1 gateway: the full job
+// lifecycle (Submit single/batch, Get, List with filters and pagination,
+// Cancel, Logs, Events, Watch over SSE, event-driven Wait) plus node and
+// scoring access. See package qrio/client for details.
+type Client = client.Client
+
+// NewClient builds a /v1 gateway client for a daemon base URL.
+func NewClient(baseURL string) *Client { return client.New(baseURL) }
+
+// WatchEvent is one streamed cluster change from Client.Watch.
+type WatchEvent = client.WatchEvent
+
+// APIError is the structured error the gateway returns; use
+// client.IsNotFound / IsConflict / IsInvalid / IsUnschedulable to branch
+// on its machine-readable code.
+type APIError = client.APIError
+
+// NewGateway returns the unified /v1 API server for an orchestrator; its
+// Handler method plugs into net/http. The qrio daemon mounts it at /v1.
+func NewGateway(q *Orchestrator) *gateway.Server { return gateway.New(q) }
 
 // NewVisualizer returns the web dashboard server for an orchestrator
 // (submission form, cluster and job views, vendor page); its Handler

@@ -120,7 +120,7 @@ func TestPublicServers(t *testing.T) {
 	srv := httptest.NewServer(qrio.NewAPIServer(q).Handler())
 	defer srv.Close()
 	client := qrio.NewAPIClient(srv.URL)
-	nodes, err := client.Nodes()
+	nodes, err := client.Nodes(t.Context())
 	if err != nil || len(nodes) != 1 || nodes[0].Name != "pub" {
 		t.Fatalf("nodes over public API = %v, %v", nodes, err)
 	}
