@@ -7,7 +7,7 @@ GO ?= go
 # they get the -race treatment on every CI run.
 RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/... ./internal/gateway/... ./client/...
 
-.PHONY: all build vet fmt test race bench bench-json ci
+.PHONY: all build vet fmt test race bench bench-json bench-store bench-compare ci
 
 all: build
 
@@ -30,9 +30,20 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# bench-json emits the same benchmark pass as a test2json stream — the
-# BENCH_results.json artifact CI uploads to track the perf trajectory.
+# bench-json refreshes the committed benchmark baseline — run it on a
+# quiet machine and commit BENCH_results.json to move the perf trajectory.
 bench-json:
 	$(GO) test -run xxx -bench . -benchtime 1x -json . > BENCH_results.json
+
+# bench-store exercises the sharded store's lock scaling across core counts.
+bench-store:
+	$(GO) test -run xxx -bench BenchmarkStoreContention -benchtime 1x -cpu 1,4,8 .
+
+# bench-compare runs a fresh pass into BENCH_current.json and diffs it
+# against the committed BENCH_results.json baseline, failing on >25%
+# throughput regression on the scheduling/store benchmarks (the CI guard).
+bench-compare:
+	$(GO) test -run xxx -bench . -benchtime 1x -json . > BENCH_current.json
+	$(GO) run ./cmd/benchcompare -baseline BENCH_results.json -current BENCH_current.json -threshold 25
 
 ci: build vet fmt test race

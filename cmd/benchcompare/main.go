@@ -1,0 +1,215 @@
+// Command benchcompare diffs a fresh benchmark run against the committed
+// baseline (BENCH_results.json) and fails on throughput regressions — the
+// guard that keeps the scheduling hot path from quietly decaying as the
+// codebase grows. Both inputs are `go test -json` streams as produced by
+// `make bench-json`.
+//
+// For every benchmark matching -match (comma-separated name prefixes), the
+// throughput is the benchmark's own */s metric when it reports one
+// (jobs/s, bound-jobs/s, ...) and 1e9/ns-op otherwise. A benchmark
+// regresses when current throughput drops more than -threshold percent
+// below the baseline. Benchmarks present on only one side are reported
+// but never fail the run, so adding or retiring benches doesn't break CI.
+//
+// Refresh the baseline with `make bench-json` on a quiet machine and
+// commit the resulting BENCH_results.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream we care about.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	nsPerOp float64
+	metrics map[string]float64 // unit → value, e.g. "bound-jobs/s" → 19870
+}
+
+// throughput returns ops-per-second-like figures: a reported */s metric
+// when present (preferring it: the bench chose it as the headline), else
+// the inverse of ns/op.
+func (r result) throughput() (float64, string) {
+	var units []string
+	for unit := range r.metrics {
+		if strings.HasSuffix(unit, "/s") {
+			units = append(units, unit)
+		}
+	}
+	if len(units) > 0 {
+		sort.Strings(units) // deterministic pick if a bench reports several
+		return r.metrics[units[0]], units[0]
+	}
+	if r.nsPerOp > 0 {
+		return 1e9 / r.nsPerOp, "op/s"
+	}
+	return 0, ""
+}
+
+// parseFile extracts benchmark results from a test2json stream.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate stray non-JSON lines
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		name, res, ok := parseBenchLine(ev.Test, ev.Output)
+		if ok {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result. test2json puts the name in
+// the event's Test field; for slow benchmarks the Output carries only
+// `       1	  123 ns/op	 456 x/s` (the name was flushed in an earlier
+// event), while fast ones repeat `BenchmarkFoo-8` at the start.
+func parseBenchLine(test, line string) (string, result, bool) {
+	line = strings.TrimSpace(line)
+	if !strings.Contains(line, " ns/op") {
+		return "", result{}, false
+	}
+	fields := strings.Fields(line)
+	name := test
+	if strings.HasPrefix(line, "Benchmark") {
+		name = stripProcSuffix(fields[0])
+		fields = fields[1:]
+	}
+	if name == "" || !strings.HasPrefix(name, "Benchmark") || len(fields) < 3 {
+		return "", result{}, false
+	}
+	res := result{metrics: make(map[string]float64)}
+	// fields[0] is the iteration count; after that, (value, unit) pairs.
+	for i := 1; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.nsPerOp = v
+		} else {
+			res.metrics[unit] = v
+		}
+	}
+	return name, res, true
+}
+
+// stripProcSuffix removes the -GOMAXPROCS suffix so runs on machines with
+// different core counts align on one benchmark name.
+func stripProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func matchesAny(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_results.json", "committed baseline (test2json stream)")
+	currentPath := flag.String("current", "BENCH_current.json", "fresh run (test2json stream)")
+	threshold := flag.Float64("threshold", 25, "max tolerated throughput drop, percent")
+	match := flag.String("match",
+		"BenchmarkSchedulePassWithHistory,BenchmarkSubmitThroughput,BenchmarkStoreContention",
+		"comma-separated benchmark name prefixes to guard")
+	flag.Parse()
+
+	baseline, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: reading baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: reading current run: %v\n", err)
+		os.Exit(2)
+	}
+	prefixes := strings.Split(*match, ",")
+
+	names := make(map[string]bool)
+	for n := range baseline {
+		names[n] = true
+	}
+	for n := range current {
+		names[n] = true
+	}
+	var ordered []string
+	for n := range names {
+		if matchesAny(n, prefixes) {
+			ordered = append(ordered, n)
+		}
+	}
+	sort.Strings(ordered)
+	if len(ordered) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no guarded benchmarks found in either file")
+		os.Exit(2)
+	}
+
+	regressions := 0
+	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "baseline", "current", "delta")
+	for _, name := range ordered {
+		b, inBase := baseline[name]
+		c, inCur := current[name]
+		switch {
+		case !inBase:
+			tp, unit := c.throughput()
+			fmt.Printf("%-55s %14s %11.1f %s %8s\n", name, "(new)", tp, unit, "-")
+		case !inCur:
+			fmt.Printf("%-55s %14s %14s %8s  (missing from current run)\n", name, "-", "-", "-")
+		default:
+			bt, unit := b.throughput()
+			ct, _ := c.throughput()
+			if bt <= 0 {
+				continue
+			}
+			delta := (ct - bt) / bt * 100
+			flag := ""
+			if delta < -*threshold {
+				flag = "  REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-55s %11.1f %s %11.1f %s %+7.1f%%%s\n", name, bt, unit, ct, unit, delta, flag)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed more than %.0f%% below the baseline\n",
+			regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcompare: all guarded benchmarks within %.0f%% of the baseline\n", *threshold)
+}

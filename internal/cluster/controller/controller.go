@@ -87,17 +87,18 @@ func (c *Controller) markStaleNodes(now time.Time) {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	for _, n := range c.State.Nodes.List() {
-		if n.Status.Phase == api.NodeReady &&
+	stale := c.State.Nodes.ListFunc(func(n api.Node) bool {
+		return n.Status.Phase == api.NodeReady &&
 			!n.Status.LastHeartbeat.IsZero() &&
-			now.Sub(n.Status.LastHeartbeat) > timeout {
-			name := n.Name
-			c.State.Nodes.Update(name, func(n api.Node) (api.Node, error) {
-				n.Status.Phase = api.NodeNotReady
-				return n, nil
-			})
-			c.State.RecordEvent("Node", name, "HeartbeatLost", "marking node NotReady")
-		}
+			now.Sub(n.Status.LastHeartbeat) > timeout
+	})
+	for _, n := range stale {
+		name := n.Name
+		c.State.Nodes.Update(name, func(n api.Node) (api.Node, error) {
+			n.Status.Phase = api.NodeNotReady
+			return n, nil
+		})
+		c.State.RecordEvent("Node", name, "HeartbeatLost", "marking node NotReady")
 	}
 }
 
@@ -108,10 +109,10 @@ func (c *Controller) requeueStrandedJobs(now time.Time) {
 	if stuck <= 0 {
 		stuck = 5 * time.Second
 	}
-	for _, j := range c.State.Jobs.List() {
-		if j.Status.Phase != api.JobScheduled && j.Status.Phase != api.JobRunning {
-			continue
-		}
+	assigned := c.State.Jobs.ListFunc(func(j api.QuantumJob) bool {
+		return j.Status.Phase == api.JobScheduled || j.Status.Phase == api.JobRunning
+	})
+	for _, j := range assigned {
 		nodeName := j.Status.Node
 		node, _, err := c.State.Nodes.Get(nodeName)
 		healthy := err == nil && node.Status.Phase == api.NodeReady
@@ -168,10 +169,10 @@ func (c *Controller) retryFailedJobs() {
 	if max < 0 {
 		max = 0
 	}
-	for _, j := range c.State.Jobs.List() {
-		if j.Status.Phase != api.JobFailed || j.Status.Attempts > max {
-			continue
-		}
+	failed := c.State.Jobs.ListFunc(func(j api.QuantumJob) bool {
+		return j.Status.Phase == api.JobFailed && j.Status.Attempts <= max
+	})
+	for _, j := range failed {
 		jobName := j.Name
 		attempts := j.Status.Attempts
 		c.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
@@ -192,6 +193,11 @@ func (c *Controller) gcEvents() {
 	cap := c.MaxEvents
 	if cap <= 0 {
 		cap = 2048
+	}
+	// Len is a cheap shard-count sum; the full List (one deep copy of the
+	// event log) only happens on the rare passes that actually trim.
+	if c.State.Events.Len() <= cap {
+		return
 	}
 	events := c.State.Events.List()
 	if len(events) <= cap {

@@ -127,12 +127,11 @@ func (k *Kubelet) slots() int {
 // free slot for, without waiting for them, and returns the launched job
 // names (oldest bindings first, for determinism).
 func (k *Kubelet) launch() []string {
-	var runnable []api.QuantumJob
-	for _, j := range k.State.Jobs.List() {
-		if j.Status.Node == k.NodeName && j.Status.Phase == api.JobScheduled {
-			runnable = append(runnable, j)
-		}
-	}
+	// ListFunc filters under the store's shard locks, so only this node's
+	// bound jobs are deep-copied — not the whole (mostly terminal) job log.
+	runnable := k.State.Jobs.ListFunc(func(j api.QuantumJob) bool {
+		return j.Status.Node == k.NodeName && j.Status.Phase == api.JobScheduled
+	})
 	sort.Slice(runnable, func(i, j int) bool {
 		if !runnable[i].CreatedAt.Equal(runnable[j].CreatedAt) {
 			return runnable[i].CreatedAt.Before(runnable[j].CreatedAt)

@@ -1,11 +1,21 @@
 // Package state bundles the typed object stores that make up a QRIO
 // cluster's control-plane state (the API server's backing storage) and the
 // constructors that turn vendor backends into labelled cluster nodes.
+//
+// On top of the raw stores the Cluster maintains two incremental indexes,
+// fed synchronously by store mutation hooks so they can never drift from
+// the stored objects:
+//
+//   - a FIFO-ordered pending-job index, so the scheduler's hot path costs
+//     O(pending work) instead of O(every job ever submitted), and
+//   - an About-keyed event index with a per-object ring-buffer cap, so
+//     EventsAbout no longer scans (and copies) the whole event log.
 package state
 
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -15,6 +25,13 @@ import (
 	"qrio/internal/cluster/store"
 	"qrio/internal/device"
 )
+
+// EventIndexCap bounds how many events the per-object index retains per
+// About key (a ring buffer: the oldest entries fall out first). EventsAbout
+// therefore returns at most this many events for one object — far above
+// anything a job lifecycle produces, and the controller's global event GC
+// trims the store itself long before a healthy object gets near it.
+const EventIndexCap = 512
 
 // Cluster is the complete control-plane state.
 type Cluster struct {
@@ -27,23 +44,189 @@ type Cluster struct {
 	// backendCache avoids re-decoding node backend JSON on every access.
 	mu           sync.Mutex
 	backendCache map[string]*device.Backend
+
+	pending  pendingIndex
+	eventIdx eventIndex
 }
 
-// New returns an empty cluster state.
+// New returns an empty cluster state with its indexes wired.
 func New() *Cluster {
-	return &Cluster{
+	c := &Cluster{
 		Nodes:        store.New(api.Node.DeepCopy, func(n api.Node) string { return n.Name }),
 		Jobs:         store.New(api.QuantumJob.DeepCopy, func(j api.QuantumJob) string { return j.Name }),
 		Results:      store.New(api.Result.DeepCopy, func(r api.Result) string { return r.Name }),
 		Events:       store.New(api.Event.DeepCopy, func(e api.Event) string { return e.Name }),
 		backendCache: make(map[string]*device.Backend),
 	}
+	c.pending.member = make(map[string]time.Time)
+	c.eventIdx.byAbout = make(map[string][]api.Event)
+	c.eventIdx.cap = EventIndexCap
+	// The hooks run under the mutated shard's lock: they may only touch the
+	// index mutexes (never a store), keeping the lock order store→index.
+	c.Jobs.OnEvent(c.pending.onJobEvent)
+	c.Events.OnEvent(c.eventIdx.onEventEvent)
+	return c
 }
 
 // NextUID mints a unique object UID.
 func (c *Cluster) NextUID(prefix string) string {
 	return fmt.Sprintf("%s-%d", prefix, c.uid.Add(1))
 }
+
+// --- pending-job index --------------------------------------------------
+
+// pendingEntry is one queued job, ordered by (CreatedAt, Name) — the FIFO
+// order the scheduler dispatches in.
+type pendingEntry struct {
+	name    string
+	created time.Time
+}
+
+// pendingIndex is the incrementally maintained pending-job queue. Every
+// job mutation flows through onJobEvent (a store hook), covering not just
+// SubmitJob/BindJob/CancelJob but also the controller's requeue/retry
+// transitions and any future writer — the index cannot go stale.
+type pendingIndex struct {
+	mu      sync.Mutex
+	entries []pendingEntry       // sorted by (created, name)
+	member  map[string]time.Time // name → created, for O(log n) removal
+}
+
+func (p *pendingIndex) onJobEvent(ev store.WatchEvent[api.QuantumJob]) {
+	j := ev.Object
+	if ev.Type != store.Deleted && j.Status.Phase == api.JobPending {
+		p.add(j.Name, j.CreatedAt)
+		return
+	}
+	p.remove(j.Name)
+}
+
+// slot returns the sorted position of (created, name).
+func (p *pendingIndex) slot(name string, created time.Time) int {
+	return sort.Search(len(p.entries), func(i int) bool {
+		e := p.entries[i]
+		if !e.created.Equal(created) {
+			return e.created.After(created)
+		}
+		return e.name >= name
+	})
+}
+
+func (p *pendingIndex) add(name string, created time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.member[name]; ok {
+		return
+	}
+	i := p.slot(name, created)
+	p.entries = append(p.entries, pendingEntry{})
+	copy(p.entries[i+1:], p.entries[i:])
+	p.entries[i] = pendingEntry{name: name, created: created}
+	p.member[name] = created
+}
+
+func (p *pendingIndex) remove(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	created, ok := p.member[name]
+	if !ok {
+		return
+	}
+	delete(p.member, name)
+	i := p.slot(name, created)
+	if i < len(p.entries) && p.entries[i].name == name {
+		p.entries = append(p.entries[:i], p.entries[i+1:]...)
+	}
+}
+
+// names snapshots the queued job names in FIFO order.
+func (p *pendingIndex) names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.entries))
+	for i, e := range p.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// PendingJobs returns copies of the pending jobs oldest-first (stable on
+// name) — the scheduler's work queue. Cost is proportional to the pending
+// backlog, independent of how many terminal jobs remain resident. The
+// index snapshot is taken before any store read (index lock is never held
+// across a store lock), so a job racing to a new phase is simply filtered
+// by the per-job re-check.
+func (c *Cluster) PendingJobs() []api.QuantumJob {
+	names := c.pending.names()
+	out := make([]api.QuantumJob, 0, len(names))
+	for _, name := range names {
+		j, _, err := c.Jobs.Get(name)
+		if err == nil && j.Status.Phase == api.JobPending {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// PendingCount reports the queued-job count without copying anything.
+func (c *Cluster) PendingCount() int {
+	c.pending.mu.Lock()
+	defer c.pending.mu.Unlock()
+	return len(c.pending.entries)
+}
+
+// --- event index --------------------------------------------------------
+
+// eventIndex maintains per-About event lists with a ring-buffer cap.
+type eventIndex struct {
+	mu      sync.Mutex
+	byAbout map[string][]api.Event
+	cap     int
+}
+
+func (x *eventIndex) onEventEvent(ev store.WatchEvent[api.Event]) {
+	switch ev.Type {
+	case store.Added:
+		x.add(ev.Object)
+	case store.Deleted:
+		x.remove(ev.Object.About, ev.Object.Name)
+	}
+}
+
+func (x *eventIndex) add(e api.Event) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	list := append(x.byAbout[e.About], e)
+	if x.cap > 0 && len(list) > x.cap {
+		copy(list, list[len(list)-x.cap:])
+		list = list[:x.cap]
+	}
+	x.byAbout[e.About] = list
+}
+
+func (x *eventIndex) remove(about, name string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	list := x.byAbout[about]
+	for i, e := range list {
+		if e.Name == name {
+			x.byAbout[about] = append(list[:i], list[i+1:]...)
+			if len(x.byAbout[about]) == 0 {
+				delete(x.byAbout, about)
+			}
+			return
+		}
+	}
+}
+
+// about returns a copy of the indexed events for one object.
+func (x *eventIndex) about(about string) []api.Event {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]api.Event(nil), x.byAbout[about]...)
+}
+
+// --- nodes --------------------------------------------------------------
 
 // NodeLabels derives the scheduling labels of §3.1 from a backend.
 func NodeLabels(b *device.Backend) map[string]string {
@@ -253,8 +436,10 @@ func (c *Cluster) CancelJob(name string) (api.QuantumJob, error) {
 }
 
 // ReleaseNode frees the container slot and resource reservation a job held
-// on a node.
+// on a node. The job lookup happens before the node update so no store
+// read nests inside the node shard's lock.
 func (c *Cluster) ReleaseNode(nodeName, jobName string) {
+	job, _, jobErr := c.Jobs.Get(jobName)
 	c.Nodes.Update(nodeName, func(n api.Node) (api.Node, error) {
 		if !n.Status.HasRunningJob(jobName) {
 			return n, nil
@@ -269,8 +454,7 @@ func (c *Cluster) ReleaseNode(nodeName, jobName string) {
 		if len(n.Status.RunningJobs) == 0 {
 			n.Status.RunningJobs = nil
 		}
-		job, _, err := c.Jobs.Get(jobName)
-		if err == nil {
+		if jobErr == nil {
 			n.Status.CPUMillisInUse -= job.Spec.Resources.CPUMillis
 			n.Status.MemoryMBInUse -= job.Spec.Resources.MemoryMB
 			if n.Status.CPUMillisInUse < 0 {
@@ -284,35 +468,31 @@ func (c *Cluster) ReleaseNode(nodeName, jobName string) {
 	})
 }
 
-// RecordEvent appends an observability event.
+// RecordEvent appends an observability event. The timestamp is taken once
+// so CreatedAt and Time can never disagree.
 func (c *Cluster) RecordEvent(kind, about, reason, message string) {
-	name := c.NextUID("event")
+	now := time.Now()
 	c.Events.Create(api.Event{
-		ObjectMeta: api.ObjectMeta{Name: name, CreatedAt: time.Now()},
+		ObjectMeta: api.ObjectMeta{Name: c.NextUID("event"), CreatedAt: now},
 		Kind:       kind,
 		About:      about,
 		Reason:     reason,
 		Message:    message,
-		Time:       time.Now(),
+		Time:       now,
 	})
 }
 
-// EventsAbout lists events for one object, oldest first.
+// EventsAbout lists events for one object, oldest first, straight from the
+// incremental index — no scan over the global event log. At most
+// EventIndexCap (the newest) are retained per object.
 func (c *Cluster) EventsAbout(about string) []api.Event {
-	var out []api.Event
-	for _, e := range c.Events.List() {
-		if e.About == about {
-			out = append(out, e)
-		}
-	}
+	out := c.eventIdx.about(about)
 	sortEventsByTime(out)
 	return out
 }
 
 func sortEventsByTime(events []api.Event) {
-	for i := 1; i < len(events); i++ {
-		for j := i; j > 0 && events[j].Time.Before(events[j-1].Time); j-- {
-			events[j], events[j-1] = events[j-1], events[j]
-		}
-	}
+	// SliceStable: events recorded within one clock tick keep their
+	// creation order (the index appends in creation order).
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
 }

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -229,5 +230,149 @@ func TestNextUIDUnique(t *testing.T) {
 			t.Fatalf("duplicate uid %s", uid)
 		}
 		seen[uid] = true
+	}
+}
+
+// --- incremental index coverage -----------------------------------------
+
+// terminalJob builds a job already in a terminal phase — resident history
+// the hot paths must never touch.
+func terminalJob(name string) api.QuantumJob {
+	j := fidelityJob(name)
+	j.Status = api.JobStatus{Phase: api.JobSucceeded}
+	return j
+}
+
+// TestPendingJobsFIFOThroughLifecycle drives the pending index through
+// every writer: submit, bind, cancel, and the controller-style direct
+// phase flip back to Pending (which reaches the index via the store hook,
+// not a state method).
+func TestPendingJobsFIFOThroughLifecycle(t *testing.T) {
+	c := New()
+	if _, err := c.AddNode(testBackend(t, "dev-a")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"j1", "j2", "j3"} {
+		if err := c.SubmitJob(fidelityJob(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := func() []string {
+		var out []string
+		for _, j := range c.PendingJobs() {
+			out = append(out, j.Name)
+		}
+		return out
+	}
+	if got := names(); len(got) != 3 || got[0] != "j1" || got[1] != "j2" || got[2] != "j3" {
+		t.Fatalf("initial queue = %v", got)
+	}
+	if err := c.BindJob("j1", "dev-a", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(); len(got) != 2 || got[0] != "j2" {
+		t.Fatalf("after bind queue = %v", got)
+	}
+	if _, err := c.CancelJob("j2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(); len(got) != 1 || got[0] != "j3" {
+		t.Fatalf("after cancel queue = %v", got)
+	}
+	// Controller requeue path: a direct store update back to Pending must
+	// re-enter the queue in CreatedAt order (j1 is older than j3).
+	if _, _, err := c.Jobs.Update("j1", func(j api.QuantumJob) (api.QuantumJob, error) {
+		j.Status.Phase = api.JobPending
+		j.Status.Node = ""
+		return j, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(); len(got) != 2 || got[0] != "j1" || got[1] != "j3" {
+		t.Fatalf("after requeue queue = %v (FIFO by CreatedAt broken)", got)
+	}
+	if c.PendingCount() != 2 {
+		t.Fatalf("PendingCount = %d", c.PendingCount())
+	}
+}
+
+// TestPendingJobsCostIndependentOfHistory is the regression guard for the
+// scheduler's hot path: listing the pending queue must not allocate
+// proportionally to the terminal jobs resident in the store. Before the
+// incremental index, this walked (and deep-copied) every job ever
+// submitted.
+func TestPendingJobsCostIndependentOfHistory(t *testing.T) {
+	c := New()
+	const history = 5000
+	for i := 0; i < history; i++ {
+		if _, err := c.Jobs.Create(terminalJob(fmt.Sprintf("done-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const pending = 8
+	for i := 0; i < pending; i++ {
+		if err := c.SubmitJob(fidelityJob(fmt.Sprintf("queued-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if got := len(c.PendingJobs()); got != pending {
+			t.Fatalf("PendingJobs = %d, want %d", got, pending)
+		}
+	})
+	// ~a handful of allocations per pending job; anything within an order
+	// of magnitude of the history size means the full scan came back.
+	if allocs > 40*pending {
+		t.Fatalf("PendingJobs did %.0f allocs for %d pending jobs with %d terminal resident — scaling with history",
+			allocs, pending, history)
+	}
+}
+
+// TestEventsAboutUsesIndex: per-object retrieval, oldest first, unaffected
+// by other objects' events, and consistent under event GC deletes.
+func TestEventsAboutUsesIndex(t *testing.T) {
+	c := New()
+	c.RecordEvent("Job", "a", "R1", "first")
+	c.RecordEvent("Job", "b", "other", "noise")
+	c.RecordEvent("Job", "a", "R2", "second")
+	evs := c.EventsAbout("a")
+	if len(evs) != 2 || evs[0].Reason != "R1" || evs[1].Reason != "R2" {
+		t.Fatalf("EventsAbout(a) = %+v", evs)
+	}
+	for _, e := range evs {
+		if !e.Time.Equal(e.CreatedAt) {
+			t.Fatalf("event %s stamped twice: Time %v != CreatedAt %v", e.Name, e.Time, e.CreatedAt)
+		}
+	}
+	// GC path: deleting from the store must drop the index entry too.
+	if err := c.Events.Delete(evs[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	evs = c.EventsAbout("a")
+	if len(evs) != 1 || evs[0].Reason != "R2" {
+		t.Fatalf("EventsAbout(a) after delete = %+v", evs)
+	}
+	if got := c.EventsAbout("nobody"); len(got) != 0 {
+		t.Fatalf("EventsAbout(nobody) = %+v", got)
+	}
+}
+
+// TestEventIndexRingCap: one chatty object cannot grow its index without
+// bound — the oldest entries fall out once EventIndexCap is reached.
+func TestEventIndexRingCap(t *testing.T) {
+	c := New()
+	const extra = 10
+	for i := 0; i < EventIndexCap+extra; i++ {
+		c.RecordEvent("Job", "chatty", "Tick", fmt.Sprintf("event %d", i))
+	}
+	evs := c.EventsAbout("chatty")
+	if len(evs) != EventIndexCap {
+		t.Fatalf("indexed %d events, want cap %d", len(evs), EventIndexCap)
+	}
+	if want := fmt.Sprintf("event %d", extra); evs[0].Message != want {
+		t.Fatalf("oldest retained = %q, want %q (ring did not drop the head)", evs[0].Message, want)
+	}
+	if want := fmt.Sprintf("event %d", EventIndexCap+extra-1); evs[len(evs)-1].Message != want {
+		t.Fatalf("newest retained = %q, want %q", evs[len(evs)-1].Message, want)
 	}
 }

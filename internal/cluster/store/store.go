@@ -3,11 +3,22 @@
 // server. Every mutation bumps a monotonically increasing resource version
 // and is broadcast to watchers, giving controllers, the scheduler and
 // kubelets level- and edge-triggered views of cluster state.
+//
+// The store is hash-partitioned into shards, each with its own lock, so
+// mutations of different objects proceed in parallel — the single global
+// mutex was the contention point under batched dispatch. Resource versions
+// come from one atomic counter shared by every shard, so versions stay
+// globally unique and per-key monotone (a key always lives on one shard,
+// and its version is assigned under that shard's lock). Watchers receive
+// one merged stream: events for the same key arrive in version order;
+// events for different keys may interleave out of version order, exactly
+// like a Kubernetes watch across resources.
 package store
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EventType classifies a watch event.
@@ -26,30 +37,79 @@ type WatchEvent[T any] struct {
 	Version int64
 }
 
+// DefaultShards is the shard count used by New. Sixteen keeps per-shard
+// maps small on the paper's 100-node fleet while leaving headroom for
+// concurrent writers on many-core hosts.
+const DefaultShards = 16
+
+// shard is one lock-protected partition of the key space.
+type shard[T any] struct {
+	mu       sync.RWMutex
+	items    map[string]T
+	versions map[string]int64
+}
+
 // Store is a thread-safe, versioned map of named objects of one kind.
 // DeepCopy isolation: objects are copied on the way in and out, so callers
 // can never mutate stored state except through Update.
 type Store[T any] struct {
-	mu       sync.RWMutex
-	items    map[string]T
-	versions map[string]int64
-	version  int64
+	shards   []shard[T]
+	version  atomic.Int64
 	deepCopy func(T) T
 	name     func(T) string
+
+	watchMu  sync.RWMutex
 	watchers map[int]chan WatchEvent[T]
 	nextWID  int
+
+	// hooks are synchronous per-mutation callbacks (see OnEvent). They are
+	// registered at construction time and never mutated afterwards, so
+	// mutation paths read them without additional locking.
+	hooks []func(WatchEvent[T])
 }
 
-// New creates a store for objects of type T. deepCopy must return an
-// independent copy; name must return the object key.
+// New creates a store for objects of type T with DefaultShards partitions.
+// deepCopy must return an independent copy; name must return the object key.
 func New[T any](deepCopy func(T) T, name func(T) string) *Store[T] {
-	return &Store[T]{
-		items:    make(map[string]T),
-		versions: make(map[string]int64),
+	return NewSharded(deepCopy, name, DefaultShards)
+}
+
+// NewSharded creates a store with an explicit shard count (minimum 1).
+func NewSharded[T any](deepCopy func(T) T, name func(T) string, shards int) *Store[T] {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Store[T]{
+		shards:   make([]shard[T], shards),
 		deepCopy: deepCopy,
 		name:     name,
 		watchers: make(map[int]chan WatchEvent[T]),
 	}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]T)
+		s.shards[i].versions = make(map[string]int64)
+	}
+	return s
+}
+
+// shardFor maps a key to its shard (FNV-1a).
+func (s *Store[T]) shardFor(key string) *shard[T] {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+// OnEvent registers a synchronous hook invoked for every mutation, under
+// the mutated shard's lock and before watchers are notified — the seam
+// incremental indexes (the pending-job queue, the event-by-About index)
+// hang off. Hooks must be registered before the store is shared between
+// goroutines, must not call back into this store, and may retain ev.Object
+// (it is a private deep copy).
+func (s *Store[T]) OnEvent(fn func(ev WatchEvent[T])) {
+	s.hooks = append(s.hooks, fn)
 }
 
 // ErrNotFound is returned for missing objects.
@@ -68,57 +128,109 @@ func (s *Store[T]) Create(obj T) (int64, error) {
 	if key == "" {
 		return 0, fmt.Errorf("store: object has empty name")
 	}
-	s.mu.Lock()
-	if _, ok := s.items[key]; ok {
-		s.mu.Unlock()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.items[key]; ok {
 		return 0, ErrExists{key}
 	}
-	s.version++
-	v := s.version
-	s.items[key] = s.deepCopy(obj)
-	s.versions[key] = v
-	cp := s.deepCopy(obj)
-	s.notifyLocked(WatchEvent[T]{Type: Added, Object: cp, Version: v})
-	s.mu.Unlock()
+	v := s.version.Add(1)
+	sh.items[key] = s.deepCopy(obj)
+	sh.versions[key] = v
+	s.emitLocked(WatchEvent[T]{Type: Added, Object: s.deepCopy(obj), Version: v})
 	return v, nil
 }
 
 // Get returns a copy of the named object.
 func (s *Store[T]) Get(name string) (T, int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	obj, ok := s.items[name]
+	sh := s.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj, ok := sh.items[name]
 	if !ok {
 		var zero T
 		return zero, 0, ErrNotFound{name}
 	}
-	return s.deepCopy(obj), s.versions[name], nil
+	return s.deepCopy(obj), sh.versions[name], nil
 }
 
-// List returns copies of all objects (order unspecified).
+// List returns copies of all objects (order unspecified, never nil — an
+// empty store lists as an empty JSON array, not null).
 func (s *Store[T]) List() []T {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]T, 0, len(s.items))
-	for _, obj := range s.items {
-		out = append(out, s.deepCopy(obj))
+	out := make([]T, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, obj := range sh.items {
+			out = append(out, s.deepCopy(obj))
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
+// ListFunc returns copies of the objects keep accepts. The predicate runs
+// against the store's internal object under the shard read lock, so
+// rejected objects are never deep-copied — the cheap path for phase- or
+// owner-filtered scans. keep must not mutate or retain its argument and
+// must not call back into the store.
+func (s *Store[T]) ListFunc(keep func(T) bool) []T {
+	out := make([]T, 0, 8)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, obj := range sh.items {
+			if keep(obj) {
+				out = append(out, s.deepCopy(obj))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Range iterates the store without copying, passing each internal object
+// and its resource version to fn under the shard read lock; returning
+// false stops the walk. Like ListFunc's predicate, fn must not mutate or
+// retain the object and must not call back into the store. Iteration
+// across shards is not a point-in-time snapshot: mutations racing the walk
+// may or may not be observed.
+func (s *Store[T]) Range(fn func(obj T, version int64) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for key, obj := range sh.items {
+			if !fn(obj, sh.versions[key]) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // Len returns the object count.
 func (s *Store[T]) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.items)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Update applies mutate to the named object atomically. The callback
-// receives a private copy; returning an error aborts without change.
+// receives a private copy; returning an error aborts without change. The
+// callback runs under the object's shard lock, so it must not call back
+// into this store (other stores are fine only if no lock cycle exists —
+// prefer hoisting cross-store reads out of the callback).
 func (s *Store[T]) Update(name string, mutate func(T) (T, error)) (T, int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, ok := s.items[name]
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj, ok := sh.items[name]
 	if !ok {
 		var zero T
 		return zero, 0, ErrNotFound{name}
@@ -132,67 +244,73 @@ func (s *Store[T]) Update(name string, mutate func(T) (T, error)) (T, int64, err
 		var zero T
 		return zero, 0, fmt.Errorf("store: update may not rename %q to %q", name, s.name(next))
 	}
-	s.version++
-	v := s.version
-	s.items[name] = s.deepCopy(next)
-	s.versions[name] = v
-	s.notifyLocked(WatchEvent[T]{Type: Modified, Object: s.deepCopy(next), Version: v})
+	v := s.version.Add(1)
+	sh.items[name] = s.deepCopy(next)
+	sh.versions[name] = v
+	s.emitLocked(WatchEvent[T]{Type: Modified, Object: s.deepCopy(next), Version: v})
 	return next, v, nil
 }
 
 // Delete removes the named object.
 func (s *Store[T]) Delete(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, ok := s.items[name]
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj, ok := sh.items[name]
 	if !ok {
 		return ErrNotFound{name}
 	}
-	delete(s.items, name)
-	delete(s.versions, name)
-	s.version++
-	s.notifyLocked(WatchEvent[T]{Type: Deleted, Object: s.deepCopy(obj), Version: s.version})
+	delete(sh.items, name)
+	delete(sh.versions, name)
+	v := s.version.Add(1)
+	s.emitLocked(WatchEvent[T]{Type: Deleted, Object: s.deepCopy(obj), Version: v})
 	return nil
 }
 
 // Watch returns a buffered channel of future change events plus a cancel
-// function. Watchers that fall more than the buffer behind lose events —
-// consumers are expected to re-List on their own cadence (level-triggered
-// reconciliation), exactly as Kubernetes clients do.
+// function. The channel merges every shard's stream. Watchers that fall
+// more than the buffer behind lose events — consumers are expected to
+// re-List on their own cadence (level-triggered reconciliation), exactly
+// as Kubernetes clients do.
 func (s *Store[T]) Watch(buffer int) (<-chan WatchEvent[T], func()) {
 	if buffer <= 0 {
 		buffer = 64
 	}
 	ch := make(chan WatchEvent[T], buffer)
-	s.mu.Lock()
+	s.watchMu.Lock()
 	id := s.nextWID
 	s.nextWID++
 	s.watchers[id] = ch
-	s.mu.Unlock()
+	s.watchMu.Unlock()
 	cancel := func() {
-		s.mu.Lock()
+		s.watchMu.Lock()
 		if c, ok := s.watchers[id]; ok {
 			delete(s.watchers, id)
 			close(c)
 		}
-		s.mu.Unlock()
+		s.watchMu.Unlock()
 	}
 	return ch, cancel
 }
 
-// notifyLocked broadcasts to watchers, dropping events for slow consumers.
-func (s *Store[T]) notifyLocked(ev WatchEvent[T]) {
+// emitLocked runs hooks and broadcasts to watchers while the mutated
+// shard's lock is held, dropping events for slow consumers. Holding the
+// shard lock across delivery keeps same-key events ordered.
+func (s *Store[T]) emitLocked(ev WatchEvent[T]) {
+	for _, hook := range s.hooks {
+		hook(ev)
+	}
+	s.watchMu.RLock()
 	for _, ch := range s.watchers {
 		select {
 		case ch <- ev:
 		default: // watcher too slow: drop, it must re-List
 		}
 	}
+	s.watchMu.RUnlock()
 }
 
 // Version returns the store's latest resource version.
 func (s *Store[T]) Version() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
+	return s.version.Load()
 }

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -182,5 +183,215 @@ func TestConcurrentAccess(t *testing.T) {
 	got, _, _ := s.Get("counter")
 	if got.Value != 1000 {
 		t.Fatalf("lost updates: %d != 1000", got.Value)
+	}
+}
+
+// --- sharded-store coverage ---------------------------------------------
+
+// countingStore wraps the deep-copy callback with a counter so tests can
+// assert how many copies an operation makes.
+func countingStore(copies *atomic.Int64) *Store[obj] {
+	return New(func(o obj) obj {
+		copies.Add(1)
+		return deepCopy(o)
+	}, func(o obj) string { return o.Name })
+}
+
+// TestShardedConcurrentCreateUpdateWatch hammers the store from many
+// goroutines across many keys while a watcher consumes the merged stream;
+// run under -race this is the shard-lock correctness test. Per-key
+// versions observed on the watch channel must be strictly increasing.
+func TestShardedConcurrentCreateUpdateWatch(t *testing.T) {
+	s := newStore()
+	const writers = 8
+	const keys = 64
+	const updates = 25
+	ch, cancel := s.Watch(writers * keys * (updates + 1))
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				name := fmt.Sprintf("w%d-k%d", w, k)
+				if _, err := s.Create(obj{Name: name}); err != nil {
+					t.Error(err)
+					return
+				}
+				for u := 0; u < updates; u++ {
+					if _, _, err := s.Update(name, func(o obj) (obj, error) {
+						o.Value++
+						return o, nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != writers*keys {
+		t.Fatalf("Len = %d, want %d", got, writers*keys)
+	}
+	for w := 0; w < writers; w++ {
+		for k := 0; k < keys; k++ {
+			o, _, err := s.Get(fmt.Sprintf("w%d-k%d", w, k))
+			if err != nil || o.Value != updates {
+				t.Fatalf("w%d-k%d = %+v, %v (lost updates)", w, k, o, err)
+			}
+		}
+	}
+	// The merged watch stream must be per-key monotone in version.
+	lastSeen := map[string]int64{}
+	for {
+		select {
+		case ev := <-ch:
+			if prev, ok := lastSeen[ev.Object.Name]; ok && ev.Version <= prev {
+				t.Fatalf("key %s versions not monotone: %d then %d", ev.Object.Name, prev, ev.Version)
+			}
+			lastSeen[ev.Object.Name] = ev.Version
+		default:
+			if len(lastSeen) != writers*keys {
+				t.Fatalf("watch saw %d keys, want %d", len(lastSeen), writers*keys)
+			}
+			return
+		}
+	}
+}
+
+// TestWatcherDropThenRelistRecovers: a watcher that falls behind loses
+// events (never blocks writers) but recovers the full state via re-List —
+// the level-triggered contract consumers like the scheduler cache rely on.
+func TestWatcherDropThenRelistRecovers(t *testing.T) {
+	s := newStore()
+	ch, cancel := s.Watch(4)
+	defer cancel()
+	const total = 100
+	for i := 0; i < total; i++ {
+		if _, err := s.Create(obj{Name: fmt.Sprintf("n%d", i), Value: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := 0
+	for {
+		select {
+		case <-ch:
+			delivered++
+			continue
+		default:
+		}
+		break
+	}
+	if delivered >= total {
+		t.Fatalf("expected drops with buffer 4, got all %d events", delivered)
+	}
+	if got := len(s.List()); got != total {
+		t.Fatalf("re-List after drops returned %d objects, want %d", got, total)
+	}
+	// The drained watcher keeps receiving future events.
+	s.Create(obj{Name: "late"})
+	select {
+	case ev := <-ch:
+		if ev.Object.Name != "late" {
+			t.Fatalf("post-drop event = %+v", ev.Object)
+		}
+	default:
+		t.Fatal("watcher dead after drops")
+	}
+}
+
+// TestListFuncCopiesOnlyKept: the predicate filters before the deep copy,
+// so rejected objects cost nothing — the property the pending-job and
+// kubelet scans depend on.
+func TestListFuncCopiesOnlyKept(t *testing.T) {
+	var copies atomic.Int64
+	s := countingStore(&copies)
+	const total = 100
+	for i := 0; i < total; i++ {
+		s.Create(obj{Name: fmt.Sprintf("n%d", i), Value: i})
+	}
+	copies.Store(0)
+	kept := s.ListFunc(func(o obj) bool { return o.Value%2 == 0 })
+	if len(kept) != total/2 {
+		t.Fatalf("ListFunc kept %d, want %d", len(kept), total/2)
+	}
+	if got := copies.Load(); got != total/2 {
+		t.Fatalf("ListFunc made %d copies, want %d (rejected objects must not be copied)", got, total/2)
+	}
+}
+
+// TestRangeCopiesNothing: Range visits every object without a single deep
+// copy and honours early stop.
+func TestRangeCopiesNothing(t *testing.T) {
+	var copies atomic.Int64
+	s := countingStore(&copies)
+	const total = 50
+	for i := 0; i < total; i++ {
+		s.Create(obj{Name: fmt.Sprintf("n%d", i)})
+	}
+	copies.Store(0)
+	seen := 0
+	s.Range(func(o obj, version int64) bool {
+		if version <= 0 {
+			t.Fatalf("object %s has version %d", o.Name, version)
+		}
+		seen++
+		return true
+	})
+	if seen != total {
+		t.Fatalf("Range visited %d, want %d", seen, total)
+	}
+	if copies.Load() != 0 {
+		t.Fatalf("Range made %d copies, want 0", copies.Load())
+	}
+	seen = 0
+	s.Range(func(obj, int64) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("early-stop Range visited %d, want 1", seen)
+	}
+}
+
+// TestOnEventHookSeesEveryMutation: hooks observe create/update/delete in
+// per-key order with monotone versions — the contract the state-layer
+// indexes are built on.
+func TestOnEventHookSeesEveryMutation(t *testing.T) {
+	var mu sync.Mutex
+	var got []WatchEvent[obj]
+	s := newStore()
+	s.OnEvent(func(ev WatchEvent[obj]) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+	s.Create(obj{Name: "a", Value: 1})
+	s.Update("a", func(o obj) (obj, error) { o.Value = 2; return o, nil })
+	s.Delete("a")
+	want := []EventType{Added, Modified, Deleted}
+	if len(got) != len(want) {
+		t.Fatalf("hook saw %d events, want %d", len(got), len(want))
+	}
+	var last int64
+	for i, ev := range got {
+		if ev.Type != want[i] {
+			t.Fatalf("event %d = %s, want %s", i, ev.Type, want[i])
+		}
+		if ev.Version <= last {
+			t.Fatalf("event %d version %d not monotone after %d", i, ev.Version, last)
+		}
+		last = ev.Version
+	}
+}
+
+// TestEmptyListIsNotNil: HTTP handlers marshal List results straight to
+// JSON; an empty store must encode as [] rather than null.
+func TestEmptyListIsNotNil(t *testing.T) {
+	s := newStore()
+	if s.List() == nil {
+		t.Fatal("List() on empty store returned nil")
+	}
+	if s.ListFunc(func(obj) bool { return true }) == nil {
+		t.Fatal("ListFunc on empty store returned nil")
 	}
 }

@@ -232,22 +232,26 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	strategy := q.Get("strategy")
 	cont := q.Get("continue")
 
-	jobs := s.Core.State.Jobs.List()
+	// Field filters run inside ListFunc so non-matching jobs are never
+	// deep-copied; the continue-token cut happens pre-copy as well.
+	jobs := s.Core.State.Jobs.ListFunc(func(j api.QuantumJob) bool {
+		if cont != "" && j.Name <= cont {
+			return false
+		}
+		if phase != "" && j.Status.Phase != phase {
+			return false
+		}
+		if node != "" && j.Status.Node != node {
+			return false
+		}
+		if strategy != "" && string(j.Spec.Strategy) != strategy {
+			return false
+		}
+		return true
+	})
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
 	out := JobList{Items: []api.QuantumJob{}}
 	for _, j := range jobs {
-		if cont != "" && j.Name <= cont {
-			continue
-		}
-		if phase != "" && j.Status.Phase != phase {
-			continue
-		}
-		if node != "" && j.Status.Node != node {
-			continue
-		}
-		if strategy != "" && string(j.Spec.Strategy) != strategy {
-			continue
-		}
 		if limit > 0 && len(out.Items) == limit {
 			// One more match exists beyond the page: emit the token.
 			out.Continue = out.Items[len(out.Items)-1].Name

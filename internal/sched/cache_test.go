@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+)
+
+// TestFleetCacheTracksStoreViaEvents: with the relist fallback effectively
+// disabled, the cache must still observe node additions and status changes
+// purely from drained watch events.
+func TestFleetCacheTracksStoreViaEvents(t *testing.T) {
+	st := state.New()
+	node(t, st, "a", 5, 0.1)
+	fw := NewFramework(MetaScore{Scorer: mapScorer{"a": 1, "b": 2}}, DefaultFilters()...)
+	s := New(st, fw)
+	s.FleetResync = time.Hour // events or bust
+
+	if got := s.fleetNodes(); len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("initial snapshot = %v", got)
+	}
+	node(t, st, "b", 5, 0.1) // arrives only as a watch event now
+	if got := s.fleetNodes(); len(got) != 2 || got[1].Name != "b" {
+		t.Fatalf("snapshot after AddNode = %+v (watch event not applied)", got)
+	}
+	// A bind's node-status event must flow in the same way: schedule onto
+	// the fleet and verify the next snapshot sees the occupied slot.
+	if err := st.SubmitJob(job("j1", 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if bound := s.SchedulePass(); bound != 1 {
+		t.Fatalf("bound %d", bound)
+	}
+	var busy int
+	for _, n := range s.fleetNodes() {
+		busy += len(n.Status.RunningJobs)
+	}
+	if busy != 1 {
+		t.Fatalf("cache sees %d running jobs after bind, want 1", busy)
+	}
+}
+
+// TestFleetCacheRelistHealsDroppedEvents floods the node store with more
+// mutations than the watch buffer holds — the newest events are dropped by
+// the store's slow-consumer contract, leaving the cache stale — then
+// verifies the level-triggered re-List restores the true state.
+func TestFleetCacheRelistHealsDroppedEvents(t *testing.T) {
+	st := state.New()
+	node(t, st, "n", 5, 0.1)
+	s := New(st, NewFramework(nil, DefaultFilters()...))
+	s.FleetResync = time.Hour
+	s.fleetNodes() // subscribe
+
+	const churn = fleetWatchBuffer + 100
+	for i := 1; i <= churn; i++ {
+		if _, _, err := st.Nodes.Update("n", func(n api.Node) (api.Node, error) {
+			n.Spec.MaxContainers = i
+			return n, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.fleetNodes()
+	if len(got) != 1 {
+		t.Fatalf("snapshot = %v", got)
+	}
+	if got[0].Spec.MaxContainers == churn {
+		t.Fatalf("cache saw the final update despite %d dropped events — drop simulation broken", churn-fleetWatchBuffer)
+	}
+	s.FleetResync = time.Nanosecond // force the level-triggered re-List
+	got = s.fleetNodes()
+	if got[0].Spec.MaxContainers != churn {
+		t.Fatalf("re-List left MaxContainers=%d, want %d", got[0].Spec.MaxContainers, churn)
+	}
+}
+
+// TestSchedulePassAllocsIndependentOfHistory: the end-to-end hot path —
+// pending lookup plus fleet snapshot — must not allocate proportionally to
+// terminal jobs resident in the store (the pre-index code deep-copied all
+// of them every pass).
+func TestSchedulePassAllocsIndependentOfHistory(t *testing.T) {
+	st := state.New()
+	node(t, st, "n", 5, 0.1)
+	const history = 5000
+	for i := 0; i < history; i++ {
+		j := job(fmt.Sprintf("done-%d", i), 0, 0)
+		j.Status.Phase = api.JobSucceeded
+		if _, err := st.Jobs.Create(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(st, NewFramework(nil, DefaultFilters()...))
+	s.FleetResync = time.Hour
+	allocs := testing.AllocsPerRun(20, func() {
+		if bound := s.SchedulePass(); bound != 0 {
+			t.Fatalf("bound %d with empty queue", bound)
+		}
+	})
+	if allocs > 100 {
+		t.Fatalf("idle SchedulePass did %.0f allocs with %d terminal jobs resident — scaling with history", allocs, history)
+	}
+}
+
+// TestRunStopsFleetWatch: exiting the Run loop must deregister the cache's
+// store watcher so an abandoned scheduler leaks nothing; the next pass
+// resubscribes transparently.
+func TestRunStopsFleetWatch(t *testing.T) {
+	st := state.New()
+	node(t, st, "n", 5, 0.1)
+	s := New(st, NewFramework(nil, DefaultFilters()...))
+	s.fleetNodes()
+	s.fleet.mu.Lock()
+	subscribed := s.fleet.events != nil
+	s.fleet.mu.Unlock()
+	if !subscribed {
+		t.Fatal("snapshot did not subscribe")
+	}
+	s.Stop()
+	s.fleet.mu.Lock()
+	stopped := s.fleet.events == nil && s.fleet.nodes == nil
+	s.fleet.mu.Unlock()
+	if !stopped {
+		t.Fatal("stop left the cache live")
+	}
+	if got := s.fleetNodes(); len(got) != 1 {
+		t.Fatalf("resubscribe snapshot = %v", got)
+	}
+}
+
+// TestFleetCacheResetsOnStateSwap: pointing the scheduler at a different
+// cluster must drop the old store's view and version space entirely —
+// otherwise the old (larger) versions suppress the new store's events.
+func TestFleetCacheResetsOnStateSwap(t *testing.T) {
+	stA := state.New()
+	node(t, stA, "shared", 5, 0.1)
+	for i := 0; i < 50; i++ { // inflate A's version counter
+		stA.Nodes.Update("shared", func(n api.Node) (api.Node, error) { return n, nil })
+	}
+	s := New(stA, NewFramework(nil, DefaultFilters()...))
+	s.FleetResync = time.Hour
+	s.fleetNodes()
+
+	stB := state.New()
+	node(t, stB, "shared", 5, 0.1)
+	s.State = stB
+	if got := s.fleetNodes(); len(got) != 1 || got[0].Name != "shared" {
+		t.Fatalf("post-swap snapshot = %v", got)
+	}
+	// B's low-version watch events must not be suppressed by A's versions.
+	if _, _, err := stB.Nodes.Update("shared", func(n api.Node) (api.Node, error) {
+		n.Spec.MaxContainers = 7
+		return n, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.fleetNodes(); got[0].Spec.MaxContainers != 7 {
+		t.Fatalf("post-swap event suppressed: MaxContainers = %d, want 7", got[0].Spec.MaxContainers)
+	}
+}

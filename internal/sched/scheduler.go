@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"time"
 
 	"qrio/internal/cluster/api"
@@ -34,6 +33,14 @@ type Scheduler struct {
 	// Workers bounds the ranking worker pool in batched dispatch
 	// (0 = min(Concurrency, GOMAXPROCS)).
 	Workers int
+	// FleetResync is the level-triggered fallback cadence at which the
+	// node snapshot cache re-Lists the store, healing dropped watch events
+	// (default 1s). Tests shrink it to force relists.
+	FleetResync time.Duration
+
+	// fleet is the watch-fed node snapshot cache: passes rank against this
+	// cached view instead of deep-copying the whole fleet each pass.
+	fleet fleetCache
 }
 
 // New assembles a scheduler over cluster state.
@@ -51,6 +58,7 @@ func (s *Scheduler) Run(ctx context.Context) {
 	defer ticker.Stop()
 	events, cancel := s.State.Jobs.Watch(128)
 	defer cancel()
+	defer s.fleet.stop()
 	for {
 		select {
 		case <-ctx.Done():
@@ -71,7 +79,9 @@ func (s *Scheduler) SchedulePass() int {
 	if limit <= 0 {
 		limit = 1
 	}
-	pending := s.pendingFIFO()
+	// The incremental pending index makes this O(pending work): terminal
+	// jobs resident in the store are never touched, let alone deep-copied.
+	pending := s.State.PendingJobs()
 	if len(pending) == 0 {
 		return 0
 	}
@@ -116,7 +126,7 @@ func (s *Scheduler) batchedPass(pending []api.QuantumJob, limit int) int {
 	if s.Framework == nil {
 		return 0
 	}
-	nodes := s.State.Nodes.List()
+	nodes := s.fleetNodes()
 	free := make(map[string]*headroom, len(nodes))
 	for _, n := range nodes {
 		free[n.Name] = &headroom{
@@ -207,21 +217,19 @@ func (s *Scheduler) recordSchedulingFailure(jobName string, err error) {
 	s.State.RecordEvent("Job", jobName, "SchedulingError", err.Error())
 }
 
-// pendingFIFO lists pending jobs oldest-first (stable on name).
-func (s *Scheduler) pendingFIFO() []api.QuantumJob {
-	var pending []api.QuantumJob
-	for _, j := range s.State.Jobs.List() {
-		if j.Status.Phase == api.JobPending {
-			pending = append(pending, j)
-		}
-	}
-	sort.Slice(pending, func(i, j int) bool {
-		if !pending[i].CreatedAt.Equal(pending[j].CreatedAt) {
-			return pending[i].CreatedAt.Before(pending[j].CreatedAt)
-		}
-		return pending[i].Name < pending[j].Name
-	})
-	return pending
+// fleetNodes returns the cached fleet view (watch-fed, with a periodic
+// re-List fallback) the pass ranks against.
+func (s *Scheduler) fleetNodes() []api.Node {
+	return s.fleet.snapshot(s.State.Nodes, s.FleetResync)
+}
+
+// Stop releases the fleet cache's store watcher. Run does this on exit;
+// callers driving SchedulePass/ScheduleOne directly (tests, benchmarks,
+// library embeddings) should Stop a scheduler they abandon so the store
+// isn't left broadcasting to a channel nobody drains. The scheduler
+// remains usable afterwards — the next pass resubscribes.
+func (s *Scheduler) Stop() {
+	s.fleet.stop()
 }
 
 // ScheduleOne runs the pipeline for a single job and binds it.
@@ -229,7 +237,7 @@ func (s *Scheduler) ScheduleOne(job api.QuantumJob) error {
 	if s.Framework == nil {
 		return fmt.Errorf("sched: scheduler has no framework")
 	}
-	choice, err := s.Framework.Select(job, s.State.Nodes.List())
+	choice, err := s.Framework.Select(job, s.fleetNodes())
 	if err != nil {
 		return err
 	}
