@@ -57,6 +57,9 @@ type (
 	BatchSubmitItem = gateway.BatchSubmitItem
 	// ScoreResult is one backend's score in a batch scoring response.
 	ScoreResult = meta.BatchResult
+	// TenantStatus is one tenant's usage, fair-share weight and quota as
+	// reported by GET /v1/tenants.
+	TenantStatus = gateway.TenantStatus
 )
 
 // APIError is a structured gateway error: the HTTP status plus the
@@ -95,6 +98,11 @@ func IsInvalid(err error) bool { return code(err) == httpx.CodeInvalid }
 // IsUnschedulable reports whether err is the gateway's unschedulable
 // error (no node in the fleet can ever satisfy the job's requirements).
 func IsUnschedulable(err error) bool { return code(err) == httpx.CodeUnschedulable }
+
+// IsQuotaExceeded reports whether err is the gateway's quota_exceeded
+// error (the tenant is over its pending/active/qubit-second admission
+// quota; retry after in-flight work drains).
+func IsQuotaExceeded(err error) bool { return code(err) == httpx.CodeQuotaExceeded }
 
 // Client talks to a /v1 gateway.
 type Client struct {
@@ -158,6 +166,9 @@ type ListOptions struct {
 	Node string
 	// Strategy filters on the scheduling strategy ("fidelity"/"topology").
 	Strategy string
+	// Tenant filters on the owning tenant ("default" matches pre-tenancy
+	// jobs too).
+	Tenant string
 	// Limit caps the page size (0 = everything).
 	Limit int
 	// Continue resumes listing after a previous page's token.
@@ -177,6 +188,9 @@ func (c *Client) List(ctx context.Context, opts ListOptions) (JobList, error) {
 	}
 	if opts.Strategy != "" {
 		q.Set("strategy", opts.Strategy)
+	}
+	if opts.Tenant != "" {
+		q.Set("tenant", opts.Tenant)
 	}
 	if opts.Limit > 0 {
 		q.Set("limit", strconv.Itoa(opts.Limit))
@@ -222,6 +236,14 @@ func (c *Client) Logs(ctx context.Context, name string) (Result, error) {
 func (c *Client) Events(ctx context.Context, name string) ([]Event, error) {
 	var out []Event
 	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(name)+"/events", nil, &out)
+	return out, err
+}
+
+// Tenants lists every tenant's live usage (pending/active jobs,
+// qubit-seconds in flight), fair-share weight and governing quota.
+func (c *Client) Tenants(ctx context.Context) ([]TenantStatus, error) {
+	var out []TenantStatus
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
 	return out, err
 }
 

@@ -2,14 +2,21 @@
 // baseline (BENCH_results.json) and fails on throughput regressions — the
 // guard that keeps the scheduling hot path from quietly decaying as the
 // codebase grows. Both inputs are `go test -json` streams as produced by
-// `make bench-json`.
+// `make bench-json` / `make bench-compare`.
 //
 // For every benchmark matching -match (comma-separated name prefixes), the
 // throughput is the benchmark's own */s metric when it reports one
-// (jobs/s, bound-jobs/s, ...) and 1e9/ns-op otherwise. A benchmark
-// regresses when current throughput drops more than -threshold percent
-// below the baseline. Benchmarks present on only one side are reported
-// but never fail the run, so adding or retiring benches doesn't break CI.
+// (jobs/s, bound-jobs/s, ...) and 1e9/ns-op otherwise. When a stream holds
+// several runs of one benchmark (`-count=N`), the MEDIAN throughput is
+// compared — single noisy runs stop failing CI. A benchmark regresses
+// when the median drops more than -threshold percent below the baseline.
+// Benchmarks present on only one side are reported but never fail the
+// run, so adding or retiring benches doesn't break CI.
+//
+// When $GITHUB_STEP_SUMMARY is set (or -summary names a file), the delta
+// table is additionally appended there as GitHub-flavoured markdown, so
+// every CI run shows its per-benchmark deltas on the workflow summary
+// page.
 //
 // Refresh the baseline with `make bench-json` on a quiet machine and
 // commit the resulting BENCH_results.json.
@@ -59,30 +66,80 @@ func (r result) throughput() (float64, string) {
 	return 0, ""
 }
 
-// parseFile extracts benchmark results from a test2json stream.
-func parseFile(path string) (map[string]result, error) {
+// parseFile extracts benchmark results from a test2json stream. A stream
+// produced with -count=N yields N entries per benchmark.
+func parseFile(path string) (map[string][]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]result)
+	out := make(map[string][]result)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	// last tracks the benchmark the stream is currently inside: with
+	// -count=N only the first run's events carry the Test field — the
+	// repeats arrive as bare package-level numeric lines and attribute to
+	// the most recently named benchmark (runs are sequential).
+	last := ""
 	for sc.Scan() {
 		var ev event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			continue // tolerate stray non-JSON lines
 		}
+		if ev.Test != "" {
+			last = ev.Test
+		}
 		if ev.Action != "output" {
 			continue
 		}
-		name, res, ok := parseBenchLine(ev.Test, ev.Output)
+		if trimmed := strings.TrimSpace(ev.Output); strings.HasPrefix(trimmed, "Benchmark") &&
+			!strings.Contains(trimmed, " ns/op") {
+			// A name-only flush ("BenchmarkFoo    \t") opens a run whose
+			// numbers follow in a later event.
+			if f := strings.Fields(trimmed); len(f) > 0 {
+				last = stripProcSuffix(f[0])
+			}
+			continue
+		}
+		fallback := ev.Test
+		if fallback == "" {
+			fallback = last
+		}
+		name, res, ok := parseBenchLine(fallback, ev.Output)
 		if ok {
-			out[name] = res
+			out[name] = append(out[name], res)
+			last = name
 		}
 	}
 	return out, sc.Err()
+}
+
+// medianThroughput reduces a benchmark's runs to the median throughput
+// (the de-flaking step: with -count=3 one outlier run cannot swing the
+// comparison). The unit comes from the first run reporting one.
+func medianThroughput(runs []result) (float64, string) {
+	vals := make([]float64, 0, len(runs))
+	unit := ""
+	for _, r := range runs {
+		v, u := r.throughput()
+		if v <= 0 {
+			continue
+		}
+		vals = append(vals, v)
+		if unit == "" {
+			unit = u
+		}
+	}
+	if len(vals) == 0 {
+		return 0, ""
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid], unit
+	}
+	return (vals[mid-1] + vals[mid]) / 2, unit
 }
 
 // parseBenchLine parses one benchmark result. test2json puts the name in
@@ -140,13 +197,22 @@ func matchesAny(name string, prefixes []string) bool {
 	return false
 }
 
+// row is one rendered comparison line, shared by the console table and
+// the markdown step summary.
+type row struct {
+	name, baseline, current, delta string
+	regressed                      bool
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_results.json", "committed baseline (test2json stream)")
 	currentPath := flag.String("current", "BENCH_current.json", "fresh run (test2json stream)")
 	threshold := flag.Float64("threshold", 25, "max tolerated throughput drop, percent")
 	match := flag.String("match",
-		"BenchmarkSchedulePassWithHistory,BenchmarkSubmitThroughput,BenchmarkStoreContention",
+		"BenchmarkSchedulePassWithHistory,BenchmarkSubmitThroughput,BenchmarkStoreContention,BenchmarkFairShare",
 		"comma-separated benchmark name prefixes to guard")
+	summaryPath := flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
+		"append the delta table as markdown to this file (default: $GITHUB_STEP_SUMMARY when set)")
 	flag.Parse()
 
 	baseline, err := parseFile(*baselinePath)
@@ -181,35 +247,84 @@ func main() {
 	}
 
 	regressions := 0
-	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "baseline", "current", "delta")
+	var rows []row
 	for _, name := range ordered {
 		b, inBase := baseline[name]
 		c, inCur := current[name]
 		switch {
 		case !inBase:
-			tp, unit := c.throughput()
-			fmt.Printf("%-55s %14s %11.1f %s %8s\n", name, "(new)", tp, unit, "-")
+			tp, unit := medianThroughput(c)
+			rows = append(rows, row{name: name, baseline: "(new)",
+				current: fmt.Sprintf("%.1f %s", tp, unit), delta: "-"})
 		case !inCur:
-			fmt.Printf("%-55s %14s %14s %8s  (missing from current run)\n", name, "-", "-", "-")
+			rows = append(rows, row{name: name, baseline: "-", current: "(missing)", delta: "-"})
 		default:
-			bt, unit := b.throughput()
-			ct, _ := c.throughput()
+			bt, unit := medianThroughput(b)
+			ct, _ := medianThroughput(c)
 			if bt <= 0 {
 				continue
 			}
 			delta := (ct - bt) / bt * 100
-			flag := ""
+			r := row{
+				name:     name,
+				baseline: fmt.Sprintf("%.1f %s", bt, unit),
+				current:  fmt.Sprintf("%.1f %s (median of %d)", ct, unit, len(c)),
+				delta:    fmt.Sprintf("%+.1f%%", delta),
+			}
 			if delta < -*threshold {
-				flag = "  REGRESSION"
+				r.regressed = true
 				regressions++
 			}
-			fmt.Printf("%-55s %11.1f %s %11.1f %s %+7.1f%%%s\n", name, bt, unit, ct, unit, delta, flag)
+			rows = append(rows, r)
 		}
 	}
+
+	fmt.Printf("%-55s %24s %34s %10s\n", "benchmark", "baseline", "current", "delta")
+	for _, r := range rows {
+		flag := ""
+		if r.regressed {
+			flag = "  REGRESSION"
+		}
+		fmt.Printf("%-55s %24s %34s %10s%s\n", r.name, r.baseline, r.current, r.delta, flag)
+	}
+	verdict := fmt.Sprintf("benchcompare: all guarded benchmarks within %.0f%% of the baseline", *threshold)
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed more than %.0f%% below the baseline\n",
+		verdict = fmt.Sprintf("benchcompare: %d benchmark(s) regressed more than %.0f%% below the baseline",
 			regressions, *threshold)
+	}
+	if err := writeSummary(*summaryPath, rows, verdict); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: writing step summary: %v\n", err)
+	}
+	if regressions > 0 {
+		fmt.Fprintln(os.Stderr, verdict)
 		os.Exit(1)
 	}
-	fmt.Printf("benchcompare: all guarded benchmarks within %.0f%% of the baseline\n", *threshold)
+	fmt.Println(verdict)
+}
+
+// writeSummary appends the delta table as a markdown section (the GitHub
+// step summary format). A missing path is a no-op.
+func writeSummary(path string, rows []row, verdict string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var sb strings.Builder
+	sb.WriteString("### Benchmark comparison\n\n")
+	sb.WriteString("| benchmark | baseline | current | delta |\n")
+	sb.WriteString("|---|---|---|---|\n")
+	for _, r := range rows {
+		delta := r.delta
+		if r.regressed {
+			delta = "**" + delta + " REGRESSION**"
+		}
+		fmt.Fprintf(&sb, "| `%s` | %s | %s | %s |\n", r.name, r.baseline, r.current, delta)
+	}
+	sb.WriteString("\n" + verdict + "\n\n")
+	_, err = f.WriteString(sb.String())
+	return err
 }

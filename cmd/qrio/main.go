@@ -16,6 +16,8 @@
 //
 //	qrio [-addr :8080] [-fleet fleet.json] [-small] [-concurrency N]
 //	     [-node-concurrency N] [-score-workers N]
+//	     [-tenant-weights a=3,b=1] [-quota-pending N] [-quota-active N]
+//	     [-quota-qubit-seconds F]
 package main
 
 import (
@@ -26,10 +28,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"qrio"
 
+	"qrio/internal/cluster/api"
 	"qrio/internal/daemon"
 	"qrio/internal/device"
 )
@@ -41,8 +46,16 @@ func main() {
 	concurrency := flag.Int("concurrency", 1, "scheduler jobs per pass (1 = paper behaviour, >1 = batched dispatch)")
 	nodeConcurrency := flag.Int("node-concurrency", 1, "containers per node (1 = paper behaviour; >1 bounded by node CPU capacity)")
 	scoreWorkers := flag.Int("score-workers", 0, "total concurrent Meta-Server scoring calls across the ranked batch (0 = GOMAXPROCS)")
+	tenantWeights := flag.String("tenant-weights", "", "fair-share weights as tenant=weight pairs, e.g. alice=3,bob=1 (unlisted tenants weigh 1)")
+	quotaPending := flag.Int("quota-pending", 0, "per-tenant admission cap on pending jobs (0 = unlimited)")
+	quotaActive := flag.Int("quota-active", 0, "per-tenant admission cap on jobs holding node resources (0 = unlimited)")
+	quotaQubitSec := flag.Float64("quota-qubit-seconds", 0, "per-tenant admission cap on estimated qubit-seconds in flight (0 = unlimited)")
 	flag.Parse()
 
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("parsing -tenant-weights: %v", err)
+	}
 	fleet, err := loadFleet(*fleetPath, *small)
 	if err != nil {
 		log.Fatalf("loading fleet: %v", err)
@@ -52,6 +65,14 @@ func main() {
 		Concurrency:     *concurrency,
 		NodeConcurrency: *nodeConcurrency,
 		ScoreWorkers:    *scoreWorkers,
+		TenantWeights:   weights,
+		TenantQuotas: api.TenantQuotaPolicy{
+			Default: api.TenantQuota{
+				MaxPending:      *quotaPending,
+				MaxActive:       *quotaActive,
+				MaxQubitSeconds: *quotaQubitSec,
+			},
+		},
 	})
 	if err != nil {
 		log.Fatalf("assembling QRIO: %v", err)
@@ -72,6 +93,29 @@ func main() {
 	<-sig
 	log.Print("shutting down")
 	srv.Close()
+}
+
+// parseTenantWeights parses "a=3,b=1" into a weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, raw, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed pair %q (want tenant=weight)", pair)
+		}
+		if !api.ValidTenantName(name) {
+			return nil, fmt.Errorf("invalid tenant name %q", name)
+		}
+		w, err := strconv.Atoi(raw)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenant %s: weight %q must be a positive integer", name, raw)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 func loadFleet(path string, small bool) ([]*device.Backend, error) {

@@ -43,6 +43,19 @@ func main() {
 	defer stop()
 
 	switch args[0] {
+	case "tenants":
+		tenants, err := c.Tenants(ctx)
+		check(err)
+		fmt.Printf("%-16s %6s %8s %8s %12s %s\n", "TENANT", "WEIGHT", "PENDING", "ACTIVE", "QUBIT-SEC", "QUOTA")
+		for _, t := range tenants {
+			quota := "unlimited"
+			if !t.Quota.Unlimited() {
+				quota = fmt.Sprintf("pending=%d active=%d qubit-sec=%g",
+					t.Quota.MaxPending, t.Quota.MaxActive, t.Quota.MaxQubitSeconds)
+			}
+			fmt.Printf("%-16s %6d %8d %8d %12.3f %s\n",
+				t.Tenant, t.Weight, t.Pending, t.Active, t.QubitSeconds, quota)
+		}
 	case "nodes":
 		nodes, err := c.Nodes(ctx)
 		check(err)
@@ -102,21 +115,23 @@ func list(ctx context.Context, c *client.Client, args []string) {
 	phase := fs.String("phase", "", "filter by phase (Pending|Scheduled|Running|Succeeded|Failed|Cancelled)")
 	node := fs.String("node", "", "filter by bound node")
 	strategy := fs.String("strategy", "", "filter by strategy (fidelity|topology)")
+	tenant := fs.String("tenant", "", "filter by owning tenant")
 	limit := fs.Int("limit", 0, "page size (0 = everything; pages are fetched until exhausted)")
 	check(fs.Parse(args))
 	opts := client.ListOptions{
 		Phase:    client.JobPhase(*phase),
 		Node:     *node,
 		Strategy: *strategy,
+		Tenant:   *tenant,
 		Limit:    *limit,
 	}
-	fmt.Printf("%-20s %-10s %-9s %-18s %8s\n", "NAME", "PHASE", "STRATEGY", "NODE", "SCORE")
+	fmt.Printf("%-20s %-12s %-10s %-9s %-18s %8s\n", "NAME", "TENANT", "PHASE", "STRATEGY", "NODE", "SCORE")
 	for {
 		page, err := c.List(ctx, opts)
 		check(err)
 		for _, j := range page.Items {
-			fmt.Printf("%-20s %-10s %-9s %-18s %8.4f\n",
-				j.Name, j.Status.Phase, j.Spec.Strategy, j.Status.Node, j.Status.Score)
+			fmt.Printf("%-20s %-12s %-10s %-9s %-18s %8.4f\n",
+				j.Name, j.Spec.Tenant, j.Status.Phase, j.Spec.Strategy, j.Status.Node, j.Status.Score)
 		}
 		if page.Continue == "" {
 			return
@@ -164,6 +179,7 @@ func watch(ctx context.Context, c *client.Client, args []string) {
 func submit(ctx context.Context, c *client.Client, args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	name := fs.String("name", "", "job name (required)")
+	tenant := fs.String("tenant", "", "tenant to charge the job to (default: the default tenant)")
 	qasmPath := fs.String("qasm", "", "path to the OpenQASM 2.0 circuit (required)")
 	shots := fs.Int("shots", 1024, "shots")
 	fidelityTarget := fs.Float64("fidelity", 0, "fidelity target (fidelity strategy)")
@@ -184,6 +200,7 @@ func submit(ctx context.Context, c *client.Client, args []string) {
 
 	req := client.SubmitRequest{
 		JobName:   *name,
+		Tenant:    *tenant,
 		QASM:      string(src),
 		Shots:     *shots,
 		CPUMillis: *cpu,
@@ -239,8 +256,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: qrioctl [-server URL] <command>
 commands:
   nodes                 list cluster nodes
-  list [flags]          list jobs (-phase P, -node N, -strategy S, -limit K); "jobs" is an alias
-  submit -name N -qasm FILE (-fidelity F | -topology NAME -topology-qubits Q) [-wait] [flags]
+  tenants               list per-tenant usage, fair-share weights and quotas
+  list [flags]          list jobs (-phase P, -node N, -strategy S, -tenant T, -limit K); "jobs" is an alias
+  submit -name N -qasm FILE (-fidelity F | -topology NAME -topology-qubits Q) [-tenant T] [-wait] [flags]
   cancel JOB            cancel a job (any lifecycle stage; aborts running containers)
   watch [JOB]           stream live job/node transitions (follow one job to its end)
   logs JOB              fetch a finished job's execution log

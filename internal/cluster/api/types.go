@@ -134,8 +134,111 @@ type DeviceRequirements struct {
 	MinT2us       float64 `json:"minT2us,omitempty"`
 }
 
+// DefaultTenant is the tenant jobs belong to when the submitter names
+// none — the single-user behaviour of the paper's deployment.
+const DefaultTenant = "default"
+
+// DefaultShots is the shot count applied when a submission names none.
+// Every intake layer (master, cluster state, gateway quota pricing) uses
+// this one constant so admission's qubit-second estimate can never drift
+// from the stored job's demand.
+const DefaultShots = 1024
+
+// ValidTenantName reports whether a tenant identifier is acceptable: a
+// DNS-label-style token (lowercase alphanumerics and dashes, neither
+// leading nor trailing, at most 63 characters). Tenant names appear in
+// URLs, metrics and quota configuration, so the charset is kept strict.
+func ValidTenantName(t string) bool {
+	if t == "" || len(t) > 63 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '-':
+			if i == 0 || i == len(t)-1 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// TenantQuota bounds one tenant's admitted-but-unfinished work. Zero
+// values mean "unlimited" so the default configuration admits everything,
+// exactly like the pre-tenancy gateway.
+type TenantQuota struct {
+	// MaxPending caps jobs sitting in the Pending phase.
+	MaxPending int `json:"maxPending,omitempty"`
+	// MaxActive caps jobs holding node resources (Scheduled or Running).
+	// It is enforced twice: the gateway rejects submissions while the
+	// tenant is at the cap, and the scheduler never dispatches a pass
+	// past a tenant's remaining active budget (so a burst admitted while
+	// idle still cannot exceed it once bound).
+	MaxActive int `json:"maxActive,omitempty"`
+	// MaxQubitSeconds caps the summed qubit-second demand of every
+	// non-terminal job (see EstimateQubitSeconds).
+	MaxQubitSeconds float64 `json:"maxQubitSeconds,omitempty"`
+}
+
+// Unlimited reports whether the quota admits everything.
+func (q TenantQuota) Unlimited() bool {
+	return q.MaxPending <= 0 && q.MaxActive <= 0 && q.MaxQubitSeconds <= 0
+}
+
+// TenantQuotaPolicy resolves per-tenant quotas: an explicit entry wins,
+// everyone else gets the default. The zero policy admits everything —
+// the pre-tenancy behaviour.
+type TenantQuotaPolicy struct {
+	// Default applies to tenants without an explicit entry.
+	Default TenantQuota `json:"default,omitempty"`
+	// Tenants holds per-tenant overrides.
+	Tenants map[string]TenantQuota `json:"tenants,omitempty"`
+}
+
+// For returns the quota governing one tenant.
+func (p TenantQuotaPolicy) For(tenant string) TenantQuota {
+	if q, ok := p.Tenants[tenant]; ok {
+		return q
+	}
+	return p.Default
+}
+
+// secondsPerShot is the coarse device-time model behind qubit-second
+// accounting: one millisecond of device wall-clock per shot, the order of
+// magnitude of a superconducting-qubit execution cycle incl. readout.
+const secondsPerShot = 1e-3
+
+// EstimateQubitSeconds models a job's device-time demand for quota
+// accounting: circuit width × shots × a nominal per-shot duration. It is
+// a capacity-planning estimate, not a measurement — what matters for
+// fairness is that every tenant's jobs are costed by the same rule.
+func EstimateQubitSeconds(qubits, shots int) float64 {
+	if qubits < 1 {
+		qubits = 1
+	}
+	if shots < 1 {
+		shots = 1
+	}
+	return float64(qubits) * float64(shots) * secondsPerShot
+}
+
+// QubitSecondsDemand is the job's quota-accounting weight, derived from
+// its stored spec (MinQubits carries the circuit width after master
+// intake; Shots is defaulted on submission).
+func (s *JobSpec) QubitSecondsDemand() float64 {
+	return EstimateQubitSeconds(s.Requirements.MinQubits, s.Shots)
+}
+
 // JobSpec is the user-declared job description.
 type JobSpec struct {
+	// Tenant names the submitting principal for quota accounting and
+	// weighted fair scheduling. Empty is normalised to DefaultTenant on
+	// submission.
+	Tenant string `json:"tenant,omitempty"`
 	// Image names the containerised job bundle in the registry; the
 	// Master Server fills it in after the build+push step (§3.3).
 	Image string `json:"image,omitempty"`
@@ -201,6 +304,9 @@ func (j *QuantumJob) Validate() error {
 	}
 	if j.Spec.Shots < 0 {
 		return fmt.Errorf("api: job %s negative shots", j.Name)
+	}
+	if j.Spec.Tenant != "" && !ValidTenantName(j.Spec.Tenant) {
+		return fmt.Errorf("api: job %s tenant %q is not a valid tenant name", j.Name, j.Spec.Tenant)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ package state
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"sync"
@@ -40,13 +41,28 @@ type Cluster struct {
 	Results *store.Store[api.Result]
 	Events  *store.Store[api.Event]
 
+	// Quotas is the deployment's tenant quota policy. SubmitJob enforces
+	// it for every submission surface (gateway, master, cluster API,
+	// visualizer) — the state layer is the one choke point jobs cannot
+	// route around. Set once at wiring time, before any traffic.
+	Quotas api.TenantQuotaPolicy
+
 	uid atomic.Int64
 	// backendCache avoids re-decoding node backend JSON on every access.
 	mu           sync.Mutex
 	backendCache map[string]*device.Backend
 
 	pending  pendingIndex
+	usage    usageIndex
 	eventIdx eventIndex
+
+	// submitGates serialises SubmitJob per tenant (hash-striped) so the
+	// quota check and the store create are atomic with respect to
+	// same-tenant racers — the hook-fed usage index updates under the
+	// store write, inside the window the gate covers, making admission
+	// accounting exact. Striping bounds memory; cross-tenant collisions
+	// only cost a moment of false serialisation.
+	submitGates [64]sync.Mutex
 }
 
 // New returns an empty cluster state with its indexes wired.
@@ -58,12 +74,16 @@ func New() *Cluster {
 		Events:       store.New(api.Event.DeepCopy, func(e api.Event) string { return e.Name }),
 		backendCache: make(map[string]*device.Backend),
 	}
-	c.pending.member = make(map[string]time.Time)
+	c.pending.queues = make(map[string][]pendingEntry)
+	c.pending.member = make(map[string]pendingRef)
+	c.usage.jobs = make(map[string]usageEntry)
+	c.usage.tenants = make(map[string]*TenantUsage)
 	c.eventIdx.byAbout = make(map[string][]api.Event)
 	c.eventIdx.cap = EventIndexCap
 	// The hooks run under the mutated shard's lock: they may only touch the
 	// index mutexes (never a store), keeping the lock order store→index.
 	c.Jobs.OnEvent(c.pending.onJobEvent)
+	c.Jobs.OnEvent(c.usage.onJobEvent)
 	c.Events.OnEvent(c.eventIdx.onEventEvent)
 	return c
 }
@@ -75,36 +95,54 @@ func (c *Cluster) NextUID(prefix string) string {
 
 // --- pending-job index --------------------------------------------------
 
+// TenantOf returns the job's quota/fairness principal, normalising the
+// pre-tenancy empty field to the default tenant.
+func TenantOf(j *api.QuantumJob) string {
+	if j.Spec.Tenant == "" {
+		return api.DefaultTenant
+	}
+	return j.Spec.Tenant
+}
+
 // pendingEntry is one queued job, ordered by (CreatedAt, Name) — the FIFO
-// order the scheduler dispatches in.
+// order within a tenant's sub-queue.
 type pendingEntry struct {
 	name    string
 	created time.Time
 }
 
-// pendingIndex is the incrementally maintained pending-job queue. Every
+// pendingRef locates a queued job for O(log n) removal.
+type pendingRef struct {
+	tenant  string
+	created time.Time
+}
+
+// pendingIndex is the incrementally maintained pending-job queue, kept as
+// per-tenant FIFO sub-queues (the weighted-fair scheduler drains tenants
+// against each other; within one tenant order is strictly FIFO). Every
 // job mutation flows through onJobEvent (a store hook), covering not just
 // SubmitJob/BindJob/CancelJob but also the controller's requeue/retry
 // transitions and any future writer — the index cannot go stale.
 type pendingIndex struct {
-	mu      sync.Mutex
-	entries []pendingEntry       // sorted by (created, name)
-	member  map[string]time.Time // name → created, for O(log n) removal
+	mu     sync.Mutex
+	queues map[string][]pendingEntry // tenant → entries sorted by (created, name)
+	member map[string]pendingRef     // job name → its sub-queue position key
+	count  int
 }
 
 func (p *pendingIndex) onJobEvent(ev store.WatchEvent[api.QuantumJob]) {
 	j := ev.Object
 	if ev.Type != store.Deleted && j.Status.Phase == api.JobPending {
-		p.add(j.Name, j.CreatedAt)
+		p.add(j.Name, TenantOf(&j), j.CreatedAt)
 		return
 	}
 	p.remove(j.Name)
 }
 
-// slot returns the sorted position of (created, name).
-func (p *pendingIndex) slot(name string, created time.Time) int {
-	return sort.Search(len(p.entries), func(i int) bool {
-		e := p.entries[i]
+// slot returns the sorted position of (created, name) in one sub-queue.
+func slot(entries []pendingEntry, name string, created time.Time) int {
+	return sort.Search(len(entries), func(i int) bool {
+		e := entries[i]
 		if !e.created.Equal(created) {
 			return e.created.After(created)
 		}
@@ -112,40 +150,72 @@ func (p *pendingIndex) slot(name string, created time.Time) int {
 	})
 }
 
-func (p *pendingIndex) add(name string, created time.Time) {
+func (p *pendingIndex) add(name, tenant string, created time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.member[name]; ok {
 		return
 	}
-	i := p.slot(name, created)
-	p.entries = append(p.entries, pendingEntry{})
-	copy(p.entries[i+1:], p.entries[i:])
-	p.entries[i] = pendingEntry{name: name, created: created}
-	p.member[name] = created
+	q := p.queues[tenant]
+	i := slot(q, name, created)
+	q = append(q, pendingEntry{})
+	copy(q[i+1:], q[i:])
+	q[i] = pendingEntry{name: name, created: created}
+	p.queues[tenant] = q
+	p.member[name] = pendingRef{tenant: tenant, created: created}
+	p.count++
 }
 
 func (p *pendingIndex) remove(name string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	created, ok := p.member[name]
+	ref, ok := p.member[name]
 	if !ok {
 		return
 	}
 	delete(p.member, name)
-	i := p.slot(name, created)
-	if i < len(p.entries) && p.entries[i].name == name {
-		p.entries = append(p.entries[:i], p.entries[i+1:]...)
+	q := p.queues[ref.tenant]
+	i := slot(q, name, ref.created)
+	if i < len(q) && q[i].name == name {
+		q = append(q[:i], q[i+1:]...)
+		if len(q) == 0 {
+			delete(p.queues, ref.tenant)
+		} else {
+			p.queues[ref.tenant] = q
+		}
+		p.count--
 	}
 }
 
-// names snapshots the queued job names in FIFO order.
+// names snapshots the queued job names in global FIFO order — the merge
+// of every tenant sub-queue by (created, name), which is exactly the
+// pre-tenancy single-queue order.
 func (p *pendingIndex) names() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]string, len(p.entries))
-	for i, e := range p.entries {
-		out[i] = e.name
+	out := make([]string, 0, p.count)
+	if len(p.queues) == 1 {
+		// Single tenant (the dominant case): its sub-queue already is the
+		// global order — no merge, no sort.
+		for _, q := range p.queues {
+			for _, e := range q {
+				out = append(out, e.name)
+			}
+		}
+		return out
+	}
+	merged := make([]pendingEntry, 0, p.count)
+	for _, q := range p.queues {
+		merged = append(merged, q...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].created.Equal(merged[j].created) {
+			return merged[i].created.Before(merged[j].created)
+		}
+		return merged[i].name < merged[j].name
+	})
+	for _, e := range merged {
+		out = append(out, e.name)
 	}
 	return out
 }
@@ -172,7 +242,109 @@ func (c *Cluster) PendingJobs() []api.QuantumJob {
 func (c *Cluster) PendingCount() int {
 	c.pending.mu.Lock()
 	defer c.pending.mu.Unlock()
-	return len(c.pending.entries)
+	return c.pending.count
+}
+
+// --- tenant usage index -------------------------------------------------
+
+// TenantUsage aggregates one tenant's admitted-but-unfinished work — the
+// figures the gateway's admission layer checks quotas against and
+// GET /v1/tenants reports.
+type TenantUsage struct {
+	Tenant string `json:"tenant"`
+	// Pending counts jobs waiting in the queue.
+	Pending int `json:"pending"`
+	// Active counts jobs holding node resources (Scheduled or Running).
+	Active int `json:"active"`
+	// QubitSeconds sums the estimated device-time demand of every
+	// non-terminal job (api.EstimateQubitSeconds).
+	QubitSeconds float64 `json:"qubitSeconds"`
+}
+
+// usageEntry remembers how one live job was last counted, so a phase
+// transition can be applied as an exact decrement/increment pair.
+type usageEntry struct {
+	tenant  string
+	pending bool
+	active  bool
+	qsec    float64
+}
+
+// usageIndex maintains per-tenant aggregates, fed by the same store hook
+// chain as the pending index — every writer is covered, the counters
+// cannot drift from the stored jobs.
+type usageIndex struct {
+	mu      sync.Mutex
+	jobs    map[string]usageEntry
+	tenants map[string]*TenantUsage
+}
+
+func (u *usageIndex) onJobEvent(ev store.WatchEvent[api.QuantumJob]) {
+	j := ev.Object
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if prev, ok := u.jobs[j.Name]; ok {
+		u.applyLocked(prev, -1)
+		delete(u.jobs, j.Name)
+	}
+	if ev.Type == store.Deleted || j.Status.Phase.Terminal() {
+		return
+	}
+	e := usageEntry{
+		tenant:  TenantOf(&j),
+		pending: j.Status.Phase == api.JobPending,
+		active:  j.Status.Phase == api.JobScheduled || j.Status.Phase == api.JobRunning,
+		qsec:    j.Spec.QubitSecondsDemand(),
+	}
+	u.jobs[j.Name] = e
+	u.applyLocked(e, +1)
+}
+
+func (u *usageIndex) applyLocked(e usageEntry, sign int) {
+	t := u.tenants[e.tenant]
+	if t == nil {
+		if sign < 0 {
+			return
+		}
+		t = &TenantUsage{Tenant: e.tenant}
+		u.tenants[e.tenant] = t
+	}
+	if e.pending {
+		t.Pending += sign
+	}
+	if e.active {
+		t.Active += sign
+	}
+	t.QubitSeconds += float64(sign) * e.qsec
+	if t.Pending <= 0 && t.Active <= 0 {
+		delete(u.tenants, e.tenant)
+	}
+}
+
+// TenantUsage reports one tenant's live aggregate (zero value when the
+// tenant has no admitted work).
+func (c *Cluster) TenantUsage(tenant string) TenantUsage {
+	if tenant == "" {
+		tenant = api.DefaultTenant
+	}
+	c.usage.mu.Lock()
+	defer c.usage.mu.Unlock()
+	if t := c.usage.tenants[tenant]; t != nil {
+		return *t
+	}
+	return TenantUsage{Tenant: tenant}
+}
+
+// TenantUsages lists every tenant with admitted work, name-ordered.
+func (c *Cluster) TenantUsages() []TenantUsage {
+	c.usage.mu.Lock()
+	out := make([]TenantUsage, 0, len(c.usage.tenants))
+	for _, t := range c.usage.tenants {
+		out = append(out, *t)
+	}
+	c.usage.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }
 
 // --- event index --------------------------------------------------------
@@ -292,12 +464,83 @@ func (c *Cluster) Backend(nodeName string) (*device.Backend, error) {
 	return &b, nil
 }
 
-// SubmitJob validates and stores a new job in the Pending phase.
+// QuotaExceededError reports a submission rejected by the deployment's
+// tenant quota policy. Limit names the bound that tripped ("pending",
+// "active" or "qubit-seconds").
+type QuotaExceededError struct {
+	Tenant string
+	Limit  string
+	Detail string
+}
+
+func (e *QuotaExceededError) Error() string {
+	return fmt.Sprintf("state: tenant %s over %s quota: %s", e.Tenant, e.Limit, e.Detail)
+}
+
+// HTTPStatus implements httpx.StatusCoder: quota rejections map to 429
+// with the "quota_exceeded" envelope code.
+func (e *QuotaExceededError) HTTPStatus() (int, string) { return 429, "quota_exceeded" }
+
+// CheckTenantQuota evaluates the tenant's quota against its live usage
+// plus one prospective submission of qsec qubit-seconds. Callers that
+// need exactness against concurrent submitters must hold the tenant's
+// submit gate (SubmitJob does; the gateway's admission layer holds its
+// own gate across the whole submission pipeline).
+func (c *Cluster) CheckTenantQuota(tenant string, qsec float64) error {
+	quota := c.Quotas.For(tenant)
+	if quota.Unlimited() {
+		return nil
+	}
+	usage := c.TenantUsage(tenant)
+	if quota.MaxPending > 0 && usage.Pending >= quota.MaxPending {
+		return &QuotaExceededError{
+			Tenant: tenant, Limit: "pending",
+			Detail: fmt.Sprintf("%d pending of %d allowed", usage.Pending, quota.MaxPending),
+		}
+	}
+	if quota.MaxActive > 0 && usage.Active >= quota.MaxActive {
+		return &QuotaExceededError{
+			Tenant: tenant, Limit: "active",
+			Detail: fmt.Sprintf("%d jobs on nodes of %d allowed — wait for one to finish",
+				usage.Active, quota.MaxActive),
+		}
+	}
+	if quota.MaxQubitSeconds > 0 && usage.QubitSeconds+qsec > quota.MaxQubitSeconds {
+		return &QuotaExceededError{
+			Tenant: tenant, Limit: "qubit-seconds",
+			Detail: fmt.Sprintf("%.3f in flight + %.3f requested exceeds %.3f allowed",
+				usage.QubitSeconds, qsec, quota.MaxQubitSeconds),
+		}
+	}
+	return nil
+}
+
+// submitGate returns the tenant's submit-serialisation stripe.
+func (c *Cluster) submitGate(tenant string) *sync.Mutex {
+	h := fnv.New32a()
+	h.Write([]byte(tenant))
+	return &c.submitGates[h.Sum32()%uint32(len(c.submitGates))]
+}
+
+// SubmitJob validates and stores a new job in the Pending phase. The
+// tenant quota policy is enforced here — the choke point every
+// submission surface (gateway, master, cluster API, visualizer) flows
+// through — under a per-tenant gate so concurrent same-tenant
+// submissions cannot overshoot the last quota slot.
 func (c *Cluster) SubmitJob(j api.QuantumJob) error {
 	if j.Spec.Shots == 0 {
-		j.Spec.Shots = 1024
+		j.Spec.Shots = api.DefaultShots
+	}
+	if j.Spec.Tenant == "" {
+		j.Spec.Tenant = api.DefaultTenant
 	}
 	if err := j.Validate(); err != nil {
+		return err
+	}
+	gate := c.submitGate(j.Spec.Tenant)
+	gate.Lock()
+	defer gate.Unlock()
+	if err := c.CheckTenantQuota(j.Spec.Tenant, j.Spec.QubitSecondsDemand()); err != nil {
 		return err
 	}
 	j.UID = c.NextUID("job")

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"testing"
@@ -374,5 +375,153 @@ func TestEventIndexRingCap(t *testing.T) {
 	}
 	if want := fmt.Sprintf("event %d", EventIndexCap+extra-1); evs[len(evs)-1].Message != want {
 		t.Fatalf("newest retained = %q, want %q", evs[len(evs)-1].Message, want)
+	}
+}
+
+func tenantFidelityJob(name, tenant string, shots int) api.QuantumJob {
+	j := fidelityJob(name)
+	j.Spec.Tenant = tenant
+	j.Spec.Shots = shots
+	j.Spec.Requirements.MinQubits = 2
+	return j
+}
+
+// TestTenantUsageThroughLifecycle drives the hook-fed tenant usage index
+// through submit → bind → terminal/cancel and checks every aggregate at
+// each step, including the qubit-second accounting.
+func TestTenantUsageThroughLifecycle(t *testing.T) {
+	c := New()
+	if _, err := c.AddNode(testBackend(t, "dev-a")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.SubmitJob(tenantFidelityJob(fmt.Sprintf("a-%d", i), "alice", 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SubmitJob(tenantFidelityJob("b-0", "bob", 500)); err != nil {
+		t.Fatal(err)
+	}
+	perAliceJob := api.EstimateQubitSeconds(2, 1000)
+	u := c.TenantUsage("alice")
+	if u.Pending != 3 || u.Active != 0 || u.QubitSeconds != 3*perAliceJob {
+		t.Fatalf("alice after submit: %+v", u)
+	}
+	if u := c.TenantUsage("bob"); u.Pending != 1 || u.QubitSeconds != api.EstimateQubitSeconds(2, 500) {
+		t.Fatalf("bob after submit: %+v", u)
+	}
+
+	// Bind: pending → active, qubit-seconds unchanged (still in flight).
+	if err := c.BindJob("a-0", "dev-a", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	u = c.TenantUsage("alice")
+	if u.Pending != 2 || u.Active != 1 || u.QubitSeconds != 3*perAliceJob {
+		t.Fatalf("alice after bind: %+v", u)
+	}
+
+	// Terminal phase releases everything the job was charged for.
+	if _, _, err := c.Jobs.Update("a-0", func(j api.QuantumJob) (api.QuantumJob, error) {
+		j.Status.Phase = api.JobSucceeded
+		return j, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	u = c.TenantUsage("alice")
+	if u.Pending != 2 || u.Active != 0 || u.QubitSeconds != 2*perAliceJob {
+		t.Fatalf("alice after terminal: %+v", u)
+	}
+
+	// Cancel releases a pending job; deletion releases the other, and an
+	// empty tenant vanishes from the listing.
+	if _, err := c.CancelJob("a-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Jobs.Delete("a-2"); err != nil {
+		t.Fatal(err)
+	}
+	if u = c.TenantUsage("alice"); u.Pending != 0 || u.Active != 0 || u.QubitSeconds != 0 {
+		t.Fatalf("alice after cancel+delete: %+v", u)
+	}
+	usages := c.TenantUsages()
+	if len(usages) != 1 || usages[0].Tenant != "bob" {
+		t.Fatalf("TenantUsages = %+v, want only bob", usages)
+	}
+
+	// Pre-tenancy jobs (no tenant set anywhere) land on the default tenant.
+	if _, err := c.Jobs.Create(api.QuantumJob{
+		ObjectMeta: api.ObjectMeta{Name: "legacy"},
+		Spec:       api.JobSpec{QASM: "x", Strategy: api.StrategyFidelity, TargetFidelity: 1},
+		Status:     api.JobStatus{Phase: api.JobPending},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.TenantUsage(""); u.Tenant != api.DefaultTenant || u.Pending != 1 {
+		t.Fatalf("default-tenant usage: %+v", u)
+	}
+}
+
+// TestPendingJobsGlobalFIFOAcrossTenants pins the merge contract: the
+// per-tenant sub-queues reassemble into exactly the (CreatedAt, Name)
+// global FIFO the pre-tenancy single queue produced.
+func TestPendingJobsGlobalFIFOAcrossTenants(t *testing.T) {
+	c := New()
+	// Alternate tenants on submission; SubmitJob stamps increasing
+	// CreatedAt, so global FIFO order is exactly submission order.
+	var want []string
+	for i := 0; i < 6; i++ {
+		tenant := "alice"
+		if i%2 == 1 {
+			tenant = "bob"
+		}
+		name := fmt.Sprintf("j-%d", i)
+		if err := c.SubmitJob(tenantFidelityJob(name, tenant, 1)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, name)
+	}
+	got := c.PendingJobs()
+	if len(got) != len(want) {
+		t.Fatalf("PendingJobs = %d jobs, want %d", len(got), len(want))
+	}
+	for i, j := range got {
+		if j.Name != want[i] {
+			t.Fatalf("global FIFO broken at %d: got %s, want %s", i, j.Name, want[i])
+		}
+	}
+	if c.PendingCount() != len(want) {
+		t.Fatalf("PendingCount = %d", c.PendingCount())
+	}
+}
+
+// TestSubmitJobEnforcesQuota pins the choke-point property: the quota
+// policy is enforced by SubmitJob itself, so submission surfaces that
+// bypass the gateway (master REST, raw cluster API, visualizer) cannot
+// route around admission control.
+func TestSubmitJobEnforcesQuota(t *testing.T) {
+	c := New()
+	c.Quotas = api.TenantQuotaPolicy{Default: api.TenantQuota{MaxPending: 2}}
+	for i := 0; i < 2; i++ {
+		if err := c.SubmitJob(tenantFidelityJob(fmt.Sprintf("ok-%d", i), "alice", 1)); err != nil {
+			t.Fatalf("submit %d under quota: %v", i, err)
+		}
+	}
+	err := c.SubmitJob(tenantFidelityJob("over", "alice", 1))
+	var quotaErr *QuotaExceededError
+	if !errors.As(err, &quotaErr) || quotaErr.Limit != "pending" {
+		t.Fatalf("over-quota submit: %v", err)
+	}
+	if status, code := quotaErr.HTTPStatus(); status != 429 || code != "quota_exceeded" {
+		t.Fatalf("quota error maps to %d/%s", status, code)
+	}
+	// Other tenants are unaffected; draining re-admits.
+	if err := c.SubmitJob(tenantFidelityJob("b-ok", "bob", 1)); err != nil {
+		t.Fatalf("bob blocked by alice quota: %v", err)
+	}
+	if _, err := c.CancelJob("ok-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SubmitJob(tenantFidelityJob("over", "alice", 1)); err != nil {
+		t.Fatalf("submit after drain: %v", err)
 	}
 }

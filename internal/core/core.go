@@ -47,6 +47,15 @@ type Config struct {
 	KubeletSeed int64
 	// MaxRetries bounds automatic retries of failed jobs.
 	MaxRetries int
+	// TenantWeights skews the scheduler's weighted fair queue: while
+	// several tenants are backlogged, binds are shared proportionally to
+	// their weights (missing tenants weigh 1). Only batched dispatch
+	// (Concurrency > 1) consults it; the serial path stays strict FIFO.
+	TenantWeights map[string]int
+	// TenantQuotas bounds each tenant's admitted-but-unfinished work; the
+	// gateway's admission layer enforces it on every submission. The zero
+	// policy admits everything.
+	TenantQuotas api.TenantQuotaPolicy
 }
 
 // containerSlots resolves a backend's container capacity under the
@@ -86,6 +95,9 @@ type QRIO struct {
 	Scheduler  *sched.Scheduler
 	Controller *controller.Controller
 	Kubelets   []*kubelet.Kubelet
+	// Quotas is the deployment's tenant quota policy (Config.TenantQuotas);
+	// the gateway's admission layer reads it.
+	Quotas api.TenantQuotaPolicy
 
 	mu              sync.Mutex
 	ctx             context.Context
@@ -104,6 +116,7 @@ func New(cfg Config) (*QRIO, error) {
 		return nil, fmt.Errorf("core: a QRIO cluster needs at least one backend")
 	}
 	st := state.New()
+	st.Quotas = cfg.TenantQuotas
 	metaSrv := meta.NewServer(cfg.Meta)
 	reg := registry.New()
 	for _, b := range cfg.Backends {
@@ -121,6 +134,8 @@ func New(cfg Config) (*QRIO, error) {
 	if cfg.Concurrency > 0 {
 		scheduler.Concurrency = cfg.Concurrency
 	}
+	scheduler.TenantWeights = cfg.TenantWeights
+	scheduler.TenantQuotas = cfg.TenantQuotas
 	ctl := controller.New(st)
 	if cfg.MaxRetries > 0 {
 		ctl.MaxRetries = cfg.MaxRetries
@@ -132,6 +147,7 @@ func New(cfg Config) (*QRIO, error) {
 		Registry:   reg,
 		Scheduler:  scheduler,
 		Controller: ctl,
+		Quotas:     cfg.TenantQuotas,
 	}
 	for i, b := range cfg.Backends {
 		q.Kubelets = append(q.Kubelets,

@@ -278,8 +278,8 @@ func TestConcurrentPipelineEndToEnd(t *testing.T) {
 	}
 	// All jobs share one circuit: the fleet-wide canary simulations must
 	// have been computed at most once per backend, the rest cache hits.
-	if hits, misses := q.Meta.CacheStats(); misses > 2 || hits == 0 {
-		t.Fatalf("cache stats hits=%d misses=%d; want ≤2 misses for 8 same-circuit jobs on 2 backends", hits, misses)
+	if st := q.Meta.CacheStats(); st.Misses > 2 || st.Hits == 0 {
+		t.Fatalf("cache stats hits=%d misses=%d; want ≤2 misses for 8 same-circuit jobs on 2 backends", st.Hits, st.Misses)
 	}
 	for _, n := range q.State.Nodes.List() {
 		if len(n.Status.RunningJobs) != 0 {

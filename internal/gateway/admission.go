@@ -1,0 +1,138 @@
+// Tenant admission control: the gateway's quota layer. Every submission
+// is charged to a tenant (JobSpec.Tenant, defaulted and validated here)
+// and admitted only while that tenant is under all three bounds of its
+// api.TenantQuota — pending jobs, active (Scheduled/Running) jobs, and
+// estimated qubit-seconds in flight. Rejections carry the typed
+// state.QuotaExceededError, which the httpx envelope maps to HTTP 429
+// with the machine-readable "quota_exceeded" code.
+//
+// The check itself lives in state (state.Cluster.CheckTenantQuota, also
+// enforced inside SubmitJob — the choke point no submission surface can
+// route around). The gateway layer adds two things: rejection BEFORE any
+// expensive work (metadata upload, containerisation), and a per-tenant
+// gate held from the quota check to the store commit so concurrent /v1
+// submissions of one tenant serialise — the hook-fed usage index updates
+// synchronously under the store write, inside the gated window, so two
+// racers can never both slip under the last quota slot. Different
+// tenants proceed in parallel.
+package gateway
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/httpx"
+)
+
+// tenantGate serialises one tenant's trips through the submission
+// pipeline; refs counts waiters so idle gates can be dropped.
+type tenantGate struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// admission holds the per-tenant gates.
+type admission struct {
+	mu    sync.Mutex
+	gates map[string]*tenantGate
+}
+
+// acquire locks tenant's gate (creating it on first use).
+func (a *admission) acquire(tenant string) *tenantGate {
+	a.mu.Lock()
+	if a.gates == nil {
+		a.gates = make(map[string]*tenantGate)
+	}
+	g := a.gates[tenant]
+	if g == nil {
+		g = &tenantGate{}
+		a.gates[tenant] = g
+	}
+	g.refs++
+	a.mu.Unlock()
+	g.mu.Lock()
+	return g
+}
+
+// put unlocks tenant's gate and drops it once nobody holds or awaits it.
+func (a *admission) put(tenant string, g *tenantGate) {
+	g.mu.Unlock()
+	a.mu.Lock()
+	g.refs--
+	if g.refs <= 0 {
+		delete(a.gates, tenant)
+	}
+	a.mu.Unlock()
+}
+
+// admit checks one submission against the tenant's quota. On success the
+// tenant's gate stays held until release is called — after the pipeline
+// stored or rejected the job — so the next submission of this tenant
+// reads a usage index that already accounts for this one. Exact by
+// construction: the index updates synchronously under the store write,
+// inside the window the gate covers.
+func (a *admission) admit(st *state.Cluster, quota api.TenantQuota, tenant string, qsec float64) (release func(), err error) {
+	if quota.Unlimited() {
+		return func() {}, nil
+	}
+	g := a.acquire(tenant)
+	if quotaErr := st.CheckTenantQuota(tenant, qsec); quotaErr != nil {
+		a.put(tenant, g)
+		return nil, quotaErr
+	}
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		a.put(tenant, g)
+	}, nil
+}
+
+// TenantStatus is one row of GET /v1/tenants: the tenant's live usage
+// from the cluster index, its fair-share weight and its governing quota.
+type TenantStatus struct {
+	state.TenantUsage
+	Weight int             `json:"weight"`
+	Quota  api.TenantQuota `json:"quota"`
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	usages := s.Core.State.TenantUsages()
+	seen := make(map[string]bool, len(usages))
+	for _, u := range usages {
+		seen[u.Tenant] = true
+	}
+	// Configured-but-idle tenants (quota overrides, scheduler weights)
+	// are listed too, with zero usage — the operator's full tenancy view.
+	for t := range s.Core.Quotas.Tenants {
+		if !seen[t] {
+			seen[t] = true
+			usages = append(usages, state.TenantUsage{Tenant: t})
+		}
+	}
+	for t := range s.Core.Scheduler.TenantWeights {
+		if !seen[t] {
+			seen[t] = true
+			usages = append(usages, state.TenantUsage{Tenant: t})
+		}
+	}
+	out := make([]TenantStatus, 0, len(usages))
+	for _, u := range usages {
+		weight := 1
+		if w := s.Core.Scheduler.TenantWeights[u.Tenant]; w > 0 {
+			weight = w
+		}
+		out = append(out, TenantStatus{
+			TenantUsage: u,
+			Weight:      weight,
+			Quota:       s.Core.Quotas.For(u.Tenant),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	httpx.WriteJSON(w, http.StatusOK, out)
+}

@@ -23,11 +23,17 @@
 //	DELETE /v1/nodes/{name}         — remove a node
 //	GET    /v1/score?job=J&backend=B
 //	GET    /v1/score/batch?job=J[&backend=B...]
+//	GET    /v1/tenants              — per-tenant usage, fair-share weight, quota
 //	GET    /v1/events[?about=X]
 //	GET    /v1/watch[?kind=job|node][&name=X]  — SSE stream
 //
+// Submissions are charged to a tenant (SubmitRequest.Tenant, defaulted to
+// "default") and pass the quota admission layer (admission.go) before any
+// expensive work; GET /v1/jobs accepts a tenant filter.
+//
 // Error responses carry machine-readable codes: invalid (400),
-// not_found (404), conflict (409) and unschedulable (422).
+// not_found (404), conflict (409), unschedulable (422) and
+// quota_exceeded (429).
 package gateway
 
 import (
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
 	"qrio/internal/cluster/store"
 	"qrio/internal/core"
 	"qrio/internal/device"
@@ -72,6 +79,10 @@ type Server struct {
 	Core *core.QRIO
 	// PingInterval spaces SSE keep-alive comments (default 15s).
 	PingInterval time.Duration
+
+	// admission is the tenant quota layer (see admission.go); quotas come
+	// from Core.Quotas, live usage from the cluster's tenant index.
+	admission admission
 }
 
 // New builds a gateway for an orchestrator.
@@ -94,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/nodes/{name}", s.handleDeleteNode)
 	mux.HandleFunc("GET /v1/score", s.handleScore)
 	mux.HandleFunc("GET /v1/score/batch", s.handleScoreBatch)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
@@ -123,18 +135,14 @@ func staticFilters() []sched.FilterPlugin {
 // checkSchedulable runs the static admission filters for one request,
 // including the circuit-derived qubit demand the Master Server will later
 // impose (a 40-qubit circuit is never schedulable on a 27-qubit fleet
-// even with no explicit MinQubits).
-func (s *Server) checkSchedulable(req master.SubmitRequest) error {
+// even with no explicit MinQubits). minQubits carries that derived width.
+func (s *Server) checkSchedulable(req master.SubmitRequest, minQubits int) error {
 	nodes := s.Core.State.Nodes.List()
 	if len(nodes) == 0 {
 		return nil // an empty fleet queues jobs until vendors register
 	}
 	reqs := req.Requirements
-	if circ, err := qasm.Parse(req.QASM); err == nil && reqs.MinQubits < circ.NumQubits {
-		// Unparseable QASM is left for the Master Server's intake, which
-		// rejects it with the invalid code.
-		reqs.MinQubits = circ.NumQubits
-	}
+	reqs.MinQubits = minQubits
 	probe := api.QuantumJob{
 		ObjectMeta: api.ObjectMeta{Name: req.JobName},
 		Spec:       api.JobSpec{Requirements: reqs},
@@ -147,15 +155,37 @@ func (s *Server) checkSchedulable(req master.SubmitRequest) error {
 	return nil
 }
 
-// submitOne validates, admission-checks and submits one request through
-// the orchestrator (meta upload + containerisation + cluster submit).
+// submitOne validates, admission-checks (static schedulability + tenant
+// quota) and submits one request through the orchestrator (meta upload +
+// containerisation + cluster submit). The tenant is defaulted and
+// validated here: the gateway is the multi-tenant front door.
 func (s *Server) submitOne(req master.SubmitRequest) (api.QuantumJob, error) {
+	if req.Tenant == "" {
+		req.Tenant = api.DefaultTenant
+	}
 	if err := req.Validate(); err != nil {
 		return api.QuantumJob{}, err
 	}
-	if err := s.checkSchedulable(req); err != nil {
+	// The circuit-derived qubit width feeds both the static filters and
+	// the quota accounting. Unparseable QASM is left for the Master
+	// Server's intake, which rejects it with the invalid code.
+	minQubits := req.Requirements.MinQubits
+	if circ, err := qasm.Parse(req.QASM); err == nil && minQubits < circ.NumQubits {
+		minQubits = circ.NumQubits
+	}
+	if err := s.checkSchedulable(req, minQubits); err != nil {
 		return api.QuantumJob{}, err
 	}
+	shots := req.Shots
+	if shots <= 0 {
+		shots = api.DefaultShots // quota pricing parity with master intake
+	}
+	release, err := s.admission.admit(s.Core.State, s.Core.Quotas.For(req.Tenant),
+		req.Tenant, api.EstimateQubitSeconds(minQubits, shots))
+	if err != nil {
+		return api.QuantumJob{}, err
+	}
+	defer release()
 	return s.Core.Submit(req)
 }
 
@@ -230,6 +260,12 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	node := q.Get("node")
 	strategy := q.Get("strategy")
+	tenant := q.Get("tenant")
+	if tenant != "" && !api.ValidTenantName(tenant) {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+			fmt.Errorf("gateway: invalid tenant filter %q", tenant))
+		return
+	}
 	cont := q.Get("continue")
 
 	// Field filters run inside ListFunc so non-matching jobs are never
@@ -245,6 +281,9 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		if strategy != "" && string(j.Spec.Strategy) != strategy {
+			return false
+		}
+		if tenant != "" && state.TenantOf(&j) != tenant {
 			return false
 		}
 		return true

@@ -1,0 +1,141 @@
+// Pagination under churn: GET /v1/jobs continue tokens are name cursors,
+// so they must stay valid while jobs are deleted out from under the
+// walker — including the exact job the token names.
+package gateway_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"qrio/client"
+	"qrio/internal/core"
+)
+
+// TestListPaginationTokenSurvivesDeletes walks pages while deleting jobs
+// inside the unread window — including the cursor job itself — and
+// checks the walk neither errors, nor duplicates, nor skips a survivor.
+func TestListPaginationTokenSurvivesDeletes(t *testing.T) {
+	c, q := deployCfg(t, core.Config{}, false, nil)
+	ctx := context.Background()
+
+	var all []string
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("page-%02d", i)
+		if _, err := c.Submit(ctx, ghzReq(name)); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, name)
+	}
+
+	// Page 1 of 4: cursor lands on page-03.
+	page, err := c.List(ctx, client.ListOptions{Limit: 4})
+	if err != nil || page.Continue != "page-03" {
+		t.Fatalf("first page continue = %q, %v", page.Continue, err)
+	}
+	seen := map[string]int{}
+	for _, j := range page.Items {
+		seen[j.Name]++
+	}
+	// Churn inside the window: delete the cursor job itself, one job just
+	// past the cursor, and one already-walked job.
+	for _, victim := range []string{"page-03", "page-05", "page-01"} {
+		if err := q.State.Jobs.Delete(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := client.ListOptions{Limit: 4, Continue: page.Continue}
+	for {
+		page, err := c.List(ctx, opts)
+		if err != nil {
+			t.Fatalf("walk after deletes: %v", err)
+		}
+		for _, j := range page.Items {
+			seen[j.Name]++
+		}
+		if page.Continue == "" {
+			break
+		}
+		opts.Continue = page.Continue
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %s appeared %d times in the walk", name, n)
+		}
+	}
+	// Every survivor past the cursor point was reached; page-05 was
+	// legitimately dropped (deleted), page-01/page-03 were behind or at
+	// the cursor.
+	for _, name := range all {
+		switch name {
+		case "page-03", "page-05":
+			if seen[name] > 1 {
+				t.Fatalf("deleted job %s still walked %d times", name, seen[name])
+			}
+		default:
+			if seen[name] != 1 {
+				t.Fatalf("survivor %s missed by the walk (seen %d)", name, seen[name])
+			}
+		}
+	}
+}
+
+// TestListPaginationUnderConcurrentChurn runs the walker against a
+// goroutine deleting sacrificial jobs the whole time: the stable set must
+// come back exactly once each, with no error from any page fetch.
+func TestListPaginationUnderConcurrentChurn(t *testing.T) {
+	c, q := deployCfg(t, core.Config{}, false, nil)
+	ctx := context.Background()
+
+	var keep, churn []string
+	for i := 0; i < 15; i++ {
+		k := fmt.Sprintf("keep-%02d", i)
+		ch := fmt.Sprintf("churn-%02d", i)
+		for _, name := range []string{k, ch} {
+			if _, err := c.Submit(ctx, ghzReq(name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		keep, churn = append(keep, k), append(churn, ch)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, victim := range churn {
+			if err := q.State.Jobs.Delete(victim); err != nil {
+				t.Errorf("churn delete %s: %v", victim, err)
+			}
+		}
+	}()
+
+	seen := map[string]int{}
+	opts := client.ListOptions{Limit: 3}
+	for {
+		page, err := c.List(ctx, opts)
+		if err != nil {
+			t.Fatalf("page fetch during churn: %v", err)
+		}
+		for _, j := range page.Items {
+			seen[j.Name]++
+		}
+		if page.Continue == "" {
+			break
+		}
+		opts.Continue = page.Continue
+	}
+	wg.Wait()
+
+	for _, name := range keep {
+		if seen[name] != 1 {
+			t.Fatalf("stable job %s seen %d times (want exactly once)", name, seen[name])
+		}
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %s duplicated in walk (%d times)", name, n)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //	{"error": {"code": "not_found", "message": "store: \"bv\" not found"}}
 //
 // The defined codes are invalid, not_found, conflict, unschedulable,
-// method_not_allowed and internal.
+// quota_exceeded, method_not_allowed and internal.
 package httpx
 
 import (
@@ -28,6 +28,7 @@ const (
 	CodeNotFound         = "not_found"
 	CodeConflict         = "conflict"
 	CodeUnschedulable    = "unschedulable"
+	CodeQuotaExceeded    = "quota_exceeded"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeInternal         = "internal"
 )

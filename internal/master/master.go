@@ -20,6 +20,11 @@ import (
 // SubmitRequest is the complete job description the Visualizer collects in
 // its three-step form (Fig. 4).
 type SubmitRequest struct {
+	// Tenant names the submitting principal for quota accounting and
+	// weighted fair scheduling; empty means the default tenant. The
+	// gateway's admission layer charges quotas against it.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Step 1 (Fig. 4a): job identity and classical resources.
 	JobName   string `json:"jobName"`
 	ImageName string `json:"imageName,omitempty"`
@@ -47,6 +52,10 @@ func (r SubmitRequest) Validate() error {
 	}
 	if r.QASM == "" {
 		return fmt.Errorf("master: job %s has no circuit", r.JobName)
+	}
+	if r.Tenant != "" && !api.ValidTenantName(r.Tenant) {
+		return fmt.Errorf("master: job %s tenant %q is not a valid tenant name (lowercase alphanumerics and dashes)",
+			r.JobName, r.Tenant)
 	}
 	switch r.Strategy {
 	case api.StrategyFidelity, api.StrategyTopology:
@@ -115,7 +124,7 @@ func (s *Server) Submit(req SubmitRequest) (api.QuantumJob, error) {
 	}
 	shots := req.Shots
 	if shots <= 0 {
-		shots = 1024
+		shots = api.DefaultShots
 	}
 
 	digest, imageName, err := s.containerize(req, shots)
@@ -132,9 +141,10 @@ func (s *Server) Submit(req SubmitRequest) (api.QuantumJob, error) {
 	job := api.QuantumJob{
 		ObjectMeta: api.ObjectMeta{Name: req.JobName},
 		Spec: api.JobSpec{
-			Image: imageName + "@" + digest,
-			QASM:  req.QASM,
-			Shots: shots,
+			Tenant: req.Tenant,
+			Image:  imageName + "@" + digest,
+			QASM:   req.QASM,
+			Shots:  shots,
 			Resources: api.ResourceRequirements{
 				CPUMillis: req.CPUMillis,
 				MemoryMB:  req.MemoryMB,

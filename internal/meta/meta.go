@@ -7,6 +7,7 @@
 package meta
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sync"
@@ -68,7 +69,19 @@ type Options struct {
 	// DisableScoreCache recomputes every scoring request from scratch —
 	// the seed's per-job behaviour, kept as an ablation/benchmark baseline.
 	DisableScoreCache bool
+	// CacheMaxEntries bounds the score cache with LRU eviction. Before
+	// the cap, entries lived until the backend recalibrated — a fleet
+	// seeing many distinct circuits grew the cache without bound. 0 means
+	// the generous default (DefaultCacheMaxEntries); negative disables
+	// the cap entirely. Evictions surface in CacheStats.
+	CacheMaxEntries int
 }
+
+// DefaultCacheMaxEntries is the score cache's default LRU capacity —
+// roomy enough that a fleet-wide sweep of hundreds of distinct circuits
+// stays fully cached, while a long-lived deployment no longer grows
+// without bound.
+const DefaultCacheMaxEntries = 65536
 
 // cacheKey identifies one memoised scoring-engine result: which backend,
 // which calibration generation of it, and the engine-input fingerprint
@@ -86,6 +99,10 @@ type cacheEntry struct {
 	once sync.Once
 	val  float64
 	err  error
+	// elem is the entry's recency-list position (guarded by Server.mu).
+	// An evicted entry keeps working for scorers already holding it — it
+	// just stops being findable.
+	elem *list.Element
 }
 
 // Server is the Meta Server's core. It is safe for concurrent use and is
@@ -100,10 +117,13 @@ type Server struct {
 	// backend bumps it, invalidating every cached score for that device.
 	generations map[string]uint64
 	// cache memoises the expensive scoring engines (canary simulation,
-	// subgraph layout search) per (backend, generation, fingerprint).
+	// subgraph layout search) per (backend, generation, fingerprint),
+	// bounded by Options.CacheMaxEntries with LRU eviction; lru orders
+	// keys most-recently-used first.
 	cache map[cacheKey]*cacheEntry
+	lru   list.List // of cacheKey
 
-	cacheHits, cacheMisses atomic.Uint64
+	cacheHits, cacheMisses, cacheEvictions atomic.Uint64
 }
 
 // NewServer builds a Meta Server.
@@ -136,13 +156,24 @@ func (s *Server) RegisterBackend(b *device.Backend) error {
 	s.mu.Lock()
 	s.backends[b.Name] = b
 	s.generations[b.Name]++
-	for k := range s.cache {
+	for k, e := range s.cache {
 		if k.backend == b.Name {
-			delete(s.cache, k)
+			s.removeLocked(k, e)
 		}
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// removeLocked drops one cache entry and its recency-list position.
+// Calibration invalidations land here too; only LRU-cap evictions bump
+// the evictions counter (the caller does that).
+func (s *Server) removeLocked(k cacheKey, e *cacheEntry) {
+	delete(s.cache, k)
+	if e.elem != nil {
+		s.lru.Remove(e.elem)
+		e.elem = nil
+	}
 }
 
 // Generation reports how many times a backend has been registered; cached
@@ -153,14 +184,44 @@ func (s *Server) Generation(backendName string) uint64 {
 	return s.generations[backendName]
 }
 
-// CacheStats returns the score cache's lifetime hit/miss counters.
-func (s *Server) CacheStats() (hits, misses uint64) {
-	return s.cacheHits.Load(), s.cacheMisses.Load()
+// CacheStats is the score cache's lifetime counters plus its current
+// size: Hits/Misses from lookups, Evictions from the LRU cap (calibration
+// invalidations are not evictions), Entries resident right now.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// CacheStats returns the score cache's counters.
+func (s *Server) CacheStats() CacheStats {
+	s.mu.RLock()
+	entries := len(s.cache)
+	s.mu.RUnlock()
+	return CacheStats{
+		Hits:      s.cacheHits.Load(),
+		Misses:    s.cacheMisses.Load(),
+		Evictions: s.cacheEvictions.Load(),
+		Entries:   entries,
+	}
+}
+
+// cacheCap resolves the configured LRU capacity (0 = default, <0 = off).
+func (s *Server) cacheCap() int {
+	switch {
+	case s.opts.CacheMaxEntries > 0:
+		return s.opts.CacheMaxEntries
+	case s.opts.CacheMaxEntries < 0:
+		return 0
+	default:
+		return DefaultCacheMaxEntries
+	}
 }
 
 // cached memoises compute under (backendName, gen, fingerprint), where
 // gen is the calibration generation the caller read together with the
-// backend. Concurrent callers for the same key compute once.
+// backend. Concurrent callers for the same key compute once. A hit
+// refreshes the entry's recency; a miss that pushes the cache past the
+// LRU cap evicts the coldest entry.
 func (s *Server) cached(backendName string, gen uint64, fingerprint string, compute func() (float64, error)) (float64, error) {
 	if s.opts.DisableScoreCache {
 		return compute()
@@ -171,6 +232,17 @@ func (s *Server) cached(backendName string, gen uint64, fingerprint string, comp
 	if !hit {
 		e = &cacheEntry{}
 		s.cache[key] = e
+		e.elem = s.lru.PushFront(key)
+		if max := s.cacheCap(); max > 0 {
+			for len(s.cache) > max {
+				oldest := s.lru.Back()
+				k := oldest.Value.(cacheKey)
+				s.removeLocked(k, s.cache[k])
+				s.cacheEvictions.Add(1)
+			}
+		}
+	} else if e.elem != nil {
+		s.lru.MoveToFront(e.elem)
 	}
 	s.mu.Unlock()
 	if hit {

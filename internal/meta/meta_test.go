@@ -1,6 +1,7 @@
 package meta_test
 
 import (
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"testing"
@@ -156,9 +157,9 @@ func TestScoreCacheHitAndInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := s.CacheStats()
-	if hits != 0 || misses != 1 {
-		t.Fatalf("after first score: hits=%d misses=%d, want 0/1", hits, misses)
+	st := s.CacheStats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after first score: hits=%d misses=%d, want 0/1", st.Hits, st.Misses)
 	}
 	second, err := s.Score("bell", "dev")
 	if err != nil {
@@ -167,8 +168,8 @@ func TestScoreCacheHitAndInvalidation(t *testing.T) {
 	if second != first {
 		t.Fatalf("cached score %v != first score %v", second, first)
 	}
-	if hits, misses = s.CacheStats(); hits != 1 || misses != 1 {
-		t.Fatalf("after second score: hits=%d misses=%d, want 1/1", hits, misses)
+	if st = s.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after second score: hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
 	}
 	// A different job submitting the same circuit shares the simulation.
 	if err := s.PutJobMeta(meta.JobMeta{
@@ -180,8 +181,8 @@ func TestScoreCacheHitAndInvalidation(t *testing.T) {
 	if _, err := s.Score("bell-again", "dev"); err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses = s.CacheStats(); hits != 2 || misses != 1 {
-		t.Fatalf("shared circuit: hits=%d misses=%d, want 2/1", hits, misses)
+	if st = s.CacheStats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("shared circuit: hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
 	}
 	// Calibration refresh: same name, new error rates → new generation,
 	// cold cache, different score.
@@ -196,8 +197,11 @@ func TestScoreCacheHitAndInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses = s.CacheStats(); hits != 2 || misses != 2 {
-		t.Fatalf("after invalidation: hits=%d misses=%d, want 2/2", hits, misses)
+	if st = s.CacheStats(); st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("after invalidation: hits=%d misses=%d, want 2/2", st.Hits, st.Misses)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("calibration invalidation counted as LRU eviction: %d", st.Evictions)
 	}
 	if refreshed == first {
 		t.Fatalf("score unchanged (%v) after calibration degraded — stale cache served", refreshed)
@@ -223,8 +227,8 @@ func TestTopologyScoreCached(t *testing.T) {
 	if a != b {
 		t.Fatalf("cached topology score %v != %v", b, a)
 	}
-	if hits, misses := s.CacheStats(); hits != 1 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	if st := s.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
 	}
 }
 
@@ -373,5 +377,71 @@ func TestTable1MetadataRouting(t *testing.T) {
 	gotT, _ := s.JobMeta("t")
 	if gotT.TopologyQASM == "" || gotT.CircuitQASM != "" || gotT.TargetFidelity != 0 {
 		t.Fatalf("topology metadata wrong: %+v", gotT)
+	}
+}
+
+// ghzQASM builds a distinct n-qubit circuit source so LRU tests can mint
+// unique cache fingerprints cheaply.
+func ghzQASM(n int) string {
+	src := fmt.Sprintf("OPENQASM 2.0;\nqreg q[%d];\nh q[0];\n", n)
+	for i := 0; i < n-1; i++ {
+		src += fmt.Sprintf("cx q[%d],q[%d];\n", i, i+1)
+	}
+	return src
+}
+
+// TestScoreCacheLRUCap: the cache holds at most CacheMaxEntries entries,
+// evicting least-recently-used fingerprints; evictions surface in
+// CacheStats and an evicted circuit recomputes (a fresh miss) while a
+// recently-touched one stays a hit.
+func TestScoreCacheLRUCap(t *testing.T) {
+	s := meta.NewServer(meta.Options{CacheMaxEntries: 2})
+	if err := s.RegisterBackend(backend(t, "dev", graph.Line(4), 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	put := func(job string, qubits int) {
+		t.Helper()
+		if err := s.PutJobMeta(meta.JobMeta{
+			JobName: job, Strategy: api.StrategyFidelity,
+			TargetFidelity: 1, CircuitQASM: ghzQASM(qubits),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Score(job, "dev"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("j2", 2) // cache: [j2]
+	put("j3", 3) // cache: [j3 j2]
+	st := s.CacheStats()
+	if st.Entries != 2 || st.Evictions != 0 || st.Misses != 2 {
+		t.Fatalf("before cap: %+v", st)
+	}
+	// Touch j2 so j3 becomes the LRU victim when j4 arrives.
+	if _, err := s.Score("j2", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	put("j4", 4) // evicts j3; cache: [j4 j2]
+	st = s.CacheStats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after cap: %+v", st)
+	}
+	// j2 survived the eviction (hit), j3 did not (fresh miss).
+	misses := st.Misses
+	if _, err := s.Score("j2", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	if st = s.CacheStats(); st.Misses != misses {
+		t.Fatalf("recently-used entry recomputed: %+v", st)
+	}
+	if _, err := s.Score("j3", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	st = s.CacheStats()
+	if st.Misses != misses+1 {
+		t.Fatalf("evicted entry served from cache: %+v", st)
+	}
+	if st.Entries != 2 || st.Evictions != 2 {
+		t.Fatalf("after re-score of evicted: %+v", st)
 	}
 }

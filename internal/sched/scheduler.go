@@ -20,7 +20,10 @@ import (
 // pending jobs, ranks them against the fleet in parallel (a bounded worker
 // pool calling Framework.Rank), and binds greedily — FIFO job order,
 // best-score-first candidates, deterministic name tie-breaks — so no node
-// slot is ever double-booked.
+// slot is ever double-booked. When jobs from several tenants are queued,
+// batched dispatch walks them in weighted-fair order instead of raw FIFO
+// (see fair.go and TenantWeights); plugins see the owning tenant on every
+// job via Spec.Tenant.
 type Scheduler struct {
 	State     *state.Cluster
 	Framework *Framework
@@ -37,6 +40,28 @@ type Scheduler struct {
 	// node snapshot cache re-Lists the store, healing dropped watch events
 	// (default 1s). Tests shrink it to force relists.
 	FleetResync time.Duration
+	// TenantWeights skews the weighted fair queue that batched dispatch
+	// drains: a tenant with weight 3 receives three binds for every one a
+	// weight-1 tenant gets while both are backlogged. Missing tenants
+	// weigh 1; nil means every tenant competes equally. The serial path
+	// (Concurrency == 1) ignores weights and stays strictly FIFO.
+	TenantWeights map[string]int
+	// TenantQuotas lets the scheduler enforce the MaxActive bound at
+	// dispatch time: a pass never considers more of a tenant's queue than
+	// its remaining active budget, so a burst admitted while the tenant
+	// was idle still cannot exceed the cap once bound. The zero policy
+	// disables the check (byte-identical pre-tenancy behaviour).
+	TenantQuotas api.TenantQuotaPolicy
+
+	// wrrCredit is the smooth weighted round-robin accumulator behind
+	// fairOrder, advanced one round per actual bind (see fair.go) and
+	// persisted across passes. passTenants/passTotalWeight carry the
+	// current pass's backlogged-tenant context from fairOrder to
+	// chargeBind. All three are accessed only from SchedulePass, which is
+	// not safe for concurrent use.
+	wrrCredit       map[string]int
+	passTenants     []string
+	passTotalWeight int
 
 	// fleet is the watch-fed node snapshot cache: passes rank against this
 	// cached view instead of deep-copying the whole fleet each pass.
@@ -81,11 +106,12 @@ func (s *Scheduler) SchedulePass() int {
 	}
 	// The incremental pending index makes this O(pending work): terminal
 	// jobs resident in the store are never touched, let alone deep-copied.
-	pending := s.State.PendingJobs()
+	pending := s.capActiveBudget(s.State.PendingJobs())
 	if len(pending) == 0 {
 		return 0
 	}
 	if limit == 1 {
+		// Paper-faithful serial path: strict global FIFO, no fair queue.
 		return s.serialPass(pending, limit)
 	}
 	return s.batchedPass(pending, limit)
@@ -115,13 +141,15 @@ type headroom struct {
 }
 
 // batchedPass ranks pending jobs in parallel against one node snapshot —
-// limit at a time, walking the whole FIFO queue until limit jobs are
+// limit at a time, pulling weighted-fair chunks until limit jobs are
 // bound or the queue is exhausted, so unschedulable jobs at the head
 // cannot starve feasible jobs behind them (the serial loop's guarantee).
-// Binding is greedy in FIFO order with local slot/resource bookkeeping to
-// keep the walk from double-booking a node within the pass; BindJob's own
-// capacity check remains the authoritative guard against races with
-// kubelets and other actors.
+// The fair order is generated lazily: in the common case only the first
+// chunk of a deep backlog is ever interleaved. Binding is greedy in
+// chunk order with local slot/resource bookkeeping to keep the walk from
+// double-booking a node within the pass; BindJob's own capacity check
+// remains the authoritative guard against races with kubelets and other
+// actors.
 func (s *Scheduler) batchedPass(pending []api.QuantumJob, limit int) int {
 	if s.Framework == nil {
 		return 0
@@ -135,13 +163,14 @@ func (s *Scheduler) batchedPass(pending []api.QuantumJob, limit int) int {
 			mem:   n.Spec.MemoryMB - n.Status.MemoryMBInUse,
 		}
 	}
+	next := s.fairOrderer(pending)
 	bound := 0
-	for start := 0; start < len(pending) && bound < limit; start += limit {
-		end := start + limit
-		if end > len(pending) {
-			end = len(pending)
+	for bound < limit {
+		chunk := next(limit)
+		if len(chunk) == 0 {
+			break
 		}
-		bound += s.dispatchChunk(pending[start:end], limit-bound, nodes, free)
+		bound += s.dispatchChunk(chunk, limit-bound, nodes, free)
 	}
 	return bound
 }
@@ -195,6 +224,7 @@ func (s *Scheduler) dispatchChunk(chunk []api.QuantumJob, budget int, nodes []ap
 			h.mem -= job.Spec.Resources.MemoryMB
 			placed = true
 			bound++
+			s.chargeBind(&job)
 			break
 		}
 		if !placed {

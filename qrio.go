@@ -51,9 +51,22 @@
 // Every error response carries one structured envelope,
 // {"error":{"code":...,"message":...}}, with machine-readable codes:
 // "invalid" (400, malformed or rejected request), "not_found" (404),
-// "conflict" (409, duplicate submission or cancelling a finished job) and
+// "conflict" (409, duplicate submission or cancelling a finished job),
 // "unschedulable" (422, no device in the fleet can ever satisfy the job's
-// requirements).
+// requirements) and "quota_exceeded" (429, the tenant is over its
+// admission quota).
+//
+// # Multi-tenancy
+//
+// Submissions are charged to a tenant (SubmitRequest.Tenant, defaulted
+// to "default"). Config.TenantQuotas bounds each tenant's admitted work
+// — pending jobs, active jobs, estimated qubit-seconds in flight — and
+// the gateway rejects over-quota submissions with the quota_exceeded
+// envelope. Config.TenantWeights skews the scheduler's weighted fair
+// queue: with batched dispatch, backlogged tenants share binds in
+// proportion to their weights regardless of submission rates, and the
+// serial scheduler stays strict FIFO. GET /v1/tenants (Client.Tenants,
+// qrioctl tenants) reports per-tenant usage, weight and quota.
 //
 // The Client type (package qrio/client) speaks this surface: Submit and
 // SubmitBatch, Get, List, Cancel, Logs, Events, Watch and the
@@ -84,6 +97,7 @@ import (
 	"qrio/client"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/apiserver"
+	"qrio/internal/cluster/state"
 	"qrio/internal/core"
 	"qrio/internal/device"
 	"qrio/internal/gateway"
@@ -120,6 +134,21 @@ type Result = api.Result
 
 // DeviceRequirements bound the device characteristics a job accepts.
 type DeviceRequirements = api.DeviceRequirements
+
+// DefaultTenant is the tenant of submissions that name none.
+const DefaultTenant = api.DefaultTenant
+
+// TenantQuota bounds one tenant's admitted-but-unfinished work (zero
+// values mean unlimited).
+type TenantQuota = api.TenantQuota
+
+// TenantQuotaPolicy is a deployment's quota configuration: a default
+// quota plus per-tenant overrides (Config.TenantQuotas).
+type TenantQuotaPolicy = api.TenantQuotaPolicy
+
+// TenantUsage is one tenant's live usage aggregate as reported by the
+// cluster state and GET /v1/tenants.
+type TenantUsage = state.TenantUsage
 
 // Strategy selects fidelity- or topology-driven device ranking.
 type Strategy = api.Strategy
