@@ -15,7 +15,7 @@ RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./i
 # start-up noise); SubmitThroughput drives whole orchestrator bursts and
 # stays at 1x. The committed baseline MUST be produced with the same
 # settings (make bench-json does) so medians compare apples-to-apples.
-GUARDED_FAST := BenchmarkSchedulePassWithHistory|BenchmarkStoreContention|BenchmarkFairShare
+GUARDED_FAST := BenchmarkSchedulePassWithHistory|BenchmarkStoreContention|BenchmarkFairShare|BenchmarkWatchResume
 GUARDED_SLOW := BenchmarkSubmitThroughput
 BENCH_COUNT ?= 3
 BENCH_FAST_TIME ?= 20x

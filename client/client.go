@@ -104,6 +104,12 @@ func IsUnschedulable(err error) bool { return code(err) == httpx.CodeUnschedulab
 // quota; retry after in-flight work drains).
 func IsQuotaExceeded(err error) bool { return code(err) == httpx.CodeQuotaExceeded }
 
+// IsCompacted reports whether err is the gateway's compacted error (410):
+// the watch resume token's position has aged out of the server's version
+// journal, so an exact replay is impossible — reconnect without a token
+// to get a fresh SYNC snapshot instead.
+func IsCompacted(err error) bool { return code(err) == httpx.CodeCompacted }
+
 // Client talks to a /v1 gateway.
 type Client struct {
 	BaseURL string
@@ -169,6 +175,10 @@ type ListOptions struct {
 	// Tenant filters on the owning tenant ("default" matches pre-tenancy
 	// jobs too).
 	Tenant string
+	// Archived merges the archive tier into the results: terminal jobs the
+	// server's retention policy has moved out of the hot store. Continue
+	// tokens paginate seamlessly across the hot/archive boundary.
+	Archived bool
 	// Limit caps the page size (0 = everything).
 	Limit int
 	// Continue resumes listing after a previous page's token.
@@ -191,6 +201,9 @@ func (c *Client) List(ctx context.Context, opts ListOptions) (JobList, error) {
 	}
 	if opts.Tenant != "" {
 		q.Set("tenant", opts.Tenant)
+	}
+	if opts.Archived {
+		q.Set("archived", "true")
 	}
 	if opts.Limit > 0 {
 		q.Set("limit", strconv.Itoa(opts.Limit))

@@ -36,22 +36,95 @@ type WatchOptions struct {
 	Kind string
 	// Name restricts to one object.
 	Name string
+	// Resume starts the stream from a previous stream's position token
+	// (WatchEvent.Resume) instead of a fresh SYNC snapshot: every
+	// transition after that position is replayed exactly once. A token
+	// whose position the server has compacted is rejected with a compacted
+	// error (IsCompacted) — reconnect without a token.
+	Resume string
+	// Reconnect makes Watch heal broken streams transparently: when the
+	// SSE connection drops (without the context ending), Watch reconnects
+	// with the last seen token, so consumers observe every transition
+	// exactly once across the break. If the token has been compacted
+	// meanwhile, Watch falls back to a fresh snapshot stream — consumers
+	// then see SYNC events again and must treat them level-triggered. The
+	// channel closes only when the context ends.
+	Reconnect bool
 }
 
 // Watch opens a server-sent-events stream of cluster changes. On connect
 // the gateway first delivers the current (filtered) objects as SYNC
 // events, then live transitions as they happen — so callers need no
-// list-then-watch dance. The channel closes when the context ends or the
-// stream breaks; consumers that must not miss state should re-Get after
-// the channel closes (delivery is at-most-once under extreme backlog,
-// matching the hub's semantics).
+// list-then-watch dance; each event's Resume field carries the stream
+// position token for reconnection. Without Reconnect the channel closes
+// when the context ends or the stream breaks; consumers that must not
+// miss state should then resume from the last token (or re-Get). With
+// Reconnect the stream heals itself and closes only on context end.
 func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan WatchEvent, error) {
+	events, err := c.watchOnce(ctx, opts)
+	if err != nil && opts.Reconnect && opts.Resume != "" && IsCompacted(err) {
+		// The starting token is already unreplayable: fall back to a fresh
+		// snapshot stream rather than failing the healing watch.
+		opts.Resume = ""
+		events, err = c.watchOnce(ctx, opts)
+	}
+	if err != nil || !opts.Reconnect {
+		return events, err
+	}
+	out := make(chan WatchEvent, 64)
+	go func() {
+		defer close(out)
+		last := opts.Resume
+		for {
+			for ev := range events {
+				if ev.Resume != "" {
+					last = ev.Resume
+				}
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+			// Stream broke. Reconnect from the last token; on compaction the
+			// position is gone, so fall back to a fresh snapshot stream.
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				retry := opts
+				retry.Resume = last
+				next, err := c.watchOnce(ctx, retry)
+				if err == nil {
+					events = next
+					break
+				}
+				if IsCompacted(err) {
+					last = ""
+					continue
+				}
+				select {
+				case <-time.After(500 * time.Millisecond):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out, nil
+}
+
+// watchOnce opens one SSE connection (no healing).
+func (c *Client) watchOnce(ctx context.Context, opts WatchOptions) (<-chan WatchEvent, error) {
 	q := url.Values{}
 	if opts.Kind != "" {
 		q.Set("kind", opts.Kind)
 	}
 	if opts.Name != "" {
 		q.Set("name", opts.Name)
+	}
+	if opts.Resume != "" {
+		q.Set("resume", opts.Resume)
 	}
 	path := "/v1/watch"
 	if len(q) > 0 {
@@ -121,9 +194,9 @@ func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan WatchEven
 
 // Wait blocks until the job reaches a terminal phase
 // (Succeeded/Failed/Cancelled) or the context ends, returning the final
-// job. It is driven by the watch stream — no polling loop — with a
-// coarse re-Get only as a guard against dropped events on a backlogged
-// hub.
+// job. It is driven by the watch stream — no polling loop — reconnecting
+// transparently from its resume token if the stream drops, with a coarse
+// re-Get only as a guard against anything the stream machinery misses.
 func (c *Client) Wait(ctx context.Context, name string) (Job, error) {
 	// Existence check up front so waiting on a ghost fails immediately.
 	job, err := c.Get(ctx, name)
@@ -135,7 +208,7 @@ func (c *Client) Wait(ctx context.Context, name string) (Job, error) {
 	}
 	watchCtx, stop := context.WithCancel(ctx)
 	defer stop()
-	events, err := c.Watch(watchCtx, WatchOptions{Kind: "job", Name: name})
+	events, err := c.Watch(watchCtx, WatchOptions{Kind: "job", Name: name, Reconnect: true})
 	if err != nil {
 		return job, err
 	}
@@ -164,6 +237,11 @@ func (c *Client) Wait(ctx context.Context, name string) (Job, error) {
 				continue
 			}
 			if ev.Type == EventDeleted {
+				// A terminal job deleted from the hot store is the retention
+				// sweep archiving it — the lifecycle ended normally.
+				if ev.Job.Status.Phase.Terminal() {
+					return *ev.Job, nil
+				}
 				return *ev.Job, &APIError{Status: http.StatusNotFound, Code: httpx.CodeNotFound,
 					Message: fmt.Sprintf("job %s deleted while waiting", name)}
 			}

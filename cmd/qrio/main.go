@@ -18,6 +18,7 @@
 //	     [-node-concurrency N] [-score-workers N]
 //	     [-tenant-weights a=3,b=1] [-quota-pending N] [-quota-active N]
 //	     [-quota-qubit-seconds F]
+//	     [-retention-max-age D] [-retention-max-count N] [-archive-spill F]
 package main
 
 import (
@@ -50,6 +51,9 @@ func main() {
 	quotaPending := flag.Int("quota-pending", 0, "per-tenant admission cap on pending jobs (0 = unlimited)")
 	quotaActive := flag.Int("quota-active", 0, "per-tenant admission cap on jobs holding node resources (0 = unlimited)")
 	quotaQubitSec := flag.Float64("quota-qubit-seconds", 0, "per-tenant admission cap on estimated qubit-seconds in flight (0 = unlimited)")
+	retentionAge := flag.Duration("retention-max-age", 0, "archive terminal jobs older than this (0 = keep resident forever)")
+	retentionCount := flag.Int("retention-max-count", 0, "archive the oldest terminal jobs beyond this resident count (0 = unlimited)")
+	archiveSpill := flag.String("archive-spill", "", "append archived jobs as JSON lines to this file")
 	flag.Parse()
 
 	weights, err := parseTenantWeights(*tenantWeights)
@@ -73,9 +77,21 @@ func main() {
 				MaxQubitSeconds: *quotaQubitSec,
 			},
 		},
+		Retention: qrio.RetentionPolicy{
+			MaxTerminalAge:   *retentionAge,
+			MaxTerminalCount: *retentionCount,
+		},
 	})
 	if err != nil {
 		log.Fatalf("assembling QRIO: %v", err)
+	}
+	if *archiveSpill != "" {
+		f, err := os.OpenFile(*archiveSpill, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening -archive-spill %s: %v", *archiveSpill, err)
+		}
+		defer f.Close()
+		q.State.Archived.SetSpill(f)
 	}
 	q.Start()
 	defer q.Stop()

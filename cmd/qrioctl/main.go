@@ -116,6 +116,7 @@ func list(ctx context.Context, c *client.Client, args []string) {
 	node := fs.String("node", "", "filter by bound node")
 	strategy := fs.String("strategy", "", "filter by strategy (fidelity|topology)")
 	tenant := fs.String("tenant", "", "filter by owning tenant")
+	archived := fs.Bool("archived", false, "include terminal jobs retired to the archive tier")
 	limit := fs.Int("limit", 0, "page size (0 = everything; pages are fetched until exhausted)")
 	check(fs.Parse(args))
 	opts := client.ListOptions{
@@ -123,6 +124,7 @@ func list(ctx context.Context, c *client.Client, args []string) {
 		Node:     *node,
 		Strategy: *strategy,
 		Tenant:   *tenant,
+		Archived: *archived,
 		Limit:    *limit,
 	}
 	fmt.Printf("%-20s %-12s %-10s %-9s %-18s %8s\n", "NAME", "TENANT", "PHASE", "STRATEGY", "NODE", "SCORE")
@@ -144,11 +146,13 @@ func list(ctx context.Context, c *client.Client, args []string) {
 // exits when it reaches a terminal phase; without one it streams all job
 // and node transitions until interrupted.
 func watch(ctx context.Context, c *client.Client, args []string) {
-	opts := client.WatchOptions{}
+	// Reconnect: a dropped SSE connection resumes from its last token, so
+	// a long-running terminal session never misses a transition.
+	opts := client.WatchOptions{Reconnect: true}
 	follow := ""
 	if len(args) > 0 {
 		follow = args[0]
-		opts = client.WatchOptions{Kind: "job", Name: follow}
+		opts = client.WatchOptions{Kind: "job", Name: follow, Reconnect: true}
 		// Fail fast on a typo'd name instead of streaming silence.
 		if j, err := c.Get(ctx, follow); err != nil {
 			check(err)
@@ -257,7 +261,7 @@ func usage() {
 commands:
   nodes                 list cluster nodes
   tenants               list per-tenant usage, fair-share weights and quotas
-  list [flags]          list jobs (-phase P, -node N, -strategy S, -tenant T, -limit K); "jobs" is an alias
+  list [flags]          list jobs (-phase P, -node N, -strategy S, -tenant T, -archived, -limit K); "jobs" is an alias
   submit -name N -qasm FILE (-fidelity F | -topology NAME -topology-qubits Q) [-tenant T] [-wait] [flags]
   cancel JOB            cancel a job (any lifecycle stage; aborts running containers)
   watch [JOB]           stream live job/node transitions (follow one job to its end)

@@ -1,0 +1,204 @@
+// Package archive is the cold tier behind QRIO's hot cluster state: an
+// append-mostly record of terminal jobs (and their event trails) that the
+// retention sweep moves out of the sharded stores. The hot store — and
+// with it every O(resident jobs) cost: memory, list walks, watch re-List
+// recovery — stays proportional to live work, while job history remains
+// fully queryable through GET /v1/jobs?archived=true and the by-name
+// fallthrough on GET /v1/jobs/{name}.
+//
+// Storage is in-memory segments (fixed-size entry slabs, appended and
+// never resliced) plus an optional JSONL spill writer: when configured,
+// every archived entry is additionally encoded as one JSON line, giving
+// deployments a durable, grep-able history file at zero read-path cost.
+// Removal exists only to roll back a sweep that lost its delete race
+// (tombstoning the slot), hence "append-mostly".
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"qrio/internal/cluster/api"
+)
+
+// DefaultSegmentSize is how many entries one in-memory segment holds.
+// Segments are allocated whole, so the archive grows in coarse steps and
+// never copies old entries when it expands.
+const DefaultSegmentSize = 512
+
+// Entry is one archived job: the terminal object, its event trail as of
+// archival, and the sweep timestamp.
+type Entry struct {
+	Job        api.QuantumJob `json:"job"`
+	Events     []api.Event    `json:"events,omitempty"`
+	ArchivedAt time.Time      `json:"archivedAt"`
+}
+
+// deepCopy isolates an entry the same way the hot store isolates objects.
+func (e Entry) deepCopy() Entry {
+	out := e
+	out.Job = e.Job.DeepCopy()
+	if e.Events != nil {
+		out.Events = make([]api.Event, len(e.Events))
+		for i, ev := range e.Events {
+			out.Events[i] = ev.DeepCopy()
+		}
+	}
+	return out
+}
+
+// slot addresses one entry inside the segment list.
+type slot struct{ seg, off int }
+
+// Options configure an archive.
+type Options struct {
+	// SegmentSize overrides DefaultSegmentSize (entries per segment).
+	SegmentSize int
+	// Spill, when non-nil, receives every archived entry as one JSON line
+	// (JSONL). Writes happen under the archive lock, so the writer needs
+	// no additional synchronisation; the first write error is latched and
+	// reported by SpillErr, and later entries skip the writer.
+	Spill io.Writer
+}
+
+// Archive is a thread-safe terminal-job archive.
+type Archive struct {
+	mu       sync.RWMutex
+	segments [][]Entry
+	index    map[string]slot
+	segSize  int
+	count    int
+	spill    io.Writer
+	spillErr error
+}
+
+// New builds an empty archive.
+func New(opts Options) *Archive {
+	size := opts.SegmentSize
+	if size < 1 {
+		size = DefaultSegmentSize
+	}
+	return &Archive{
+		index:   make(map[string]slot),
+		segSize: size,
+		spill:   opts.Spill,
+	}
+}
+
+// SetSpill installs the JSONL spill writer. Like store hooks, it must be
+// set before the archive is shared between goroutines.
+func (a *Archive) SetSpill(w io.Writer) { a.spill = w }
+
+// ErrExists reports a Put of a name the archive already holds.
+type ErrExists struct{ Name string }
+
+func (e ErrExists) Error() string { return fmt.Sprintf("archive: %q already archived", e.Name) }
+
+// Put appends one entry. The entry is deep-copied on the way in, so the
+// caller's job/events remain private. Archiving a name twice returns
+// ErrExists — job names are unique across the hot store and the archive.
+func (a *Archive) Put(e Entry) error {
+	name := e.Job.Name
+	if name == "" {
+		return fmt.Errorf("archive: entry has no job name")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.index[name]; ok {
+		return ErrExists{name}
+	}
+	if n := len(a.segments); n == 0 || len(a.segments[n-1]) == a.segSize {
+		a.segments = append(a.segments, make([]Entry, 0, a.segSize))
+	}
+	seg := len(a.segments) - 1
+	a.segments[seg] = append(a.segments[seg], e.deepCopy())
+	a.index[name] = slot{seg: seg, off: len(a.segments[seg]) - 1}
+	a.count++
+	if a.spill != nil && a.spillErr == nil {
+		raw, err := json.Marshal(e)
+		if err == nil {
+			raw = append(raw, '\n')
+			_, err = a.spill.Write(raw)
+		}
+		if err != nil {
+			a.spillErr = fmt.Errorf("archive: spill write for %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Get returns a deep copy of the named entry.
+func (a *Archive) Get(name string) (Entry, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s, ok := a.index[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return a.segments[s.seg][s.off].deepCopy(), true
+}
+
+// Has reports whether the archive holds the named job.
+func (a *Archive) Has(name string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.index[name]
+	return ok
+}
+
+// Remove tombstones the named entry — the sweep's rollback when its
+// conditional hot-store delete lost a race. The slot stays allocated
+// (append-mostly storage); only the index entry and the object go.
+func (a *Archive) Remove(name string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.index[name]
+	if !ok {
+		return false
+	}
+	delete(a.index, name)
+	a.segments[s.seg][s.off] = Entry{}
+	a.count--
+	return true
+}
+
+// Len returns the archived-entry count.
+func (a *Archive) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.count
+}
+
+// List returns copies of the archived jobs keep accepts. Like the store's
+// ListFunc, the predicate runs against the internal object under the read
+// lock so rejected entries are never copied; keep must not mutate or
+// retain its argument.
+func (a *Archive) List(keep func(j *api.QuantumJob) bool) []api.QuantumJob {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]api.QuantumJob, 0, 8)
+	for _, seg := range a.segments {
+		for i := range seg {
+			j := &seg[i].Job
+			if j.Name == "" { // tombstone
+				continue
+			}
+			if keep == nil || keep(j) {
+				out = append(out, j.DeepCopy())
+			}
+		}
+	}
+	return out
+}
+
+// SpillErr returns the first spill-writer error, if any. A failed spill
+// never blocks archiving — the in-memory tier is authoritative — but
+// operators should surface this.
+func (a *Archive) SpillErr() error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.spillErr
+}

@@ -1,0 +1,159 @@
+package archive
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+)
+
+func entry(name string, phase api.JobPhase) Entry {
+	return Entry{
+		Job: api.QuantumJob{
+			ObjectMeta: api.ObjectMeta{Name: name},
+			Status:     api.JobStatus{Phase: phase},
+		},
+		Events:     []api.Event{{ObjectMeta: api.ObjectMeta{Name: name + "-ev"}, About: name}},
+		ArchivedAt: time.Unix(1700000000, 0),
+	}
+}
+
+// TestPutGetListAcrossSegments fills several segments and checks lookup,
+// duplicate rejection and filtered listing.
+func TestPutGetListAcrossSegments(t *testing.T) {
+	a := New(Options{SegmentSize: 4})
+	const n = 11
+	for i := 0; i < n; i++ {
+		phase := api.JobSucceeded
+		if i%2 == 1 {
+			phase = api.JobFailed
+		}
+		if err := a.Put(entry(fmt.Sprintf("job-%02d", i), phase)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != n {
+		t.Fatalf("Len = %d, want %d", a.Len(), n)
+	}
+	var dup ErrExists
+	if err := a.Put(entry("job-03", api.JobSucceeded)); !errors.As(err, &dup) {
+		t.Fatalf("duplicate Put err = %v, want ErrExists", err)
+	}
+	e, ok := a.Get("job-07")
+	if !ok || e.Job.Status.Phase != api.JobFailed || len(e.Events) != 1 {
+		t.Fatalf("Get(job-07) = %+v, %v", e, ok)
+	}
+	failed := a.List(func(j *api.QuantumJob) bool { return j.Status.Phase == api.JobFailed })
+	if len(failed) != 5 {
+		t.Fatalf("failed list = %d entries, want 5", len(failed))
+	}
+	if all := a.List(nil); len(all) != n {
+		t.Fatalf("nil-predicate list = %d entries, want %d", len(all), n)
+	}
+}
+
+// TestDeepCopyIsolation ensures stored entries cannot be mutated through
+// the values the caller passed in or got back.
+func TestDeepCopyIsolation(t *testing.T) {
+	a := New(Options{})
+	in := entry("iso", api.JobSucceeded)
+	in.Job.Labels = map[string]string{"k": "v"}
+	if err := a.Put(in); err != nil {
+		t.Fatal(err)
+	}
+	in.Job.Labels["k"] = "mutated"
+	in.Events[0].Reason = "mutated"
+	out, _ := a.Get("iso")
+	if out.Job.Labels["k"] != "v" || out.Events[0].Reason == "mutated" {
+		t.Fatal("caller mutation reached the archive")
+	}
+	out.Job.Labels["k"] = "mutated-again"
+	again, _ := a.Get("iso")
+	if again.Job.Labels["k"] != "v" {
+		t.Fatal("returned copy aliases the archive")
+	}
+}
+
+// TestRemoveTombstones covers the sweep-rollback path: the slot is
+// tombstoned, lookups and lists skip it, and the name can be re-archived.
+func TestRemoveTombstones(t *testing.T) {
+	a := New(Options{SegmentSize: 2})
+	for _, name := range []string{"a", "b", "c"} {
+		if err := a.Put(entry(name, api.JobSucceeded)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if a.Remove("b") {
+		t.Fatal("second Remove(b) = true")
+	}
+	if a.Has("b") || a.Len() != 2 {
+		t.Fatalf("post-remove Has(b)=%v Len=%d", a.Has("b"), a.Len())
+	}
+	if got := a.List(nil); len(got) != 2 {
+		t.Fatalf("list after remove = %d entries, want 2", len(got))
+	}
+	if err := a.Put(entry("b", api.JobCancelled)); err != nil {
+		t.Fatalf("re-archive after rollback: %v", err)
+	}
+	e, _ := a.Get("b")
+	if e.Job.Status.Phase != api.JobCancelled {
+		t.Fatalf("re-archived phase = %s", e.Job.Status.Phase)
+	}
+}
+
+// TestSpillJSONL checks the spill writer gets one decodable JSON line per
+// archived entry.
+func TestSpillJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	a := New(Options{Spill: &buf})
+	for i := 0; i < 3; i++ {
+		if err := a.Put(entry(fmt.Sprintf("s%d", i), api.JobSucceeded)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.SpillErr(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if e.Job.Name != fmt.Sprintf("s%d", lines) {
+			t.Fatalf("line %d names %s", lines, e.Job.Name)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("spill has %d lines, want 3", lines)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk gone") }
+
+// TestSpillErrorLatched: a failing spill never blocks archiving, and the
+// first error is reported.
+func TestSpillErrorLatched(t *testing.T) {
+	a := New(Options{Spill: failWriter{}})
+	if err := a.Put(entry("x", api.JobSucceeded)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SpillErr(); err == nil {
+		t.Fatal("spill error not latched")
+	}
+	if !a.Has("x") {
+		t.Fatal("entry lost on spill failure")
+	}
+}

@@ -28,6 +28,11 @@ type Controller struct {
 	StuckTimeout time.Duration
 	// MaxEvents caps the event log (default 2048).
 	MaxEvents int
+	// Retention bounds how long terminal jobs stay resident in the hot
+	// store before the sweep moves them (with their event trails) to the
+	// archive tier. The zero policy keeps everything resident — the
+	// pre-archive behaviour.
+	Retention state.RetentionPolicy
 	// Interval is the reconcile cadence (default 100ms).
 	Interval time.Duration
 	// Clock is injectable for tests.
@@ -65,12 +70,16 @@ func (c *Controller) Run(ctx context.Context) {
 	}
 }
 
-// ReconcileOnce runs one pass of every reconciliation rule.
+// ReconcileOnce runs one pass of every reconciliation rule. The archive
+// sweep runs after the retry rule so a Failed job with retry budget left
+// is resurrected before it can age out (a sweep racing the retry anyway
+// resolves safely: the conditional delete loses to any phase change).
 func (c *Controller) ReconcileOnce() {
 	now := c.clock()
 	c.markStaleNodes(now)
 	c.requeueStrandedJobs(now)
 	c.retryFailedJobs()
+	c.State.ArchiveTerminal(now, c.Retention)
 	c.gcEvents()
 }
 

@@ -1,6 +1,9 @@
 package state
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"qrio/internal/cluster/api"
@@ -15,13 +18,97 @@ const (
 
 // Notification is one cluster change fanned out by Subscribe: a job or
 // node transition with the store's watch metadata attached. Exactly one of
-// Job/Node is set, matching Kind.
+// Job/Node is set, matching Kind. Resume is the cumulative position token
+// as of this notification — hand it back to SubscribeFrom (or
+// GET /v1/watch?resume=) to continue the stream after a drop without
+// missing or repeating a transition. Treat it as opaque.
 type Notification struct {
 	Kind    string          `json:"kind"`
 	Type    store.EventType `json:"type"`
 	Job     *api.QuantumJob `json:"job,omitempty"`
 	Node    *api.Node       `json:"node,omitempty"`
 	Version int64           `json:"version"`
+	Resume  string          `json:"resume,omitempty"`
+}
+
+// ResumeToken is a position in the merged job+node stream: one high-water
+// mark per store shard (cross-shard delivery order is not version order,
+// so a single scalar position could skip a slow shard's older event). The
+// wire form is "j<m0>.<m1>...-n<m0>.<m1>..."; treat it as opaque outside
+// this package.
+type ResumeToken struct {
+	Jobs  []int64
+	Nodes []int64
+}
+
+// String renders the wire form of the token.
+func (t ResumeToken) String() string {
+	var b strings.Builder
+	b.Grow(4 * (len(t.Jobs) + len(t.Nodes)))
+	b.WriteByte('j')
+	writeMarks(&b, t.Jobs)
+	b.WriteString("-n")
+	writeMarks(&b, t.Nodes)
+	return b.String()
+}
+
+func writeMarks(b *strings.Builder, marks []int64) {
+	for i, m := range marks {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatInt(m, 10))
+	}
+}
+
+// maxTokenMarks bounds how many marks a client-supplied token may carry —
+// far above any real shard count, low enough that a hostile token cannot
+// balloon the parse.
+const maxTokenMarks = 1024
+
+// ParseResumeToken parses the wire form produced by ResumeToken.String.
+// Malformed input returns an error the HTTP layer maps to 400 — tokens
+// are client-supplied and must never panic the parser. A token whose mark
+// counts no longer match the stores' shard layout parses fine here and
+// surfaces as store.ErrCompacted at subscribe time (it names a position
+// that can no longer be replayed).
+func ParseResumeToken(s string) (ResumeToken, error) {
+	bad := func() (ResumeToken, error) {
+		return ResumeToken{}, fmt.Errorf("state: malformed resume token %q (want j<marks>-n<marks>)", s)
+	}
+	rest, ok := strings.CutPrefix(s, "j")
+	if !ok {
+		return bad()
+	}
+	jobsPart, nodesPart, ok := strings.Cut(rest, "-n")
+	if !ok {
+		return bad()
+	}
+	jobs, err := parseMarks(jobsPart)
+	if err != nil {
+		return bad()
+	}
+	nodes, err := parseMarks(nodesPart)
+	if err != nil {
+		return bad()
+	}
+	return ResumeToken{Jobs: jobs, Nodes: nodes}, nil
+}
+
+func parseMarks(s string) ([]int64, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) == 0 || len(parts) > maxTokenMarks {
+		return nil, fmt.Errorf("mark count out of range")
+	}
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad mark %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Subscribe is the cluster's broadcast hub: it merges the job and node
@@ -32,13 +119,93 @@ type Notification struct {
 //
 // Delivery semantics are the store's: a subscriber that falls more than
 // the buffer behind loses events, so consumers needing certainty must
-// re-List on their own cadence (level-triggered reconciliation).
+// re-List on their own cadence (level-triggered reconciliation) — or
+// resume from the notification tokens via SubscribeFrom, which replays
+// exactly what a drop skipped.
 func (c *Cluster) Subscribe(buffer int) (<-chan Notification, func()) {
 	if buffer <= 0 {
 		buffer = 128
 	}
+	// Internal consumers (WaitForJob, the visualizer feed) never read
+	// Resume, so this path skips both the mark snapshot and the per-event
+	// token rendering.
 	jobCh, cancelJobs := c.Jobs.Watch(buffer)
 	nodeCh, cancelNodes := c.Nodes.Watch(buffer)
+	out, cancel := mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, ResumeToken{}, buffer, false, false)
+	return out, cancel
+}
+
+// SubscribeWithToken is Subscribe plus the stream's starting position:
+// the token a consumer should resume from if the connection breaks before
+// any notification arrives. Notifications carry cumulative tokens from
+// there on.
+func (c *Cluster) SubscribeWithToken(buffer int) (<-chan Notification, ResumeToken, func()) {
+	if buffer <= 0 {
+		buffer = 128
+	}
+	// Snapshot the marks BEFORE registering the watches: an event landing
+	// in between carries a version above its shard's mark, so a resume
+	// from this token replays rather than skips it. Tokens must err low,
+	// never high. The merge loop advances its own clone; the returned
+	// snapshot stays immutable (callers stamp SYNC events with it
+	// concurrently, and a SYNC token must never advance past an event the
+	// client has not been written yet).
+	start := ResumeToken{Jobs: c.Jobs.Marks(), Nodes: c.Nodes.Marks()}
+	work := ResumeToken{
+		Jobs:  append([]int64(nil), start.Jobs...),
+		Nodes: append([]int64(nil), start.Nodes...),
+	}
+	jobCh, cancelJobs := c.Jobs.Watch(buffer)
+	nodeCh, cancelNodes := c.Nodes.Watch(buffer)
+	out, cancel := mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, work, buffer, false, true)
+	return out, start, cancel
+}
+
+// SubscribeFrom resumes the merged stream from a token: every job and
+// node transition after the token's marks is replayed from the stores'
+// journals, then the stream continues live. If either store has already
+// compacted past the token — or the token predates a different shard
+// layout — SubscribeFrom returns store.ErrCompacted and the consumer must
+// fall back to a fresh Subscribe plus re-List. Unlike Subscribe, a
+// resumed stream never drops events silently: if the consumer falls too
+// far behind the channel closes, and it resumes again from its last
+// token.
+func (c *Cluster) SubscribeFrom(buffer int, token ResumeToken) (<-chan Notification, func(), error) {
+	if buffer <= 0 {
+		buffer = 128
+	}
+	jobCh, cancelJobs, err := c.Jobs.WatchFrom(token.Jobs, buffer)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodeCh, cancelNodes, err := c.Nodes.WatchFrom(token.Nodes, buffer)
+	if err != nil {
+		cancelJobs()
+		return nil, nil, err
+	}
+	// Clone the marks: the merge loop advances them in place, and the
+	// caller's token must stay readable (error paths, retries).
+	token = ResumeToken{
+		Jobs:  append([]int64(nil), token.Jobs...),
+		Nodes: append([]int64(nil), token.Nodes...),
+	}
+	out, cancel := mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, token, buffer, true, true)
+	return out, cancel, nil
+}
+
+// mergeStreams fans the two store streams into one Notification channel.
+// With stamp set, each notification carries the cumulative resume token
+// (token must be a private clone — it is advanced in place); without it,
+// Resume stays empty and no per-event token string is rendered. When
+// closeOnEither is set (resumed streams), one source closing ends the
+// merged stream — the close means events were missed, and only a resume
+// can heal that; plain streams keep draining the surviving source.
+func mergeStreams(
+	jobCh <-chan store.WatchEvent[api.QuantumJob],
+	nodeCh <-chan store.WatchEvent[api.Node],
+	cancelJobs, cancelNodes func(),
+	token ResumeToken, buffer int, closeOnEither, stamp bool,
+) (<-chan Notification, func()) {
 	out := make(chan Notification, buffer)
 	done := make(chan struct{})
 	var once sync.Once
@@ -58,18 +225,36 @@ func (c *Cluster) Subscribe(buffer int) (<-chan Notification, func()) {
 				return
 			case ev, ok := <-jobCh:
 				if !ok {
+					if closeOnEither {
+						return
+					}
 					jobCh = nil
 					continue
 				}
 				j := ev.Object
 				n = Notification{Kind: KindJob, Type: ev.Type, Job: &j, Version: ev.Version}
+				if stamp {
+					if ev.Shard < len(token.Jobs) && ev.Version > token.Jobs[ev.Shard] {
+						token.Jobs[ev.Shard] = ev.Version
+					}
+					n.Resume = token.String()
+				}
 			case ev, ok := <-nodeCh:
 				if !ok {
+					if closeOnEither {
+						return
+					}
 					nodeCh = nil
 					continue
 				}
 				nd := ev.Object
 				n = Notification{Kind: KindNode, Type: ev.Type, Node: &nd, Version: ev.Version}
+				if stamp {
+					if ev.Shard < len(token.Nodes) && ev.Version > token.Nodes[ev.Shard] {
+						token.Nodes[ev.Shard] = ev.Version
+					}
+					n.Resume = token.String()
+				}
 			}
 			select {
 			case out <- n:

@@ -1,0 +1,131 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/store"
+)
+
+// drainNotifications reads n notifications or fails at the deadline.
+func drainNotifications(t *testing.T, ch <-chan Notification, n int) []Notification {
+	t.Helper()
+	var out []Notification
+	deadline := time.After(2 * time.Second)
+	for len(out) < n {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream closed after %d of %d notifications", len(out), n)
+			}
+			out = append(out, ev)
+		case <-deadline:
+			t.Fatalf("timed out after %d of %d notifications", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestResumeTokenRoundTrip pins the wire form and the parser's rejection
+// of malformed input.
+func TestResumeTokenRoundTrip(t *testing.T) {
+	tok := ResumeToken{Jobs: []int64{1, 0, 7}, Nodes: []int64{4}}
+	parsed, err := ParseResumeToken(tok.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != tok.String() {
+		t.Fatalf("round trip %q → %q", tok.String(), parsed.String())
+	}
+	for _, bad := range []string{
+		"", "garbage", "j1.2", "n1-j2", "j1.x-n2", "j-1-n2", "jn", "j1.2-n", "j-n1",
+		"j1.2-n3.4.5extra!", "j999999999999999999999999-n1",
+	} {
+		if _, err := ParseResumeToken(bad); err == nil {
+			t.Errorf("ParseResumeToken(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSubscribeFromReplaysExactly: transitions between the token snapshot
+// and the resume arrive exactly once, in per-job order.
+func TestSubscribeFromReplaysExactly(t *testing.T) {
+	c := New()
+	// First stream: observe the submit, then die.
+	sub1, tok, cancel1 := c.SubscribeWithToken(16)
+	if err := c.SubmitJob(fidelityJob("lifecycle")); err != nil {
+		t.Fatal(err)
+	}
+	first := drainNotifications(t, sub1, 1)
+	lastToken, err := ParseResumeToken(first[0].Resume)
+	if err != nil {
+		t.Fatalf("notification token %q: %v", first[0].Resume, err)
+	}
+	cancel1()
+	_ = tok
+
+	// Offline transitions the dead stream never saw.
+	for _, phase := range []api.JobPhase{api.JobScheduled, api.JobRunning, api.JobSucceeded} {
+		phase := phase
+		if _, _, err := c.Jobs.Update("lifecycle", func(j api.QuantumJob) (api.QuantumJob, error) {
+			j.Status.Phase = phase
+			return j, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub2, cancel2, err := c.SubscribeFrom(16, lastToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	replayed := drainNotifications(t, sub2, 3)
+	wantPhases := []api.JobPhase{api.JobScheduled, api.JobRunning, api.JobSucceeded}
+	for i, n := range replayed {
+		if n.Kind != KindJob || n.Job == nil || n.Job.Status.Phase != wantPhases[i] {
+			t.Fatalf("replayed[%d] = %+v, want phase %s", i, n, wantPhases[i])
+		}
+		if n.Resume == "" {
+			t.Fatalf("replayed[%d] carries no resume token", i)
+		}
+	}
+	// Live events continue after the replay with advancing tokens.
+	c.RecordEvent("Job", "lifecycle", "noise", "not a job store event") // must NOT appear
+	if _, _, err := c.Jobs.Update("lifecycle", func(j api.QuantumJob) (api.QuantumJob, error) {
+		j.Status.Message = "post-resume"
+		return j, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	live := drainNotifications(t, sub2, 1)
+	if live[0].Job == nil || live[0].Job.Status.Message != "post-resume" {
+		t.Fatalf("live tail = %+v", live[0])
+	}
+}
+
+// TestSubscribeFromCompacted: a token below the journal horizon is
+// rejected with store.ErrCompacted.
+func TestSubscribeFromCompacted(t *testing.T) {
+	c := New()
+	c.Jobs.SetJournalCap(4)
+	if err := c.SubmitJob(fidelityJob("churner")); err != nil {
+		t.Fatal(err)
+	}
+	_, tok, cancel := c.SubscribeWithToken(16)
+	cancel()
+	for i := 0; i < 50; i++ {
+		if _, _, err := c.Jobs.Update("churner", func(j api.QuantumJob) (api.QuantumJob, error) {
+			j.Status.Message = fmt.Sprintf("tick %d", i)
+			return j, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.SubscribeFrom(16, tok); !errors.Is(err, store.ErrCompacted) {
+		t.Fatalf("stale resume err = %v, want ErrCompacted", err)
+	}
+}

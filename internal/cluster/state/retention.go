@@ -1,0 +1,183 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/archive"
+	"qrio/internal/cluster/store"
+)
+
+// RetentionPolicy bounds how long terminal (Succeeded/Failed/Cancelled)
+// jobs stay resident in the hot store before the controller's sweep moves
+// them — with their event trails — into the archive tier. The zero policy
+// keeps everything resident forever, today's behaviour.
+type RetentionPolicy struct {
+	// MaxTerminalAge archives terminal jobs older than this (measured
+	// from FinishedAt, falling back to CreatedAt). 0 = no age bound.
+	MaxTerminalAge time.Duration
+	// MaxTerminalCount caps how many terminal jobs stay resident; the
+	// oldest beyond the cap are archived. 0 = no count bound.
+	MaxTerminalCount int
+}
+
+// Enabled reports whether the policy archives anything at all.
+func (p RetentionPolicy) Enabled() bool {
+	return p.MaxTerminalAge > 0 || p.MaxTerminalCount > 0
+}
+
+// terminalEntry is one terminal job, ordered by (finished, name) — the
+// archive sweep's oldest-first order.
+type terminalEntry struct {
+	name     string
+	finished time.Time
+}
+
+// terminalIndex tracks resident terminal jobs incrementally, fed by the
+// same store hook chain as the pending and usage indexes, so the archive
+// sweep is O(candidates) instead of a scan over every resident job.
+type terminalIndex struct {
+	mu      sync.Mutex
+	entries []terminalEntry          // sorted by (finished, name)
+	member  map[string]terminalEntry // job name → its position key
+}
+
+// terminalTimeOf is the retention clock for one job: when it finished,
+// falling back to creation time for terminal objects that never recorded
+// a FinishedAt (e.g. jobs seeded directly into the store).
+func terminalTimeOf(j *api.QuantumJob) time.Time {
+	if j.Status.FinishedAt != nil {
+		return *j.Status.FinishedAt
+	}
+	return j.CreatedAt
+}
+
+func (t *terminalIndex) onJobEvent(ev store.WatchEvent[api.QuantumJob]) {
+	j := ev.Object
+	if ev.Type != store.Deleted && j.Status.Phase.Terminal() {
+		t.add(j.Name, terminalTimeOf(&j))
+		return
+	}
+	t.remove(j.Name)
+}
+
+// terminalSlot returns the sorted position of (finished, name).
+func terminalSlot(entries []terminalEntry, name string, finished time.Time) int {
+	return sort.Search(len(entries), func(i int) bool {
+		e := entries[i]
+		if !e.finished.Equal(finished) {
+			return e.finished.After(finished)
+		}
+		return e.name >= name
+	})
+}
+
+func (t *terminalIndex) add(name string, finished time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.member[name]; ok {
+		return
+	}
+	i := terminalSlot(t.entries, name, finished)
+	t.entries = append(t.entries, terminalEntry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = terminalEntry{name: name, finished: finished}
+	t.member[name] = t.entries[i]
+}
+
+func (t *terminalIndex) remove(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ref, ok := t.member[name]
+	if !ok {
+		return
+	}
+	delete(t.member, name)
+	i := terminalSlot(t.entries, name, ref.finished)
+	if i < len(t.entries) && t.entries[i].name == name {
+		t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	}
+}
+
+// count reports the resident terminal-job count.
+func (t *terminalIndex) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// expired snapshots the names the policy wants archived, oldest first:
+// everything past the age bound plus the oldest overflow past the count
+// bound.
+func (t *terminalIndex) expired(now time.Time, p RetentionPolicy) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	overflow := 0
+	if p.MaxTerminalCount > 0 && len(t.entries) > p.MaxTerminalCount {
+		overflow = len(t.entries) - p.MaxTerminalCount
+	}
+	var out []string
+	for i, e := range t.entries {
+		if i < overflow || (p.MaxTerminalAge > 0 && now.Sub(e.finished) > p.MaxTerminalAge) {
+			out = append(out, e.name)
+			continue
+		}
+		// Entries are sorted oldest-first: past the count overflow, the
+		// first non-expired entry means every later one is younger still.
+		break
+	}
+	return out
+}
+
+// TerminalCount reports how many terminal jobs remain resident in the hot
+// store — the figure retention keeps flat.
+func (c *Cluster) TerminalCount() int {
+	return c.terminal.count()
+}
+
+// ArchiveTerminal runs one retention sweep: terminal jobs the policy no
+// longer keeps resident move, with their indexed event trails, into the
+// archive tier. Per job the order is (1) copy into the archive, (2)
+// conditionally delete from the hot store iff the job is still the exact
+// terminal object that was copied (same resource version) — so a racing
+// cancel, controller retry or requeue always wins and the archive copy is
+// rolled back; there is never a moment when a job is in neither tier. The
+// hot-store delete fires the usual mutation hooks, so the pending, usage
+// and terminal indexes can never reference an archived key. It returns
+// the number of jobs archived.
+func (c *Cluster) ArchiveTerminal(now time.Time, policy RetentionPolicy) int {
+	if !policy.Enabled() {
+		return 0
+	}
+	archived := 0
+	for _, name := range c.terminal.expired(now, policy) {
+		job, version, err := c.Jobs.Get(name)
+		if err != nil || !job.Status.Phase.Terminal() {
+			continue // already gone or resurrected since the snapshot
+		}
+		entry := archive.Entry{Job: job, Events: c.EventsAbout(name), ArchivedAt: now}
+		if err := c.Archived.Put(entry); err != nil {
+			continue // concurrent sweep already took it
+		}
+		err = c.Jobs.DeleteFunc(name, func(j api.QuantumJob, v int64) error {
+			if v != version {
+				return fmt.Errorf("state: job %s changed during archival", name)
+			}
+			return nil
+		})
+		if err != nil {
+			// Lost the race (cancel/retry/another sweep): the hot object is
+			// authoritative again, drop the archive copy.
+			c.Archived.Remove(name)
+			continue
+		}
+		archived++
+		for _, e := range entry.Events {
+			c.Events.Delete(e.Name)
+		}
+	}
+	return archived
+}

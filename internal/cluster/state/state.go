@@ -14,6 +14,7 @@ package state
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/archive"
 	"qrio/internal/cluster/store"
 	"qrio/internal/device"
 )
@@ -41,6 +43,11 @@ type Cluster struct {
 	Results *store.Store[api.Result]
 	Events  *store.Store[api.Event]
 
+	// Archived is the cold tier: terminal jobs (plus their event trails)
+	// the retention sweep moved out of the hot stores. History queries
+	// fall through to it; job names stay unique across both tiers.
+	Archived *archive.Archive
+
 	// Quotas is the deployment's tenant quota policy. SubmitJob enforces
 	// it for every submission surface (gateway, master, cluster API,
 	// visualizer) — the state layer is the one choke point jobs cannot
@@ -55,6 +62,7 @@ type Cluster struct {
 	pending  pendingIndex
 	usage    usageIndex
 	eventIdx eventIndex
+	terminal terminalIndex
 
 	// submitGates serialises SubmitJob per tenant (hash-striped) so the
 	// quota check and the store create are atomic with respect to
@@ -72,6 +80,7 @@ func New() *Cluster {
 		Jobs:         store.New(api.QuantumJob.DeepCopy, func(j api.QuantumJob) string { return j.Name }),
 		Results:      store.New(api.Result.DeepCopy, func(r api.Result) string { return r.Name }),
 		Events:       store.New(api.Event.DeepCopy, func(e api.Event) string { return e.Name }),
+		Archived:     archive.New(archive.Options{}),
 		backendCache: make(map[string]*device.Backend),
 	}
 	c.pending.queues = make(map[string][]pendingEntry)
@@ -80,10 +89,12 @@ func New() *Cluster {
 	c.usage.tenants = make(map[string]*TenantUsage)
 	c.eventIdx.byAbout = make(map[string][]api.Event)
 	c.eventIdx.cap = EventIndexCap
+	c.terminal.member = make(map[string]terminalEntry)
 	// The hooks run under the mutated shard's lock: they may only touch the
 	// index mutexes (never a store), keeping the lock order store→index.
 	c.Jobs.OnEvent(c.pending.onJobEvent)
 	c.Jobs.OnEvent(c.usage.onJobEvent)
+	c.Jobs.OnEvent(c.terminal.onJobEvent)
 	c.Events.OnEvent(c.eventIdx.onEventEvent)
 	return c
 }
@@ -537,6 +548,11 @@ func (c *Cluster) SubmitJob(j api.QuantumJob) error {
 	if err := j.Validate(); err != nil {
 		return err
 	}
+	// Names are unique across the hot store AND the archive: letting a new
+	// job shadow an archived one would make history queries ambiguous.
+	if c.Archived.Has(j.Name) {
+		return store.ErrExists{Name: j.Name}
+	}
 	gate := c.submitGate(j.Spec.Tenant)
 	gate.Lock()
 	defer gate.Unlock()
@@ -546,8 +562,28 @@ func (c *Cluster) SubmitJob(j api.QuantumJob) error {
 	j.UID = c.NextUID("job")
 	j.CreatedAt = time.Now()
 	j.Status = api.JobStatus{Phase: api.JobPending}
-	if _, err := c.Jobs.Create(j); err != nil {
+	created, err := c.Jobs.Create(j)
+	if err != nil {
 		return err
+	}
+	// Re-check the archive AFTER the create: a sweep that was between its
+	// archive-copy and hot-delete steps when the pre-check ran makes both
+	// tiers look name-free for one window. If the name surfaced in the
+	// archive meanwhile, the sweep's conditional delete cannot have taken
+	// our fresh object (different version), so its copy stands — undo the
+	// create and report the conflict, keeping names unique across tiers.
+	if c.Archived.Has(j.Name) {
+		err := c.Jobs.DeleteFunc(j.Name, func(_ api.QuantumJob, v int64) error {
+			if v != created {
+				return fmt.Errorf("state: job %s advanced during duplicate-name rollback", j.Name)
+			}
+			return nil
+		})
+		if err == nil {
+			return store.ErrExists{Name: j.Name}
+		}
+		// Another actor already advanced the fresh job (sub-microsecond
+		// window); let the accepted submission stand.
 	}
 	c.RecordEvent("Job", j.Name, "Submitted", "job accepted by the API server")
 	return nil
@@ -634,9 +670,13 @@ func (e TerminalJobError) HTTPStatus() (int, string) { return 409, "conflict" }
 // additionally give their node slot back; running jobs are flagged with
 // CancelRequested and the owning kubelet aborts the container (the job
 // reaches JobCancelled when the abort lands). Cancelling a terminal job
-// returns TerminalJobError. The job update is atomic with the phase check,
-// so a cancel racing a kubelet's Scheduled→Running claim resolves cleanly:
-// exactly one of the two transitions wins.
+// returns TerminalJobError — including a job the retention sweep has
+// already moved to the archive: the cancel must NOT resurrect it, and a
+// cancel racing the sweep resolves to either "sweep lost, normal conflict"
+// or "sweep won, archived conflict", never a ghost job. The job update is
+// atomic with the phase check, so a cancel racing a kubelet's
+// Scheduled→Running claim resolves cleanly: exactly one of the two
+// transitions wins.
 func (c *Cluster) CancelJob(name string) (api.QuantumJob, error) {
 	releasedNode := ""
 	running := false
@@ -664,6 +704,16 @@ func (c *Cluster) CancelJob(name string) (api.QuantumJob, error) {
 		return j, nil
 	})
 	if err != nil {
+		var notFound store.ErrNotFound
+		if errors.As(err, &notFound) {
+			// Not in the hot store — the sweep may already have archived it.
+			// An archived job is terminal by construction: answer with the
+			// same typed conflict a resident terminal job gets, so the
+			// caller cannot tell (or care) which tier it rests in.
+			if entry, ok := c.Archived.Get(name); ok {
+				return api.QuantumJob{}, TerminalJobError{Job: name, Phase: entry.Job.Status.Phase}
+			}
+		}
 		return api.QuantumJob{}, err
 	}
 	if releasedNode != "" {

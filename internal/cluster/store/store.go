@@ -16,7 +16,9 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -30,11 +32,15 @@ const (
 	Deleted  EventType = "DELETED"
 )
 
-// WatchEvent is one change notification.
+// WatchEvent is one change notification. Shard is the index of the shard
+// that emitted it — the coordinate consumers track to build resume marks
+// (per-key and per-shard event order is monotone; cross-shard order is
+// not, so exact resumption needs one high-water mark per shard).
 type WatchEvent[T any] struct {
 	Type    EventType
 	Object  T
 	Version int64
+	Shard   int
 }
 
 // DefaultShards is the shard count used by New. Sixteen keeps per-shard
@@ -42,24 +48,46 @@ type WatchEvent[T any] struct {
 // concurrent writers on many-core hosts.
 const DefaultShards = 16
 
+// DefaultJournalCap bounds how many recent events each shard's version
+// journal retains for watch resumption. A dropped SSE client typically
+// reconnects within seconds; at cluster mutation rates that is far fewer
+// events than this, so resume almost always replays instead of forcing a
+// full re-List.
+const DefaultJournalCap = 1024
+
+// ErrCompacted signals that a WatchFrom position has aged out of the
+// version journal: events after fromVersion were already evicted, so an
+// exact replay is impossible and the caller must fall back to a full
+// re-List (the Kubernetes "410 Gone" contract).
+var ErrCompacted = errors.New("store: watch history compacted; re-List required")
+
 // shard is one lock-protected partition of the key space.
 type shard[T any] struct {
 	mu       sync.RWMutex
 	items    map[string]T
 	versions map[string]int64
+	// journal is the shard's bounded ring of recent watch events, in
+	// version order (versions are assigned under this shard's lock).
+	// evictedThrough is the highest version dropped from the ring — a
+	// WatchFrom below it cannot replay exactly and gets ErrCompacted.
+	// lastVersion is the shard's emission high-water mark.
+	journal        []WatchEvent[T]
+	evictedThrough int64
+	lastVersion    int64
 }
 
 // Store is a thread-safe, versioned map of named objects of one kind.
 // DeepCopy isolation: objects are copied on the way in and out, so callers
 // can never mutate stored state except through Update.
 type Store[T any] struct {
-	shards   []shard[T]
-	version  atomic.Int64
-	deepCopy func(T) T
-	name     func(T) string
+	shards     []shard[T]
+	version    atomic.Int64
+	deepCopy   func(T) T
+	name       func(T) string
+	journalCap int
 
 	watchMu  sync.RWMutex
-	watchers map[int]chan WatchEvent[T]
+	watchers map[int]*watcher[T]
 	nextWID  int
 
 	// hooks are synchronous per-mutation callbacks (see OnEvent). They are
@@ -80,10 +108,11 @@ func NewSharded[T any](deepCopy func(T) T, name func(T) string, shards int) *Sto
 		shards = 1
 	}
 	s := &Store[T]{
-		shards:   make([]shard[T], shards),
-		deepCopy: deepCopy,
-		name:     name,
-		watchers: make(map[int]chan WatchEvent[T]),
+		shards:     make([]shard[T], shards),
+		deepCopy:   deepCopy,
+		name:       name,
+		journalCap: DefaultJournalCap,
+		watchers:   make(map[int]*watcher[T]),
 	}
 	for i := range s.shards {
 		s.shards[i].items = make(map[string]T)
@@ -92,14 +121,58 @@ func NewSharded[T any](deepCopy func(T) T, name func(T) string, shards int) *Sto
 	return s
 }
 
-// shardFor maps a key to its shard (FNV-1a).
-func (s *Store[T]) shardFor(key string) *shard[T] {
+// watcher is one registered watch consumer. Plain Watch consumers keep
+// the historical drop-on-overflow contract (they re-List on their own
+// cadence); WatchFrom consumers instead have their channel closed on
+// overflow, turning a silent gap into an explicit stream break the client
+// heals by resuming from its last token.
+type watcher[T any] struct {
+	ch          chan WatchEvent[T]
+	closeOnDrop bool
+}
+
+// SetJournalCap resizes the per-shard version journal (minimum 1 event
+// per shard). Like OnEvent, it must be called before the store is shared
+// between goroutines; tests shrink it to force compaction cheaply.
+func (s *Store[T]) SetJournalCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.journalCap = n
+}
+
+// shardIndex maps a key to its shard index (FNV-1a).
+func (s *Store[T]) shardIndex(key string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &s.shards[h%uint32(len(s.shards))]
+	return int(h % uint32(len(s.shards)))
+}
+
+// shardFor maps a key to its shard.
+func (s *Store[T]) shardFor(key string) *shard[T] {
+	return &s.shards[s.shardIndex(key)]
+}
+
+// Shards returns the store's shard count — the length of a resume-mark
+// vector (see Marks and WatchFrom).
+func (s *Store[T]) Shards() int { return len(s.shards) }
+
+// Marks snapshots the per-shard emission high-water marks — the "from
+// now" resume position. The snapshot is not atomic across shards; each
+// mark can only err low, which makes a resume replay an event the caller
+// also saw live (deduped by version), never skip one.
+func (s *Store[T]) Marks() []int64 {
+	out := make([]int64, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out[i] = sh.lastVersion
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // OnEvent registers a synchronous hook invoked for every mutation, under
@@ -128,7 +201,8 @@ func (s *Store[T]) Create(obj T) (int64, error) {
 	if key == "" {
 		return 0, fmt.Errorf("store: object has empty name")
 	}
-	sh := s.shardFor(key)
+	idx := s.shardIndex(key)
+	sh := &s.shards[idx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.items[key]; ok {
@@ -137,7 +211,7 @@ func (s *Store[T]) Create(obj T) (int64, error) {
 	v := s.version.Add(1)
 	sh.items[key] = s.deepCopy(obj)
 	sh.versions[key] = v
-	s.emitLocked(WatchEvent[T]{Type: Added, Object: s.deepCopy(obj), Version: v})
+	s.emitLocked(idx, WatchEvent[T]{Type: Added, Object: s.deepCopy(obj), Version: v, Shard: idx})
 	return v, nil
 }
 
@@ -227,7 +301,8 @@ func (s *Store[T]) Len() int {
 // into this store (other stores are fine only if no lock cycle exists —
 // prefer hoisting cross-store reads out of the callback).
 func (s *Store[T]) Update(name string, mutate func(T) (T, error)) (T, int64, error) {
-	sh := s.shardFor(name)
+	idx := s.shardIndex(name)
+	sh := &s.shards[idx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	obj, ok := sh.items[name]
@@ -247,23 +322,39 @@ func (s *Store[T]) Update(name string, mutate func(T) (T, error)) (T, int64, err
 	v := s.version.Add(1)
 	sh.items[name] = s.deepCopy(next)
 	sh.versions[name] = v
-	s.emitLocked(WatchEvent[T]{Type: Modified, Object: s.deepCopy(next), Version: v})
+	s.emitLocked(idx, WatchEvent[T]{Type: Modified, Object: s.deepCopy(next), Version: v, Shard: idx})
 	return next, v, nil
 }
 
 // Delete removes the named object.
 func (s *Store[T]) Delete(name string) error {
-	sh := s.shardFor(name)
+	return s.DeleteFunc(name, func(T, int64) error { return nil })
+}
+
+// DeleteFunc removes the named object only if check accepts it. The
+// callback runs under the shard lock against the internal object (no
+// copy) and its current resource version; returning an error aborts the
+// delete and surfaces that error. Like Update's callback, check must not
+// mutate or retain the object and must not call back into this store.
+// This is the archive sweep's primitive: "delete iff still the terminal
+// object I decided to archive" is atomic with respect to concurrent
+// cancels, retries and requeues.
+func (s *Store[T]) DeleteFunc(name string, check func(obj T, version int64) error) error {
+	idx := s.shardIndex(name)
+	sh := &s.shards[idx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	obj, ok := sh.items[name]
 	if !ok {
 		return ErrNotFound{name}
 	}
+	if err := check(obj, sh.versions[name]); err != nil {
+		return err
+	}
 	delete(sh.items, name)
 	delete(sh.versions, name)
 	v := s.version.Add(1)
-	s.emitLocked(WatchEvent[T]{Type: Deleted, Object: s.deepCopy(obj), Version: v})
+	s.emitLocked(idx, WatchEvent[T]{Type: Deleted, Object: s.deepCopy(obj), Version: v, Shard: idx})
 	return nil
 }
 
@@ -273,6 +364,12 @@ func (s *Store[T]) Delete(name string) error {
 // re-List on their own cadence (level-triggered reconciliation), exactly
 // as Kubernetes clients do.
 func (s *Store[T]) Watch(buffer int) (<-chan WatchEvent[T], func()) {
+	ch, cancel := s.register(buffer, false)
+	return ch, cancel
+}
+
+// register adds a watcher and returns its channel plus a cancel function.
+func (s *Store[T]) register(buffer int, closeOnDrop bool) (chan WatchEvent[T], func()) {
 	if buffer <= 0 {
 		buffer = 64
 	}
@@ -280,34 +377,152 @@ func (s *Store[T]) Watch(buffer int) (<-chan WatchEvent[T], func()) {
 	s.watchMu.Lock()
 	id := s.nextWID
 	s.nextWID++
-	s.watchers[id] = ch
+	s.watchers[id] = &watcher[T]{ch: ch, closeOnDrop: closeOnDrop}
 	s.watchMu.Unlock()
 	cancel := func() {
 		s.watchMu.Lock()
-		if c, ok := s.watchers[id]; ok {
+		if w, ok := s.watchers[id]; ok {
 			delete(s.watchers, id)
-			close(c)
+			close(w.ch)
 		}
 		s.watchMu.Unlock()
 	}
 	return ch, cancel
 }
 
-// emitLocked runs hooks and broadcasts to watchers while the mutated
-// shard's lock is held, dropping events for slow consumers. Holding the
-// shard lock across delivery keeps same-key events ordered.
-func (s *Store[T]) emitLocked(ev WatchEvent[T]) {
+// WatchFrom returns a stream that first replays, from the per-shard
+// journals, every event beyond the given per-shard marks (as produced by
+// Marks and advanced per received event via WatchEvent.Shard), then
+// continues live — the resume primitive behind /v1/watch tokens. Marks
+// are per shard because cross-shard delivery order is not version order:
+// a single scalar position could skip a slow shard's older event. If any
+// shard has already evicted events past its mark — or the mark vector's
+// length does not match the store's shard count — the exact replay is
+// impossible and WatchFrom returns ErrCompacted; the caller must fall
+// back to a full re-List. Unlike Watch, a WatchFrom stream never drops
+// events silently: a consumer that falls more than the buffer behind has
+// its channel closed instead, and resumes from its last marks.
+//
+// Events for different keys may interleave out of version order on the
+// live tail (the Watch contract); the replayed prefix is sorted by
+// version, and per-key order is preserved throughout.
+func (s *Store[T]) WatchFrom(marks []int64, buffer int) (<-chan WatchEvent[T], func(), error) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	if len(marks) != len(s.shards) {
+		return nil, nil, ErrCompacted
+	}
+	// Register the live watcher first, then snapshot the journals: an
+	// event landing between the two shows up in both and is deduped below
+	// by its globally unique version; an event after the snapshot shows up
+	// only live. Nothing can fall through the gap.
+	live, cancelLive := s.register(buffer, true)
+	var replay []WatchEvent[T]
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		if sh.evictedThrough > marks[i] {
+			sh.mu.RUnlock()
+			cancelLive()
+			// Drain anything the registered watcher already buffered so the
+			// events' object copies become collectable immediately.
+			for range live {
+			}
+			return nil, nil, ErrCompacted
+		}
+		for _, ev := range sh.journal {
+			if ev.Version > marks[i] {
+				replay = append(replay, ev)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(replay, func(i, j int) bool { return replay[i].Version < replay[j].Version })
+	replayed := make(map[int64]struct{}, len(replay))
+	for _, ev := range replay {
+		replayed[ev.Version] = struct{}{}
+	}
+	out := make(chan WatchEvent[T], buffer)
+	done := make(chan struct{})
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			close(done)
+			cancelLive()
+		})
+	}
+	go func() {
+		defer close(out)
+		for _, ev := range replay {
+			select {
+			case out <- ev:
+			case <-done:
+				return
+			}
+		}
+		for {
+			select {
+			case <-done:
+				return
+			case ev, ok := <-live:
+				if !ok {
+					// Overflow close: end the stream so the consumer resumes
+					// from its last token instead of silently missing events.
+					return
+				}
+				if _, dup := replayed[ev.Version]; dup {
+					continue
+				}
+				select {
+				case out <- ev:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+	return out, cancel, nil
+}
+
+// emitLocked journals the event, runs hooks and broadcasts to watchers
+// while the mutated shard's lock is held. Plain watchers that fall behind
+// lose the event (they re-List); resumable watchers are closed instead so
+// their consumer reconnects from its token. Holding the shard lock across
+// delivery keeps same-key events ordered.
+func (s *Store[T]) emitLocked(idx int, ev WatchEvent[T]) {
+	sh := &s.shards[idx]
+	sh.lastVersion = ev.Version
+	if len(sh.journal) >= s.journalCap {
+		sh.evictedThrough = sh.journal[0].Version
+		sh.journal[0] = WatchEvent[T]{} // release the evicted object copy
+		sh.journal = append(sh.journal[1:], ev)
+	} else {
+		sh.journal = append(sh.journal, ev)
+	}
 	for _, hook := range s.hooks {
 		hook(ev)
 	}
+	var overflowed []int
 	s.watchMu.RLock()
-	for _, ch := range s.watchers {
+	for id, w := range s.watchers {
 		select {
-		case ch <- ev:
-		default: // watcher too slow: drop, it must re-List
+		case w.ch <- ev:
+		default: // watcher too slow
+			if w.closeOnDrop {
+				overflowed = append(overflowed, id)
+			}
 		}
 	}
 	s.watchMu.RUnlock()
+	for _, id := range overflowed {
+		s.watchMu.Lock()
+		if w, ok := s.watchers[id]; ok {
+			delete(s.watchers, id)
+			close(w.ch)
+		}
+		s.watchMu.Unlock()
+	}
 }
 
 // Version returns the store's latest resource version.

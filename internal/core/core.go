@@ -56,6 +56,14 @@ type Config struct {
 	// gateway's admission layer enforces it on every submission. The zero
 	// policy admits everything.
 	TenantQuotas api.TenantQuotaPolicy
+	// Retention bounds how long terminal jobs stay resident in the hot
+	// store: the controller's sweep moves older/overflowing ones (with
+	// their event trails) into the archive tier, keeping scheduler and
+	// watch-recovery cost proportional to live work. The zero policy
+	// retains everything forever — the pre-archive behaviour. Archived
+	// history stays queryable (GET /v1/jobs?archived=true and the by-name
+	// fallthrough).
+	Retention state.RetentionPolicy
 }
 
 // containerSlots resolves a backend's container capacity under the
@@ -140,6 +148,7 @@ func New(cfg Config) (*QRIO, error) {
 	if cfg.MaxRetries > 0 {
 		ctl.MaxRetries = cfg.MaxRetries
 	}
+	ctl.Retention = cfg.Retention
 	q := &QRIO{
 		State:      st,
 		Meta:       metaSrv,
@@ -286,6 +295,10 @@ func (q *QRIO) WaitForJobCtx(ctx context.Context, jobName string) (api.QuantumJo
 	// cannot be missed.
 	last, _, err := q.State.Jobs.Get(jobName)
 	if err != nil {
+		// An archived job already finished; report its terminal state.
+		if entry, ok := q.State.Archived.Get(jobName); ok {
+			return entry.Job, nil
+		}
 		return api.QuantumJob{}, err
 	}
 	if last.Status.Phase.Terminal() {
@@ -308,6 +321,12 @@ func (q *QRIO) WaitForJobCtx(ctx context.Context, jobName string) (api.QuantumJo
 				continue
 			}
 			if n.Type == store.Deleted {
+				// The retention sweep deletes terminal jobs from the hot
+				// store when it archives them; that is a normal end of the
+				// lifecycle, not the job vanishing.
+				if n.Job.Status.Phase.Terminal() {
+					return *n.Job, nil
+				}
 				return *n.Job, store.ErrNotFound{Name: jobName}
 			}
 			last = *n.Job
@@ -317,6 +336,9 @@ func (q *QRIO) WaitForJobCtx(ctx context.Context, jobName string) (api.QuantumJo
 		case <-recheck.C:
 			j, _, err := q.State.Jobs.Get(jobName)
 			if err != nil {
+				if entry, ok := q.State.Archived.Get(jobName); ok {
+					return entry.Job, nil
+				}
 				return last, err
 			}
 			last = j

@@ -1,0 +1,197 @@
+// Gateway tests for the terminal-job archive tier: by-name fallthrough,
+// the archived=true list merge, and pagination that walks the hot/archive
+// boundary — including under concurrent retention sweeps.
+package gateway_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"qrio/client"
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/core"
+	"qrio/internal/httpx"
+)
+
+// seedTerminal creates count terminal jobs named prefix-%04d directly in
+// the hot store, finished in name order.
+func seedTerminal(t *testing.T, q *core.QRIO, prefix string, count int) {
+	t.Helper()
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < count; i++ {
+		fin := base.Add(time.Duration(i) * time.Second)
+		j := api.QuantumJob{
+			ObjectMeta: api.ObjectMeta{Name: fmt.Sprintf("%s-%04d", prefix, i), CreatedAt: fin.Add(-time.Second)},
+			Spec: api.JobSpec{QASM: "OPENQASM 2.0;\nqreg q[1];\nh q[0];",
+				Strategy: api.StrategyFidelity, TargetFidelity: 1},
+			Status: api.JobStatus{Phase: api.JobSucceeded, FinishedAt: &fin},
+		}
+		if _, err := q.State.Jobs.Create(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestArchivedJobFallthrough: GET by name, logs-style events, and the
+// archived filter after a sweep.
+func TestArchivedJobFallthrough(t *testing.T) {
+	c, q := deployIdle(t, nil)
+	ctx := context.Background()
+	seedTerminal(t, q, "hist", 6)
+	q.State.RecordEvent("Job", "hist-0000", "Succeeded", "finished")
+	// Keep the 2 newest resident; archive the 4 oldest.
+	if n := q.State.ArchiveTerminal(time.Now(), state.RetentionPolicy{MaxTerminalCount: 2}); n != 4 {
+		t.Fatalf("archived %d, want 4", n)
+	}
+
+	// By-name Get falls through to the archive.
+	j, err := c.Get(ctx, "hist-0000")
+	if err != nil {
+		t.Fatalf("get archived job: %v", err)
+	}
+	if j.Status.Phase != api.JobSucceeded {
+		t.Fatalf("archived job phase %s", j.Status.Phase)
+	}
+	// Its event trail survived archival.
+	events, err := c.Events(ctx, "hist-0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Reason != "Succeeded" {
+		t.Fatalf("archived events = %+v", events)
+	}
+	// Unknown names still 404.
+	if _, err := c.Get(ctx, "hist-9999"); !client.IsNotFound(err) {
+		t.Fatalf("unknown name err = %v", err)
+	}
+
+	// Default list shows only the resident tail; archived=true shows all.
+	hot, err := c.List(ctx, client.ListOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot.Items) != 2 {
+		t.Fatalf("hot list = %d items, want 2", len(hot.Items))
+	}
+	all, err := c.List(ctx, client.ListOptions{Archived: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Items) != 6 {
+		t.Fatalf("archived list = %d items, want 6", len(all.Items))
+	}
+	for i, item := range all.Items {
+		if want := fmt.Sprintf("hist-%04d", i); item.Name != want {
+			t.Fatalf("item %d = %s, want %s (name order across tiers)", i, item.Name, want)
+		}
+	}
+	// Field filters apply to archived entries too.
+	succeeded, err := c.List(ctx, client.ListOptions{Archived: true, Phase: api.JobSucceeded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succeeded.Items) != 6 {
+		t.Fatalf("phase-filtered archived list = %d", len(succeeded.Items))
+	}
+}
+
+// TestPaginationAcrossArchiveBoundary walks pages over a keyspace split
+// between tiers and checks the token crosses the boundary without dupes
+// or gaps — then repeats while sweeps concurrently move jobs between the
+// tiers mid-walk.
+func TestPaginationAcrossArchiveBoundary(t *testing.T) {
+	c, q := deployIdle(t, nil)
+	ctx := context.Background()
+	const total = 60
+	seedTerminal(t, q, "page", total)
+	// Static split: 40 archived, 20 hot.
+	q.State.ArchiveTerminal(time.Now(), state.RetentionPolicy{MaxTerminalCount: 20})
+
+	walk := func() map[string]int {
+		seen := map[string]int{}
+		opts := client.ListOptions{Archived: true, Limit: 7}
+		for {
+			page, err := c.List(ctx, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, item := range page.Items {
+				seen[item.Name]++
+			}
+			if page.Continue == "" {
+				return seen
+			}
+			opts.Continue = page.Continue
+		}
+	}
+	seen := walk()
+	if len(seen) != total {
+		t.Fatalf("walk saw %d names, want %d", len(seen), total)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("%s seen %d times", name, n)
+		}
+	}
+
+	// Now walk while sweeps concurrently shrink the resident tail from 20
+	// down to 2 — jobs migrate between tiers mid-walk and must still be
+	// seen exactly once each.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		keep := 20
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if keep > 2 {
+				keep -= 2
+			}
+			q.State.ArchiveTerminal(time.Now(), state.RetentionPolicy{MaxTerminalCount: keep})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for round := 0; round < 5; round++ {
+		seen := walk()
+		if len(seen) != total {
+			t.Fatalf("churn walk %d saw %d names, want %d", round, len(seen), total)
+		}
+		for name, n := range seen {
+			if n != 1 {
+				t.Fatalf("churn walk %d: %s seen %d times", round, name, n)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestListBadArchivedParam pins the 400 invalid envelope for a malformed
+// archived flag.
+func TestListBadArchivedParam(t *testing.T) {
+	c, _ := deployIdle(t, nil)
+	resp, err := http.Get(c.BaseURL + "/v1/jobs?archived=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	code, _, ok := httpx.DecodeErrorBody(raw)
+	if !ok || code != httpx.CodeInvalid {
+		t.Fatalf("envelope = %s", raw)
+	}
+}

@@ -12,8 +12,10 @@
 //	POST   /v1/jobs                 — submit one job (SubmitRequest)
 //	POST   /v1/jobs/batch           — submit many ([]SubmitRequest)
 //	GET    /v1/jobs                 — list, filters phase/node/strategy,
+//	                                  archived=true merges the archive tier,
 //	                                  pagination via limit/continue
-//	GET    /v1/jobs/{name}          — fetch one job
+//	GET    /v1/jobs/{name}          — fetch one job (falls through to the
+//	                                  archive for retired terminal jobs)
 //	DELETE /v1/jobs/{name}          — cancel through the full lifecycle
 //	GET    /v1/jobs/{name}/logs     — execution result (Fig. 5)
 //	GET    /v1/jobs/{name}/events   — the job's event trail
@@ -25,15 +27,17 @@
 //	GET    /v1/score/batch?job=J[&backend=B...]
 //	GET    /v1/tenants              — per-tenant usage, fair-share weight, quota
 //	GET    /v1/events[?about=X]
-//	GET    /v1/watch[?kind=job|node][&name=X]  — SSE stream
+//	GET    /v1/watch[?kind=job|node][&name=X][&resume=T]  — SSE stream;
+//	                                  resume=T replays from a prior
+//	                                  stream's token instead of snapshotting
 //
 // Submissions are charged to a tenant (SubmitRequest.Tenant, defaulted to
 // "default") and pass the quota admission layer (admission.go) before any
 // expensive work; GET /v1/jobs accepts a tenant filter.
 //
 // Error responses carry machine-readable codes: invalid (400),
-// not_found (404), conflict (409), unschedulable (422) and
-// quota_exceeded (429).
+// not_found (404), conflict (409), compacted (410), unschedulable (422)
+// and quota_exceeded (429).
 package gateway
 
 import (
@@ -117,9 +121,10 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, map[string]any{
-		"ok":    true,
-		"nodes": s.Core.State.Nodes.Len(),
-		"jobs":  s.Core.State.Jobs.Len(),
+		"ok":       true,
+		"nodes":    s.Core.State.Nodes.Len(),
+		"jobs":     s.Core.State.Jobs.Len(),
+		"archived": s.Core.State.Archived.Len(),
 	})
 }
 
@@ -266,11 +271,21 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("gateway: invalid tenant filter %q", tenant))
 		return
 	}
+	archived := false
+	if raw := q.Get("archived"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+				fmt.Errorf("gateway: bad archived %q (want true or false)", raw))
+			return
+		}
+		archived = v
+	}
 	cont := q.Get("continue")
 
 	// Field filters run inside ListFunc so non-matching jobs are never
 	// deep-copied; the continue-token cut happens pre-copy as well.
-	jobs := s.Core.State.Jobs.ListFunc(func(j api.QuantumJob) bool {
+	keep := func(j *api.QuantumJob) bool {
 		if cont != "" && j.Name <= cont {
 			return false
 		}
@@ -283,11 +298,29 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		if strategy != "" && string(j.Spec.Strategy) != strategy {
 			return false
 		}
-		if tenant != "" && state.TenantOf(&j) != tenant {
+		if tenant != "" && state.TenantOf(j) != tenant {
 			return false
 		}
 		return true
-	})
+	}
+	jobs := s.Core.State.Jobs.ListFunc(func(j api.QuantumJob) bool { return keep(&j) })
+	if archived {
+		// Merge the archive tier in. Continue tokens are job names and both
+		// tiers sort by name, so one token paginates seamlessly across the
+		// hot/archive boundary — and a job swept between two pages is found
+		// in whichever tier the next page's walk reaches. Hot wins the
+		// dedupe: during a sweep's copy window an object can briefly exist
+		// in both tiers, and the hot copy is authoritative.
+		hot := make(map[string]bool, len(jobs))
+		for i := range jobs {
+			hot[jobs[i].Name] = true
+		}
+		for _, j := range s.Core.State.Archived.List(keep) {
+			if !hot[j.Name] {
+				jobs = append(jobs, j)
+			}
+		}
+	}
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
 	out := JobList{Items: []api.QuantumJob{}}
 	for _, j := range jobs {
@@ -302,8 +335,15 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	j, _, err := s.Core.State.Jobs.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	j, _, err := s.Core.State.Jobs.Get(name)
 	if err != nil {
+		// Fall through to the archive tier: retention moves terminal jobs
+		// out of the hot store, but history stays addressable by name.
+		if entry, ok := s.Core.State.Archived.Get(name); ok {
+			httpx.WriteJSON(w, http.StatusOK, entry.Job)
+			return
+		}
 		httpx.WriteErr(w, err, http.StatusNotFound, httpx.CodeNotFound)
 		return
 	}
@@ -333,6 +373,15 @@ func (s *Server) handleJobLogs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, _, err := s.Core.State.Jobs.Get(name); err != nil {
+		// Archived jobs keep their event trail as of archival.
+		if entry, ok := s.Core.State.Archived.Get(name); ok {
+			events := entry.Events
+			if events == nil {
+				events = []api.Event{}
+			}
+			httpx.WriteJSON(w, http.StatusOK, events)
+			return
+		}
 		httpx.WriteErr(w, err, http.StatusNotFound, httpx.CodeNotFound)
 		return
 	}

@@ -1,0 +1,198 @@
+// SSE watch resumption end to end: kill the stream mid-lifecycle, resume
+// from the last token, and observe every transition exactly once; stale
+// tokens fall back to a full re-list via the compacted error.
+package gateway_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qrio/client"
+	"qrio/internal/cluster/api"
+	"qrio/internal/core"
+	"qrio/internal/gateway"
+)
+
+// deployIdle stands up the gateway over an orchestrator whose control
+// loops are NOT running, so tests drive every job transition by hand and
+// can assert exact event sequences.
+func deployIdle(t *testing.T, mutate func(*core.QRIO)) (*client.Client, *core.QRIO) {
+	t.Helper()
+	q, err := core.New(core.Config{Backends: twoNodeFleet(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(q)
+	}
+	srv := httptest.NewServer(gateway.New(q).Handler())
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL), q
+}
+
+// setPhase flips a job's phase directly in the store.
+func setPhase(t *testing.T, q *core.QRIO, name string, phase api.JobPhase) {
+	t.Helper()
+	if _, _, err := q.State.Jobs.Update(name, func(j api.QuantumJob) (api.QuantumJob, error) {
+		j.Status.Phase = phase
+		if phase.Terminal() {
+			now := time.Now()
+			j.Status.FinishedAt = &now
+		}
+		return j, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nextJobEvent reads job events for one name until the deadline.
+func nextJobEvent(t *testing.T, ch <-chan client.WatchEvent, name string) client.WatchEvent {
+	t.Helper()
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("stream closed waiting for %s", name)
+			}
+			if ev.Job == nil || ev.Job.Name != name {
+				continue
+			}
+			return ev
+		case <-deadline:
+			t.Fatalf("no event for %s", name)
+		}
+	}
+}
+
+// TestWatchResumeNoMissNoDup is the SSE reconnect contract: kill the
+// stream mid-lifecycle, resume with the last token, and the union of both
+// streams is every transition exactly once.
+func TestWatchResumeNoMissNoDup(t *testing.T) {
+	c, q := deployIdle(t, nil)
+	ctx := context.Background()
+
+	ctx1, kill := context.WithCancel(ctx)
+	events1, err := c.Watch(ctx1, client.WatchOptions{Kind: "job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, ghzReq("lifecycle")); err != nil {
+		t.Fatal(err)
+	}
+	setPhase(t, q, "lifecycle", api.JobScheduled)
+
+	var seen []client.WatchEvent
+	seen = append(seen, nextJobEvent(t, events1, "lifecycle")) // ADDED Pending
+	seen = append(seen, nextJobEvent(t, events1, "lifecycle")) // MODIFIED Scheduled
+	token := seen[len(seen)-1].Resume
+	if token == "" {
+		t.Fatal("event carried no resume token")
+	}
+	kill() // stream dies mid-lifecycle
+
+	// Transitions the dead stream never saw.
+	setPhase(t, q, "lifecycle", api.JobRunning)
+	setPhase(t, q, "lifecycle", api.JobSucceeded)
+
+	ctx2, cancel2 := context.WithCancel(ctx)
+	defer cancel2()
+	events2, err := c.Watch(ctx2, client.WatchOptions{Kind: "job", Resume: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen = append(seen, nextJobEvent(t, events2, "lifecycle")) // MODIFIED Running
+	seen = append(seen, nextJobEvent(t, events2, "lifecycle")) // MODIFIED Succeeded
+
+	wantPhases := []api.JobPhase{api.JobPending, api.JobScheduled, api.JobRunning, api.JobSucceeded}
+	counts := map[api.JobPhase]int{}
+	for i, ev := range seen {
+		if ev.Type == client.EventSync {
+			t.Fatalf("resumed stream delivered a SYNC snapshot event: %+v", ev)
+		}
+		if ev.Job.Status.Phase != wantPhases[i] {
+			t.Fatalf("event %d phase %s, want %s", i, ev.Job.Status.Phase, wantPhases[i])
+		}
+		counts[ev.Job.Status.Phase]++
+	}
+	for phase, n := range counts {
+		if n != 1 {
+			t.Fatalf("phase %s observed %d times, want exactly once", phase, n)
+		}
+	}
+	// And the resumed stream carries fresh tokens of its own.
+	if seen[len(seen)-1].Resume == "" {
+		t.Fatal("resumed stream events carry no tokens")
+	}
+}
+
+// TestWatchResumeCompactedFallback: a token that aged out of the journal
+// is rejected with the typed 410 compacted error, and the documented
+// fallback — a fresh snapshot watch — observes current state via SYNC.
+func TestWatchResumeCompactedFallback(t *testing.T) {
+	c, q := deployIdle(t, func(q *core.QRIO) {
+		q.State.Jobs.SetJournalCap(4)
+	})
+	ctx := context.Background()
+
+	ctx1, kill := context.WithCancel(ctx)
+	events1, err := c.Watch(ctx1, client.WatchOptions{Kind: "job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, ghzReq("churn")); err != nil {
+		t.Fatal(err)
+	}
+	token := nextJobEvent(t, events1, "churn").Resume
+	kill()
+
+	// Overflow the journal far past the token.
+	for i := 0; i < 64; i++ {
+		setPhase(t, q, "churn", api.JobScheduled)
+		setPhase(t, q, "churn", api.JobPending)
+	}
+	setPhase(t, q, "churn", api.JobSucceeded)
+
+	_, err = c.Watch(ctx, client.WatchOptions{Kind: "job", Resume: token})
+	if !client.IsCompacted(err) {
+		t.Fatalf("stale token err = %v, want compacted", err)
+	}
+
+	// The fallback path: fresh watch, SYNC snapshot shows present state.
+	ctx2, cancel2 := context.WithCancel(ctx)
+	defer cancel2()
+	events2, err := c.Watch(ctx2, client.WatchOptions{Kind: "job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync := nextJobEvent(t, events2, "churn")
+	if sync.Type != client.EventSync || sync.Job.Status.Phase != api.JobSucceeded {
+		t.Fatalf("fallback snapshot = %+v, want SYNC Succeeded", sync)
+	}
+
+	// Reconnect:true heals the same situation transparently.
+	ctx3, cancel3 := context.WithCancel(ctx)
+	defer cancel3()
+	events3, err := c.Watch(ctx3, client.WatchOptions{Kind: "job", Resume: token, Reconnect: true})
+	if err != nil {
+		t.Fatalf("reconnecting watch with stale token: %v", err)
+	}
+	if ev := nextJobEvent(t, events3, "churn"); ev.Type != client.EventSync {
+		t.Fatalf("healed stream first event = %+v, want SYNC", ev)
+	}
+}
+
+// TestWatchMalformedResumeToken pins the 400 invalid envelope.
+func TestWatchMalformedResumeToken(t *testing.T) {
+	c, _ := deployIdle(t, nil)
+	_, err := c.Watch(context.Background(), client.WatchOptions{Resume: "not-a-token"})
+	if !client.IsInvalid(err) {
+		t.Fatalf("malformed token err = %v, want invalid", err)
+	}
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("malformed token envelope = %+v", apiErr)
+	}
+}

@@ -2,22 +2,35 @@ package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"qrio/internal/cluster/state"
+	"qrio/internal/cluster/store"
 	"qrio/internal/httpx"
 )
 
 // handleWatch streams cluster changes as server-sent events, fanned out
 // from the state broadcast hub. Each SSE message's event name is the
 // notification kind ("job" or "node") and its data is the JSON-encoded
-// state.Notification. On connect the current (filtered) objects are sent
-// as SYNC notifications, so a client that watches after a transition it
-// cares about still observes the object's present state — no list/watch
-// race. Query params: kind=job|node narrows the stream to one kind,
-// name=X to one object. The stream runs until the client disconnects.
+// state.Notification, whose "resume" field carries the stream position
+// token as of that event. On connect the current (filtered) objects are
+// sent as SYNC notifications, so a client that watches after a transition
+// it cares about still observes the object's present state — no
+// list/watch race.
+//
+// Query params: kind=job|node narrows the stream to one kind, name=X to
+// one object, and resume=<token> (a token from a previous stream's
+// events) replays every transition after that position instead of sending
+// the SYNC snapshot — the reconnect path for dropped SSE clients. A
+// malformed token is 400 invalid; a token whose position has aged out of
+// the server's version journal is 410 compacted, and the client must fall
+// back to a fresh watch. The stream runs until the client disconnects; a
+// resumed stream also ends (cleanly) if the client falls too far behind,
+// so it reconnects from its latest token rather than silently missing
+// transitions.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	kind := r.URL.Query().Get("kind")
 	if kind != "" && kind != state.KindJob && kind != state.KindNode {
@@ -26,6 +39,10 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.URL.Query().Get("name")
+	resume, resuming := "", false
+	if raw := r.URL.Query().Get("resume"); raw != "" {
+		resume, resuming = raw, true
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		httpx.WriteError(w, http.StatusInternalServerError, httpx.CodeInternal,
@@ -33,9 +50,32 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Subscribe before snapshotting so no transition between the two is
-	// lost; duplicates are fine (watch consumers are level-triggered).
-	sub, cancel := s.Core.State.Subscribe(256)
+	var (
+		sub    <-chan state.Notification
+		start  state.ResumeToken
+		cancel func()
+	)
+	if resuming {
+		token, err := state.ParseResumeToken(resume)
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
+			return
+		}
+		var serr error
+		sub, cancel, serr = s.Core.State.SubscribeFrom(256, token)
+		if serr != nil {
+			if errors.Is(serr, store.ErrCompacted) {
+				httpx.WriteError(w, http.StatusGone, httpx.CodeCompacted, serr)
+				return
+			}
+			httpx.WriteError(w, http.StatusInternalServerError, httpx.CodeInternal, serr)
+			return
+		}
+	} else {
+		// Subscribe before snapshotting so no transition between the two is
+		// lost; duplicates are fine (watch consumers are level-triggered).
+		sub, start, cancel = s.Core.State.SubscribeWithToken(256)
+	}
 	defer cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -58,21 +98,25 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
-	if kind == "" || kind == state.KindJob {
-		for _, j := range s.Core.State.Jobs.List() {
-			j := j
-			n := state.Notification{Kind: state.KindJob, Type: SyncEvent, Job: &j}
-			if match(n) {
-				writeSSE(w, n)
+	if !resuming {
+		// SYNC snapshot, stamped with the stream's starting token: a client
+		// that drops before the first live event resumes from here.
+		if kind == "" || kind == state.KindJob {
+			for _, j := range s.Core.State.Jobs.List() {
+				j := j
+				n := state.Notification{Kind: state.KindJob, Type: SyncEvent, Job: &j, Resume: start.String()}
+				if match(n) {
+					writeSSE(w, n)
+				}
 			}
 		}
-	}
-	if kind == "" || kind == state.KindNode {
-		for _, nd := range s.Core.State.Nodes.List() {
-			nd := nd
-			n := state.Notification{Kind: state.KindNode, Type: SyncEvent, Node: &nd}
-			if match(n) {
-				writeSSE(w, n)
+		if kind == "" || kind == state.KindNode {
+			for _, nd := range s.Core.State.Nodes.List() {
+				nd := nd
+				n := state.Notification{Kind: state.KindNode, Type: SyncEvent, Node: &nd, Resume: start.String()}
+				if match(n) {
+					writeSSE(w, n)
+				}
 			}
 		}
 	}

@@ -7,7 +7,7 @@
 //	{"error": {"code": "not_found", "message": "store: \"bv\" not found"}}
 //
 // The defined codes are invalid, not_found, conflict, unschedulable,
-// quota_exceeded, method_not_allowed and internal.
+// quota_exceeded, method_not_allowed, compacted and internal.
 package httpx
 
 import (
@@ -31,6 +31,11 @@ const (
 	CodeQuotaExceeded    = "quota_exceeded"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeInternal         = "internal"
+	// CodeCompacted (410 Gone) rejects a watch resume token whose position
+	// has aged out of the server's version journal — the client must fall
+	// back to a fresh watch (full snapshot) instead of an exact replay,
+	// mirroring the Kubernetes expired-resourceVersion contract.
+	CodeCompacted = "compacted"
 )
 
 // MaxBodyBytes caps request and response bodies (circuits travel as QASM

@@ -39,22 +39,44 @@
 // A deployment is served to remote users through the unified, versioned
 // gateway (NewGateway; the qrio daemon mounts it at /v1): job routes
 // (POST /v1/jobs and /v1/jobs/batch, GET /v1/jobs with phase/node/strategy
-// filters and limit/continue pagination, GET and DELETE /v1/jobs/{name},
-// GET /v1/jobs/{name}/logs and /events), node routes (GET/POST /v1/nodes,
-// GET/DELETE /v1/nodes/{name}), Meta-Server scoring (GET /v1/score and
-// /v1/score/batch) and a live event stream (GET /v1/watch, server-sent
-// events fanned out from the cluster's broadcast hub). DELETE cancels a
-// job at any lifecycle stage — pending jobs leave the queue, scheduled
-// jobs release their slot, running jobs have their container aborted on
-// the node — landing the terminal JobCancelled phase.
+// filters, an archived=true history merge and limit/continue pagination,
+// GET and DELETE /v1/jobs/{name}, GET /v1/jobs/{name}/logs and /events),
+// node routes (GET/POST /v1/nodes, GET/DELETE /v1/nodes/{name}),
+// Meta-Server scoring (GET /v1/score and /v1/score/batch) and a live
+// event stream (GET /v1/watch, server-sent events fanned out from the
+// cluster's broadcast hub). DELETE cancels a job at any lifecycle stage
+// — pending jobs leave the queue, scheduled jobs release their slot,
+// running jobs have their container aborted on the node — landing the
+// terminal JobCancelled phase.
+//
+// Watch streams are resumable: every SSE event carries an opaque resume
+// token, and GET /v1/watch?resume=<token> replays exactly the
+// transitions a dropped client missed (from a bounded per-shard version
+// journal) instead of re-sending the snapshot. A token whose position
+// has been compacted away is answered with the 410 "compacted" code; the
+// client then falls back to a fresh watch, whose connect-time SYNC
+// events re-establish current state. client.WatchOptions.Reconnect turns
+// that whole dance into a self-healing stream (Client.Wait and qrioctl
+// watch use it).
 //
 // Every error response carries one structured envelope,
 // {"error":{"code":...,"message":...}}, with machine-readable codes:
 // "invalid" (400, malformed or rejected request), "not_found" (404),
-// "conflict" (409, duplicate submission or cancelling a finished job),
-// "unschedulable" (422, no device in the fleet can ever satisfy the job's
-// requirements) and "quota_exceeded" (429, the tenant is over its
+// "conflict" (409, duplicate submission or cancelling a finished job —
+// resident or archived), "compacted" (410, stale watch resume token),
+// "unschedulable" (422, no device in the fleet can ever satisfy the
+// job's requirements) and "quota_exceeded" (429, the tenant is over its
 // admission quota).
+//
+// # Retention
+//
+// Config.Retention bounds how long terminal jobs stay resident: the
+// lifecycle controller sweeps older/overflowing ones, with their event
+// trails, into an append-mostly archive tier (optionally spilled to a
+// JSONL file), keeping the hot store — and every cost proportional to it
+// — flat under sustained load. History stays queryable through
+// GET /v1/jobs?archived=true and the by-name fallthrough; the zero
+// policy keeps today's keep-everything behaviour.
 //
 // # Multi-tenancy
 //
@@ -149,6 +171,11 @@ type TenantQuotaPolicy = api.TenantQuotaPolicy
 // TenantUsage is one tenant's live usage aggregate as reported by the
 // cluster state and GET /v1/tenants.
 type TenantUsage = state.TenantUsage
+
+// RetentionPolicy bounds how long terminal jobs stay resident in the hot
+// store before the controller archives them (Config.Retention); the zero
+// policy keeps everything resident, the pre-archive behaviour.
+type RetentionPolicy = state.RetentionPolicy
 
 // Strategy selects fidelity- or topology-driven device ranking.
 type Strategy = api.Strategy
