@@ -15,7 +15,7 @@ RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./i
 # start-up noise); SubmitThroughput drives whole orchestrator bursts and
 # stays at 1x. The committed baseline MUST be produced with the same
 # settings (make bench-json does) so medians compare apples-to-apples.
-GUARDED_FAST := BenchmarkSchedulePassWithHistory|BenchmarkStoreContention|BenchmarkFairShare|BenchmarkWatchResume
+GUARDED_FAST := BenchmarkSchedulePassWithHistory|BenchmarkStoreContention|BenchmarkFairShare|BenchmarkWatchResume|BenchmarkWALAppend$$|BenchmarkReplayBoot
 GUARDED_SLOW := BenchmarkSubmitThroughput
 BENCH_COUNT ?= 3
 BENCH_FAST_TIME ?= 20x
@@ -25,7 +25,7 @@ BENCH_FAST_TIME ?= 20x
 # many points.
 COVERAGE_SLACK ?= 2
 
-.PHONY: all build vet fmt lint test race bench bench-json bench-store bench-compare coverage ci
+.PHONY: all build vet fmt lint test race bench bench-json bench-store bench-compare chaos-crash coverage ci
 
 all: build
 
@@ -53,6 +53,15 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# chaos-crash runs the kill -9 crash-recovery harness under the race
+# detector: a child process running a durable cluster under lifecycle
+# churn is SIGKILLed mid-flight and the recovered state is audited (no
+# job lost or duplicated across tiers, indexes match a rebuild, resume
+# tokens replay or 410). -count=1 defeats the test cache: the harness's
+# value is in a fresh kill each run.
+chaos-crash:
+	$(GO) test -race -count=1 -run 'TestCrashRecovery' ./internal/cluster/chaostest
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/durability"
 	"qrio/internal/device"
 	"qrio/internal/gateway"
 	"qrio/internal/httpx"
@@ -60,6 +61,18 @@ type (
 	// TenantStatus is one tenant's usage, fair-share weight and quota as
 	// reported by GET /v1/tenants.
 	TenantStatus = gateway.TenantStatus
+	// TenantConfig is a tenant's live weight + quota override, as returned
+	// by SetTenant.
+	TenantConfig = api.TenantConfig
+	// TenantQuota bounds a tenant's admitted-but-unfinished work.
+	TenantQuota = api.TenantQuota
+	// SetTenantRequest is the body of PUT /v1/tenants/{name}.
+	SetTenantRequest = gateway.SetTenantRequest
+	// DurabilityStats is the GET /v1/admin/durability response: WAL lag,
+	// snapshot age, boot replay statistics and latched errors.
+	DurabilityStats = durability.Stats
+	// SnapshotResponse is the POST /v1/admin/snapshot response.
+	SnapshotResponse = gateway.SnapshotResponse
 )
 
 // APIError is a structured gateway error: the HTTP status plus the
@@ -257,6 +270,38 @@ func (c *Client) Events(ctx context.Context, name string) ([]Event, error) {
 func (c *Client) Tenants(ctx context.Context) ([]TenantStatus, error) {
 	var out []TenantStatus
 	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// SetTenant hot-reloads a tenant's fair-share weight and quota in one
+// atomic update — no restart, effective from the next scheduling pass and
+// admission check. The override fully replaces the server's static
+// configuration for that tenant (weight 0 = default weight 1; zero quota
+// fields = unlimited) and is durable when the server runs with -data-dir.
+// A rejected configuration returns an invalid (422) error.
+func (c *Client) SetTenant(ctx context.Context, name string, req SetTenantRequest) (TenantConfig, error) {
+	var out TenantConfig
+	err := c.do(ctx, http.MethodPut, "/v1/tenants/"+url.PathEscape(name), req, &out)
+	return out, err
+}
+
+// Durability fetches the admin durability status: whether durable state is
+// enabled, WAL records/bytes accumulated since the last snapshot (the
+// replay debt of a crash right now), snapshot age, the boot's replay
+// statistics and any latched WAL/spill errors.
+func (c *Client) Durability(ctx context.Context) (DurabilityStats, error) {
+	var out DurabilityStats
+	err := c.do(ctx, http.MethodGet, "/v1/admin/durability", nil, &out)
+	return out, err
+}
+
+// Snapshot asks the server to take a compacted snapshot immediately —
+// useful before a planned restart to make the next boot's replay instant.
+// Returns the new WAL generation. On an in-memory deployment it returns
+// an invalid (422) error.
+func (c *Client) Snapshot(ctx context.Context) (SnapshotResponse, error) {
+	var out SnapshotResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/snapshot", nil, &out)
 	return out, err
 }
 

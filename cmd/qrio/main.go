@@ -19,6 +19,14 @@
 //	     [-tenant-weights a=3,b=1] [-quota-pending N] [-quota-active N]
 //	     [-quota-qubit-seconds F]
 //	     [-retention-max-age D] [-retention-max-count N] [-archive-spill F]
+//	     [-data-dir DIR] [-wal-fsync=false] [-snapshot-interval D]
+//
+// With -data-dir, cluster state is durable: every mutation is written to a
+// per-shard WAL under DIR, compacted snapshots are taken every
+// -snapshot-interval, and a restart replays the directory — jobs, results,
+// events, tenant overrides and the archive come back; jobs that were
+// running when the process died are re-queued. Without -data-dir the
+// deployment is fully in-memory, exactly as before.
 package main
 
 import (
@@ -53,9 +61,15 @@ func main() {
 	quotaQubitSec := flag.Float64("quota-qubit-seconds", 0, "per-tenant admission cap on estimated qubit-seconds in flight (0 = unlimited)")
 	retentionAge := flag.Duration("retention-max-age", 0, "archive terminal jobs older than this (0 = keep resident forever)")
 	retentionCount := flag.Int("retention-max-count", 0, "archive the oldest terminal jobs beyond this resident count (0 = unlimited)")
-	archiveSpill := flag.String("archive-spill", "", "append archived jobs as JSON lines to this file")
+	archiveSpill := flag.String("archive-spill", "", "append archived jobs as JSON lines to this file (incompatible with -data-dir, which owns its own spill)")
+	dataDir := flag.String("data-dir", "", "durable state directory: WAL + snapshots + archive spill (empty = in-memory)")
+	walFsync := flag.Bool("wal-fsync", true, "fsync every WAL append (with -data-dir; =false trades the log tail on power loss for latency)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "compacted snapshot period with -data-dir (0 = 5m default, negative = admin-triggered only)")
 	flag.Parse()
 
+	if *dataDir != "" && *archiveSpill != "" {
+		log.Fatalf("-archive-spill cannot be combined with -data-dir: the data directory already maintains %s/archive.jsonl", *dataDir)
+	}
 	weights, err := parseTenantWeights(*tenantWeights)
 	if err != nil {
 		log.Fatalf("parsing -tenant-weights: %v", err)
@@ -81,9 +95,20 @@ func main() {
 			MaxTerminalAge:   *retentionAge,
 			MaxTerminalCount: *retentionCount,
 		},
+		Durability: qrio.DurabilityOptions{
+			Dir:              *dataDir,
+			Fsync:            *walFsync,
+			SnapshotInterval: *snapshotInterval,
+		},
 	})
 	if err != nil {
 		log.Fatalf("assembling QRIO: %v", err)
+	}
+	if q.Durability != nil {
+		st := q.Durability.Stats()
+		log.Printf("durable state: %s (gen %d, restored %d objects, replayed %d records, requeued %d jobs in %dms)",
+			*dataDir, st.Generation, st.Replay.RestoredObjects, st.Replay.ReplayedRecords,
+			st.Replay.RequeuedJobs, st.Replay.DurationMillis)
 	}
 	if *archiveSpill != "" {
 		f, err := os.OpenFile(*archiveSpill, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -94,7 +119,7 @@ func main() {
 		q.State.Archived.SetSpill(f)
 	}
 	q.Start()
-	defer q.Stop()
+	defer q.Close()
 
 	log.Printf("QRIO up: %d nodes, visualizer at http://localhost%s/", len(fleet), *addr)
 	srv := &http.Server{Addr: *addr, Handler: daemon.Handler(q)}

@@ -15,6 +15,9 @@
 //	qrioctl -server http://localhost:8080 watch [JOB]
 //	qrioctl -server http://localhost:8080 logs bv
 //	qrioctl -server http://localhost:8080 events bv
+//	qrioctl -server http://localhost:8080 tenants set -weight 3 -max-active 5 alice
+//	qrioctl -server http://localhost:8080 admin durability
+//	qrioctl -server http://localhost:8080 admin snapshot
 package main
 
 import (
@@ -44,6 +47,10 @@ func main() {
 
 	switch args[0] {
 	case "tenants":
+		if len(args) > 1 && args[1] == "set" {
+			tenantsSet(ctx, c, args[2:])
+			return
+		}
 		tenants, err := c.Tenants(ctx)
 		check(err)
 		fmt.Printf("%-16s %6s %8s %8s %12s %s\n", "TENANT", "WEIGHT", "PENDING", "ACTIVE", "QUBIT-SEC", "QUOTA")
@@ -56,6 +63,8 @@ func main() {
 			fmt.Printf("%-16s %6d %8d %8d %12.3f %s\n",
 				t.Tenant, t.Weight, t.Pending, t.Active, t.QubitSeconds, quota)
 		}
+	case "admin":
+		admin(ctx, c, args[1:])
 	case "nodes":
 		nodes, err := c.Nodes(ctx)
 		check(err)
@@ -250,6 +259,78 @@ func submit(ctx context.Context, c *client.Client, args []string) {
 	}
 }
 
+// tenantsSet hot-reloads one tenant's fair-share weight and quota — an
+// atomic server-side update, durable when the daemon runs with -data-dir.
+func tenantsSet(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("tenants set", flag.ExitOnError)
+	weight := fs.Int("weight", 0, "fair-share weight (0 = default weight 1)")
+	maxPending := fs.Int("max-pending", 0, "cap on pending jobs (0 = unlimited)")
+	maxActive := fs.Int("max-active", 0, "cap on jobs holding node resources (0 = unlimited)")
+	maxQubitSec := fs.Float64("max-qubit-seconds", 0, "cap on estimated qubit-seconds in flight (0 = unlimited)")
+	check(fs.Parse(args))
+	if fs.NArg() != 1 {
+		log.Fatal("tenants set needs exactly one TENANT argument, e.g.: qrioctl tenants set -weight 3 alice")
+	}
+	cfg, err := c.SetTenant(ctx, fs.Arg(0), client.SetTenantRequest{
+		Weight: *weight,
+		Quota: client.TenantQuota{
+			MaxPending:      *maxPending,
+			MaxActive:       *maxActive,
+			MaxQubitSeconds: *maxQubitSec,
+		},
+	})
+	check(err)
+	quota := "unlimited"
+	if !cfg.Quota.Unlimited() {
+		quota = fmt.Sprintf("pending=%d active=%d qubit-sec=%g",
+			cfg.Quota.MaxPending, cfg.Quota.MaxActive, cfg.Quota.MaxQubitSeconds)
+	}
+	weightStr := "1 (default)"
+	if cfg.Weight > 0 {
+		weightStr = fmt.Sprintf("%d", cfg.Weight)
+	}
+	fmt.Printf("tenant %s updated: weight=%s quota=%s\n", cfg.Name, weightStr, quota)
+}
+
+// admin drives the /v1/admin ops surface.
+func admin(ctx context.Context, c *client.Client, args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "durability":
+		st, err := c.Durability(ctx)
+		check(err)
+		if !st.Enabled {
+			fmt.Println("durability: disabled (in-memory deployment; start the daemon with -data-dir)")
+			return
+		}
+		fmt.Printf("durability: enabled dir=%s fsync=%v\n", st.Dir, st.Fsync)
+		fmt.Printf("generation: %d  snapshots: %d", st.Generation, st.Snapshots)
+		if st.LastSnapshotAge != "" {
+			fmt.Printf("  last-snapshot-age: %s", st.LastSnapshotAge)
+		}
+		fmt.Println()
+		fmt.Printf("wal lag: %d records / %d bytes since last snapshot\n", st.WALRecords, st.WALBytes)
+		r := st.Replay
+		fmt.Printf("last boot: restored=%d replayed=%d skipped=%d torn-tails=%d archived=%d requeued=%d (%dms)\n",
+			r.RestoredObjects, r.ReplayedRecords, r.SkippedRecords, r.TruncatedTails,
+			r.ArchivedEntries, r.RequeuedJobs, r.DurationMillis)
+		if st.WALError != "" {
+			fmt.Printf("WAL ERROR (latched): %s\n", st.WALError)
+		}
+		if st.SpillError != "" {
+			fmt.Printf("SPILL ERROR (latched): %s\n", st.SpillError)
+		}
+	case "snapshot":
+		resp, err := c.Snapshot(ctx)
+		check(err)
+		fmt.Printf("snapshot taken: generation %d\n", resp.Generation)
+	default:
+		usage()
+	}
+}
+
 func check(err error) {
 	if err != nil {
 		log.Fatal(err)
@@ -261,6 +342,11 @@ func usage() {
 commands:
   nodes                 list cluster nodes
   tenants               list per-tenant usage, fair-share weights and quotas
+  tenants set [flags] TENANT
+                        hot-reload a tenant's weight/quota (-weight W,
+                        -max-pending N, -max-active N, -max-qubit-seconds F)
+  admin durability      show WAL lag, snapshot age and last boot's replay stats
+  admin snapshot        force a compacted snapshot now
   list [flags]          list jobs (-phase P, -node N, -strategy S, -tenant T, -archived, -limit K); "jobs" is an alias
   submit -name N -qasm FILE (-fidelity F | -topology NAME -topology-qubits Q) [-tenant T] [-wait] [flags]
   cancel JOB            cancel a job (any lifecycle stage; aborts running containers)

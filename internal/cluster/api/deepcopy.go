@@ -53,6 +53,13 @@ func (r Result) DeepCopy() Result {
 	return out
 }
 
+// DeepCopy returns an independent copy of the tenant configuration.
+func (t TenantConfig) DeepCopy() TenantConfig {
+	out := t
+	out.ObjectMeta = copyMeta(t.ObjectMeta)
+	return out
+}
+
 // DeepCopy returns an independent copy of the event.
 func (e Event) DeepCopy() Event {
 	out := e

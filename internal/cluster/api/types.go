@@ -7,6 +7,7 @@ package api
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 )
@@ -205,6 +206,42 @@ func (p TenantQuotaPolicy) For(tenant string) TenantQuota {
 		return q
 	}
 	return p.Default
+}
+
+// MaxTenantWeight bounds operator-set fair-share weights; beyond this a
+// weight is configuration error, not a meaningful share.
+const MaxTenantWeight = 1_000_000
+
+// TenantConfig is one tenant's operator-set scheduling configuration —
+// the store-backed object behind PUT /v1/tenants/{name}. Because it lives
+// in a regular cluster store, updates reach the scheduler and admission
+// layers without a daemon restart and flow through the same write-ahead
+// log as every other object, so they survive restarts. A TenantConfig
+// fully overrides the deployment's static flag configuration for its
+// tenant: Weight replaces the TenantWeights entry (0 means the default
+// weight of 1) and Quota replaces the TenantQuotaPolicy resolution (zero
+// fields mean unlimited, as everywhere).
+type TenantConfig struct {
+	ObjectMeta
+	Weight int         `json:"weight,omitempty"`
+	Quota  TenantQuota `json:"quota,omitempty"`
+}
+
+// Validate checks a tenant configuration (Name carries the tenant).
+func (t *TenantConfig) Validate() error {
+	if !ValidTenantName(t.Name) {
+		return fmt.Errorf("api: %q is not a valid tenant name", t.Name)
+	}
+	if t.Weight < 0 || t.Weight > MaxTenantWeight {
+		return fmt.Errorf("api: tenant %s weight %d out of [0, %d]", t.Name, t.Weight, MaxTenantWeight)
+	}
+	if t.Quota.MaxPending < 0 || t.Quota.MaxActive < 0 {
+		return fmt.Errorf("api: tenant %s quota bounds must be non-negative", t.Name)
+	}
+	if t.Quota.MaxQubitSeconds < 0 || math.IsNaN(t.Quota.MaxQubitSeconds) || math.IsInf(t.Quota.MaxQubitSeconds, 0) {
+		return fmt.Errorf("api: tenant %s qubit-second bound %v is not a valid limit", t.Name, t.Quota.MaxQubitSeconds)
+	}
+	return nil
 }
 
 // secondsPerShot is the coarse device-time model behind qubit-second

@@ -15,6 +15,7 @@
 package archive
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -151,7 +152,9 @@ func (a *Archive) Has(name string) bool {
 
 // Remove tombstones the named entry — the sweep's rollback when its
 // conditional hot-store delete lost a race. The slot stays allocated
-// (append-mostly storage); only the index entry and the object go.
+// (append-mostly storage); only the index entry and the object go. When a
+// spill writer is configured the tombstone is spilled too, so reloading
+// the JSONL file does not resurrect the entry.
 func (a *Archive) Remove(name string) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -162,7 +165,76 @@ func (a *Archive) Remove(name string) bool {
 	delete(a.index, name)
 	a.segments[s.seg][s.off] = Entry{}
 	a.count--
+	if a.spill != nil && a.spillErr == nil {
+		raw, err := json.Marshal(spillLine{Tombstone: name})
+		if err == nil {
+			raw = append(raw, '\n')
+			_, err = a.spill.Write(raw)
+		}
+		if err != nil {
+			a.spillErr = fmt.Errorf("archive: spill tombstone for %s: %w", name, err)
+		}
+	}
 	return true
+}
+
+// spillLine is the superset wire form of one JSONL spill line: either a
+// full Entry (tombstone empty) or a tombstone marker (entry fields empty).
+// Entry lines predate tombstone lines, so a plain Entry unmarshals cleanly.
+type spillLine struct {
+	Entry
+	Tombstone string `json:"tombstone,omitempty"`
+}
+
+// Load replays a JSONL spill file into the archive: entry lines are
+// re-archived, tombstone lines remove what an earlier line added. Must run
+// before the archive is shared and before SetSpill installs a writer for
+// the same file (loading through a live spill would re-spill every line).
+// Returns how many entries are live after the load. A malformed line
+// aborts with its line number — a spill file is append-only, so damage
+// means operator intervention, not silent data loss.
+func (a *Archive) Load(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line spillLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return 0, fmt.Errorf("archive: spill line %d: %w", lineNo, err)
+		}
+		if line.Tombstone != "" {
+			a.Remove(line.Tombstone)
+			continue
+		}
+		if line.Job.Name == "" {
+			return 0, fmt.Errorf("archive: spill line %d: neither entry nor tombstone", lineNo)
+		}
+		if err := a.Put(line.Entry); err != nil {
+			return 0, fmt.Errorf("archive: spill line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("archive: spill scan: %w", err)
+	}
+	return a.Len(), nil
+}
+
+// Names returns the names of all live archived jobs — the durability
+// layer's reconcile step uses it to resolve hot-vs-archive conflicts after
+// replaying both tiers.
+func (a *Archive) Names() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, a.count)
+	for name := range a.index {
+		out = append(out, name)
+	}
+	return out
 }
 
 // Len returns the archived-entry count.

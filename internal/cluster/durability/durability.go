@@ -1,0 +1,601 @@
+// Package durability makes QRIO's cluster state survive a crash. Every
+// store mutation is appended — through the same hook mechanism that feeds
+// the in-memory indexes — to a per-(store,shard) write-ahead log, and a
+// periodic snapshot compacts the logs into one atomically-replaced file.
+// On boot the manager restores the snapshot, replays the logs past it,
+// reloads the archive spill file, and re-queues jobs whose containers died
+// with the old process. Because replay re-fires the store hooks, every
+// derived index (pending queues, tenant usage, terminal set, event ring,
+// scheduled-by-node) is rebuilt by the exact code that built it live — the
+// recovered process is behaviourally indistinguishable from one that never
+// crashed, except that Running jobs are back in the queue.
+//
+// Layout under the data directory:
+//
+//	snapshot.json                 one CRC-framed, atomically-replaced snapshot
+//	archive.jsonl                 terminal-job archive spill (JSONL, appended)
+//	wal/<store>-s<shard>-g<gen>.wal  append logs, rotated per snapshot generation
+//
+// The snapshot protocol is rotate-then-dump: all writers rotate to
+// generation g+1 first, then each shard is dumped under its lock. Any
+// record left in a generation-g file therefore has a version at or below
+// that shard's dump mark, so boot replays every log at generation ≥ the
+// snapshot's and skips records the snapshot already covers. A crash at any
+// point between rotate, snapshot write and old-generation removal recovers
+// to the same state.
+package durability
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+	"qrio/internal/cluster/wal"
+)
+
+// DefaultSnapshotInterval is how often the background loop compacts the
+// logs when the operator does not choose an interval.
+const DefaultSnapshotInterval = 5 * time.Minute
+
+// Options configure durable state. The zero value disables durability
+// entirely — the cluster runs in-memory exactly as before.
+type Options struct {
+	// Dir is the data directory. Empty disables durability.
+	Dir string
+	// Fsync syncs every WAL append. Turning it off trades the tail of the
+	// log on power loss for append latency; a process crash (as opposed to
+	// kernel or power failure) loses nothing either way.
+	Fsync bool
+	// SnapshotInterval is the background compaction period. Zero means
+	// DefaultSnapshotInterval; negative disables the background loop
+	// (snapshots then happen only through the admin endpoint).
+	SnapshotInterval time.Duration
+}
+
+// Enabled reports whether the options ask for durable state.
+func (o Options) Enabled() bool { return o.Dir != "" }
+
+// ReplayStats describes what one boot recovered.
+type ReplayStats struct {
+	SnapshotLoaded  bool  `json:"snapshotLoaded"`
+	SnapshotGen     int64 `json:"snapshotGen,omitempty"`
+	RestoredObjects int   `json:"restoredObjects"`
+	ReplayedRecords int   `json:"replayedRecords"`
+	SkippedRecords  int   `json:"skippedRecords"`
+	TruncatedTails  int   `json:"truncatedTails"`
+	ArchivedEntries int   `json:"archivedEntries"`
+	TombstonedJobs  int   `json:"tombstonedJobs"`
+	RequeuedJobs    int   `json:"requeuedJobs"`
+	DurationMillis  int64 `json:"durationMillis"`
+}
+
+// Stats is the admin-surface view of the durability subsystem.
+type Stats struct {
+	Enabled bool   `json:"enabled"`
+	Dir     string `json:"dir,omitempty"`
+	Fsync   bool   `json:"fsync,omitempty"`
+	// Generation is the current WAL generation (bumped by each snapshot).
+	Generation int64 `json:"generation"`
+	// WALRecords / WALBytes count appends across all live writers — i.e.
+	// the log volume since the last snapshot: the replay debt a crash right
+	// now would pay. This is the "WAL lag" an operator watches.
+	WALRecords int64 `json:"walRecords"`
+	WALBytes   int64 `json:"walBytes"`
+	// LastSnapshotAt / LastSnapshotAge report the most recent successful
+	// snapshot (boot counts when a snapshot file was restored).
+	LastSnapshotAt  time.Time   `json:"lastSnapshotAt,omitempty"`
+	LastSnapshotAge string      `json:"lastSnapshotAge,omitempty"`
+	Snapshots       int64       `json:"snapshots"`
+	Replay          ReplayStats `json:"replay"`
+	// WALError / SpillError are latched first-failure strings; empty means
+	// healthy. A latched WAL error means mutations since it are not durable.
+	WALError   string `json:"walError,omitempty"`
+	SpillError string `json:"spillError,omitempty"`
+}
+
+// Manager owns the WAL writers, the snapshot loop and the archive spill
+// file for one cluster.
+type Manager struct {
+	opts    Options
+	cluster *state.Cluster
+	shims   []storeShim
+	writers map[string][]*wal.Writer // store name → per-shard writers
+
+	// snapMu serialises snapshots (admin-triggered and periodic).
+	snapMu sync.Mutex
+	gen    atomic.Int64
+
+	mu        sync.Mutex
+	walErr    error
+	lastSnap  time.Time
+	snapshots int64
+	replay    ReplayStats
+
+	spill *os.File
+}
+
+func (m *Manager) snapshotPath() string { return filepath.Join(m.opts.Dir, "snapshot.json") }
+func (m *Manager) archivePath() string  { return filepath.Join(m.opts.Dir, "archive.jsonl") }
+func (m *Manager) walDir() string       { return filepath.Join(m.opts.Dir, "wal") }
+func (m *Manager) walPath(storeName string, shard int, gen int64) string {
+	return filepath.Join(m.walDir(), fmt.Sprintf("%s-s%d-g%d.wal", storeName, shard, gen))
+}
+
+// snapshotFile is the on-disk snapshot: one JSON document inside one CRC
+// frame, written atomically.
+type snapshotFile struct {
+	Gen     int64                    `json:"gen"`
+	TakenAt time.Time                `json:"takenAt"`
+	Stores  map[string]snapshotStore `json:"stores"`
+}
+
+type snapshotStore struct {
+	Marks   []int64          `json:"marks"`
+	Objects []snapshotObject `json:"objects"`
+}
+
+type snapshotObject struct {
+	V int64           `json:"v"`
+	O json.RawMessage `json:"o"`
+}
+
+// Open builds the manager and runs the full boot flow against a cluster
+// that has not yet served any traffic: core.New calls it before backends
+// register and before any loop starts. Returns an error when the data
+// directory is unusable or its contents are damaged beyond the safe
+// recoveries (a torn log tail recovers silently; a corrupt snapshot body
+// does not, because generations behind it may already be gone).
+func Open(c *state.Cluster, opts Options) (*Manager, error) {
+	if !opts.Enabled() {
+		return nil, errors.New("durability: no data directory configured")
+	}
+	start := time.Now()
+	m := &Manager{
+		opts:    opts,
+		cluster: c,
+		writers: make(map[string][]*wal.Writer),
+	}
+	m.shims = []storeShim{
+		&typedShim[api.QuantumJob]{label: "jobs", s: c.Jobs,
+			uid: func(j api.QuantumJob) (string, string) { return j.UID, j.Name }},
+		&typedShim[api.Node]{label: "nodes", s: c.Nodes,
+			uid: func(n api.Node) (string, string) { return n.UID, n.Name }},
+		&typedShim[api.Result]{label: "results", s: c.Results,
+			uid: func(r api.Result) (string, string) { return r.UID, r.Name }},
+		&typedShim[api.Event]{label: "events", s: c.Events,
+			uid: func(e api.Event) (string, string) { return e.UID, e.Name }},
+		&typedShim[api.TenantConfig]{label: "tenants", s: c.TenantConfigs,
+			uid: func(t api.TenantConfig) (string, string) { return t.UID, t.Name }},
+	}
+	if err := os.MkdirAll(m.walDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("durability: %w", err)
+	}
+
+	// 1. Snapshot restore. A missing file is a first boot; a leftover
+	// atomic-write temp file is a crash mid-snapshot and is discarded (the
+	// real file, if any, is intact by construction of rename).
+	snap, err := m.readSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	marks := make(map[string][]int64)
+	if snap != nil {
+		m.replay.SnapshotLoaded = true
+		m.replay.SnapshotGen = snap.Gen
+		m.gen.Store(snap.Gen)
+		m.mu.Lock()
+		m.lastSnap = snap.TakenAt
+		m.mu.Unlock()
+		for _, shim := range m.shims {
+			ss, ok := snap.Stores[shim.storeName()]
+			if !ok {
+				continue
+			}
+			if err := shim.setFloor(ss.Marks); err != nil {
+				return nil, fmt.Errorf("durability: %s: %w", shim.storeName(), err)
+			}
+			marks[shim.storeName()] = ss.Marks
+			for _, obj := range ss.Objects {
+				if err := shim.restore(obj.O, obj.V); err != nil {
+					return nil, err
+				}
+				m.replay.RestoredObjects++
+			}
+		}
+	}
+
+	// 2. Log replay: every generation at or past the snapshot's, ascending,
+	// per shard. Records the snapshot already covers (version ≤ the shard's
+	// dump mark) are skipped; torn tails are truncated to the valid prefix.
+	logs, maxGen, err := m.listLogs()
+	if err != nil {
+		return nil, err
+	}
+	if maxGen > m.gen.Load() {
+		m.gen.Store(maxGen)
+	}
+	for _, shim := range m.shims {
+		name := shim.storeName()
+		for shard := 0; shard < shim.shardCount(); shard++ {
+			floor := int64(0)
+			if sm := marks[name]; shard < len(sm) {
+				floor = sm[shard]
+			}
+			gens := logs[logKey{name, shard}]
+			sort.Slice(gens, func(a, b int) bool { return gens[a] < gens[b] })
+			for _, g := range gens {
+				if snap != nil && g < snap.Gen {
+					continue // pre-snapshot generation, fully covered
+				}
+				if err := m.replayFile(shim, m.walPath(name, shard, g), floor); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// 3. Remove generations behind the snapshot (a crash between snapshot
+	// write and cleanup leaves them; they are fully covered and ignored
+	// above, so deleting them is pure housekeeping).
+	if snap != nil {
+		m.removeGensBelow(logs, snap.Gen)
+	}
+
+	// 4. Archive: reload the spill file, then attach it as the live spill
+	// writer (in that order — loading through a live writer would re-spill
+	// every line back into the file).
+	if raw, err := os.Open(m.archivePath()); err == nil {
+		n, lerr := c.Archived.Load(raw)
+		raw.Close()
+		if lerr != nil {
+			return nil, lerr
+		}
+		m.replay.ArchivedEntries = n
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("durability: %w", err)
+	}
+	spill, err := os.OpenFile(m.archivePath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durability: %w", err)
+	}
+	m.spill = spill
+	c.Archived.SetSpill(spill)
+
+	// 5. Tier reconcile: a crash between the sweep's archive-Put and
+	// hot-store delete leaves a job in both tiers. The hot copy wins — the
+	// retention sweep will re-archive it — so the archive entry is
+	// tombstoned (which now also spills the tombstone).
+	for _, name := range c.Archived.Names() {
+		if _, _, err := c.Jobs.Get(name); err == nil {
+			c.Archived.Remove(name)
+			m.replay.TombstonedJobs++
+		}
+	}
+
+	// 6. UID floor: never re-mint an identifier the previous process issued.
+	var floor int64
+	for _, shim := range m.shims {
+		shim.eachUID(func(uid, name string) {
+			if n := uidSuffix(uid); n > floor {
+				floor = n
+			}
+			if n := uidSuffix(name); n > floor {
+				floor = n
+			}
+		})
+	}
+	c.EnsureUIDFloor(floor)
+
+	// 7. Attach the WAL sinks. From here every mutation is logged — which
+	// is exactly why the orphan requeue below comes after: the requeue
+	// transitions must themselves survive the next crash.
+	if err := m.openWriters(); err != nil {
+		return nil, err
+	}
+	for i, shim := range m.shims {
+		shim.attachSink(m.writers[m.shims[i].storeName()], m.noteWALErr)
+	}
+
+	// 8. Orphan requeue: replayed Running jobs have no container behind
+	// them any more.
+	m.replay.RequeuedJobs = c.RequeueOrphanedRunning("requeued: node process restarted")
+
+	m.replay.DurationMillis = time.Since(start).Milliseconds()
+	return m, nil
+}
+
+// readSnapshot loads and decodes the snapshot file, returning nil when no
+// snapshot exists. Leftover atomic-write temp files are removed.
+func (m *Manager) readSnapshot() (*snapshotFile, error) {
+	if tmp, err := filepath.Glob(m.snapshotPath() + ".tmp*"); err == nil {
+		for _, t := range tmp {
+			os.Remove(t)
+		}
+	}
+	payload, err := wal.ReadFileChecked(m.snapshotPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durability: snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("durability: snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+type logKey struct {
+	store string
+	shard int
+}
+
+// listLogs scans the wal directory and groups generation numbers by
+// (store, shard). Unrecognised files are ignored.
+func (m *Manager) listLogs() (map[logKey][]int64, int64, error) {
+	entries, err := os.ReadDir(m.walDir())
+	if err != nil {
+		return nil, 0, fmt.Errorf("durability: %w", err)
+	}
+	logs := make(map[logKey][]int64)
+	var maxGen int64
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".wal")
+		if !ok || e.IsDir() {
+			continue
+		}
+		gi := strings.LastIndex(name, "-g")
+		si := strings.LastIndex(name[:max(gi, 0)], "-s")
+		if gi < 0 || si < 0 {
+			continue
+		}
+		gen, err1 := strconv.ParseInt(name[gi+2:], 10, 64)
+		shard, err2 := strconv.Atoi(name[si+2 : gi])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		k := logKey{store: name[:si], shard: shard}
+		logs[k] = append(logs[k], gen)
+		if gen > maxGen {
+			maxGen = gen
+		}
+	}
+	return logs, maxGen, nil
+}
+
+// replayFile replays one shard log, truncating a torn tail to its valid
+// prefix so the writer can keep appending to the same file.
+func (m *Manager) replayFile(shim storeShim, path string, floor int64) error {
+	res, err := wal.ScanFile(path)
+	if err != nil {
+		return fmt.Errorf("durability: %s: %w", path, err)
+	}
+	if res.Truncated {
+		if err := wal.TruncateFile(path, res.ValidBytes); err != nil {
+			return fmt.Errorf("durability: %s: %w", path, err)
+		}
+		m.replay.TruncatedTails++
+	}
+	for _, rec := range res.Records {
+		var wr walRecord
+		if err := json.Unmarshal(rec, &wr); err != nil {
+			return fmt.Errorf("durability: %s: %w", path, err)
+		}
+		if wr.V <= floor {
+			m.replay.SkippedRecords++
+			continue
+		}
+		if err := shim.replay(wr.T, wr.O, wr.V); err != nil {
+			return err
+		}
+		m.replay.ReplayedRecords++
+	}
+	return nil
+}
+
+// openWriters opens one appending writer per (store, shard) at the current
+// generation — reusing the latest on-disk files, whose torn tails replay
+// already truncated away.
+func (m *Manager) openWriters() error {
+	gen := m.gen.Load()
+	for _, shim := range m.shims {
+		ws := make([]*wal.Writer, shim.shardCount())
+		for i := range ws {
+			w, err := wal.OpenWriter(m.walPath(shim.storeName(), i, gen), m.opts.Fsync)
+			if err != nil {
+				return fmt.Errorf("durability: %w", err)
+			}
+			ws[i] = w
+		}
+		m.writers[shim.storeName()] = ws
+	}
+	return nil
+}
+
+// removeGensBelow deletes log files of generations before gen.
+func (m *Manager) removeGensBelow(logs map[logKey][]int64, gen int64) {
+	for k, gens := range logs {
+		for _, g := range gens {
+			if g < gen {
+				os.Remove(m.walPath(k.store, k.shard, g))
+			}
+		}
+	}
+}
+
+// uidSuffix parses the numeric tail of a "<prefix>-<n>" identifier,
+// returning 0 for anything else.
+func uidSuffix(s string) int64 {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 || i == len(s)-1 {
+		return 0
+	}
+	n, err := strconv.ParseInt(s[i+1:], 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+func (m *Manager) noteWALErr(err error) {
+	m.mu.Lock()
+	if m.walErr == nil {
+		m.walErr = err
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot compacts the logs: rotate every writer to the next generation,
+// dump every shard under its lock into one atomically-replaced snapshot
+// file, then delete the previous generation's logs. Safe to call from the
+// admin endpoint and the background loop concurrently; calls serialise.
+func (m *Manager) Snapshot() (int64, error) {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	oldGen := m.gen.Load()
+	newGen := oldGen + 1
+
+	// Rotate first: from this point every new append lands in generation
+	// newGen. Records already in older files were emitted — under their
+	// shard's lock — before the rotation, so the dumps below cover them.
+	for _, shim := range m.shims {
+		ws := m.writers[shim.storeName()]
+		for i, w := range ws {
+			if err := w.Rotate(m.walPath(shim.storeName(), i, newGen)); err != nil {
+				return 0, fmt.Errorf("durability: rotate: %w", err)
+			}
+		}
+	}
+
+	snap := snapshotFile{Gen: newGen, TakenAt: time.Now(), Stores: make(map[string]snapshotStore)}
+	for _, shim := range m.shims {
+		ss := snapshotStore{Marks: make([]int64, shim.shardCount())}
+		for i := 0; i < shim.shardCount(); i++ {
+			mark, err := shim.dumpShard(i, func(raw json.RawMessage, version int64) error {
+				ss.Objects = append(ss.Objects, snapshotObject{V: version, O: append(json.RawMessage(nil), raw...)})
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+			ss.Marks[i] = mark
+		}
+		snap.Stores[shim.storeName()] = ss
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return 0, fmt.Errorf("durability: snapshot encode: %w", err)
+	}
+	if err := wal.WriteFileAtomic(m.snapshotPath(), payload); err != nil {
+		return 0, fmt.Errorf("durability: snapshot write: %w", err)
+	}
+	m.gen.Store(newGen)
+
+	// The snapshot is durable; every generation before it is dead weight
+	// (including stragglers a crashed cleanup left behind).
+	if logs, _, err := m.listLogs(); err == nil {
+		m.removeGensBelow(logs, newGen)
+	}
+	m.mu.Lock()
+	m.lastSnap = snap.TakenAt
+	m.snapshots++
+	m.mu.Unlock()
+	return newGen, nil
+}
+
+// Run drives periodic snapshots until the context ends. core wires it into
+// the orchestrator's Start/Stop lifecycle.
+func (m *Manager) Run(ctx context.Context) {
+	interval := m.opts.SnapshotInterval
+	if interval == 0 {
+		interval = DefaultSnapshotInterval
+	}
+	if interval < 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := m.Snapshot(); err != nil {
+				m.noteWALErr(err)
+			}
+		}
+	}
+}
+
+// Stats assembles the admin-surface view.
+func (m *Manager) Stats() Stats {
+	var records, bytes int64
+	var werr error
+	for _, ws := range m.writers {
+		for _, w := range ws {
+			r, b := w.Stats()
+			records += r
+			bytes += b
+			if werr == nil {
+				werr = w.Err()
+			}
+		}
+	}
+	m.mu.Lock()
+	if werr == nil {
+		werr = m.walErr
+	}
+	st := Stats{
+		Enabled:    true,
+		Dir:        m.opts.Dir,
+		Fsync:      m.opts.Fsync,
+		Generation: m.gen.Load(),
+		WALRecords: records,
+		WALBytes:   bytes,
+		Snapshots:  m.snapshots,
+		Replay:     m.replay,
+	}
+	if !m.lastSnap.IsZero() {
+		st.LastSnapshotAt = m.lastSnap
+		st.LastSnapshotAge = time.Since(m.lastSnap).Round(time.Millisecond).String()
+	}
+	m.mu.Unlock()
+	if werr != nil {
+		st.WALError = werr.Error()
+	}
+	if serr := m.cluster.Archived.SpillErr(); serr != nil {
+		st.SpillError = serr.Error()
+	}
+	return st
+}
+
+// Close flushes and closes every writer and the spill file. The cluster
+// must be quiesced first (no loops running).
+func (m *Manager) Close() error {
+	var first error
+	for _, ws := range m.writers {
+		for _, w := range ws {
+			if err := w.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if m.spill != nil {
+		if err := m.spill.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,109 @@
+package durability
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"qrio/internal/cluster/store"
+	"qrio/internal/cluster/wal"
+)
+
+// walRecord is the JSON wire form of one logged mutation: event type,
+// resource version, object payload. Short keys keep the per-record framing
+// overhead small — the WAL is the hot write path.
+type walRecord struct {
+	T store.EventType `json:"t"`
+	V int64           `json:"v"`
+	O json.RawMessage `json:"o"`
+}
+
+// storeShim erases the store's element type so the manager can drive five
+// heterogeneous stores through one boot/snapshot/attach flow.
+type storeShim interface {
+	storeName() string
+	shardCount() int
+	setFloor(marks []int64) error
+	restore(raw json.RawMessage, version int64) error
+	replay(t store.EventType, raw json.RawMessage, version int64) error
+	// dumpShard serialises every object of shard i through fn and returns
+	// the shard's emission high-water mark.
+	dumpShard(i int, fn func(raw json.RawMessage, version int64) error) (int64, error)
+	// attachSink registers a store hook that appends every future mutation
+	// to the writer of its shard. Must be called after replay (so replayed
+	// events are not re-logged) and before the store serves live traffic.
+	attachSink(writers []*wal.Writer, onErr func(error))
+	// eachUID passes every object's UID (and name, which for some stores is
+	// also minted from the UID counter) to fn, for the boot-time UID floor.
+	eachUID(fn func(uid, name string))
+}
+
+// typedShim adapts one Store[T] to the storeShim interface.
+type typedShim[T any] struct {
+	label string
+	s     *store.Store[T]
+	// uid extracts the minted identifiers from an object.
+	uid func(T) (uid, name string)
+}
+
+func (ts *typedShim[T]) storeName() string { return ts.label }
+func (ts *typedShim[T]) shardCount() int   { return ts.s.Shards() }
+
+func (ts *typedShim[T]) setFloor(marks []int64) error { return ts.s.SetShardFloor(marks) }
+
+func (ts *typedShim[T]) restore(raw json.RawMessage, version int64) error {
+	var obj T
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return fmt.Errorf("durability: %s snapshot object: %w", ts.label, err)
+	}
+	return ts.s.Restore(obj, version)
+}
+
+func (ts *typedShim[T]) replay(t store.EventType, raw json.RawMessage, version int64) error {
+	var obj T
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return fmt.Errorf("durability: %s wal object: %w", ts.label, err)
+	}
+	return ts.s.Replay(store.WatchEvent[T]{Type: t, Object: obj, Version: version})
+}
+
+func (ts *typedShim[T]) dumpShard(i int, fn func(raw json.RawMessage, version int64) error) (int64, error) {
+	var ferr error
+	mark := ts.s.DumpShard(i, func(obj T, version int64) {
+		if ferr != nil {
+			return
+		}
+		raw, err := json.Marshal(obj)
+		if err != nil {
+			ferr = fmt.Errorf("durability: %s dump: %w", ts.label, err)
+			return
+		}
+		ferr = fn(raw, version)
+	})
+	return mark, ferr
+}
+
+func (ts *typedShim[T]) attachSink(writers []*wal.Writer, onErr func(error)) {
+	ts.s.OnEvent(func(ev store.WatchEvent[T]) {
+		raw, err := json.Marshal(ev.Object)
+		if err != nil {
+			onErr(fmt.Errorf("durability: %s encode: %w", ts.label, err))
+			return
+		}
+		rec, err := json.Marshal(walRecord{T: ev.Type, V: ev.Version, O: raw})
+		if err != nil {
+			onErr(fmt.Errorf("durability: %s encode: %w", ts.label, err))
+			return
+		}
+		if err := writers[ev.Shard].Append(rec); err != nil {
+			onErr(fmt.Errorf("durability: %s wal append: %w", ts.label, err))
+		}
+	})
+}
+
+func (ts *typedShim[T]) eachUID(fn func(uid, name string)) {
+	ts.s.Range(func(obj T, _ int64) bool {
+		u, n := ts.uid(obj)
+		fn(u, n)
+		return true
+	})
+}

@@ -12,7 +12,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -127,17 +126,11 @@ func (k *Kubelet) slots() int {
 // free slot for, without waiting for them, and returns the launched job
 // names (oldest bindings first, for determinism).
 func (k *Kubelet) launch() []string {
-	// ListFunc filters under the store's shard locks, so only this node's
-	// bound jobs are deep-copied — not the whole (mostly terminal) job log.
-	runnable := k.State.Jobs.ListFunc(func(j api.QuantumJob) bool {
-		return j.Status.Node == k.NodeName && j.Status.Phase == api.JobScheduled
-	})
-	sort.Slice(runnable, func(i, j int) bool {
-		if !runnable[i].CreatedAt.Equal(runnable[j].CreatedAt) {
-			return runnable[i].CreatedAt.Before(runnable[j].CreatedAt)
-		}
-		return runnable[i].Name < runnable[j].Name
-	})
+	// The cluster's scheduled-by-node index answers "what is bound to me?"
+	// in O(jobs on this node), already sorted oldest-first — the previous
+	// implementation walked (and lock-touched) every job in the cluster on
+	// every launch tick.
+	runnable := k.State.ScheduledJobs(k.NodeName)
 	slots := k.slots()
 	var started []string
 	k.mu.Lock()

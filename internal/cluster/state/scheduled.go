@@ -1,0 +1,63 @@
+package state
+
+import (
+	"sort"
+	"sync"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/store"
+)
+
+// scheduledIndex maintains, per node, the set of jobs currently bound to
+// it in the Scheduled phase. Kubelets poll this set every launch tick;
+// before the index that poll walked every job in the cluster, so a large
+// backlog taxed every node. Fed by a store hook (and therefore rebuilt
+// automatically by WAL replay).
+type scheduledIndex struct {
+	mu     sync.Mutex
+	byNode map[string]map[string]api.QuantumJob // node → job name → job
+	node   map[string]string                    // job name → node (reverse)
+}
+
+func (x *scheduledIndex) onJobEvent(ev store.WatchEvent[api.QuantumJob]) {
+	j := ev.Object
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if prev, ok := x.node[j.Name]; ok {
+		delete(x.byNode[prev], j.Name)
+		if len(x.byNode[prev]) == 0 {
+			delete(x.byNode, prev)
+		}
+		delete(x.node, j.Name)
+	}
+	if ev.Type == store.Deleted || j.Status.Phase != api.JobScheduled || j.Status.Node == "" {
+		return
+	}
+	m := x.byNode[j.Status.Node]
+	if m == nil {
+		m = make(map[string]api.QuantumJob)
+		x.byNode[j.Status.Node] = m
+	}
+	m[j.Name] = j // the hook's private copy; retained, never mutated
+	x.node[j.Name] = j.Status.Node
+}
+
+// ScheduledJobs returns deep copies of the jobs currently Scheduled onto
+// one node, oldest first (ties broken by name) — the launch order kubelets
+// want. O(jobs on this node), not O(jobs in the cluster).
+func (c *Cluster) ScheduledJobs(node string) []api.QuantumJob {
+	c.scheduled.mu.Lock()
+	m := c.scheduled.byNode[node]
+	out := make([]api.QuantumJob, 0, len(m))
+	for _, j := range m {
+		out = append(out, j.DeepCopy())
+	}
+	c.scheduled.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if !out[a].CreatedAt.Equal(out[b].CreatedAt) {
+			return out[a].CreatedAt.Before(out[b].CreatedAt)
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}

@@ -43,6 +43,13 @@ type Cluster struct {
 	Results *store.Store[api.Result]
 	Events  *store.Store[api.Event]
 
+	// TenantConfigs holds operator-set per-tenant overrides (fair-share
+	// weight + quota) as regular store objects, so updates hot-reload
+	// without a restart and ride the same write-ahead log as every other
+	// object. Write through SetTenantConfig; read through QuotaFor /
+	// TenantWeight (a hook-fed cache, no store traffic on the hot paths).
+	TenantConfigs *store.Store[api.TenantConfig]
+
 	// Archived is the cold tier: terminal jobs (plus their event trails)
 	// the retention sweep moved out of the hot stores. History queries
 	// fall through to it; job names stay unique across both tiers.
@@ -59,10 +66,12 @@ type Cluster struct {
 	mu           sync.Mutex
 	backendCache map[string]*device.Backend
 
-	pending  pendingIndex
-	usage    usageIndex
-	eventIdx eventIndex
-	terminal terminalIndex
+	pending    pendingIndex
+	usage      usageIndex
+	eventIdx   eventIndex
+	terminal   terminalIndex
+	scheduled  scheduledIndex
+	tenantConf tenantConfIndex
 
 	// submitGates serialises SubmitJob per tenant (hash-striped) so the
 	// quota check and the store create are atomic with respect to
@@ -76,12 +85,13 @@ type Cluster struct {
 // New returns an empty cluster state with its indexes wired.
 func New() *Cluster {
 	c := &Cluster{
-		Nodes:        store.New(api.Node.DeepCopy, func(n api.Node) string { return n.Name }),
-		Jobs:         store.New(api.QuantumJob.DeepCopy, func(j api.QuantumJob) string { return j.Name }),
-		Results:      store.New(api.Result.DeepCopy, func(r api.Result) string { return r.Name }),
-		Events:       store.New(api.Event.DeepCopy, func(e api.Event) string { return e.Name }),
-		Archived:     archive.New(archive.Options{}),
-		backendCache: make(map[string]*device.Backend),
+		Nodes:         store.New(api.Node.DeepCopy, func(n api.Node) string { return n.Name }),
+		Jobs:          store.New(api.QuantumJob.DeepCopy, func(j api.QuantumJob) string { return j.Name }),
+		Results:       store.New(api.Result.DeepCopy, func(r api.Result) string { return r.Name }),
+		Events:        store.New(api.Event.DeepCopy, func(e api.Event) string { return e.Name }),
+		TenantConfigs: store.New(api.TenantConfig.DeepCopy, func(t api.TenantConfig) string { return t.Name }),
+		Archived:      archive.New(archive.Options{}),
+		backendCache:  make(map[string]*device.Backend),
 	}
 	c.pending.queues = make(map[string][]pendingEntry)
 	c.pending.member = make(map[string]pendingRef)
@@ -90,12 +100,17 @@ func New() *Cluster {
 	c.eventIdx.byAbout = make(map[string][]api.Event)
 	c.eventIdx.cap = EventIndexCap
 	c.terminal.member = make(map[string]terminalEntry)
+	c.scheduled.byNode = make(map[string]map[string]api.QuantumJob)
+	c.scheduled.node = make(map[string]string)
+	c.tenantConf.m = make(map[string]api.TenantConfig)
 	// The hooks run under the mutated shard's lock: they may only touch the
 	// index mutexes (never a store), keeping the lock order store→index.
 	c.Jobs.OnEvent(c.pending.onJobEvent)
 	c.Jobs.OnEvent(c.usage.onJobEvent)
 	c.Jobs.OnEvent(c.terminal.onJobEvent)
+	c.Jobs.OnEvent(c.scheduled.onJobEvent)
 	c.Events.OnEvent(c.eventIdx.onEventEvent)
+	c.TenantConfigs.OnEvent(c.tenantConf.onTenantEvent)
 	return c
 }
 
@@ -498,7 +513,7 @@ func (e *QuotaExceededError) HTTPStatus() (int, string) { return 429, "quota_exc
 // submit gate (SubmitJob does; the gateway's admission layer holds its
 // own gate across the whole submission pipeline).
 func (c *Cluster) CheckTenantQuota(tenant string, qsec float64) error {
-	quota := c.Quotas.For(tenant)
+	quota := c.QuotaFor(tenant)
 	if quota.Unlimited() {
 		return nil
 	}

@@ -1,0 +1,141 @@
+package state
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/store"
+)
+
+// tenantConfIndex caches the TenantConfigs store for lock-cheap reads on
+// the scheduler and admission hot paths. Fed by a store hook, so it can
+// never diverge from the store — including after a WAL replay, which
+// re-fires the same hooks.
+type tenantConfIndex struct {
+	mu sync.RWMutex
+	m  map[string]api.TenantConfig
+	// activeBound counts configs that impose a MaxActive cap, letting the
+	// scheduler answer "does any tenant have an active bound?" without a
+	// map walk per pass.
+	activeBound int
+}
+
+func (t *tenantConfIndex) onTenantEvent(ev store.WatchEvent[api.TenantConfig]) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev, ok := t.m[ev.Object.Name]; ok && prev.Quota.MaxActive > 0 {
+		t.activeBound--
+	}
+	if ev.Type == store.Deleted {
+		delete(t.m, ev.Object.Name)
+		return
+	}
+	t.m[ev.Object.Name] = ev.Object // the hook's private copy; never mutated
+	if ev.Object.Quota.MaxActive > 0 {
+		t.activeBound++
+	}
+}
+
+func (t *tenantConfIndex) get(name string) (api.TenantConfig, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cfg, ok := t.m[name]
+	return cfg, ok
+}
+
+// InvalidTenantConfigError reports a rejected tenant configuration update
+// (the /v1 unprocessable case).
+type InvalidTenantConfigError struct{ Err error }
+
+func (e *InvalidTenantConfigError) Error() string { return e.Err.Error() }
+func (e *InvalidTenantConfigError) Unwrap() error { return e.Err }
+
+// HTTPStatus implements httpx.StatusCoder: a config that fails validation
+// maps to 422 with the "invalid" envelope code.
+func (e *InvalidTenantConfigError) HTTPStatus() (int, string) { return 422, "invalid" }
+
+// SetTenantConfig validates and upserts a tenant override. Weight and
+// quota land in a single store mutation — one watch event, one WAL record
+// — so the pair is atomic: a crash or a concurrent reader never observes
+// the new weight with the old quota. An override fully replaces the static
+// flag-time configuration for that tenant (Weight 0 means the default
+// fair-share weight of 1; zero quota fields mean unlimited).
+func (c *Cluster) SetTenantConfig(cfg api.TenantConfig) (api.TenantConfig, error) {
+	if err := cfg.Validate(); err != nil {
+		return api.TenantConfig{}, &InvalidTenantConfigError{Err: err}
+	}
+	for {
+		updated, _, err := c.TenantConfigs.Update(cfg.Name, func(cur api.TenantConfig) (api.TenantConfig, error) {
+			cur.Weight = cfg.Weight
+			cur.Quota = cfg.Quota
+			cur.Labels = cfg.Labels
+			return cur, nil
+		})
+		if err == nil {
+			return updated, nil
+		}
+		var notFound store.ErrNotFound
+		if !errors.As(err, &notFound) {
+			return api.TenantConfig{}, err
+		}
+		fresh := cfg.DeepCopy()
+		fresh.UID = c.NextUID("tenant")
+		fresh.CreatedAt = time.Now()
+		fresh.ResourceVersion = 0
+		if _, err := c.TenantConfigs.Create(fresh); err == nil {
+			return fresh, nil
+		} else {
+			var exists store.ErrExists
+			if !errors.As(err, &exists) {
+				return api.TenantConfig{}, err
+			}
+		}
+		// Lost a create race — loop back to the update path.
+	}
+}
+
+// TenantConfig returns the live override for a tenant, if one is set.
+func (c *Cluster) TenantConfig(name string) (api.TenantConfig, bool) {
+	return c.tenantConf.get(name)
+}
+
+// TenantConfigList returns every live tenant override.
+func (c *Cluster) TenantConfigList() []api.TenantConfig {
+	return c.TenantConfigs.List()
+}
+
+// QuotaFor resolves the quota governing one tenant: a live TenantConfig
+// override wins; otherwise the static flag-time policy applies.
+func (c *Cluster) QuotaFor(tenant string) api.TenantQuota {
+	if tenant == "" {
+		tenant = api.DefaultTenant
+	}
+	if cfg, ok := c.tenantConf.get(tenant); ok {
+		return cfg.Quota
+	}
+	return c.Quotas.For(tenant)
+}
+
+// TenantWeight reports a tenant's live weight override. ok is false when
+// no override exists — the caller falls back to its static configuration.
+func (c *Cluster) TenantWeight(tenant string) (int, bool) {
+	cfg, ok := c.tenantConf.get(tenant)
+	if !ok {
+		return 0, false
+	}
+	if cfg.Weight <= 0 {
+		return 1, true
+	}
+	return cfg.Weight, true
+}
+
+// HasActiveQuotaOverride reports whether any live override imposes a
+// MaxActive cap, so the scheduler knows to consult quotas during a pass
+// even when the static policy is unbounded.
+func (c *Cluster) HasActiveQuotaOverride() bool {
+	c.tenantConf.mu.RLock()
+	defer c.tenantConf.mu.RUnlock()
+	return c.tenantConf.activeBound > 0
+}

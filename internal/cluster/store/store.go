@@ -492,17 +492,7 @@ func (s *Store[T]) WatchFrom(marks []int64, buffer int) (<-chan WatchEvent[T], f
 // delivery keeps same-key events ordered.
 func (s *Store[T]) emitLocked(idx int, ev WatchEvent[T]) {
 	sh := &s.shards[idx]
-	sh.lastVersion = ev.Version
-	if len(sh.journal) >= s.journalCap {
-		sh.evictedThrough = sh.journal[0].Version
-		sh.journal[0] = WatchEvent[T]{} // release the evicted object copy
-		sh.journal = append(sh.journal[1:], ev)
-	} else {
-		sh.journal = append(sh.journal, ev)
-	}
-	for _, hook := range s.hooks {
-		hook(ev)
-	}
+	s.journalAndHookLocked(sh, ev)
 	var overflowed []int
 	s.watchMu.RLock()
 	for id, w := range s.watchers {

@@ -1,0 +1,310 @@
+// Package wal provides the durable byte substrate under QRIO's cluster
+// state: CRC-framed append-only log files and atomically-replaced
+// snapshot files. It knows nothing about stores or jobs — it moves
+// checksummed payloads to disk and back, and recovers the longest valid
+// prefix of a log whose tail a crash tore.
+//
+// Frame layout (little-endian):
+//
+//	[4B payload length][4B CRC-32C of payload][payload]
+//
+// A torn tail — a partial frame, or a frame whose checksum fails — ends
+// the valid prefix. Scan reports where the prefix ends so the caller can
+// safe-truncate the file and keep appending; everything before the tear
+// is intact because frames are only ever appended.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// frameHeader is the fixed per-record overhead: length + checksum.
+const frameHeader = 8
+
+// MaxRecordBytes bounds a single record. A length field above it marks
+// the frame corrupt rather than asking the reader to allocate garbage.
+const MaxRecordBytes = 64 << 20
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a checked file whose content fails verification —
+// a snapshot with a bad checksum or framing.
+var ErrCorrupt = errors.New("wal: corrupt file")
+
+// appendFrame appends one framed record to buf and returns the result.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Writer appends framed records to one log file. Appends are serialised
+// by an internal mutex, so a Writer can be shared by concurrent
+// producers (QRIO shares one per store shard, called under that shard's
+// lock). The first I/O error is latched: later appends return it without
+// touching the file, mirroring the archive spill contract — durability
+// degrades loudly, never by silently interleaving half-written frames.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	fsync   bool
+	err     error
+	records int64
+	bytes   int64
+	scratch []byte
+}
+
+// OpenWriter opens (creating if needed) a log file for appending. With
+// fsync set, every Append is synced to stable storage before returning —
+// the machine-crash guarantee; without it, records survive process death
+// (the write syscall completed) but not power loss.
+func OpenWriter(path string, fsync bool) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, path: path, fsync: fsync}, nil
+}
+
+// Append writes one framed record (and syncs it, if the writer fsyncs).
+func (w *Writer) Append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if len(payload) > MaxRecordBytes {
+		// Scan refuses frames above MaxRecordBytes, so writing one would
+		// poison the log: everything after it becomes unreachable.
+		w.err = fmt.Errorf("wal: record of %d bytes exceeds limit in %s", len(payload), w.path)
+		return w.err
+	}
+	w.scratch = appendFrame(w.scratch[:0], payload)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		w.err = fmt.Errorf("wal: append to %s: %w", w.path, err)
+		return w.err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("wal: fsync %s: %w", w.path, err)
+			return w.err
+		}
+	}
+	w.records++
+	w.bytes += int64(len(w.scratch))
+	return nil
+}
+
+// Rotate atomically redirects the writer to a new file: records appended
+// before the call are fully in the old file, records after it fully in
+// the new one — the cut a snapshot relies on to know which generations
+// its marks cover. The latched error is cleared: a fresh file is a fresh
+// chance (a full disk may have been cleaned up between generations).
+func (w *Writer) Rotate(newPath string) error {
+	f, err := os.OpenFile(newPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	old := w.f
+	w.f = f
+	w.path = newPath
+	w.err = nil
+	// Stats count the current file — the replay debt since the last
+	// rotation — so a snapshot visibly resets the operator's WAL lag.
+	w.records = 0
+	w.bytes = 0
+	w.mu.Unlock()
+	return old.Close()
+}
+
+// Path returns the file currently appended to.
+func (w *Writer) Path() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.path
+}
+
+// Err returns the latched write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats returns how many records and bytes this writer has appended.
+func (w *Writer) Stats() (records, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes
+}
+
+// Sync flushes the file to stable storage regardless of the fsync mode.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.f.Close()
+}
+
+// ScanResult is the outcome of reading one log file.
+type ScanResult struct {
+	// Records are the payloads of every intact frame, in append order.
+	Records [][]byte
+	// Offsets[i] is the file offset at which Records[i]'s frame starts.
+	Offsets []int64
+	// ValidBytes is the length of the intact prefix. When Truncated, the
+	// caller should truncate the file here before appending again.
+	ValidBytes int64
+	// Truncated reports that the file ends in a torn or corrupt frame
+	// (the expected state after a crash mid-append).
+	Truncated bool
+}
+
+// ScanFile reads every intact record of a log file. A missing file is an
+// empty log, not an error. A torn or corrupt tail ends the scan with
+// Truncated set; the records before it are returned.
+func ScanFile(path string) (ScanResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return ScanResult{}, nil
+		}
+		return ScanResult{}, err
+	}
+	return Scan(raw), nil
+}
+
+// Scan parses framed records out of a byte slice (the in-memory core of
+// ScanFile, shared with the fuzzer). Returned payloads alias raw.
+func Scan(raw []byte) ScanResult {
+	var res ScanResult
+	off := int64(0)
+	for {
+		rest := raw[off:]
+		if len(rest) == 0 {
+			return res
+		}
+		if len(rest) < frameHeader {
+			res.Truncated = true
+			res.ValidBytes = off
+			return res
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > MaxRecordBytes || int64(len(rest)) < frameHeader+n {
+			res.Truncated = true
+			res.ValidBytes = off
+			return res
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			res.Truncated = true
+			res.ValidBytes = off
+			return res
+		}
+		res.Records = append(res.Records, payload)
+		res.Offsets = append(res.Offsets, off)
+		off += frameHeader + n
+		res.ValidBytes = off
+	}
+}
+
+// TruncateFile cuts a log file back to n bytes — the safe-truncate step
+// after a scan found a torn tail.
+func TruncateFile(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+// WriteFileAtomic replaces path with a single-frame file holding payload,
+// using the write-temp + fsync + rename protocol: a crash at any point
+// leaves either the old complete file or the new complete file, never a
+// half-written one. The containing directory is synced so the rename
+// itself is durable.
+func WriteFileAtomic(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(appendFrame(nil, payload)); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// ReadFileChecked reads a file written by WriteFileAtomic, verifying it
+// holds exactly one intact frame. A missing file returns os.ErrNotExist;
+// any framing or checksum failure returns ErrCorrupt.
+func ReadFileChecked(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res := Scan(raw)
+	if res.Truncated || len(res.Records) != 1 || res.ValidBytes != int64(len(raw)) {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, path)
+	}
+	return res.Records[0], nil
+}
+
+// SyncDir fsyncs a directory, making renames and creates within it
+// durable. Best effort on filesystems that reject directory fsync.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, io.EOF) {
+		// Some filesystems (and some CI sandboxes) refuse to fsync a
+		// directory handle; the rename is still ordered on the common
+		// local filesystems QRIO deploys on.
+		if errors.Is(err, os.ErrInvalid) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

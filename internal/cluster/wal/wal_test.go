@@ -1,0 +1,317 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRecords(t *testing.T, path string, payloads ...[]byte) {
+	t.Helper()
+	w, err := OpenWriter(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendScanRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.wal")
+	payloads := [][]byte{[]byte("one"), []byte(""), []byte("three-3"), bytes.Repeat([]byte("x"), 4096)}
+	writeRecords(t, path, payloads...)
+
+	res, err := ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("clean file reported truncated")
+	}
+	if len(res.Records) != len(payloads) {
+		t.Fatalf("records = %d, want %d", len(res.Records), len(payloads))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(res.Records[i], p) {
+			t.Fatalf("record %d = %q, want %q", i, res.Records[i], p)
+		}
+	}
+	info, _ := os.Stat(path)
+	if res.ValidBytes != info.Size() {
+		t.Fatalf("ValidBytes = %d, file size %d", res.ValidBytes, info.Size())
+	}
+}
+
+func TestScanMissingFile(t *testing.T) {
+	res, err := ScanFile(filepath.Join(t.TempDir(), "absent.wal"))
+	if err != nil {
+		t.Fatalf("missing file should scan empty, got %v", err)
+	}
+	if len(res.Records) != 0 || res.Truncated {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+// TestTruncatedTail simulates a crash mid-append: every proper prefix cut
+// of the final record must recover the earlier records and report the
+// valid length for safe truncation.
+func TestTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	writeRecords(t, full, []byte("alpha"), []byte("beta"))
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := ScanFile(full)
+	firstEnd := first.Offsets[1] // end of record 0 == start of record 1
+
+	for cut := len(raw) - 1; cut > int(firstEnd); cut-- {
+		res := Scan(raw[:cut])
+		if !res.Truncated {
+			t.Fatalf("cut=%d: torn tail not detected", cut)
+		}
+		if len(res.Records) != 1 || !bytes.Equal(res.Records[0], []byte("alpha")) {
+			t.Fatalf("cut=%d: recovered %d records", cut, len(res.Records))
+		}
+		if res.ValidBytes != firstEnd {
+			t.Fatalf("cut=%d: ValidBytes=%d want %d", cut, res.ValidBytes, firstEnd)
+		}
+	}
+}
+
+// TestCRCMismatch flips one payload byte: the damaged record and
+// everything after it must be dropped, everything before it kept.
+func TestCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crc.wal")
+	writeRecords(t, path, []byte("keep-me"), []byte("corrupt-me"), []byte("unreachable"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := Scan(raw)
+	// Flip a byte inside record 1's payload.
+	corruptAt := scan.Offsets[1] + frameHeader
+	raw[corruptAt] ^= 0xFF
+	res := Scan(raw)
+	if !res.Truncated {
+		t.Fatal("corruption not detected")
+	}
+	if len(res.Records) != 1 || !bytes.Equal(res.Records[0], []byte("keep-me")) {
+		t.Fatalf("recovered %d records, want just the clean prefix", len(res.Records))
+	}
+	if res.ValidBytes != scan.Offsets[1] {
+		t.Fatalf("ValidBytes=%d want %d", res.ValidBytes, scan.Offsets[1])
+	}
+}
+
+func TestTruncateFileThenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	writeRecords(t, path, []byte("good"))
+	// Simulate a torn append.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{9, 9, 9})
+	f.Close()
+	res, _ := ScanFile(path)
+	if !res.Truncated {
+		t.Fatal("expected torn tail")
+	}
+	if err := TruncateFile(path, res.ValidBytes); err != nil {
+		t.Fatal(err)
+	}
+	// The safe-truncated file accepts appends and scans clean.
+	w, err := OpenWriter(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	res, err = ScanFile(path)
+	if err != nil || res.Truncated || len(res.Records) != 2 {
+		t.Fatalf("after truncate+append: %+v err=%v", res, err)
+	}
+}
+
+func TestRotateSwitchesFiles(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "g0.wal"), filepath.Join(dir, "g1.wal")
+	w, err := OpenWriter(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("old-gen")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(b); err != nil {
+		t.Fatal(err)
+	}
+	if w.Path() != b {
+		t.Fatalf("Path=%s want %s", w.Path(), b)
+	}
+	if err := w.Append([]byte("new-gen")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	ra, _ := ScanFile(a)
+	rb, _ := ScanFile(b)
+	if len(ra.Records) != 1 || !bytes.Equal(ra.Records[0], []byte("old-gen")) {
+		t.Fatalf("old file: %+v", ra)
+	}
+	if len(rb.Records) != 1 || !bytes.Equal(rb.Records[0], []byte("new-gen")) {
+		t.Fatalf("new file: %+v", rb)
+	}
+}
+
+func TestWriteFileAtomicAndReadChecked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	payload := []byte(`{"gen":7}`)
+	if err := WriteFileAtomic(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileChecked(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+	// Overwrite is atomic: the new content fully replaces the old.
+	next := []byte(`{"gen":8,"more":"data"}`)
+	if err := WriteFileAtomic(path, next); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = ReadFileChecked(path)
+	if !bytes.Equal(got, next) {
+		t.Fatalf("after rewrite got %q", got)
+	}
+}
+
+func TestReadFileCheckedRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := WriteFileAtomic(path, []byte(`{"gen":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+
+	cases := map[string][]byte{
+		"flipped payload byte": append(append([]byte{}, raw[:frameHeader]...), func() []byte {
+			p := append([]byte{}, raw[frameHeader:]...)
+			p[0] ^= 1
+			return p
+		}()...),
+		"truncated":     raw[:len(raw)-2],
+		"trailing junk": append(append([]byte{}, raw...), 0xAB),
+		"empty file":    {},
+		"header only":   raw[:frameHeader-1],
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, "case")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFileChecked(p); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err=%v, want ErrCorrupt", name, err)
+		}
+	}
+	if _, err := ReadFileChecked(filepath.Join(dir, "nope")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+// TestOversizedLengthRejected: a frame claiming a payload beyond
+// MaxRecordBytes must read as a torn tail, not a giant allocation.
+func TestOversizedLengthRejected(t *testing.T) {
+	var buf []byte
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(MaxRecordBytes+1))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, []byte("whatever")...)
+	res := Scan(buf)
+	if !res.Truncated || len(res.Records) != 0 || res.ValidBytes != 0 {
+		t.Fatalf("oversized frame accepted: %+v", res)
+	}
+}
+
+func TestWriterLatchesErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "latch.wal")
+	w, err := OpenWriter(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := bytes.Repeat([]byte("x"), MaxRecordBytes+1)
+	if err := w.Append(over); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+	if w.Err() == nil {
+		t.Fatal("error not latched")
+	}
+	// Rotation onto a fresh file clears the latch.
+	if err := w.Rotate(filepath.Join(dir, "latch2.wal")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("latch survived rotation: %v", w.Err())
+	}
+	if err := w.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+}
+
+// FuzzWALReplay drives the scanner with arbitrary bytes: it must never
+// panic, must report consistent (ValidBytes, Records, Truncated), and a
+// reported-clean file must re-scan identically after a write-back.
+func FuzzWALReplay(f *testing.F) {
+	seed := func(payloads ...[]byte) []byte {
+		var buf []byte
+		for _, p := range payloads {
+			buf = appendFrame(buf, p)
+		}
+		return buf
+	}
+	f.Add([]byte{})
+	f.Add(seed([]byte("hello")))
+	f.Add(seed([]byte("a"), []byte("bb"), []byte("ccc")))
+	f.Add(seed([]byte(`{"t":"ADDED","v":1,"o":{}}`)))
+	f.Add(seed([]byte("torn"))[:5])
+	damaged := seed([]byte("flip-me"))
+	damaged[frameHeader] ^= 0x01
+	f.Add(damaged)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := Scan(data)
+		if res.ValidBytes < 0 || res.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d out of range [0,%d]", res.ValidBytes, len(data))
+		}
+		if len(res.Records) != len(res.Offsets) {
+			t.Fatalf("records/offsets mismatch: %d vs %d", len(res.Records), len(res.Offsets))
+		}
+		if !res.Truncated && res.ValidBytes != int64(len(data)) {
+			t.Fatalf("clean scan consumed %d of %d bytes", res.ValidBytes, len(data))
+		}
+		// The valid prefix must itself scan clean with identical records —
+		// this is exactly what boot-time safe-truncation relies on.
+		again := Scan(data[:res.ValidBytes])
+		if again.Truncated || len(again.Records) != len(res.Records) {
+			t.Fatalf("valid prefix rescan diverged: %+v vs %+v", again, res)
+		}
+		for i := range again.Records {
+			if !bytes.Equal(again.Records[i], res.Records[i]) {
+				t.Fatalf("record %d diverged on rescan", i)
+			}
+		}
+	})
+}

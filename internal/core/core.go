@@ -13,6 +13,7 @@ import (
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/controller"
+	"qrio/internal/cluster/durability"
 	"qrio/internal/cluster/kubelet"
 	"qrio/internal/cluster/state"
 	"qrio/internal/cluster/store"
@@ -64,6 +65,15 @@ type Config struct {
 	// history stays queryable (GET /v1/jobs?archived=true and the by-name
 	// fallthrough).
 	Retention state.RetentionPolicy
+	// Durability configures crash-recoverable cluster state: a data
+	// directory with per-shard write-ahead logs, periodic compacted
+	// snapshots and the archive spill file. The zero value keeps the
+	// cluster fully in-memory — the pre-durability behaviour, byte for
+	// byte. With durability on, New replays the directory before anything
+	// else runs: jobs, results, events, tenant overrides and the archive
+	// come back; Running jobs are re-queued (their containers died with
+	// the old process); replayed nodes are refreshed against Backends.
+	Durability durability.Options
 }
 
 // containerSlots resolves a backend's container capacity under the
@@ -104,8 +114,12 @@ type QRIO struct {
 	Controller *controller.Controller
 	Kubelets   []*kubelet.Kubelet
 	// Quotas is the deployment's tenant quota policy (Config.TenantQuotas);
-	// the gateway's admission layer reads it.
+	// the gateway's admission layer reads it (live TenantConfig overrides
+	// win — resolve through State.QuotaFor).
 	Quotas api.TenantQuotaPolicy
+	// Durability is the durable-state manager, nil when the deployment
+	// runs in-memory.
+	Durability *durability.Manager
 
 	mu              sync.Mutex
 	ctx             context.Context
@@ -125,11 +139,27 @@ func New(cfg Config) (*QRIO, error) {
 	}
 	st := state.New()
 	st.Quotas = cfg.TenantQuotas
+	var dur *durability.Manager
+	if cfg.Durability.Enabled() {
+		var err error
+		if dur, err = durability.Open(st, cfg.Durability); err != nil {
+			return nil, err
+		}
+	}
 	metaSrv := meta.NewServer(cfg.Meta)
 	reg := registry.New()
 	for _, b := range cfg.Backends {
 		if _, err := st.AddNode(b); err != nil {
-			return nil, fmt.Errorf("core: adding node %s: %w", b.Name, err)
+			var exists store.ErrExists
+			if dur == nil || !errors.As(err, &exists) {
+				return nil, fmt.Errorf("core: adding node %s: %w", b.Name, err)
+			}
+			// The node came back from durable state; refresh it in place so
+			// identity and reservations survive while the spec follows the
+			// current flags.
+			if _, err := st.RefreshNode(b); err != nil {
+				return nil, fmt.Errorf("core: refreshing node %s: %w", b.Name, err)
+			}
 		}
 		applySlots(st, cfg.NodeConcurrency, b)
 		if err := metaSrv.RegisterBackend(b); err != nil {
@@ -157,6 +187,7 @@ func New(cfg Config) (*QRIO, error) {
 		Scheduler:  scheduler,
 		Controller: ctl,
 		Quotas:     cfg.TenantQuotas,
+		Durability: dur,
 	}
 	for i, b := range cfg.Backends {
 		q.Kubelets = append(q.Kubelets,
@@ -224,6 +255,13 @@ func (q *QRIO) Start() {
 			k.Run(ctx)
 		}()
 	}
+	if q.Durability != nil {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			q.Durability.Run(ctx)
+		}()
+	}
 }
 
 // Stop halts all control loops and waits for them to exit.
@@ -237,6 +275,17 @@ func (q *QRIO) Stop() {
 	q.started = false
 	q.mu.Unlock()
 	q.wg.Wait()
+}
+
+// Close stops the control loops and releases durable-state resources
+// (WAL writers, archive spill). The orchestrator cannot be restarted
+// after Close; use Stop for a pausable halt.
+func (q *QRIO) Close() error {
+	q.Stop()
+	if q.Durability != nil {
+		return q.Durability.Close()
+	}
+	return nil
 }
 
 // Submit routes a full job request through the Master Server, uploading

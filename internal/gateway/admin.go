@@ -1,0 +1,76 @@
+// The /v1/admin ops surface: operator-facing durability introspection and
+// control. These routes expose the state of the write-ahead log and
+// snapshot machinery (see internal/cluster/durability) — WAL lag since the
+// last snapshot, replay statistics from the most recent boot, and any
+// latched WAL/spill errors — plus a knob to force a compaction snapshot
+// before a planned restart. On an in-memory deployment (no -data-dir) the
+// status endpoint reports enabled=false and the snapshot endpoint answers
+// with the typed 422 "invalid" envelope.
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/durability"
+	"qrio/internal/httpx"
+)
+
+// SnapshotResponse is the body of POST /v1/admin/snapshot: the WAL
+// generation the snapshot compacted up to.
+type SnapshotResponse struct {
+	Generation int64 `json:"generation"`
+}
+
+// SetTenantRequest is the body of PUT /v1/tenants/{name}: the tenant's
+// new fair-share weight and quota, applied atomically as one override
+// that fully replaces the static flag configuration for that tenant.
+// Weight 0 means the default weight (1); zero quota fields mean unlimited.
+type SetTenantRequest struct {
+	Weight int             `json:"weight,omitempty"`
+	Quota  api.TenantQuota `json:"quota,omitempty"`
+}
+
+func (s *Server) handleAdminDurability(w http.ResponseWriter, r *http.Request) {
+	if s.Core.Durability == nil {
+		httpx.WriteJSON(w, http.StatusOK, durability.Stats{Enabled: false})
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, s.Core.Durability.Stats())
+}
+
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.Core.Durability == nil {
+		httpx.WriteError(w, http.StatusUnprocessableEntity, httpx.CodeInvalid,
+			fmt.Errorf("gateway: durability is not enabled on this deployment (start with -data-dir)"))
+		return
+	}
+	gen, err := s.Core.Durability.Snapshot()
+	if err != nil {
+		httpx.WriteError(w, http.StatusInternalServerError, httpx.CodeInternal, err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, SnapshotResponse{Generation: gen})
+}
+
+func (s *Server) handleSetTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req SetTenantRequest
+	if err := httpx.DecodeJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
+		return
+	}
+	cfg, err := s.Core.State.SetTenantConfig(api.TenantConfig{
+		ObjectMeta: api.ObjectMeta{Name: name},
+		Weight:     req.Weight,
+		Quota:      req.Quota,
+	})
+	if err != nil {
+		// InvalidTenantConfigError carries 422/"invalid" through the
+		// envelope's StatusCoder path.
+		httpx.WriteErr(w, err, http.StatusUnprocessableEntity, httpx.CodeInvalid)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, cfg)
+}

@@ -107,8 +107,15 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 	for _, u := range usages {
 		seen[u.Tenant] = true
 	}
-	// Configured-but-idle tenants (quota overrides, scheduler weights)
-	// are listed too, with zero usage — the operator's full tenancy view.
+	// Configured-but-idle tenants (live overrides, static quota entries,
+	// scheduler weights) are listed too, with zero usage — the operator's
+	// full tenancy view.
+	for _, cfg := range s.Core.State.TenantConfigList() {
+		if !seen[cfg.Name] {
+			seen[cfg.Name] = true
+			usages = append(usages, state.TenantUsage{Tenant: cfg.Name})
+		}
+	}
 	for t := range s.Core.Quotas.Tenants {
 		if !seen[t] {
 			seen[t] = true
@@ -123,14 +130,19 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]TenantStatus, 0, len(usages))
 	for _, u := range usages {
-		weight := 1
-		if w := s.Core.Scheduler.TenantWeights[u.Tenant]; w > 0 {
-			weight = w
+		// Resolution order mirrors the scheduler's: live override first,
+		// static flag configuration second.
+		weight, ok := s.Core.State.TenantWeight(u.Tenant)
+		if !ok {
+			weight = 1
+			if w := s.Core.Scheduler.TenantWeights[u.Tenant]; w > 0 {
+				weight = w
+			}
 		}
 		out = append(out, TenantStatus{
 			TenantUsage: u,
 			Weight:      weight,
-			Quota:       s.Core.Quotas.For(u.Tenant),
+			Quota:       s.Core.State.QuotaFor(u.Tenant),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })

@@ -26,10 +26,15 @@
 //	GET    /v1/score?job=J&backend=B
 //	GET    /v1/score/batch?job=J[&backend=B...]
 //	GET    /v1/tenants              — per-tenant usage, fair-share weight, quota
+//	PUT    /v1/tenants/{name}       — hot-reload a tenant's weight + quota
+//	                                  (atomic pair; durable when -data-dir is on)
 //	GET    /v1/events[?about=X]
 //	GET    /v1/watch[?kind=job|node][&name=X][&resume=T]  — SSE stream;
 //	                                  resume=T replays from a prior
 //	                                  stream's token instead of snapshotting
+//	GET    /v1/admin/durability     — WAL lag, snapshot age, replay stats,
+//	                                  latched WAL/spill errors
+//	POST   /v1/admin/snapshot       — force a compacted snapshot now
 //
 // Submissions are charged to a tenant (SubmitRequest.Tenant, defaulted to
 // "default") and pass the quota admission layer (admission.go) before any
@@ -110,8 +115,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/score", s.handleScore)
 	mux.HandleFunc("GET /v1/score/batch", s.handleScoreBatch)
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("PUT /v1/tenants/{name}", s.handleSetTenant)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/admin/durability", s.handleAdminDurability)
+	mux.HandleFunc("POST /v1/admin/snapshot", s.handleAdminSnapshot)
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
 			fmt.Errorf("no /v1 route for %s %s", r.Method, r.URL.Path))
@@ -120,12 +128,34 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	httpx.WriteJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"ok":       true,
 		"nodes":    s.Core.State.Nodes.Len(),
 		"jobs":     s.Core.State.Jobs.Len(),
 		"archived": s.Core.State.Archived.Len(),
-	})
+	}
+	// Durability summary: a latched WAL or spill error means the cluster
+	// keeps serving but recent history may not survive the next crash —
+	// exactly what a health probe should surface.
+	if d := s.Core.Durability; d != nil {
+		st := d.Stats()
+		sum := map[string]any{
+			"enabled":    true,
+			"ok":         st.WALError == "" && st.SpillError == "",
+			"generation": st.Generation,
+			"walRecords": st.WALRecords,
+		}
+		if st.WALError != "" {
+			sum["walError"] = st.WALError
+		}
+		if st.SpillError != "" {
+			sum["spillError"] = st.SpillError
+		}
+		resp["durability"] = sum
+	} else {
+		resp["durability"] = map[string]any{"enabled": false}
+	}
+	httpx.WriteJSON(w, http.StatusOK, resp)
 }
 
 // staticFilters are the fleet-invariant admission filters: a job no node
@@ -185,7 +215,7 @@ func (s *Server) submitOne(req master.SubmitRequest) (api.QuantumJob, error) {
 	if shots <= 0 {
 		shots = api.DefaultShots // quota pricing parity with master intake
 	}
-	release, err := s.admission.admit(s.Core.State, s.Core.Quotas.For(req.Tenant),
+	release, err := s.admission.admit(s.Core.State, s.Core.State.QuotaFor(req.Tenant),
 		req.Tenant, api.EstimateQubitSeconds(minQubits, shots))
 	if err != nil {
 		return api.QuantumJob{}, err

@@ -18,14 +18,28 @@ import (
 	"qrio/internal/cluster/state"
 )
 
-// weightOf resolves a tenant's configured weight (missing or
-// non-positive entries mean weight 1, so unconfigured tenants compete
-// equally instead of being shut out).
+// weightOf resolves a tenant's effective weight: a live TenantConfig
+// override (set through PUT /v1/tenants/{name}, hot-reloaded) wins over
+// the static flag configuration; missing or non-positive entries mean
+// weight 1, so unconfigured tenants compete equally instead of being
+// shut out.
 func (s *Scheduler) weightOf(tenant string) int {
+	if w, ok := s.State.TenantWeight(tenant); ok {
+		return w
+	}
 	if w := s.TenantWeights[tenant]; w > 0 {
 		return w
 	}
 	return 1
+}
+
+// quotaFor resolves a tenant's effective quota the same way: live
+// override first, static policy second.
+func (s *Scheduler) quotaFor(tenant string) api.TenantQuota {
+	if cfg, ok := s.State.TenantConfig(tenant); ok {
+		return cfg.Quota
+	}
+	return s.TenantQuotas.For(tenant)
 }
 
 // fairOrderer returns the pass's dispatch iterator: next(n) yields the
@@ -166,7 +180,7 @@ func (s *Scheduler) capActiveBudget(pending []api.QuantumJob) []api.QuantumJob {
 		t := state.TenantOf(&pending[i])
 		b, ok := budget[t]
 		if !ok {
-			if max := s.TenantQuotas.For(t).MaxActive; max <= 0 {
+			if max := s.quotaFor(t).MaxActive; max <= 0 {
 				b = -1 // unlimited
 			} else {
 				b = max - s.State.TenantUsage(t).Active
@@ -188,7 +202,8 @@ func (s *Scheduler) capActiveBudget(pending []api.QuantumJob) []api.QuantumJob {
 	return kept
 }
 
-// hasActiveBound reports whether any configured quota caps active jobs.
+// hasActiveBound reports whether any configured quota — static or live
+// override — caps active jobs.
 func (s *Scheduler) hasActiveBound() bool {
 	if s.TenantQuotas.Default.MaxActive > 0 {
 		return true
@@ -198,7 +213,7 @@ func (s *Scheduler) hasActiveBound() bool {
 			return true
 		}
 	}
-	return false
+	return s.State.HasActiveQuotaOverride()
 }
 
 // chargeBind settles one actual bind against the persistent SWRR state:

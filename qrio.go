@@ -90,11 +90,35 @@
 // serial scheduler stays strict FIFO. GET /v1/tenants (Client.Tenants,
 // qrioctl tenants) reports per-tenant usage, weight and quota.
 //
+// Weights and quotas hot-reload: PUT /v1/tenants/{name}
+// (Client.SetTenant, qrioctl tenants set) replaces a tenant's weight and
+// quota atomically — one store mutation, one watch event — effective from
+// the next scheduling pass and admission check, no restart. Overrides are
+// durable when the deployment runs with durability enabled.
+//
+// # Durability & restarts
+//
+// Config.Durability (the qrio daemon's -data-dir flag) makes cluster
+// state crash-recoverable. Every store mutation is appended to a
+// per-shard, CRC-framed write-ahead log; a background loop (and POST
+// /v1/admin/snapshot) periodically compacts the logs into one atomically
+// replaced snapshot file; the archive tier spills to archive.jsonl in the
+// same directory. On boot, New restores the snapshot, replays the logs
+// past it (re-firing the same store hooks that feed the live indexes, so
+// queues, usage and watch journals rebuild exactly), reloads the archive,
+// and re-queues jobs that were Running when the process died — their
+// containers died with it. Watch resume tokens from before the crash
+// either replay exactly or answer the typed 410 "compacted" code.
+// GET /v1/admin/durability (Client.Durability, qrioctl admin durability)
+// reports WAL lag, snapshot age, boot replay statistics and any latched
+// WAL/spill errors; the same summary rides on /v1/healthz. The zero
+// Options keep the cluster fully in-memory — the prior behaviour.
+//
 // The Client type (package qrio/client) speaks this surface: Submit and
 // SubmitBatch, Get, List, Cancel, Logs, Events, Watch and the
 // event-driven Wait, with IsConflict-style helpers over the error codes.
 // The qrioctl command wraps it: submit, list -phase, watch, cancel, logs,
-// events.
+// events, tenants [set], admin durability|snapshot.
 //
 // # Concurrency
 //
@@ -119,6 +143,7 @@ import (
 	"qrio/client"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/apiserver"
+	"qrio/internal/cluster/durability"
 	"qrio/internal/cluster/state"
 	"qrio/internal/core"
 	"qrio/internal/device"
@@ -176,6 +201,21 @@ type TenantUsage = state.TenantUsage
 // store before the controller archives them (Config.Retention); the zero
 // policy keeps everything resident, the pre-archive behaviour.
 type RetentionPolicy = state.RetentionPolicy
+
+// DurabilityOptions configure crash-recoverable cluster state
+// (Config.Durability): a data directory holding per-shard write-ahead
+// logs, periodic compacted snapshots and the archive spill. The zero
+// value keeps the deployment fully in-memory.
+type DurabilityOptions = durability.Options
+
+// DurabilityStats is the durability subsystem's admin view (WAL lag,
+// snapshot age, boot replay statistics, latched errors), served by
+// GET /v1/admin/durability.
+type DurabilityStats = durability.Stats
+
+// TenantConfig is one tenant's live weight + quota override, set through
+// PUT /v1/tenants/{name} and applied without a restart.
+type TenantConfig = api.TenantConfig
 
 // Strategy selects fidelity- or topology-driven device ranking.
 type Strategy = api.Strategy
