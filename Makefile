@@ -25,7 +25,7 @@ BENCH_FAST_TIME ?= 20x
 # many points.
 COVERAGE_SLACK ?= 2
 
-.PHONY: all build vet fmt lint test race bench bench-json bench-store bench-compare chaos-crash coverage ci
+.PHONY: all build vet fmt lint lint-rand test race bench bench-json bench-store bench-compare chaos-crash coverage sim sim-smoke ci
 
 all: build
 
@@ -50,6 +50,30 @@ lint:
 
 test:
 	$(GO) test ./...
+
+# lint-rand is the simulator's determinism audit: package-global math/rand
+# calls (rand.Intn, rand.Float64, ...) draw from shared process-wide state
+# and would make seeded sim runs irreproducible. Every draw must go
+# through an explicitly seeded *rand.Rand. rand.New/rand.NewSource remain
+# allowed — they are how those seeded generators are built.
+lint-rand:
+	@out="$$(grep -rnE '\brand\.(Intn|Int63n?|Int31n?|Float64|Float32|Perm|Shuffle|ExpFloat64|NormFloat64|Uint32|Uint64|Seed)\(' --include='*.go' internal cmd client 2>/dev/null || true)"; \
+	if [ -n "$$out" ]; then echo "lint-rand: package-global math/rand use breaks sim determinism:"; echo "$$out"; exit 1; fi
+
+# sim runs the full capacity-planning grid (sim/experiments.json) and
+# refreshes the committed artifacts under sim/results/. Deterministic:
+# re-running on any machine reproduces the committed files byte for byte.
+sim:
+	$(GO) run ./cmd/qrio-sim -experiments sim/experiments.json -out sim/results
+
+# sim-smoke is the CI determinism gate: the small seeded "smoke" scenario
+# runs twice into scratch dirs and the artifacts must be byte-identical.
+sim-smoke:
+	@tmp1="$$(mktemp -d)"; tmp2="$$(mktemp -d)"; \
+	trap 'rm -rf "$$tmp1" "$$tmp2"' EXIT; \
+	$(GO) run ./cmd/qrio-sim -experiments sim/experiments.json -only smoke -out "$$tmp1" && \
+	$(GO) run ./cmd/qrio-sim -experiments sim/experiments.json -only smoke -out "$$tmp2" && \
+	diff -r "$$tmp1" "$$tmp2" && echo "sim-smoke: double run byte-identical"
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -99,4 +123,4 @@ coverage:
 		if (t + 0 < floor) { printf "coverage: total %.1f%% fell below floor %.1f%% (baseline %.1f%% - %d)\n", t, floor, b, s; exit 1 } \
 		printf "coverage: total %.1f%% (floor %.1f%%, baseline %.1f%%)\n", t, floor, b }'
 
-ci: build vet fmt lint test race
+ci: build vet fmt lint lint-rand test race sim-smoke

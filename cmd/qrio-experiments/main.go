@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	qrio-experiments [-run table2|fig5|fig6|fig7|fig9|fig10|all] [-trials N]
+//	qrio-experiments [-run table2|fig5|fig6|fig7|fig9|fig10|capacity|all] [-trials N]
 //	                 [-shots N] [-seed N] [-workers N] [-small]
 //
 // -small shrinks the fleet (3 qubit counts x 10 edge probs) for quick runs.
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: table2|fig5|fig6|fig7|fig9|fig10|all")
+	run := flag.String("run", "all", "experiment to run: table2|fig5|fig6|fig7|fig9|fig10|capacity|all")
 	trials := flag.Int("trials", 0, "repetitions (0 = paper defaults)")
 	shots := flag.Int("shots", 0, "shots per fidelity evaluation (0 = default)")
 	seed := flag.Int64("seed", 1, "RNG seed for random-scheduler draws")
@@ -108,6 +108,14 @@ func main() {
 			}
 		}
 		fmt.Printf("  scheduler filter chain agrees with analytical count: %v\n\n", agree)
+		ran++
+	}
+	if want("capacity") {
+		rows, err := experiments.Capacity(cfg)
+		if err != nil {
+			log.Fatalf("capacity: %v", err)
+		}
+		fmt.Println(experiments.RenderCapacity(rows))
 		ran++
 	}
 	if ran == 0 {

@@ -1,0 +1,187 @@
+// Command qrio-sim runs QRIO's virtual-time fleet simulator: seeded,
+// open-loop workloads driven through the real cluster state, scheduler
+// and controller at thousands-of-nodes / millions-of-jobs scale, in
+// seconds. It is the capacity-planning harness: an experiments file
+// describes a grid of scenarios, and each run emits deterministic
+// markdown + CSV artifacts (same seed → byte-identical output; wall
+// clock goes to stderr only, never into an artifact).
+//
+//	qrio-sim -experiments sim/experiments.json -out sim/results
+//	qrio-sim -experiments sim/experiments.json -only baseline -out /tmp/r
+//	qrio-sim -record trace.jsonl -only baseline   # dump the workload trace
+//	qrio-sim -replay trace.jsonl -only baseline   # re-run from a trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"runtime/pprof"
+	"time"
+
+	"qrio/internal/sim"
+	"qrio/internal/simload"
+)
+
+// Experiment is one named scenario in the grid.
+type Experiment struct {
+	Name   string     `json:"name"`
+	Config sim.Config `json:"config"`
+}
+
+// ExperimentFile is the on-disk grid format.
+type ExperimentFile struct {
+	Experiments []Experiment `json:"experiments"`
+}
+
+func main() {
+	// The simulator is a throughput batch tool: trade heap headroom for
+	// fewer GC cycles (the hot loop allocates snapshot slices and store
+	// copies at a very high rate).
+	debug.SetGCPercent(400)
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qrio-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expPath = flag.String("experiments", "sim/experiments.json", "experiment grid file")
+		outDir  = flag.String("out", "sim/results", "artifact output directory")
+		only    = flag.String("only", "", "run only the named experiment")
+		record  = flag.String("record", "", "write the generated workload trace to this JSONL file instead of simulating (requires -only or a single-experiment grid)")
+		replay  = flag.String("replay", "", "drive the simulation from a recorded JSONL trace instead of generating (requires -only or a single-experiment grid)")
+		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	)
+	flag.Parse()
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	raw, err := os.ReadFile(*expPath)
+	if err != nil {
+		return err
+	}
+	var file ExperimentFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return fmt.Errorf("parsing %s: %w", *expPath, err)
+	}
+	exps := file.Experiments
+	if *only != "" {
+		var keep []Experiment
+		for _, e := range exps {
+			if e.Name == *only {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) == 0 {
+			return fmt.Errorf("no experiment named %q in %s", *only, *expPath)
+		}
+		exps = keep
+	}
+	if len(exps) == 0 {
+		return fmt.Errorf("%s holds no experiments", *expPath)
+	}
+
+	if *record != "" {
+		if len(exps) != 1 {
+			return fmt.Errorf("-record needs exactly one experiment (use -only)")
+		}
+		return recordTrace(exps[0], *record)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	summary, err := os.Create(filepath.Join(*outDir, "summary.md"))
+	if err != nil {
+		return err
+	}
+	defer summary.Close()
+	fmt.Fprintf(summary, "# qrio-sim capacity report\n\nExperiments: %d\n\n", len(exps))
+
+	for _, exp := range exps {
+		var src simload.Source
+		if *replay != "" {
+			if len(exps) != 1 {
+				return fmt.Errorf("-replay needs exactly one experiment (use -only)")
+			}
+			f, err := os.Open(*replay)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			src = simload.TraceSource(f)
+		}
+		rep, wall, err := runOne(exp, src)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", exp.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "qrio-sim: %-24s submitted=%d bound=%d drained=%t wall=%s\n",
+			exp.Name, rep.Submitted, rep.Latency.Count, rep.Drained, wall.Round(time.Millisecond))
+
+		if err := rep.WriteSummaryMarkdown(summary, exp.Name); err != nil {
+			return err
+		}
+		csv, err := os.Create(filepath.Join(*outDir, exp.Name+"_timeline.csv"))
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteTimelineCSV(csv); err != nil {
+			csv.Close()
+			return err
+		}
+		if err := csv.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "qrio-sim: artifacts in %s\n", *outDir)
+	return nil
+}
+
+func runOne(exp Experiment, src simload.Source) (*sim.Report, time.Duration, error) {
+	eng, err := sim.New(exp.Config, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	rep, err := eng.Run()
+	return rep, time.Since(start), err
+}
+
+func recordTrace(exp Experiment, path string) error {
+	lib, err := simload.DefaultLibrary()
+	if err != nil {
+		return err
+	}
+	stream, err := simload.NewStream(exp.Config.Profile, lib)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := simload.WriteTrace(f, stream)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qrio-sim: recorded %d arrivals to %s\n", n, path)
+	return nil
+}

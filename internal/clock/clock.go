@@ -1,0 +1,38 @@
+// Package clock is the time seam between QRIO's control plane and the
+// wall clock. Every layer that stamps or compares times — state object
+// CreatedAt/heartbeats, scheduler pass timing, controller retry/sweep
+// decisions, archive age-based retention — reads time through a Clock
+// instead of calling time.Now directly, so the virtual-time fleet
+// simulator (internal/sim) can drive the *real* control-plane code
+// against a deterministic clock that advances only when simulation
+// events fire. Production wiring injects Real, which is time.Now with an
+// interface call in front of it: behaviour is byte-identical and the
+// indirection is far below the cost of the store operations on every
+// path that takes a timestamp.
+package clock
+
+import "time"
+
+// Clock is a time source.
+type Clock interface {
+	// Now returns the current time. Implementations must be safe for
+	// concurrent use; Real trivially is, and the simulator's clock is
+	// only advanced by the single-threaded event loop.
+	Now() time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Now resolves a possibly-nil Clock: nil means the wall clock, so zero
+// values of structs carrying an optional Clock field keep today's
+// behaviour without every construction site having to wire Real.
+func Now(c Clock) time.Time {
+	if c != nil {
+		return c.Now()
+	}
+	return time.Now()
+}

@@ -129,8 +129,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			httpx.MethodNotAllowed(w, r)
 			return
 		}
-		res, _, err := s.State.Results.Get(name)
-		if err != nil {
+		res, ok := s.State.ResultFor(name)
+		if !ok {
 			httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
 				fmt.Errorf("no logs for job %q (logs appear once execution finishes)", name))
 			return

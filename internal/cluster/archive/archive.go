@@ -33,9 +33,14 @@ const DefaultSegmentSize = 512
 // Entry is one archived job: the terminal object, its event trail as of
 // archival, and the sweep timestamp.
 type Entry struct {
-	Job        api.QuantumJob `json:"job"`
-	Events     []api.Event    `json:"events,omitempty"`
-	ArchivedAt time.Time      `json:"archivedAt"`
+	Job    api.QuantumJob `json:"job"`
+	Events []api.Event    `json:"events,omitempty"`
+	// Result is the job's execution record (logs, counts, fidelity),
+	// retired from the hot Results store along with the job. Nil when the
+	// job never produced one — or was archived before result retirement
+	// existed, so old spill files load cleanly.
+	Result     *api.Result `json:"result,omitempty"`
+	ArchivedAt time.Time   `json:"archivedAt"`
 }
 
 // deepCopy isolates an entry the same way the hot store isolates objects.
@@ -47,6 +52,10 @@ func (e Entry) deepCopy() Entry {
 		for i, ev := range e.Events {
 			out.Events[i] = ev.DeepCopy()
 		}
+	}
+	if e.Result != nil {
+		r := e.Result.DeepCopy()
+		out.Result = &r
 	}
 	return out
 }
@@ -63,6 +72,15 @@ type Options struct {
 	// no additional synchronisation; the first write error is latched and
 	// reported by SpillErr, and later entries skip the writer.
 	Spill io.Writer
+	// MaxResident bounds how many entries stay resident in memory;
+	// 0 (the default) keeps everything, today's behaviour. When a Put
+	// pushes the live count past the bound, the OLDEST whole segments are
+	// released: their entries leave the index and their memory is freed.
+	// Dropping is memory eviction, not deletion — no tombstone is spilled,
+	// so a configured spill file remains the complete history. Bounded
+	// archives suit batch drivers (the fleet simulator) and
+	// memory-constrained deployments that rely on the spill for history.
+	MaxResident int
 }
 
 // Archive is a thread-safe terminal-job archive.
@@ -74,6 +92,13 @@ type Archive struct {
 	count    int
 	spill    io.Writer
 	spillErr error
+	// maxResident caps live in-memory entries (0 = unlimited); headSeg is
+	// the first segment that still holds memory — earlier ones were
+	// released by the bound and stay nil; dropped counts entries evicted
+	// that way (they remain part of the archive's history total).
+	maxResident int
+	headSeg     int
+	dropped     int
 }
 
 // New builds an empty archive.
@@ -83,9 +108,10 @@ func New(opts Options) *Archive {
 		size = DefaultSegmentSize
 	}
 	return &Archive{
-		index:   make(map[string]slot),
-		segSize: size,
-		spill:   opts.Spill,
+		index:       make(map[string]slot),
+		segSize:     size,
+		spill:       opts.Spill,
+		maxResident: opts.MaxResident,
 	}
 }
 
@@ -127,6 +153,22 @@ func (a *Archive) Put(e Entry) error {
 		if err != nil {
 			a.spillErr = fmt.Errorf("archive: spill write for %s: %w", name, err)
 		}
+	}
+	// Enforce the residency bound by releasing whole old segments — never
+	// the one just written, so a sweep's immediate Remove rollback always
+	// still finds its entry.
+	for a.maxResident > 0 && a.count > a.maxResident && a.headSeg < seg {
+		for i := range a.segments[a.headSeg] {
+			old := &a.segments[a.headSeg][i]
+			if old.Job.Name == "" {
+				continue // tombstone
+			}
+			delete(a.index, old.Job.Name)
+			a.count--
+			a.dropped++
+		}
+		a.segments[a.headSeg] = nil
+		a.headSeg++
 	}
 	return nil
 }
@@ -237,11 +279,20 @@ func (a *Archive) Names() []string {
 	return out
 }
 
-// Len returns the archived-entry count.
+// Len returns the archived-entry count resident in memory.
 func (a *Archive) Len() int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	return a.count
+}
+
+// Dropped reports how many entries the MaxResident bound has released
+// from memory over the archive's lifetime; Len()+Dropped() is the total
+// ever archived (minus explicit Removes).
+func (a *Archive) Dropped() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.dropped
 }
 
 // List returns copies of the archived jobs keep accepts. Like the store's

@@ -157,3 +157,54 @@ func TestSpillErrorLatched(t *testing.T) {
 		t.Fatal("entry lost on spill failure")
 	}
 }
+
+// TestMaxResidentEvictsOldestSegments: the residency bound releases whole
+// old segments (oldest first), keeps the spill as complete history, and
+// never touches the segment a Put just wrote into.
+func TestMaxResidentEvictsOldestSegments(t *testing.T) {
+	var spill bytes.Buffer
+	a := New(Options{SegmentSize: 4, MaxResident: 6, Spill: &spill})
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := a.Put(entry(fmt.Sprintf("job-%02d", i), api.JobSucceeded)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got := a.Len() + a.Dropped(); got != n {
+		t.Fatalf("Len+Dropped = %d, want %d", got, n)
+	}
+	if a.Len() > 6+4 {
+		// The bound is enforced in whole segments, so residency may
+		// overshoot by at most one segment.
+		t.Fatalf("resident %d far above bound", a.Len())
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("nothing evicted")
+	}
+	// Oldest entries are gone from memory, newest remain.
+	if _, ok := a.Get("job-00"); ok {
+		t.Fatal("oldest entry still resident")
+	}
+	if a.Has("job-00") {
+		t.Fatal("Has reports an evicted entry")
+	}
+	last := fmt.Sprintf("job-%02d", n-1)
+	if _, ok := a.Get(last); !ok {
+		t.Fatal("newest entry missing")
+	}
+	// List skips released segments without panicking and returns only
+	// resident jobs.
+	live := a.List(nil)
+	if len(live) != a.Len() {
+		t.Fatalf("List returned %d, Len is %d", len(live), a.Len())
+	}
+	// Eviction is not deletion: no tombstones were spilled, so replaying
+	// the spill restores all n entries.
+	fresh := New(Options{})
+	if got, err := fresh.Load(&spill); err != nil || got != n {
+		t.Fatalf("Load = %d, %v; want %d, nil", got, err, n)
+	}
+	if _, ok := fresh.Get("job-00"); !ok {
+		t.Fatal("spill replay lost an evicted entry")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"qrio/internal/clock"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
 )
@@ -35,8 +36,9 @@ type Controller struct {
 	Retention state.RetentionPolicy
 	// Interval is the reconcile cadence (default 100ms).
 	Interval time.Duration
-	// Clock is injectable for tests.
-	Clock func() time.Time
+	// Clock is the controller's time source — injectable for tests and
+	// the virtual-time simulator. Nil means the wall clock.
+	Clock clock.Clock
 }
 
 // New builds a controller with defaults.
@@ -48,7 +50,7 @@ func New(st *state.Cluster) *Controller {
 		StuckTimeout: 5 * time.Second,
 		MaxEvents:    2048,
 		Interval:     100 * time.Millisecond,
-		Clock:        time.Now,
+		Clock:        clock.Real{},
 	}
 }
 
@@ -83,12 +85,7 @@ func (c *Controller) ReconcileOnce() {
 	c.gcEvents()
 }
 
-func (c *Controller) clock() time.Time {
-	if c.Clock != nil {
-		return c.Clock()
-	}
-	return time.Now()
-}
+func (c *Controller) clock() time.Time { return clock.Now(c.Clock) }
 
 // markStaleNodes flips nodes whose heartbeat stopped to NotReady.
 func (c *Controller) markStaleNodes(now time.Time) {

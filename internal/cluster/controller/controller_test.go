@@ -31,7 +31,7 @@ func setup(t *testing.T) (*Controller, *state.Cluster, *fakeClock) {
 	// and the grace-period arithmetic compares the two.
 	clk := &fakeClock{now: time.Now()}
 	c := New(st)
-	c.Clock = clk.Now
+	c.Clock = clk
 	return c, st, clk
 }
 

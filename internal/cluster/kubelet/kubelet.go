@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"qrio/internal/clock"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
 	"qrio/internal/fidelity"
@@ -42,8 +43,9 @@ type Kubelet struct {
 	Heartbeat time.Duration
 	// Seed makes executions reproducible per node.
 	Seed int64
-	// Clock is injectable for tests (default time.Now).
-	Clock func() time.Time
+	// Clock is the kubelet's time source (StartedAt/FinishedAt stamps,
+	// elapsed-time logs). Nil means the wall clock.
+	Clock clock.Clock
 	// Runtime is the container runtime seam; nil selects the built-in
 	// simulator-backed executor. Tests and alternative execution backends
 	// inject here.
@@ -63,10 +65,13 @@ func New(nodeName string, st *state.Cluster, reg *registry.Registry, seed int64)
 		Interval:  10 * time.Millisecond,
 		Heartbeat: 250 * time.Millisecond,
 		Seed:      seed,
-		Clock:     time.Now,
+		Clock:     clock.Real{},
 		inflight:  make(map[string]context.CancelFunc),
 	}
 }
+
+// now reads the kubelet's clock.
+func (k *Kubelet) now() time.Time { return clock.Now(k.Clock) }
 
 // Run reconciles until the context is cancelled, then waits for in-flight
 // containers to finish so no execution outlives the agent.
@@ -104,7 +109,7 @@ func (k *Kubelet) Run(ctx context.Context) {
 
 func (k *Kubelet) heartbeat() {
 	k.State.Nodes.Update(k.NodeName, func(n api.Node) (api.Node, error) {
-		n.Status.LastHeartbeat = k.Clock()
+		n.Status.LastHeartbeat = k.now()
 		if n.Status.Phase == api.NodeNotReady {
 			n.Status.Phase = api.NodeReady
 		}
@@ -212,14 +217,14 @@ type execOutcome struct {
 // is abandoned so the job reaches JobCancelled and the slot frees
 // immediately.
 func (k *Kubelet) runJob(ctx context.Context, jobName string) {
-	start := k.Clock()
+	start := k.now()
 	claimed, _, err := k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
 		if j.Status.Phase != api.JobScheduled || j.Status.Node != k.NodeName {
 			return j, fmt.Errorf("kubelet: job no longer ours")
 		}
 		j.Status.Phase = api.JobRunning
 		j.Status.Attempts++
-		t := k.Clock()
+		t := k.now()
 		j.Status.StartedAt = &t
 		return j, nil
 	})
@@ -264,7 +269,7 @@ func (k *Kubelet) runJob(ctx context.Context, jobName string) {
 // finishExecuted publishes a completed execution: result record, terminal
 // phase, slot release and event — the original success/failure path.
 func (k *Kubelet) finishExecuted(jobName string, start time.Time, o execOutcome) {
-	end := k.Clock()
+	end := k.now()
 	elapsed := end.Sub(start).Milliseconds()
 	logs, result, execErr := o.logs, o.ex, o.err
 
@@ -294,7 +299,7 @@ func (k *Kubelet) finishExecuted(jobName string, start time.Time, o execOutcome)
 		if j.Status.Phase != api.JobRunning || j.Status.Node != k.NodeName {
 			return j, fmt.Errorf("kubelet: job no longer ours")
 		}
-		t := k.Clock()
+		t := k.now()
 		j.Status.FinishedAt = &t
 		if execErr != nil {
 			j.Status.Phase = api.JobFailed
@@ -320,13 +325,13 @@ func (k *Kubelet) finishExecuted(jobName string, start time.Time, o execOutcome)
 // finishCancelled lands a user-requested abort: terminal JobCancelled
 // phase, a minimal result log, slot release and event.
 func (k *Kubelet) finishCancelled(jobName string, start time.Time) {
-	end := k.Clock()
+	end := k.now()
 	elapsed := end.Sub(start).Milliseconds()
 	_, _, err := k.State.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
 		if j.Status.Phase != api.JobRunning || j.Status.Node != k.NodeName {
 			return j, fmt.Errorf("kubelet: job no longer ours")
 		}
-		t := k.Clock()
+		t := k.now()
 		j.Status.Phase = api.JobCancelled
 		j.Status.FinishedAt = &t
 		j.Status.Message = fmt.Sprintf("cancelled by user; container aborted on %s", k.NodeName)

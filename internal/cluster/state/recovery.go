@@ -3,7 +3,6 @@ package state
 import (
 	"encoding/json"
 	"fmt"
-	"time"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/device"
@@ -30,7 +29,7 @@ func (c *Cluster) RefreshNode(b *device.Backend) (api.Node, error) {
 		n.Spec.MemoryMB = b.MemoryMB
 		n.Spec.MaxContainers = 0
 		n.Status.Phase = api.NodeReady
-		n.Status.LastHeartbeat = time.Now()
+		n.Status.LastHeartbeat = c.now()
 		return n, nil
 	})
 	if err != nil {
@@ -83,7 +82,7 @@ func (c *Cluster) RequeueOrphanedRunning(reason string) int {
 				// The container the user wanted aborted died with the old
 				// process — the cancellation is complete, not lost.
 				cancelled = true
-				now := time.Now()
+				now := c.now()
 				j.Status.Phase = api.JobCancelled
 				j.Status.Node = ""
 				j.Status.FinishedAt = &now

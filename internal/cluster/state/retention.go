@@ -98,7 +98,15 @@ func (t *terminalIndex) remove(name string) {
 	delete(t.member, name)
 	i := terminalSlot(t.entries, name, ref.finished)
 	if i < len(t.entries) && t.entries[i].name == name {
-		t.entries = append(t.entries[:i], t.entries[i+1:]...)
+		if i == 0 {
+			// The archive sweep always removes oldest-first, so this is the
+			// hot case: slide the head forward instead of copying the whole
+			// tail down — O(1) instead of O(residents) per archived job.
+			t.entries[0] = terminalEntry{}
+			t.entries = t.entries[1:]
+		} else {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+		}
 	}
 }
 
@@ -132,6 +140,20 @@ func (t *terminalIndex) expired(now time.Time, p RetentionPolicy) []string {
 	return out
 }
 
+// ResultFor resolves a job's execution result (logs included) across
+// both tiers: the hot Results store first, then the retired copy inside
+// the job's archive entry. Every log/result read path goes through this,
+// so archiving a job never makes its logs unreachable.
+func (c *Cluster) ResultFor(name string) (api.Result, bool) {
+	if res, _, err := c.Results.Get(name); err == nil {
+		return res, true
+	}
+	if entry, ok := c.Archived.Get(name); ok && entry.Result != nil {
+		return *entry.Result, true
+	}
+	return api.Result{}, false
+}
+
 // TerminalCount reports how many terminal jobs remain resident in the hot
 // store — the figure retention keeps flat.
 func (c *Cluster) TerminalCount() int {
@@ -159,6 +181,9 @@ func (c *Cluster) ArchiveTerminal(now time.Time, policy RetentionPolicy) int {
 			continue // already gone or resurrected since the snapshot
 		}
 		entry := archive.Entry{Job: job, Events: c.EventsAbout(name), ArchivedAt: now}
+		if res, _, rerr := c.Results.Get(name); rerr == nil {
+			entry.Result = &res
+		}
 		if err := c.Archived.Put(entry); err != nil {
 			continue // concurrent sweep already took it
 		}
@@ -175,6 +200,14 @@ func (c *Cluster) ArchiveTerminal(now time.Time, policy RetentionPolicy) int {
 			continue
 		}
 		archived++
+		if entry.Result != nil {
+			// Retire the execution record (logs included) from the hot tier
+			// only once the archive holds its copy. A result that lands
+			// between the capture above and here (the cancelled-finish path
+			// writes it after the terminal phase) simply stays resident —
+			// ResultFor reads the hot tier first, so nothing is ever lost.
+			c.Results.Delete(name)
+		}
 		for _, e := range entry.Events {
 			c.Events.Delete(e.Name)
 		}

@@ -73,6 +73,60 @@ func TestArchiveTerminalByAge(t *testing.T) {
 	}
 }
 
+// TestArchiveTerminalRetiresResults: the sweep carries a job's execution
+// record (logs included) into its archive entry and evicts it from the
+// hot Results store, while ResultFor keeps the logs readable from either
+// tier.
+func TestArchiveTerminalRetiresResults(t *testing.T) {
+	c := New()
+	now := time.Now()
+	j := finishedJob("done", api.JobSucceeded, now.Add(-time.Hour))
+	if _, err := c.Jobs.Create(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Results.Create(api.Result{
+		ObjectMeta: api.ObjectMeta{Name: "done"},
+		JobName:    "done",
+		LogLines:   []string{"[qrio] executed", "[qrio] fidelity 0.97"},
+		Fidelity:   0.97,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A result-less terminal job archives cleanly too.
+	if _, err := c.Jobs.Create(finishedJob("no-result", api.JobFailed, now.Add(-time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := c.ResultFor("done"); !ok || got.Fidelity != 0.97 {
+		t.Fatalf("hot-tier ResultFor = %+v, %v", got, ok)
+	}
+	if n := c.ArchiveTerminal(now, RetentionPolicy{MaxTerminalAge: time.Minute}); n != 2 {
+		t.Fatalf("archived %d, want 2", n)
+	}
+	// The hot store no longer holds the archived job's logs…
+	if _, _, err := c.Results.Get("done"); err == nil {
+		t.Fatal("archived job's result still resident in the hot store")
+	}
+	// …but the archive entry does, and ResultFor falls through to it.
+	entry, ok := c.Archived.Get("done")
+	if !ok || entry.Result == nil {
+		t.Fatalf("archive entry missing retired result: %+v", entry)
+	}
+	if len(entry.Result.LogLines) != 2 || entry.Result.Fidelity != 0.97 {
+		t.Fatalf("retired result corrupted: %+v", entry.Result)
+	}
+	got, ok := c.ResultFor("done")
+	if !ok || got.Fidelity != 0.97 || len(got.LogLines) != 2 {
+		t.Fatalf("archived-tier ResultFor = %+v, %v", got, ok)
+	}
+	if noRes, ok := c.Archived.Get("no-result"); !ok || noRes.Result != nil {
+		t.Fatalf("result-less entry grew a result: %+v", noRes.Result)
+	}
+	if _, ok := c.ResultFor("no-result"); ok {
+		t.Fatal("ResultFor invented a result for a job that never had one")
+	}
+}
+
 // TestArchiveTerminalByCount keeps the newest MaxTerminalCount terminal
 // jobs resident and archives the oldest overflow.
 func TestArchiveTerminalByCount(t *testing.T) {

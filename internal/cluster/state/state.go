@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qrio/internal/clock"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/archive"
 	"qrio/internal/cluster/store"
@@ -60,6 +61,12 @@ type Cluster struct {
 	// visualizer) — the state layer is the one choke point jobs cannot
 	// route around. Set once at wiring time, before any traffic.
 	Quotas api.TenantQuotaPolicy
+
+	// Clock is the time source behind every timestamp the state layer
+	// mints (CreatedAt, FinishedAt, heartbeats, event times). Nil means
+	// the wall clock; the fleet simulator injects its virtual clock here.
+	// Set once at wiring time, before any traffic.
+	Clock clock.Clock
 
 	uid atomic.Int64
 	// backendCache avoids re-decoding node backend JSON on every access.
@@ -118,6 +125,9 @@ func New() *Cluster {
 func (c *Cluster) NextUID(prefix string) string {
 	return fmt.Sprintf("%s-%d", prefix, c.uid.Add(1))
 }
+
+// now reads the cluster's clock (wall clock when none is injected).
+func (c *Cluster) now() time.Time { return clock.Now(c.Clock) }
 
 // --- pending-job index --------------------------------------------------
 
@@ -246,6 +256,34 @@ func (p *pendingIndex) names() []string {
 	return out
 }
 
+// namesCapped snapshots at most perTenant queued names per tenant, in
+// the same global FIFO merge order names() produces for what it keeps.
+// Each sub-queue is FIFO, so the cap trims only the tail: under deep
+// overload a pass still sees the oldest work of every tenant, at
+// O(tenants × perTenant) cost instead of O(total backlog).
+func (p *pendingIndex) namesCapped(perTenant int) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	merged := make([]pendingEntry, 0, min(p.count, len(p.queues)*perTenant))
+	for _, q := range p.queues {
+		if len(q) > perTenant {
+			q = q[:perTenant]
+		}
+		merged = append(merged, q...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if !merged[i].created.Equal(merged[j].created) {
+			return merged[i].created.Before(merged[j].created)
+		}
+		return merged[i].name < merged[j].name
+	})
+	out := make([]string, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e.name)
+	}
+	return out
+}
+
 // PendingJobs returns copies of the pending jobs oldest-first (stable on
 // name) — the scheduler's work queue. Cost is proportional to the pending
 // backlog, independent of how many terminal jobs remain resident. The
@@ -253,7 +291,23 @@ func (p *pendingIndex) names() []string {
 // across a store lock), so a job racing to a new phase is simply filtered
 // by the per-job re-check.
 func (c *Cluster) PendingJobs() []api.QuantumJob {
-	names := c.pending.names()
+	return c.pendingByName(c.pending.names())
+}
+
+// PendingJobsCapped is PendingJobs bounded to the oldest perTenant jobs
+// of each tenant's sub-queue (perTenant <= 0 means no cap). The deep
+// copies a pass pays for — and the memory it pins — stop growing with
+// the backlog; jobs beyond the cap are simply picked up by later passes
+// once the head drains. The virtual-time simulator relies on this to
+// push million-job open-loop traces through real scheduling passes.
+func (c *Cluster) PendingJobsCapped(perTenant int) []api.QuantumJob {
+	if perTenant <= 0 {
+		return c.PendingJobs()
+	}
+	return c.pendingByName(c.pending.namesCapped(perTenant))
+}
+
+func (c *Cluster) pendingByName(names []string) []api.QuantumJob {
 	out := make([]api.QuantumJob, 0, len(names))
 	for _, name := range names {
 		j, _, err := c.Jobs.Get(name)
@@ -448,11 +502,12 @@ func (c *Cluster) AddNode(b *device.Backend) (api.Node, error) {
 	if err != nil {
 		return api.Node{}, err
 	}
+	now := c.now()
 	n := api.Node{
 		ObjectMeta: api.ObjectMeta{
 			Name:      b.Name,
 			UID:       c.NextUID("node"),
-			CreatedAt: time.Now(),
+			CreatedAt: now,
 			Labels:    NodeLabels(b),
 		},
 		Spec: api.NodeSpec{
@@ -460,7 +515,7 @@ func (c *Cluster) AddNode(b *device.Backend) (api.Node, error) {
 			CPUMillis:   b.CPUMillis,
 			MemoryMB:    b.MemoryMB,
 		},
-		Status: api.NodeStatus{Phase: api.NodeReady, LastHeartbeat: time.Now()},
+		Status: api.NodeStatus{Phase: api.NodeReady, LastHeartbeat: now},
 	}
 	if _, err := c.Nodes.Create(n); err != nil {
 		return api.Node{}, err
@@ -575,7 +630,7 @@ func (c *Cluster) SubmitJob(j api.QuantumJob) error {
 		return err
 	}
 	j.UID = c.NextUID("job")
-	j.CreatedAt = time.Now()
+	j.CreatedAt = c.now()
 	j.Status = api.JobStatus{Phase: api.JobPending}
 	created, err := c.Jobs.Create(j)
 	if err != nil {
@@ -699,13 +754,13 @@ func (c *Cluster) CancelJob(name string) (api.QuantumJob, error) {
 		releasedNode, running = "", false
 		switch j.Status.Phase {
 		case api.JobPending:
-			now := time.Now()
+			now := c.now()
 			j.Status.Phase = api.JobCancelled
 			j.Status.FinishedAt = &now
 			j.Status.Message = "cancelled while pending"
 		case api.JobScheduled:
 			releasedNode = j.Status.Node
-			now := time.Now()
+			now := c.now()
 			j.Status.Phase = api.JobCancelled
 			j.Status.Node = ""
 			j.Status.FinishedAt = &now
@@ -779,7 +834,7 @@ func (c *Cluster) ReleaseNode(nodeName, jobName string) {
 // RecordEvent appends an observability event. The timestamp is taken once
 // so CreatedAt and Time can never disagree.
 func (c *Cluster) RecordEvent(kind, about, reason, message string) {
-	now := time.Now()
+	now := c.now()
 	c.Events.Create(api.Event{
 		ObjectMeta: api.ObjectMeta{Name: c.NextUID("event"), CreatedAt: now},
 		Kind:       kind,

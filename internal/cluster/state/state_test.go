@@ -494,6 +494,38 @@ func TestPendingJobsGlobalFIFOAcrossTenants(t *testing.T) {
 	}
 }
 
+// TestPendingJobsCappedPerTenant: the capped snapshot keeps each
+// tenant's oldest jobs — never a later job before an earlier one — and
+// merges what it keeps in the same global FIFO order PendingJobs uses.
+func TestPendingJobsCappedPerTenant(t *testing.T) {
+	c := New()
+	for i := 0; i < 5; i++ {
+		for _, tenant := range []string{"alice", "bob"} {
+			name := fmt.Sprintf("%s-%d", tenant, i)
+			if err := c.SubmitJob(tenantFidelityJob(name, tenant, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := c.PendingJobsCapped(2)
+	if len(got) != 4 {
+		t.Fatalf("capped snapshot has %d jobs, want 4: %+v", len(got), got)
+	}
+	want := []string{"alice-0", "bob-0", "alice-1", "bob-1"}
+	for i, j := range got {
+		if j.Name != want[i] {
+			t.Fatalf("capped FIFO broken at %d: got %s, want %s", i, j.Name, want[i])
+		}
+	}
+	// No cap (or a cap above the backlog) must match PendingJobs exactly.
+	if full := c.PendingJobsCapped(0); len(full) != 10 {
+		t.Fatalf("uncapped snapshot has %d jobs, want 10", len(full))
+	}
+	if full := c.PendingJobsCapped(100); len(full) != 10 {
+		t.Fatalf("over-capped snapshot has %d jobs, want 10", len(full))
+	}
+}
+
 // TestSubmitJobEnforcesQuota pins the choke-point property: the quota
 // policy is enforced by SubmitJob itself, so submission surfaces that
 // bypass the gateway (master REST, raw cluster API, visualizer) cannot

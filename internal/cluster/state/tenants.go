@@ -3,7 +3,6 @@ package state
 import (
 	"errors"
 	"sync"
-	"time"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/store"
@@ -82,7 +81,7 @@ func (c *Cluster) SetTenantConfig(cfg api.TenantConfig) (api.TenantConfig, error
 		}
 		fresh := cfg.DeepCopy()
 		fresh.UID = c.NextUID("tenant")
-		fresh.CreatedAt = time.Now()
+		fresh.CreatedAt = c.now()
 		fresh.ResourceVersion = 0
 		if _, err := c.TenantConfigs.Create(fresh); err == nil {
 			return fresh, nil

@@ -407,9 +407,9 @@ func (q *QRIO) SubmitAndWait(req master.SubmitRequest, timeout time.Duration) (a
 	if err != nil {
 		return job, api.Result{}, err
 	}
-	res, _, err := q.State.Results.Get(req.JobName)
-	if err != nil {
-		return job, api.Result{}, fmt.Errorf("core: job %s finished without logs: %w", req.JobName, err)
+	res, ok := q.State.ResultFor(req.JobName)
+	if !ok {
+		return job, api.Result{}, fmt.Errorf("core: job %s finished without logs", req.JobName)
 	}
 	return job, res, nil
 }

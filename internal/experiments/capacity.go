@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qrio/internal/sim"
+	"qrio/internal/simload"
+)
+
+// CapacityRow is one fleet scale of the capacity-planning sweep: the same
+// seeded open-loop workload offered to progressively larger fleets, each
+// run through the real scheduler/state path inside the virtual-time
+// simulator. Latency collapsing as nodes are added (and the undersized
+// fleets failing to drain) is the capacity curve operators plan against.
+type CapacityRow struct {
+	Nodes            int
+	OfferedPerSec    float64
+	Submitted        int
+	BoundPerSec      float64
+	P50, P99, Max    time.Duration
+	Drained          bool
+	TerminalResident int
+}
+
+// CapacityScales are the fleet sizes the sweep visits. The workload is
+// sized so the smallest fleet saturates and the largest is comfortable.
+func CapacityScales() []int { return []int{40, 80, 160} }
+
+// Capacity runs the fleet-size sweep. Offered load is fixed at 150 jobs/s
+// across two tenant cohorts for a 60-virtual-second horizon; every run is
+// seeded from cfg.Seed, so the whole table is reproducible byte for byte.
+func Capacity(cfg Config) ([]CapacityRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []CapacityRow
+	for _, nodes := range CapacityScales() {
+		c := sim.Config{
+			Fleet: []sim.FleetClass{
+				{Name: "small", Count: nodes * 4 / 5, Qubits: 5, Slots: 2, TwoQErr: 0.008},
+				{Name: "big", Count: nodes / 5, Qubits: 12, Slots: 2, TwoQErr: 0.015},
+			},
+			Profile: simload.Profile{
+				Seed:     cfg.Seed,
+				Duration: simload.Duration(60 * time.Second),
+				Cohorts: []simload.Cohort{
+					{
+						Tenant: "alice", Rate: 100,
+						Mix:     []simload.Share{{Family: "ghz", Weight: 3}, {Family: "qft", Weight: 1}},
+						Service: simload.ServiceModel{Mean: simload.Duration(500 * time.Millisecond), CV: 1},
+					},
+					{
+						Tenant: "bob", Rate: 50,
+						Mix:     []simload.Share{{Family: "bv", Weight: 1}},
+						Service: simload.ServiceModel{Mean: simload.Duration(400 * time.Millisecond), CV: 0.8},
+					},
+				},
+			},
+			PassEvery:   simload.Duration(20 * time.Millisecond),
+			Concurrency: 128,
+			DrainGrace:  simload.Duration(30 * time.Second),
+		}
+		eng, err := sim.New(c, nil)
+		if err != nil {
+			return nil, fmt.Errorf("capacity @ %d nodes: %w", nodes, err)
+		}
+		rep, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("capacity @ %d nodes: %w", nodes, err)
+		}
+		rows = append(rows, CapacityRow{
+			Nodes:            nodes,
+			OfferedPerSec:    150,
+			Submitted:        rep.Submitted,
+			BoundPerSec:      rep.BoundPerSecond,
+			P50:              rep.Latency.P50,
+			P99:              rep.Latency.P99,
+			Max:              rep.Latency.Max,
+			Drained:          rep.Drained,
+			TerminalResident: rep.TerminalResident,
+		})
+	}
+	return rows, nil
+}
+
+// RenderCapacity formats the sweep as the text table qrio-experiments
+// prints.
+func RenderCapacity(rows []CapacityRow) string {
+	var b strings.Builder
+	b.WriteString("Capacity sweep — fixed 150 jobs/s open-loop load vs fleet size (virtual-time sim)\n")
+	b.WriteString("  nodes  offered/s  bound/s  p50          p99          max          drained\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %5d  %9.0f  %7.2f  %-11s  %-11s  %-11s  %t\n",
+			r.Nodes, r.OfferedPerSec, r.BoundPerSec,
+			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.Max.Round(time.Microsecond), r.Drained)
+	}
+	return b.String()
+}

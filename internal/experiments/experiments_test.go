@@ -195,3 +195,35 @@ func TestRenderings(t *testing.T) {
 		t.Error("Fig10 rendering incomplete")
 	}
 }
+
+// TestCapacitySweep pins the capacity experiment's physics: with offered
+// load fixed, adding nodes must not worsen tail latency, the largest
+// fleet must drain comfortably, and the sweep must be deterministic per
+// seed.
+func TestCapacitySweep(t *testing.T) {
+	cfg := experiments.Config{Seed: 9}
+	rows, err := experiments.Capacity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(experiments.CapacityScales()) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(experiments.CapacityScales()))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].P99 > rows[i-1].P99 {
+			t.Fatalf("p99 worsened with more nodes: %v @ %d vs %v @ %d",
+				rows[i].P99, rows[i].Nodes, rows[i-1].P99, rows[i-1].Nodes)
+		}
+	}
+	last := rows[len(rows)-1]
+	if !last.Drained {
+		t.Fatalf("largest fleet (%d nodes) did not drain", last.Nodes)
+	}
+	again, err := experiments.Capacity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if experiments.RenderCapacity(rows) != experiments.RenderCapacity(again) {
+		t.Fatal("capacity sweep not deterministic for the same seed")
+	}
+}

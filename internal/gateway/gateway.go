@@ -391,8 +391,8 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobLogs(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	res, _, err := s.Core.State.Results.Get(name)
-	if err != nil {
+	res, ok := s.Core.State.ResultFor(name)
+	if !ok {
 		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
 			fmt.Errorf("no logs for job %q (logs appear once execution finishes)", name))
 		return

@@ -211,8 +211,8 @@ CMD ["qrio-run", "/job/runner.json"]
 // Logs returns the execution log for a job once it has finished (§3.2:
 // "logs are only available once the job has finished execution").
 func (s *Server) Logs(jobName string) (api.Result, error) {
-	res, _, err := s.State.Results.Get(jobName)
-	if err != nil {
+	res, ok := s.State.ResultFor(jobName)
+	if !ok {
 		return api.Result{}, fmt.Errorf("master: no logs for job %q yet", jobName)
 	}
 	return res, nil

@@ -39,18 +39,30 @@ type fleetCache struct {
 	events   <-chan store.WatchEvent[api.Node]
 	cancel   func()
 	lastList time.Time
+	// epoch advances whenever fleet MEMBERSHIP changes (a node appears or
+	// disappears) — not on status churn. The rank-reuse dispatcher keys
+	// its cross-pass ranking cache on it: static filters/scorers produce
+	// the same ranking until the node set itself changes.
+	epoch uint64
+	// sortedNames is the name-ordered member list, rebuilt lazily when
+	// sortedEpoch falls behind epoch — so steady-state snapshots fill the
+	// output by map lookup instead of re-sorting the whole fleet on every
+	// scheduler pass.
+	sortedNames []string
+	sortedEpoch uint64
 }
 
-// snapshot returns the current fleet view, name-ordered. The returned
-// nodes are shared read-only copies: callers must not mutate them (the
-// filter/score pipeline never does).
-func (f *fleetCache) snapshot(src *store.Store[api.Node], resync time.Duration) []api.Node {
+// snapshot returns the current fleet view, name-ordered, plus the
+// membership epoch it reflects. The returned nodes are shared read-only
+// copies: callers must not mutate them (the filter/score pipeline never
+// does). now is the caller's clock reading — virtual time under the
+// simulator — used only for the periodic re-List cadence.
+func (f *fleetCache) snapshot(src *store.Store[api.Node], resync time.Duration, now time.Time) ([]api.Node, uint64) {
 	if resync <= 0 {
 		resync = defaultFleetResync
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	now := time.Now()
 	if f.events == nil || f.src != src {
 		if f.cancel != nil {
 			f.cancel()
@@ -69,12 +81,19 @@ func (f *fleetCache) snapshot(src *store.Store[api.Node], resync time.Duration) 
 			f.relist(now)
 		}
 	}
-	out := make([]api.Node, 0, len(f.nodes))
-	for _, n := range f.nodes {
-		out = append(out, n)
+	if f.sortedNames == nil || f.sortedEpoch != f.epoch {
+		f.sortedNames = make([]string, 0, len(f.nodes))
+		for name := range f.nodes {
+			f.sortedNames = append(f.sortedNames, name)
+		}
+		sort.Strings(f.sortedNames)
+		f.sortedEpoch = f.epoch
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	out := make([]api.Node, len(f.sortedNames))
+	for i, name := range f.sortedNames {
+		out[i] = f.nodes[name]
+	}
+	return out, f.epoch
 }
 
 // drain applies every buffered watch event. Per-key versions are monotone
@@ -101,9 +120,15 @@ func (f *fleetCache) apply(ev store.WatchEvent[api.Node]) {
 		return
 	}
 	if ev.Type == store.Deleted {
+		if _, ok := f.versions[name]; ok {
+			f.epoch++
+		}
 		delete(f.nodes, name)
 		delete(f.versions, name)
 		return
+	}
+	if _, ok := f.versions[name]; !ok {
+		f.epoch++
 	}
 	f.nodes[name] = ev.Object
 	f.versions[name] = ev.Version
@@ -116,6 +141,9 @@ func (f *fleetCache) relist(now time.Time) {
 	nodes := make(map[string]api.Node, len(f.nodes))
 	versions := make(map[string]int64, len(f.versions))
 	f.src.Range(func(n api.Node, v int64) bool {
+		if _, known := f.versions[n.Name]; !known {
+			f.epoch++
+		}
 		if cur, ok := f.versions[n.Name]; ok && cur >= v {
 			nodes[n.Name] = f.nodes[n.Name]
 			versions[n.Name] = cur
@@ -125,6 +153,10 @@ func (f *fleetCache) relist(now time.Time) {
 		versions[n.Name] = v
 		return true
 	})
+	if len(versions) != len(f.versions) {
+		// At least one previously-known node vanished from the store.
+		f.epoch++
+	}
 	f.nodes, f.versions = nodes, versions
 	f.lastList = now
 }
@@ -143,5 +175,6 @@ func (f *fleetCache) stop() {
 	f.versions = nil
 	f.events = nil
 	f.cancel = nil
+	f.sortedNames = nil
 	f.lastList = time.Time{}
 }

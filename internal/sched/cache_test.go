@@ -9,6 +9,13 @@ import (
 	"qrio/internal/cluster/state"
 )
 
+// fleetNodesOf drops the membership-epoch return the tests here don't
+// assert on (epoch semantics get their own tests).
+func fleetNodesOf(s *Scheduler) []api.Node {
+	nodes, _ := s.fleetNodes()
+	return nodes
+}
+
 // TestFleetCacheTracksStoreViaEvents: with the relist fallback effectively
 // disabled, the cache must still observe node additions and status changes
 // purely from drained watch events.
@@ -19,11 +26,11 @@ func TestFleetCacheTracksStoreViaEvents(t *testing.T) {
 	s := New(st, fw)
 	s.FleetResync = time.Hour // events or bust
 
-	if got := s.fleetNodes(); len(got) != 1 || got[0].Name != "a" {
+	if got := fleetNodesOf(s); len(got) != 1 || got[0].Name != "a" {
 		t.Fatalf("initial snapshot = %v", got)
 	}
 	node(t, st, "b", 5, 0.1) // arrives only as a watch event now
-	if got := s.fleetNodes(); len(got) != 2 || got[1].Name != "b" {
+	if got := fleetNodesOf(s); len(got) != 2 || got[1].Name != "b" {
 		t.Fatalf("snapshot after AddNode = %+v (watch event not applied)", got)
 	}
 	// A bind's node-status event must flow in the same way: schedule onto
@@ -35,7 +42,7 @@ func TestFleetCacheTracksStoreViaEvents(t *testing.T) {
 		t.Fatalf("bound %d", bound)
 	}
 	var busy int
-	for _, n := range s.fleetNodes() {
+	for _, n := range fleetNodesOf(s) {
 		busy += len(n.Status.RunningJobs)
 	}
 	if busy != 1 {
@@ -52,7 +59,7 @@ func TestFleetCacheRelistHealsDroppedEvents(t *testing.T) {
 	node(t, st, "n", 5, 0.1)
 	s := New(st, NewFramework(nil, DefaultFilters()...))
 	s.FleetResync = time.Hour
-	s.fleetNodes() // subscribe
+	fleetNodesOf(s) // subscribe
 
 	const churn = fleetWatchBuffer + 100
 	for i := 1; i <= churn; i++ {
@@ -63,7 +70,7 @@ func TestFleetCacheRelistHealsDroppedEvents(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got := s.fleetNodes()
+	got := fleetNodesOf(s)
 	if len(got) != 1 {
 		t.Fatalf("snapshot = %v", got)
 	}
@@ -71,7 +78,7 @@ func TestFleetCacheRelistHealsDroppedEvents(t *testing.T) {
 		t.Fatalf("cache saw the final update despite %d dropped events — drop simulation broken", churn-fleetWatchBuffer)
 	}
 	s.FleetResync = time.Nanosecond // force the level-triggered re-List
-	got = s.fleetNodes()
+	got = fleetNodesOf(s)
 	if got[0].Spec.MaxContainers != churn {
 		t.Fatalf("re-List left MaxContainers=%d, want %d", got[0].Spec.MaxContainers, churn)
 	}
@@ -111,7 +118,7 @@ func TestRunStopsFleetWatch(t *testing.T) {
 	st := state.New()
 	node(t, st, "n", 5, 0.1)
 	s := New(st, NewFramework(nil, DefaultFilters()...))
-	s.fleetNodes()
+	fleetNodesOf(s)
 	s.fleet.mu.Lock()
 	subscribed := s.fleet.events != nil
 	s.fleet.mu.Unlock()
@@ -125,7 +132,7 @@ func TestRunStopsFleetWatch(t *testing.T) {
 	if !stopped {
 		t.Fatal("stop left the cache live")
 	}
-	if got := s.fleetNodes(); len(got) != 1 {
+	if got := fleetNodesOf(s); len(got) != 1 {
 		t.Fatalf("resubscribe snapshot = %v", got)
 	}
 }
@@ -141,12 +148,12 @@ func TestFleetCacheResetsOnStateSwap(t *testing.T) {
 	}
 	s := New(stA, NewFramework(nil, DefaultFilters()...))
 	s.FleetResync = time.Hour
-	s.fleetNodes()
+	fleetNodesOf(s)
 
 	stB := state.New()
 	node(t, stB, "shared", 5, 0.1)
 	s.State = stB
-	if got := s.fleetNodes(); len(got) != 1 || got[0].Name != "shared" {
+	if got := fleetNodesOf(s); len(got) != 1 || got[0].Name != "shared" {
 		t.Fatalf("post-swap snapshot = %v", got)
 	}
 	// B's low-version watch events must not be suppressed by A's versions.
@@ -156,7 +163,7 @@ func TestFleetCacheResetsOnStateSwap(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.fleetNodes(); got[0].Spec.MaxContainers != 7 {
+	if got := fleetNodesOf(s); got[0].Spec.MaxContainers != 7 {
 		t.Fatalf("post-swap event suppressed: MaxContainers = %d, want 7", got[0].Spec.MaxContainers)
 	}
 }

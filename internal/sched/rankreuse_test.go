@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/cluster/state"
+)
+
+// reuseFixture builds one cluster + batched scheduler pair: a small
+// heterogeneous fleet and a backlog mixing three spec classes (small,
+// large, infeasible) across two tenants.
+func reuseFixture(t *testing.T, mode RankReuseMode) (*Scheduler, *state.Cluster) {
+	t.Helper()
+	st := state.New()
+	node(t, st, "small-1", 3, 0.10)
+	node(t, st, "small-2", 3, 0.20)
+	node(t, st, "big-1", 8, 0.05)
+	scorer := MetaScore{Scorer: mapScorer{"small-1": 1, "small-2": 2, "big-1": 3}}
+	s := New(st, NewFramework(scorer, DefaultFilters()...))
+	s.Concurrency = 8
+	s.RankReuse = mode
+	s.FleetResync = time.Hour
+	for i := 0; i < 12; i++ {
+		j := job(fmt.Sprintf("small-%02d", i), 2, 0)
+		if i%2 == 1 {
+			j.Spec.Tenant = "beta"
+		}
+		if err := st.SubmitJob(j); err != nil {
+			t.Fatal(err)
+		}
+		big := job(fmt.Sprintf("big-%02d", i), 5, 0)
+		if err := st.SubmitJob(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.SubmitJob(job("impossible", 99, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+func assignments(t *testing.T, st *state.Cluster) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, j := range st.Jobs.List() {
+		if j.Status.Phase == api.JobScheduled {
+			out[j.Name] = j.Status.Node
+		}
+	}
+	return out
+}
+
+// TestRankReuseMatchesRankEachJob: for spec-reading plugins the shared
+// ranking is a pure optimisation — pass-level reuse must bind exactly
+// the jobs, to exactly the nodes, that ranking every job would.
+func TestRankReuseMatchesRankEachJob(t *testing.T) {
+	base, baseSt := reuseFixture(t, RankEachJob)
+	reuse, reuseSt := reuseFixture(t, RankReusePass)
+	defer base.Stop()
+	defer reuse.Stop()
+	for i := 0; i < 10; i++ {
+		if base.SchedulePass() != reuse.SchedulePass() {
+			t.Fatalf("pass %d bound different counts", i)
+		}
+	}
+	want, got := assignments(t, baseSt), assignments(t, reuseSt)
+	if len(want) == 0 {
+		t.Fatal("fixture bound nothing — test is vacuous")
+	}
+	if len(want) != len(got) {
+		t.Fatalf("bound %d jobs with reuse, want %d", len(got), len(want))
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Fatalf("job %s bound to %s with reuse, want %s", name, got[name], n)
+		}
+	}
+	if _, ok := got["impossible"]; ok {
+		t.Fatal("infeasible job was bound")
+	}
+}
+
+// TestRankReuseFleetSeesMembershipChanges: the cross-pass ranking cache
+// must be dropped when a node joins, or jobs keep ranking against the
+// old fleet and never discover the newcomer.
+func TestRankReuseFleetSeesMembershipChanges(t *testing.T) {
+	st := state.New()
+	node(t, st, "old", 3, 0.10)
+	// Static chain only: label-based filters plus a label-derived score —
+	// the contract RankReuseFleet documents.
+	s := New(st, NewFramework(MetaScore{Scorer: mapScorer{"old": 1, "new": 2}}, QubitCount{}, Characteristics{}))
+	s.Concurrency = 4
+	s.RankReuse = RankReuseFleet
+	s.FleetResync = time.Hour
+	defer s.Stop()
+
+	if err := st.SubmitJob(job("warm", 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.SchedulePass() != 1 {
+		t.Fatal("warm-up job not bound")
+	}
+	// A bigger node joins; a job only it can host must be schedulable even
+	// though its spec class is new and the fleet cache was already warm.
+	node(t, st, "new", 8, 0.05)
+	if _, _, err := st.Nodes.Update("new", func(n api.Node) (api.Node, error) {
+		n.Spec.MaxContainers = 4 // room for both the redirect and the warm class
+		return n, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SubmitJob(job("needs-new", 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.SchedulePass() != 1 {
+		t.Fatal("job for the new node not bound")
+	}
+	j, _, _ := st.Jobs.Get("needs-new")
+	if j.Status.Node != "new" {
+		t.Fatalf("bound to %s, want new", j.Status.Node)
+	}
+	// And the warm class must re-rank too: retire the old node, then a
+	// same-spec job has to land on the remaining one.
+	if err := st.Nodes.Delete("old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SubmitJob(job("warm-2", 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.SchedulePass() != 1 {
+		t.Fatal("warm-class job not bound after membership change")
+	}
+	j, _, _ = st.Jobs.Get("warm-2")
+	if j.Status.Node != "new" {
+		t.Fatalf("stale fleet ranking survived a node delete: bound to %s", j.Status.Node)
+	}
+}
+
+// TestSpecFingerprintSeparatesClasses: distinct specs must not collide on
+// the obvious axes, and identical specs must agree.
+func TestSpecFingerprintSeparatesClasses(t *testing.T) {
+	a := job("a", 2, 0)
+	b := job("b", 2, 0)
+	if specFingerprint(&a.Spec) != specFingerprint(&b.Spec) {
+		t.Fatal("identical specs produced different fingerprints")
+	}
+	seen := map[uint64]string{}
+	variants := map[string]api.QuantumJob{
+		"base":   job("v", 2, 0),
+		"qubits": job("v", 3, 0),
+		"maxerr": job("v", 2, 0.5),
+	}
+	tenant := job("v", 2, 0)
+	tenant.Spec.Tenant = "beta"
+	variants["tenant"] = tenant
+	shots := job("v", 2, 0)
+	shots.Spec.Shots = 4096
+	variants["shots"] = shots
+	qasm := job("v", 2, 0)
+	qasm.Spec.QASM += "\nh q[1];"
+	variants["qasm"] = qasm
+	for label, v := range variants {
+		fp := specFingerprint(&v.Spec)
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("variants %q and %q collide on fingerprint %016x", prev, label, fp)
+		}
+		seen[fp] = label
+	}
+}

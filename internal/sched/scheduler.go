@@ -4,12 +4,41 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
 	"runtime"
 	"time"
 
+	"qrio/internal/clock"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
 	"qrio/internal/par"
+)
+
+// RankReuseMode selects how batched dispatch may reuse framework
+// rankings across jobs instead of ranking every job independently.
+type RankReuseMode int
+
+const (
+	// RankEachJob ranks every job against the fleet independently — the
+	// original batched-dispatch behaviour, correct for arbitrary plugins.
+	RankEachJob RankReuseMode = iota
+	// RankReusePass shares one ranking among all jobs with an identical
+	// spec within a single pass. Sound whenever filter/score plugins read
+	// only the job's Spec (not its Name/UID/timestamps) — true for every
+	// in-tree plugin.
+	RankReusePass
+	// RankReuseFleet additionally keeps those per-spec rankings across
+	// passes until the fleet MEMBERSHIP changes (nodes added/removed).
+	// That further requires filters and scorers that read only static
+	// node identity — labels, spec — never load-dependent Status fields
+	// (NodeReady/ResourceFit are load-dependent and must not be in the
+	// chain; the dispatcher's own headroom bookkeeping plus BindJob's
+	// authoritative capacity check already cover what they filter). The
+	// virtual-time fleet simulator runs in this mode to schedule millions
+	// of jobs against thousands of nodes in seconds.
+	RankReuseFleet
 )
 
 // Scheduler drives the cluster's scheduling loop: it watches for pending
@@ -52,6 +81,19 @@ type Scheduler struct {
 	// was idle still cannot exceed the cap once bound. The zero policy
 	// disables the check (byte-identical pre-tenancy behaviour).
 	TenantQuotas api.TenantQuotaPolicy
+	// Clock is the scheduler's time source — the fleet cache's resync
+	// cadence reads it, so the virtual-time simulator can drive relists
+	// on virtual time. Nil means the wall clock.
+	Clock clock.Clock
+	// RankReuse lets batched dispatch share framework rankings among
+	// jobs with identical specs (see RankReuseMode). The default,
+	// RankEachJob, keeps the original rank-every-job behaviour.
+	RankReuse RankReuseMode
+	// MaxPendingPerTenant bounds how much of each tenant's queue a pass
+	// snapshots (0 = unlimited). Within-tenant FIFO order is preserved —
+	// the cap trims only the tail — so a pass under deep overload costs
+	// O(tenants × cap) instead of O(total backlog).
+	MaxPendingPerTenant int
 
 	// wrrCredit is the smooth weighted round-robin accumulator behind
 	// fairOrder, advanced one round per actual bind (see fair.go) and
@@ -66,6 +108,12 @@ type Scheduler struct {
 	// fleet is the watch-fed node snapshot cache: passes rank against this
 	// cached view instead of deep-copying the whole fleet each pass.
 	fleet fleetCache
+
+	// fleetRank is RankReuseFleet's cross-pass spec-class → ranking cache,
+	// valid for the fleet membership epoch it was built against. Accessed
+	// only from SchedulePass (not safe for concurrent use, like wrrCredit).
+	fleetRank      map[uint64][]NodeScore
+	fleetRankEpoch uint64
 }
 
 // New assembles a scheduler over cluster state.
@@ -106,7 +154,7 @@ func (s *Scheduler) SchedulePass() int {
 	}
 	// The incremental pending index makes this O(pending work): terminal
 	// jobs resident in the store are never touched, let alone deep-copied.
-	pending := s.capActiveBudget(s.State.PendingJobs())
+	pending := s.capActiveBudget(s.State.PendingJobsCapped(s.MaxPendingPerTenant))
 	if len(pending) == 0 {
 		return 0
 	}
@@ -154,13 +202,26 @@ func (s *Scheduler) batchedPass(pending []api.QuantumJob, limit int) int {
 	if s.Framework == nil {
 		return 0
 	}
-	nodes := s.fleetNodes()
+	nodes, epoch := s.fleetNodes()
 	free := make(map[string]*headroom, len(nodes))
 	for _, n := range nodes {
 		free[n.Name] = &headroom{
 			slots: n.ContainerSlots() - len(n.Status.RunningJobs),
 			cpu:   n.Spec.CPUMillis - n.Status.CPUMillisInUse,
 			mem:   n.Spec.MemoryMB - n.Status.MemoryMBInUse,
+		}
+	}
+	var pr *passRank
+	if s.RankReuse != RankEachJob {
+		pr = &passRank{cursors: map[uint64]int{}, spent: map[uint64]bool{}}
+		if s.RankReuse == RankReuseFleet {
+			if s.fleetRank == nil || s.fleetRankEpoch != epoch {
+				s.fleetRank = map[uint64][]NodeScore{}
+				s.fleetRankEpoch = epoch
+			}
+			pr.rankings = s.fleetRank
+		} else {
+			pr.rankings = map[uint64][]NodeScore{}
 		}
 	}
 	next := s.fairOrderer(pending)
@@ -170,7 +231,11 @@ func (s *Scheduler) batchedPass(pending []api.QuantumJob, limit int) int {
 		if len(chunk) == 0 {
 			break
 		}
-		bound += s.dispatchChunk(chunk, limit-bound, nodes, free)
+		if pr != nil {
+			bound += s.dispatchChunkShared(chunk, limit-bound, nodes, free, pr)
+		} else {
+			bound += s.dispatchChunk(chunk, limit-bound, nodes, free)
+		}
 	}
 	return bound
 }
@@ -236,6 +301,159 @@ func (s *Scheduler) dispatchChunk(chunk []api.QuantumJob, budget int, nodes []ap
 	return bound
 }
 
+// passRank is one pass's shared-ranking state under a RankReuse mode:
+// rankings maps each spec-class fingerprint to its ranked candidates
+// (pass-local, or the cross-pass fleetRank cache under RankReuseFleet);
+// cursors and spent are always pass-local because they track pass-local
+// headroom consumption.
+type passRank struct {
+	rankings map[uint64][]NodeScore
+	// cursors[fp] is the first candidate not yet proven dead this pass.
+	// Jobs sharing a fingerprint share demands, and pass-local headroom
+	// only shrinks, so a candidate that fails one job of the class fails
+	// every later one — the cursor never has to back up.
+	cursors map[uint64]int
+	// spent marks classes whose candidates were exhausted this pass; the
+	// dispatcher skips their remaining jobs and coalesces the
+	// Unschedulable event to one per class per pass.
+	spent map[uint64]bool
+}
+
+// specFingerprint hashes every JobSpec field into the spec-class key.
+// Two jobs share a fingerprint only if their specs are byte-identical,
+// so sharing a ranking is exactly as correct as ranking each job
+// separately — for plugins that read only the spec.
+func specFingerprint(s *api.JobSpec) uint64 {
+	h := fnv.New64a()
+	str := func(v string) { io.WriteString(h, v); h.Write([]byte{0xff}) }
+	num := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	str(s.Tenant)
+	str(s.Image)
+	str(s.QASM)
+	str(string(s.Strategy))
+	str(s.TopologyQASM)
+	num(uint64(s.Shots))
+	num(uint64(s.Resources.CPUMillis))
+	num(uint64(s.Resources.MemoryMB))
+	num(uint64(s.Requirements.MinQubits))
+	num(math.Float64bits(s.Requirements.MaxAvg2QError))
+	num(math.Float64bits(s.Requirements.MaxReadoutErr))
+	num(math.Float64bits(s.Requirements.MinT1us))
+	num(math.Float64bits(s.Requirements.MinT2us))
+	num(math.Float64bits(s.TargetFidelity))
+	return h.Sum64()
+}
+
+// dispatchChunkShared is dispatchChunk under a RankReuse mode: it ranks
+// only the distinct spec classes the chunk introduces (in parallel),
+// then binds sequentially, walking each class's ranking behind a shared
+// cursor. A chunk of a thousand identical jobs costs one Rank call.
+func (s *Scheduler) dispatchChunkShared(chunk []api.QuantumJob, budget int, nodes []api.Node, free map[string]*headroom, pr *passRank) int {
+	fps := make([]uint64, len(chunk))
+	type classRep struct {
+		fp  uint64
+		job api.QuantumJob
+	}
+	var missing []classRep
+	have := map[uint64]bool{}
+	for i := range chunk {
+		fp := specFingerprint(&chunk[i].Spec)
+		fps[i] = fp
+		if _, ok := pr.rankings[fp]; ok || have[fp] {
+			continue
+		}
+		have[fp] = true
+		missing = append(missing, classRep{fp, chunk[i]})
+	}
+	if len(missing) > 0 {
+		ranked := make([][]NodeScore, len(missing))
+		errs := make([]error, len(missing))
+		workers := s.Workers
+		if workers <= 0 {
+			workers = len(missing)
+			if max := runtime.GOMAXPROCS(0); workers > max {
+				workers = max
+			}
+		}
+		par.ForEach(len(missing), workers, func(i int) {
+			ranked[i], errs[i] = s.Framework.Rank(missing[i].job, nodes)
+		})
+		for i, m := range missing {
+			if errs[i] != nil {
+				// The whole class is unrankable (static chain ⇒ the error is
+				// a property of the spec, not the job). Record it once, for
+				// the class's first job, and park an empty ranking so
+				// same-class jobs — this pass or, under RankReuseFleet, until
+				// the fleet changes — skip straight past.
+				pr.rankings[m.fp] = []NodeScore{}
+				pr.spent[m.fp] = true
+				s.recordSchedulingFailure(m.job.Name, errs[i])
+				continue
+			}
+			pr.rankings[m.fp] = ranked[i]
+		}
+	}
+
+	bound := 0
+	for i := range chunk {
+		if bound >= budget {
+			break
+		}
+		job := chunk[i]
+		fp := fps[i]
+		if pr.spent[fp] {
+			continue
+		}
+		ranking := pr.rankings[fp]
+		cur := pr.cursors[fp]
+		placed := false
+		for cur < len(ranking) {
+			cand := ranking[cur]
+			h := free[cand.Node]
+			if h == nil || h.slots <= 0 ||
+				h.cpu < job.Spec.Resources.CPUMillis || h.mem < job.Spec.Resources.MemoryMB {
+				// Dead for the whole class this pass: same demands, and
+				// headroom only shrinks.
+				cur++
+				continue
+			}
+			if err := s.State.BindJob(job.Name, cand.Node, cand.Score); err != nil {
+				if j, _, jerr := s.State.Jobs.Get(job.Name); jerr != nil || j.Status.Phase != api.JobPending {
+					// The job itself moved on; the candidate is still live
+					// for the rest of the class.
+					placed = true
+					break
+				}
+				// Node-side race: stale headroom — dead for the pass.
+				h.slots = 0
+				cur++
+				continue
+			}
+			h.slots--
+			h.cpu -= job.Spec.Resources.CPUMillis
+			h.mem -= job.Spec.Resources.MemoryMB
+			placed = true
+			bound++
+			s.chargeBind(&job)
+			break
+		}
+		pr.cursors[fp] = cur
+		if !placed && cur >= len(ranking) {
+			pr.spent[fp] = true
+			s.State.RecordEvent("Job", job.Name, "Unschedulable",
+				fmt.Sprintf("sched: job %s and its spec class exhausted %d ranked nodes this pass",
+					job.Name, len(ranking)))
+		}
+	}
+	return bound
+}
+
 // recordSchedulingFailure emits the event the serial path always recorded.
 func (s *Scheduler) recordSchedulingFailure(jobName string, err error) {
 	var unsched *UnschedulableError
@@ -248,10 +466,12 @@ func (s *Scheduler) recordSchedulingFailure(jobName string, err error) {
 }
 
 // fleetNodes returns the cached fleet view (watch-fed, with a periodic
-// re-List fallback) the pass ranks against.
-func (s *Scheduler) fleetNodes() []api.Node {
-	return s.fleet.snapshot(s.State.Nodes, s.FleetResync)
+// re-List fallback) the pass ranks against, plus its membership epoch.
+func (s *Scheduler) fleetNodes() ([]api.Node, uint64) {
+	return s.fleet.snapshot(s.State.Nodes, s.FleetResync, s.now())
 }
+
+func (s *Scheduler) now() time.Time { return clock.Now(s.Clock) }
 
 // Stop releases the fleet cache's store watcher. Run does this on exit;
 // callers driving SchedulePass/ScheduleOne directly (tests, benchmarks,
@@ -267,7 +487,8 @@ func (s *Scheduler) ScheduleOne(job api.QuantumJob) error {
 	if s.Framework == nil {
 		return fmt.Errorf("sched: scheduler has no framework")
 	}
-	choice, err := s.Framework.Select(job, s.fleetNodes())
+	nodes, _ := s.fleetNodes()
+	choice, err := s.Framework.Select(job, nodes)
 	if err != nil {
 		return err
 	}

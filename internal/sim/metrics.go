@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Metrics accumulates raw observations during a run. Everything here is
+// derived from virtual time and seeded randomness only, so a report is a
+// pure function of (config, seed).
+type Metrics struct {
+	submitted int
+	rejected  int
+	binds     int
+
+	latencies []time.Duration // first submit→bind latency per job
+	tenants   map[string]*TenantStats
+	samples   []Sample
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{tenants: map[string]*TenantStats{}}
+}
+
+func (m *Metrics) tenant(name string) *TenantStats {
+	t := m.tenants[name]
+	if t == nil {
+		t = &TenantStats{}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+func (m *Metrics) bind(tenant string, latency time.Duration) {
+	m.latencies = append(m.latencies, latency)
+	t := m.tenant(tenant)
+	t.Bound++
+	t.latencies = append(t.latencies, latency)
+}
+
+func (m *Metrics) finish(tenant string, ok bool) {
+	t := m.tenant(tenant)
+	if ok {
+		t.Succeeded++
+	} else {
+		t.Failed++
+	}
+}
+
+func (m *Metrics) sample(at time.Duration, pending, running int) {
+	m.samples = append(m.samples, Sample{At: at, Pending: pending, Running: running})
+}
+
+// Sample is one point on the queue-depth timeline.
+type Sample struct {
+	At      time.Duration `json:"at"`
+	Pending int           `json:"pending"`
+	Running int           `json:"running"`
+}
+
+// TenantStats is one tenant's slice of the run.
+type TenantStats struct {
+	Bound     int           `json:"bound"`
+	Succeeded int           `json:"succeeded"`
+	Failed    int           `json:"failed"`
+	P50       time.Duration `json:"p50"`
+	P99       time.Duration `json:"p99"`
+
+	latencies []time.Duration
+}
+
+// LatencyStats summarises a latency population.
+type LatencyStats struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// Report is the deterministic outcome of one simulation run. It contains
+// no wall-clock figures — wall time is an observation about the host, not
+// the scenario, and would break byte-identical artifacts.
+type Report struct {
+	Submitted int `json:"submitted"`
+	Rejected  int `json:"rejected"`
+	// Binds counts every bind the scheduler performed, retries included.
+	Binds int `json:"binds"`
+
+	// SimulatedTime is how far virtual time ran (horizon + drain).
+	SimulatedTime time.Duration `json:"simulatedTime"`
+	// BoundPerSecond is first-bind throughput over the arrival horizon.
+	BoundPerSecond float64 `json:"boundPerSecond"`
+
+	Latency LatencyStats `json:"latency"`
+
+	Tenants     map[string]*TenantStats `json:"tenants"`
+	TenantOrder []string                `json:"-"`
+
+	Timeline []Sample `json:"timeline"`
+
+	// Drained is true when every offered job reached a final terminal
+	// phase before the drain grace expired.
+	Drained  bool `json:"drained"`
+	Leftover int  `json:"leftover"`
+
+	TerminalResident int `json:"terminalResident"`
+	Archived         int `json:"archived"`
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func summarize(lat []time.Duration) LatencyStats {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	s := LatencyStats{Count: len(lat)}
+	if len(lat) == 0 {
+		return s
+	}
+	s.P50 = percentile(lat, 0.50)
+	s.P90 = percentile(lat, 0.90)
+	s.P99 = percentile(lat, 0.99)
+	s.Max = lat[len(lat)-1]
+	return s
+}
+
+func (m *Metrics) report(simulated, horizon time.Duration) *Report {
+	r := &Report{
+		Submitted:     m.submitted,
+		Rejected:      m.rejected,
+		Binds:         m.binds,
+		SimulatedTime: simulated,
+		Latency:       summarize(m.latencies),
+		Tenants:       m.tenants,
+		Timeline:      m.samples,
+	}
+	if horizon > 0 {
+		r.BoundPerSecond = float64(r.Latency.Count) / horizon.Seconds()
+	}
+	for _, t := range m.tenants {
+		sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+		t.P50 = percentile(t.latencies, 0.50)
+		t.P99 = percentile(t.latencies, 0.99)
+		t.latencies = nil
+	}
+	return r
+}
+
+// WriteSummaryMarkdown renders the report as a markdown fragment with a
+// stable field order — the golden-file / byte-identity artifact format.
+func (r *Report) WriteSummaryMarkdown(w io.Writer, title string) error {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("## %s\n\n", title)
+	p("| metric | value |\n|---|---|\n")
+	p("| jobs submitted | %d |\n", r.Submitted)
+	p("| jobs rejected | %d |\n", r.Rejected)
+	p("| jobs bound (first bind) | %d |\n", r.Latency.Count)
+	p("| binds incl. retries | %d |\n", r.Binds)
+	p("| bound jobs/s (horizon) | %.2f |\n", r.BoundPerSecond)
+	p("| submit→bind p50 | %s |\n", r.Latency.P50)
+	p("| submit→bind p90 | %s |\n", r.Latency.P90)
+	p("| submit→bind p99 | %s |\n", r.Latency.P99)
+	p("| submit→bind max | %s |\n", r.Latency.Max)
+	p("| simulated time | %s |\n", r.SimulatedTime)
+	p("| drained | %t |\n", r.Drained)
+	p("| leftover jobs | %d |\n", r.Leftover)
+	p("| terminal resident | %d |\n", r.TerminalResident)
+	p("| archived | %d |\n\n", r.Archived)
+	p("| tenant | bound | succeeded | failed | share | p50 | p99 |\n|---|---|---|---|---|---|---|\n")
+	total := r.Latency.Count
+	for _, name := range r.TenantOrder {
+		t := r.Tenants[name]
+		share := 0.0
+		if total > 0 {
+			share = float64(t.Bound) / float64(total)
+		}
+		p("| %s | %d | %d | %d | %.3f | %s | %s |\n", name, t.Bound, t.Succeeded, t.Failed, share, t.P50, t.P99)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteTimelineCSV renders the queue-depth timeline as CSV with virtual
+// seconds in the first column.
+func (r *Report) WriteTimelineCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_seconds,pending,running"); err != nil {
+		return err
+	}
+	for _, s := range r.Timeline {
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d\n", s.At.Seconds(), s.Pending, s.Running); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,480 @@
+// Package simload is the open-loop workload generator behind the
+// virtual-time fleet simulator (cmd/qrio-sim): it turns a declarative
+// Profile — tenant cohorts with circuit-family mixes, Poisson arrivals
+// modulated by multi-period diurnal harmonics and burst storms — into a
+// deterministic, seeded stream of job arrivals. "Open-loop" means
+// arrival times never depend on how fast the cluster drains the queue,
+// so overload, fairness and latency behaviour are measured against an
+// offered load the system cannot push back on (the paper's evaluation
+// fixes the workload the same way, §4.3).
+//
+// Every random draw flows through per-cohort *rand.Rand streams seeded
+// from Profile.Seed, so a profile replays byte-identically: same seed →
+// the same arrivals in the same order with the same service times. For
+// record/replay across processes, WriteTrace serialises a stream as
+// JSONL and TraceSource plays one back.
+package simload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"qrio/internal/cluster/api"
+	"qrio/internal/quantum/circuit"
+	"qrio/internal/quantum/qasm"
+	"qrio/internal/workload"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("250ms", "2h"), keeping experiment grids human-editable.
+type Duration time.Duration
+
+// MarshalJSON renders the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or raw nanoseconds.
+func (d *Duration) UnmarshalJSON(raw []byte) error {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		v, perr := time.ParseDuration(s)
+		if perr != nil {
+			return fmt.Errorf("simload: bad duration %q: %w", s, perr)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return fmt.Errorf("simload: duration must be a string or nanoseconds: %s", raw)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Harmonic is one sinusoidal component of a cohort's diurnal rate
+// modulation: factor(t) = 1 + Σ Amplitude·sin(2π·t/Period + Phase),
+// clamped at zero. Several harmonics compose multi-period shapes (a
+// daily cycle plus a weekly one, say).
+type Harmonic struct {
+	Period    Duration `json:"period"`
+	Amplitude float64  `json:"amplitude"`
+	Phase     float64  `json:"phase,omitempty"`
+}
+
+// Burst is a storm window: while active it multiplies the arrival rate
+// of the matching cohorts by Factor. Overlapping bursts multiply.
+type Burst struct {
+	Start    Duration `json:"start"`
+	Duration Duration `json:"duration"`
+	Factor   float64  `json:"factor"`
+	// Tenant limits the burst to one cohort; empty hits every cohort.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// Share weights one circuit family inside a cohort's mix.
+type Share struct {
+	Family string  `json:"family"`
+	Weight float64 `json:"weight"`
+}
+
+// ServiceModel samples per-job execution times: lognormal with the given
+// mean and coefficient of variation (CV 0 degenerates to the constant
+// mean — still useful for analytically checkable experiments).
+type ServiceModel struct {
+	Mean Duration `json:"mean"`
+	CV   float64  `json:"cv,omitempty"`
+}
+
+// Cohort is one tenant's offered load.
+type Cohort struct {
+	Tenant string `json:"tenant"`
+	// Rate is the base arrival rate in jobs/second (before diurnal and
+	// burst modulation).
+	Rate    float64    `json:"rate"`
+	Mix     []Share    `json:"mix"`
+	Diurnal []Harmonic `json:"diurnal,omitempty"`
+	Service ServiceModel
+	// FailureRate is the fraction of this cohort's jobs that fail on
+	// their simulated node (exercising the controller's retry path).
+	FailureRate float64 `json:"failureRate,omitempty"`
+	// CPUMillis/MemoryMB are the per-job container resource requests.
+	CPUMillis int64 `json:"cpuMillis,omitempty"`
+	MemoryMB  int64 `json:"memoryMB,omitempty"`
+}
+
+// Profile is a complete open-loop workload description.
+type Profile struct {
+	Seed     int64    `json:"seed"`
+	Duration Duration `json:"duration"`
+	Cohorts  []Cohort `json:"cohorts"`
+	Bursts   []Burst  `json:"bursts,omitempty"`
+}
+
+// Arrival is one generated job arrival. It names its circuit family
+// instead of embedding the QASM so traces stay compact; Library.Spec
+// re-attaches the source.
+type Arrival struct {
+	// T is the arrival offset from the start of the trace.
+	T      Duration `json:"t"`
+	Tenant string   `json:"tenant"`
+	Family string   `json:"family"`
+	Shots  int      `json:"shots,omitempty"`
+	// Service is the job's simulated execution time once Running.
+	Service Duration `json:"service"`
+	// Fail marks the job to fail on its node instead of succeeding.
+	Fail      bool  `json:"fail,omitempty"`
+	CPUMillis int64 `json:"cpuMillis,omitempty"`
+	MemoryMB  int64 `json:"memoryMB,omitempty"`
+}
+
+// Source yields arrivals in non-decreasing T order until exhausted.
+type Source interface {
+	Next() (Arrival, bool)
+}
+
+// --- circuit family library ---------------------------------------------
+
+// Family is one schedulable circuit class: shared QASM source plus the
+// device requirements every job of the family carries.
+type Family struct {
+	Name      string
+	QASM      string
+	MinQubits int
+	Shots     int
+}
+
+// Library resolves family names to specs.
+type Library map[string]Family
+
+// DefaultLibrary builds the paper's §4.3 evaluation circuits (plus GHZ
+// and QFT) through the real workload generators and QASM writer, so
+// simulated jobs carry genuine circuit source — spec-identical within a
+// family, which is exactly the shape the scheduler's rank-reuse path is
+// designed for.
+func DefaultLibrary() (Library, error) {
+	circuits := []struct {
+		c     *circuit.Circuit
+		min   int
+		shots int
+	}{
+		{workload.BernsteinVazirani(10, 0b101101101), 10, 1024},
+		{workload.HiddenSubgroup(), 4, 1024},
+		{workload.Grover(), 3, 2048},
+		{workload.RepetitionEncoder(), 5, 512},
+		{workload.Circ(), 7, 1024},
+		{workload.Circ2(), 8, 1024},
+		{workload.GHZ(5), 5, 512},
+		{workload.QFT(4), 4, 1024},
+	}
+	lib := make(Library, len(circuits))
+	for _, e := range circuits {
+		src, err := qasm.Dump(e.c)
+		if err != nil {
+			return nil, fmt.Errorf("simload: dumping %s: %w", e.c.Name, err)
+		}
+		lib[e.c.Name] = Family{Name: e.c.Name, QASM: src, MinQubits: e.min, Shots: e.shots}
+	}
+	return lib, nil
+}
+
+// Spec materialises one arrival as a submittable JobSpec.
+func (l Library) Spec(a Arrival) (api.JobSpec, error) {
+	fam, ok := l[a.Family]
+	if !ok {
+		return api.JobSpec{}, fmt.Errorf("simload: unknown circuit family %q", a.Family)
+	}
+	shots := a.Shots
+	if shots == 0 {
+		shots = fam.Shots
+	}
+	return api.JobSpec{
+		Tenant:         a.Tenant,
+		QASM:           fam.QASM,
+		Shots:          shots,
+		Strategy:       api.StrategyFidelity,
+		TargetFidelity: 1,
+		Resources:      api.ResourceRequirements{CPUMillis: a.CPUMillis, MemoryMB: a.MemoryMB},
+		Requirements:   api.DeviceRequirements{MinQubits: fam.MinQubits},
+	}, nil
+}
+
+// --- generation ----------------------------------------------------------
+
+// Validate rejects profiles the generator cannot honour.
+func (p *Profile) Validate(lib Library) error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("simload: profile needs a positive duration")
+	}
+	if len(p.Cohorts) == 0 {
+		return fmt.Errorf("simload: profile has no cohorts")
+	}
+	seen := map[string]bool{}
+	for i, c := range p.Cohorts {
+		if c.Tenant == "" {
+			return fmt.Errorf("simload: cohort %d has no tenant", i)
+		}
+		if seen[c.Tenant] {
+			return fmt.Errorf("simload: duplicate cohort tenant %q", c.Tenant)
+		}
+		seen[c.Tenant] = true
+		if c.Rate <= 0 {
+			return fmt.Errorf("simload: cohort %q needs a positive rate", c.Tenant)
+		}
+		if len(c.Mix) == 0 {
+			return fmt.Errorf("simload: cohort %q has an empty mix", c.Tenant)
+		}
+		total := 0.0
+		for _, s := range c.Mix {
+			if s.Weight <= 0 {
+				return fmt.Errorf("simload: cohort %q: non-positive weight for %q", c.Tenant, s.Family)
+			}
+			if _, ok := lib[s.Family]; !ok {
+				return fmt.Errorf("simload: cohort %q: unknown family %q", c.Tenant, s.Family)
+			}
+			total += s.Weight
+		}
+		if c.Service.Mean <= 0 {
+			return fmt.Errorf("simload: cohort %q needs a positive mean service time", c.Tenant)
+		}
+		if c.FailureRate < 0 || c.FailureRate > 1 {
+			return fmt.Errorf("simload: cohort %q: failure rate outside [0,1]", c.Tenant)
+		}
+		for _, h := range c.Diurnal {
+			if h.Period <= 0 {
+				return fmt.Errorf("simload: cohort %q: harmonic needs a positive period", c.Tenant)
+			}
+		}
+	}
+	for i, b := range p.Bursts {
+		if b.Duration <= 0 || b.Factor <= 0 {
+			return fmt.Errorf("simload: burst %d needs positive duration and factor", i)
+		}
+	}
+	return nil
+}
+
+// cohortGen thins a homogeneous Poisson candidate stream at the cohort's
+// envelope rate down to the modulated target rate (Lewis & Shedler).
+// Each cohort owns an independent rng stream, so adding a cohort never
+// perturbs another cohort's draws.
+type cohortGen struct {
+	cohort  Cohort
+	bursts  []Burst // global bursts plus this tenant's
+	rng     *rand.Rand
+	sigma   float64 // lognormal shape from the service model's CV
+	horizon time.Duration
+	maxRate float64 // thinning envelope (≥ rate(t) everywhere)
+
+	t    time.Duration // candidate clock
+	head Arrival
+	done bool
+}
+
+// factor is the instantaneous rate multiplier at offset t.
+func (g *cohortGen) factor(t time.Duration) float64 {
+	f := 1.0
+	for _, h := range g.cohort.Diurnal {
+		f += h.Amplitude * math.Sin(2*math.Pi*float64(t)/float64(h.Period)+h.Phase)
+	}
+	if f < 0 {
+		f = 0
+	}
+	for _, b := range g.bursts {
+		if t >= time.Duration(b.Start) && t < time.Duration(b.Start)+time.Duration(b.Duration) {
+			f *= b.Factor
+		}
+	}
+	return f
+}
+
+// envelope bounds factor(t) from above: the harmonic amplitudes all
+// peaking at once, times every burst window that can apply.
+func (g *cohortGen) envelope() float64 {
+	f := 1.0
+	for _, h := range g.cohort.Diurnal {
+		f += math.Abs(h.Amplitude)
+	}
+	for _, b := range g.bursts {
+		if b.Factor > 1 {
+			f *= b.Factor
+		}
+	}
+	return f
+}
+
+func (g *cohortGen) advance() {
+	mixTotal := 0.0
+	for _, s := range g.cohort.Mix {
+		mixTotal += s.Weight
+	}
+	for {
+		// Exponential gap at the envelope rate, then thin.
+		g.t += time.Duration(g.rng.ExpFloat64() / g.maxRate * float64(time.Second))
+		if g.t >= g.horizon {
+			g.done = true
+			return
+		}
+		if accept := g.cohort.Rate * g.factor(g.t) / g.maxRate; g.rng.Float64() >= accept {
+			continue
+		}
+		// Family pick, proportional to mix weights.
+		pick := g.rng.Float64() * mixTotal
+		family := g.cohort.Mix[len(g.cohort.Mix)-1].Family
+		for _, s := range g.cohort.Mix {
+			if pick < s.Weight {
+				family = s.Family
+				break
+			}
+			pick -= s.Weight
+		}
+		// Lognormal service time with mean preserved for any CV.
+		service := float64(g.cohort.Service.Mean)
+		if g.sigma > 0 {
+			service *= math.Exp(g.sigma*g.rng.NormFloat64() - g.sigma*g.sigma/2)
+		}
+		g.head = Arrival{
+			T:         Duration(g.t),
+			Tenant:    g.cohort.Tenant,
+			Family:    family,
+			Service:   Duration(service),
+			Fail:      g.cohort.FailureRate > 0 && g.rng.Float64() < g.cohort.FailureRate,
+			CPUMillis: g.cohort.CPUMillis,
+			MemoryMB:  g.cohort.MemoryMB,
+		}
+		return
+	}
+}
+
+// Stream merges the profile's cohort generators into one arrival stream
+// ordered by (T, tenant).
+type Stream struct {
+	gens []*cohortGen
+}
+
+// NewStream compiles a profile into its deterministic arrival stream.
+func NewStream(p Profile, lib Library) (*Stream, error) {
+	if err := p.Validate(lib); err != nil {
+		return nil, err
+	}
+	s := &Stream{}
+	for _, c := range p.Cohorts {
+		var bursts []Burst
+		for _, b := range p.Bursts {
+			if b.Tenant == "" || b.Tenant == c.Tenant {
+				bursts = append(bursts, b)
+			}
+		}
+		g := &cohortGen{
+			cohort:  c,
+			bursts:  bursts,
+			rng:     rand.New(rand.NewSource(p.Seed ^ tenantSeed(c.Tenant))),
+			horizon: time.Duration(p.Duration),
+		}
+		if cv := c.Service.CV; cv > 0 {
+			g.sigma = math.Sqrt(math.Log(1 + cv*cv))
+		}
+		g.maxRate = c.Rate * g.envelope()
+		g.advance()
+		s.gens = append(s.gens, g)
+	}
+	return s, nil
+}
+
+// tenantSeed derives a per-cohort seed offset so cohort streams are
+// independent yet reproducible.
+func tenantSeed(tenant string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, tenant)
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// Next returns the earliest pending arrival across cohorts.
+func (s *Stream) Next() (Arrival, bool) {
+	best := -1
+	for i, g := range s.gens {
+		if g.done {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := s.gens[best]
+		if g.head.T < b.head.T || (g.head.T == b.head.T && g.cohort.Tenant < b.cohort.Tenant) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Arrival{}, false
+	}
+	a := s.gens[best].head
+	s.gens[best].advance()
+	return a, true
+}
+
+// --- trace record / replay ----------------------------------------------
+
+// WriteTrace drains a source to JSONL, one arrival per line, and reports
+// how many arrivals it wrote.
+func WriteTrace(w io.Writer, src Source) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := 0
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(a); err != nil {
+			return n, fmt.Errorf("simload: trace write: %w", err)
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// traceSource streams arrivals back out of a JSONL trace.
+type traceSource struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// TraceSource replays a JSONL trace written by WriteTrace. Read errors
+// end the stream; check Err when the source is drained.
+func TraceSource(r io.Reader) *traceSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &traceSource{sc: sc}
+}
+
+func (t *traceSource) Next() (Arrival, bool) {
+	for t.err == nil && t.sc.Scan() {
+		t.line++
+		raw := t.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var a Arrival
+		if err := json.Unmarshal(raw, &a); err != nil {
+			t.err = fmt.Errorf("simload: trace line %d: %w", t.line, err)
+			return Arrival{}, false
+		}
+		return a, true
+	}
+	if t.err == nil {
+		t.err = t.sc.Err()
+	}
+	return Arrival{}, false
+}
+
+// Err reports the first read error, if any.
+func (t *traceSource) Err() error { return t.err }

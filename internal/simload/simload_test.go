@@ -1,0 +1,281 @@
+package simload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"qrio/internal/cluster/api"
+)
+
+func lib(t *testing.T) Library {
+	t.Helper()
+	l, err := DefaultLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func drain(t *testing.T, src Source) []Arrival {
+	t.Helper()
+	var out []Arrival
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+func flatProfile(seed int64, rate float64, dur time.Duration) Profile {
+	return Profile{
+		Seed:     seed,
+		Duration: Duration(dur),
+		Cohorts: []Cohort{{
+			Tenant:  "alice",
+			Rate:    rate,
+			Mix:     []Share{{Family: "ghz", Weight: 1}},
+			Service: ServiceModel{Mean: Duration(200 * time.Millisecond)},
+		}},
+	}
+}
+
+// TestPoissonInterArrivals: a constant-rate cohort is a homogeneous
+// Poisson process — inter-arrival gaps are exponential, so their mean is
+// 1/rate and their coefficient of variation is 1, within sampling
+// tolerance at n ≈ 20k.
+func TestPoissonInterArrivals(t *testing.T) {
+	const rate = 200.0
+	p := flatProfile(42, rate, 100*time.Second)
+	s, err := NewStream(p, lib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := drain(t, s)
+	n := len(arrivals)
+	expected := rate * 100
+	if math.Abs(float64(n)-expected) > 4*math.Sqrt(expected) {
+		t.Fatalf("arrival count %d outside 4σ of %g", n, expected)
+	}
+	var gaps []float64
+	for i := 1; i < n; i++ {
+		gaps = append(gaps, time.Duration(arrivals[i].T-arrivals[i-1].T).Seconds())
+	}
+	mean, m2 := 0.0, 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		m2 += (g - mean) * (g - mean)
+	}
+	variance := m2 / float64(len(gaps))
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Fatalf("mean gap %.6fs, want %.6fs ±10%%", mean, 1/rate)
+	}
+	if cv := math.Sqrt(variance) / mean; math.Abs(cv-1) > 0.05 {
+		t.Fatalf("gap CV %.3f, want 1 ±0.05 (exponential)", cv)
+	}
+	for i := 1; i < n; i++ {
+		if arrivals[i].T < arrivals[i-1].T {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+}
+
+// TestDiurnalShape: with a single sinusoidal harmonic the arrival mass
+// must follow the modulation — the peak-phase quarter of each period
+// collects measurably more arrivals than the trough-phase quarter, in
+// the analytically expected ratio.
+func TestDiurnalShape(t *testing.T) {
+	period := 10 * time.Second
+	p := flatProfile(7, 300, 100*time.Second)
+	p.Cohorts[0].Diurnal = []Harmonic{{Period: Duration(period), Amplitude: 0.8}}
+	s, err := NewStream(p, lib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quarter-period buckets by phase: bucket 0 spans phase [0, π/2) where
+	// sin rises — integrate 1+0.8·sin over each quarter for the expectation.
+	var buckets [4]float64
+	for _, a := range drain(t, s) {
+		phase := math.Mod(time.Duration(a.T).Seconds(), period.Seconds()) / period.Seconds()
+		buckets[int(phase*4)%4]++
+	}
+	total := buckets[0] + buckets[1] + buckets[2] + buckets[3]
+	// ∫ (1+A sin 2πx) dx over [0,¼],[¼,½],[½,¾],[¾,1] with A=0.8:
+	// ¼ + A/2π ≈ 0.3773, ¼ + A/2π, ¼ − A/2π ≈ 0.1227, ¼ − A/2π.
+	want := [4]float64{0.25 + 0.8/(2*math.Pi), 0.25 + 0.8/(2*math.Pi),
+		0.25 - 0.8/(2*math.Pi), 0.25 - 0.8/(2*math.Pi)}
+	for i, b := range buckets {
+		got := b / total
+		if math.Abs(got-want[i]) > 0.02 {
+			t.Fatalf("phase bucket %d holds %.3f of arrivals, want %.3f ±0.02", i, got, want[i])
+		}
+	}
+	if buckets[0] < buckets[2]*2 {
+		t.Fatalf("peak quarter (%.0f) not clearly above trough quarter (%.0f)", buckets[0], buckets[2])
+	}
+}
+
+// TestBurstWindow: a 5× storm multiplies arrival density inside its
+// window and leaves the outside untouched.
+func TestBurstWindow(t *testing.T) {
+	p := flatProfile(11, 100, 60*time.Second)
+	p.Bursts = []Burst{{Start: Duration(20 * time.Second), Duration: Duration(10 * time.Second), Factor: 5}}
+	s, err := NewStream(p, lib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, outside := 0.0, 0.0
+	for _, a := range drain(t, s) {
+		at := time.Duration(a.T)
+		if at >= 20*time.Second && at < 30*time.Second {
+			inside++
+		} else {
+			outside++
+		}
+	}
+	// Inside: 10s at 500/s = 5000. Outside: 50s at 100/s = 5000.
+	if math.Abs(inside-5000) > 300 || math.Abs(outside-5000) > 300 {
+		t.Fatalf("burst split inside=%.0f outside=%.0f, want ≈5000/5000", inside, outside)
+	}
+}
+
+// TestCohortMixRatios: family picks follow the mix weights, and
+// per-cohort rng streams stay independent (two tenants, same profile).
+func TestCohortMixRatios(t *testing.T) {
+	p := Profile{
+		Seed:     3,
+		Duration: Duration(50 * time.Second),
+		Cohorts: []Cohort{
+			{
+				Tenant: "alice", Rate: 200,
+				Mix:     []Share{{Family: "ghz", Weight: 3}, {Family: "bv", Weight: 1}},
+				Service: ServiceModel{Mean: Duration(100 * time.Millisecond)},
+			},
+			{
+				Tenant: "bob", Rate: 100,
+				Mix:     []Share{{Family: "qft", Weight: 1}},
+				Service: ServiceModel{Mean: Duration(100 * time.Millisecond)},
+			},
+		},
+	}
+	s, err := NewStream(p, lib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]map[string]float64{}
+	for _, a := range drain(t, s) {
+		if counts[a.Tenant] == nil {
+			counts[a.Tenant] = map[string]float64{}
+		}
+		counts[a.Tenant][a.Family]++
+	}
+	alice := counts["alice"]["ghz"] + counts["alice"]["bv"]
+	if alice == 0 {
+		t.Fatal("alice generated nothing")
+	}
+	if share := counts["alice"]["ghz"] / alice; math.Abs(share-0.75) > 0.02 {
+		t.Fatalf("ghz share %.3f, want 0.75 ±0.02", share)
+	}
+	if counts["bob"]["qft"] == 0 || counts["alice"]["qft"] != 0 {
+		t.Fatalf("cohort mixes bled across tenants: %+v", counts)
+	}
+	if ratio := alice / counts["bob"]["qft"]; math.Abs(ratio-2) > 0.2 {
+		t.Fatalf("alice/bob arrival ratio %.2f, want 2 ±0.2", ratio)
+	}
+}
+
+// TestServiceTimeMean: the lognormal service sampler preserves the
+// configured mean for a non-trivial CV.
+func TestServiceTimeMean(t *testing.T) {
+	p := flatProfile(19, 400, 50*time.Second)
+	p.Cohorts[0].Service = ServiceModel{Mean: Duration(300 * time.Millisecond), CV: 1.5}
+	s, err := NewStream(p, lib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n := 0.0, 0
+	for _, a := range drain(t, s) {
+		sum += time.Duration(a.Service).Seconds()
+		n++
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.3) > 0.3*0.08 {
+		t.Fatalf("mean service %.4fs over %d samples, want 0.3 ±8%%", mean, n)
+	}
+}
+
+// TestSameSeedByteIdentical: the whole point of the seeded streams — a
+// profile replays exactly, and a different seed diverges.
+func TestSameSeedByteIdentical(t *testing.T) {
+	l := lib(t)
+	p := flatProfile(99, 150, 20*time.Second)
+	p.Cohorts[0].Service.CV = 1.0
+	p.Cohorts[0].FailureRate = 0.1
+	run := func(pp Profile) []byte {
+		s, err := NewStream(pp, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := WriteTrace(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(p), run(p)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	p2 := p
+	p2.Seed = 100
+	if bytes.Equal(a, run(p2)) {
+		t.Fatal("different seed produced an identical trace")
+	}
+}
+
+// TestTraceRoundTrip: record → replay reproduces the arrival sequence
+// exactly, and replayed arrivals materialise into valid job specs.
+func TestTraceRoundTrip(t *testing.T) {
+	l := lib(t)
+	p := flatProfile(5, 100, 10*time.Second)
+	s, err := NewStream(p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, s)
+	s2, err := NewStream(p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if n, err := WriteTrace(&buf, s2); err != nil || n != len(want) {
+		t.Fatalf("WriteTrace = %d, %v; want %d", n, err, len(want))
+	}
+	replay := TraceSource(&buf)
+	got := drain(t, replay)
+	if err := replay.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d arrivals, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	spec, err := l.Spec(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := api.QuantumJob{ObjectMeta: api.ObjectMeta{Name: "probe"}, Spec: spec}
+	if err := job.Validate(); err != nil {
+		t.Fatalf("replayed arrival produced an invalid spec: %v", err)
+	}
+}

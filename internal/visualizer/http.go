@@ -242,7 +242,7 @@ try {
 } catch (e) {}
 </script>`, template.JSEscapeString(name))
 	}
-	if res, _, err := s.Core.State.Results.Get(name); err == nil {
+	if res, ok := s.Core.State.ResultFor(name); ok {
 		fmt.Fprintf(&b, "<h2>Logs</h2><pre>%s</pre>",
 			template.HTMLEscapeString(strings.Join(res.LogLines, "\n")))
 		fmt.Fprintf(&b, "<p>Measured fidelity: <b>%.4f</b> &middot; %d distinct outcomes &middot; %dms</p>",
