@@ -17,6 +17,10 @@ RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./i
 # settings (make bench-json does) so medians compare apples-to-apples.
 GUARDED_FAST := BenchmarkSchedulePassWithHistory|BenchmarkStoreContention|BenchmarkFairShare|BenchmarkWatchResume|BenchmarkWALAppend$$|BenchmarkReplayBoot
 GUARDED_SLOW := BenchmarkSubmitThroughput
+# The gateway's rate-limiter fast path is guarded from its own package
+# (the limiter is internal); benchcompare keys on benchmark name, so its
+# results concatenate into the same JSON stream.
+GUARDED_GATEWAY := BenchmarkRateLimit
 BENCH_COUNT ?= 3
 BENCH_FAST_TIME ?= 20x
 
@@ -25,7 +29,7 @@ BENCH_FAST_TIME ?= 20x
 # many points.
 COVERAGE_SLACK ?= 2
 
-.PHONY: all build vet fmt lint lint-rand test race bench bench-json bench-store bench-compare chaos-crash coverage sim sim-smoke ci
+.PHONY: all build vet fmt lint lint-rand lint-http test race bench bench-json bench-store bench-compare chaos-crash chaos-faults coverage sim sim-smoke ci
 
 all: build
 
@@ -50,6 +54,15 @@ lint:
 
 test:
 	$(GO) test ./...
+
+# lint-http enforces the shared-client rule: every *http.Client is built
+# by internal/httpx (NewClient/NewStreamClient), so explicit timeouts,
+# bounded transports and the httpx.roundtrip fault point hold everywhere
+# at once. Tests are exempt (they build throwaway clients around
+# httptest servers).
+lint-http:
+	@out="$$(grep -rn '&http\.Client{' --include='*.go' --exclude='*_test.go' internal cmd client | grep -v '^internal/httpx/' || true)"; \
+	if [ -n "$$out" ]; then echo "lint-http: construct HTTP clients via internal/httpx, not ad hoc:"; echo "$$out"; exit 1; fi
 
 # lint-rand is the simulator's determinism audit: package-global math/rand
 # calls (rand.Intn, rand.Float64, ...) draw from shared process-wide state
@@ -87,6 +100,16 @@ race:
 chaos-crash:
 	$(GO) test -race -count=1 -run 'TestCrashRecovery' ./internal/cluster/chaostest
 
+# chaos-faults runs the dependency-failure storm under the race detector:
+# a full orchestrator is flooded while the Meta scorer dies (breaker →
+# degraded scoring → recovery on virtual time), the network flaps under
+# the retry policy, WAL/spill writes fail (latched, surfaced in stats), a
+# flooding tenant hits its token bucket, and the run ends in a
+# SIGTERM-style drain that must lose no acked job. -count=1 defeats the
+# test cache: the storm's value is in fresh interleavings each run.
+chaos-faults:
+	$(GO) test -race -count=1 -run 'TestFaultStorm' ./internal/cluster/chaostest
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
@@ -96,6 +119,7 @@ bench:
 bench-json:
 	$(GO) test -run xxx -bench '$(GUARDED_SLOW)' -benchtime 1x -count $(BENCH_COUNT) -json . > BENCH_results.json
 	$(GO) test -run xxx -bench '$(GUARDED_FAST)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json . >> BENCH_results.json
+	$(GO) test -run xxx -bench '$(GUARDED_GATEWAY)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/gateway >> BENCH_results.json
 
 # bench-store exercises the sharded store's lock scaling across core counts.
 bench-store:
@@ -109,6 +133,7 @@ bench-store:
 bench-compare:
 	$(GO) test -run xxx -bench '$(GUARDED_SLOW)' -benchtime 1x -count $(BENCH_COUNT) -json . > BENCH_current.json
 	$(GO) test -run xxx -bench '$(GUARDED_FAST)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json . >> BENCH_current.json
+	$(GO) test -run xxx -bench '$(GUARDED_GATEWAY)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/gateway >> BENCH_current.json
 	$(GO) run ./cmd/benchcompare -baseline BENCH_results.json -current BENCH_current.json -threshold 25
 
 # coverage runs the full suite with a coverage profile and enforces the
@@ -123,4 +148,4 @@ coverage:
 		if (t + 0 < floor) { printf "coverage: total %.1f%% fell below floor %.1f%% (baseline %.1f%% - %d)\n", t, floor, b, s; exit 1 } \
 		printf "coverage: total %.1f%% (floor %.1f%%, baseline %.1f%%)\n", t, floor, b }'
 
-ci: build vet fmt lint lint-rand test race sim-smoke
+ci: build vet fmt lint lint-rand lint-http test race sim-smoke

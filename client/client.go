@@ -76,11 +76,17 @@ type (
 )
 
 // APIError is a structured gateway error: the HTTP status plus the
-// envelope's machine-readable code and message.
+// envelope's machine-readable code and message. Throttled responses
+// (429 rate_limited / quota_exceeded, 503 overloaded) also carry the
+// server's Retry-After delay.
 type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's Retry-After header as a duration (0 when
+	// the response carried none): how long to wait before the request
+	// could succeed.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -123,10 +129,47 @@ func IsQuotaExceeded(err error) bool { return code(err) == httpx.CodeQuotaExceed
 // to get a fresh SYNC snapshot instead.
 func IsCompacted(err error) bool { return code(err) == httpx.CodeCompacted }
 
+// IsRateLimited reports whether err is a gateway throttle (HTTP 429 —
+// either the token-bucket rate_limited rejection or the admission
+// quota_exceeded rejection). Pair with RetryAfter(err) to pace the
+// retry.
+func IsRateLimited(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests
+}
+
+// IsOverloaded reports whether err is the gateway's overloaded error
+// (503): the global in-flight bound shed the request — back off and
+// retry.
+func IsOverloaded(err error) bool { return code(err) == httpx.CodeOverloaded }
+
+// IsDraining reports whether err is the gateway's draining error (503):
+// the server is shutting down gracefully and refusing new intake.
+func IsDraining(err error) bool { return code(err) == httpx.CodeDraining }
+
+// RetryAfter extracts the server's Retry-After delay from a gateway
+// error (0 when err is not an APIError or carried no header).
+func RetryAfter(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
 // Client talks to a /v1 gateway.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry is the client's retry policy (New installs
+	// httpx.DefaultRetry): idempotent calls (GET/PUT/DELETE) are retried
+	// on transport errors and transient statuses (429/502/503/504) with
+	// full-jitter backoff, honouring the server's Retry-After. Job
+	// submission is POST and NOT retried by default; QRIO submissions are
+	// name-deduplicated server-side, so opting in with
+	// Retry.RetryNonIdempotent = true is safe (a replayed accepted submit
+	// returns a conflict, which callers can treat as success).
+	Retry httpx.RetryPolicy
 }
 
 // New builds a client for a gateway base URL (the daemon address; the /v1
@@ -136,20 +179,21 @@ type Client struct {
 func New(baseURL string) *Client {
 	return &Client{
 		BaseURL: strings.TrimRight(baseURL, "/"),
-		HTTP:    &http.Client{Timeout: 120 * time.Second},
+		HTTP:    httpx.NewClient(0, nil),
+		Retry:   httpx.DefaultRetry,
 	}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return httpx.DoJSON(ctx, c.HTTP, method, c.BaseURL+path, in, out,
-		func(status int, code, msg string) error {
+	return httpx.DoJSONRetry(ctx, c.HTTP, c.Retry, method, c.BaseURL+path, in, out,
+		func(status int, code, msg string, retryAfter time.Duration) error {
 			if msg == "" {
 				msg = fmt.Sprintf("%s %s failed", method, path)
 			}
 			if code == "" {
 				code = httpx.CodeInternal
 			}
-			return &APIError{Status: status, Code: code, Message: msg}
+			return &APIError{Status: status, Code: code, Message: msg, RetryAfter: retryAfter}
 		})
 }
 

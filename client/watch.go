@@ -135,12 +135,10 @@ func (c *Client) watchOnce(ctx context.Context, opts WatchOptions) (<-chan Watch
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
-	// A dedicated transport-only client: the regular one's blanket
-	// timeout would sever long-lived streams.
-	streamer := &http.Client{}
-	if c.HTTP != nil {
-		streamer.Transport = c.HTTP.Transport
-	}
+	// A dedicated stream client: the regular one's blanket timeout would
+	// sever long-lived streams, but response headers still must arrive
+	// promptly (httpx.NewStreamClient bounds them).
+	streamer := httpx.NewStreamClient(nil)
 	resp, err := streamer.Do(req)
 	if err != nil {
 		return nil, err

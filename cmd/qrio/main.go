@@ -18,8 +18,18 @@
 //	     [-node-concurrency N] [-score-workers N]
 //	     [-tenant-weights a=3,b=1] [-quota-pending N] [-quota-active N]
 //	     [-quota-qubit-seconds F]
+//	     [-rate-limit F] [-rate-burst N] [-max-in-flight N]
 //	     [-retention-max-age D] [-retention-max-count N] [-archive-spill F]
 //	     [-data-dir DIR] [-wal-fsync=false] [-snapshot-interval D]
+//	     [-faults point:mode[:prob[:latency]],...]
+//
+// -rate-limit bounds each tenant's submission arrival rate (token bucket,
+// 429 rate_limited + Retry-After); -max-in-flight sheds excess concurrent
+// /v1 requests (503 overloaded). On SIGTERM/SIGINT the daemon drains
+// gracefully: intake answers 503 draining, in-flight requests and
+// containers finish, unclaimed scheduled jobs are requeued, and (with
+// -data-dir) a final compacted snapshot is written. -faults arms named
+// fault points for resilience rehearsal — never in production.
 //
 // With -data-dir, cluster state is durable: every mutation is written to a
 // per-shard WAL under DIR, compacted snapshots are taken every
@@ -30,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,12 +51,14 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"qrio"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/daemon"
 	"qrio/internal/device"
+	"qrio/internal/faults"
 )
 
 func main() {
@@ -65,6 +78,10 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory: WAL + snapshots + archive spill (empty = in-memory)")
 	walFsync := flag.Bool("wal-fsync", true, "fsync every WAL append (with -data-dir; =false trades the log tail on power loss for latency)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "compacted snapshot period with -data-dir (0 = 5m default, negative = admin-triggered only)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-tenant submission rate limit in submissions/second (0 = unlimited; per-tenant overrides via PUT /v1/tenants/{name})")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-limit (0 = max(1, ceil(rate)))")
+	maxInFlight := flag.Int("max-in-flight", 0, "global cap on concurrent /v1 requests; excess sheds with 503 overloaded (0 = uncapped)")
+	faultSpec := flag.String("faults", "", "DEV ONLY: arm fault points as point:mode[:probability[:latency]] entries, comma-separated, e.g. meta.score:error:0.5 (modes: error, latency, hang)")
 	flag.Parse()
 
 	if *dataDir != "" && *archiveSpill != "" {
@@ -78,6 +95,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("loading fleet: %v", err)
 	}
+	if err := faults.Default.Parse(*faultSpec); err != nil {
+		log.Fatalf("parsing -faults: %v", err)
+	}
+	if armed := faults.Default.Armed(); len(armed) > 0 {
+		log.Printf("WARNING: fault injection armed for %s — this daemon will misbehave on purpose", strings.Join(armed, ", "))
+	}
 	q, err := qrio.New(qrio.Config{
 		Backends:        fleet,
 		Concurrency:     *concurrency,
@@ -89,6 +112,12 @@ func main() {
 				MaxPending:      *quotaPending,
 				MaxActive:       *quotaActive,
 				MaxQubitSeconds: *quotaQubitSec,
+			},
+		},
+		TenantRateLimits: api.TenantRateLimitPolicy{
+			Default: api.TenantRateLimit{
+				SubmitPerSecond: *rateLimit,
+				Burst:           *rateBurst,
 			},
 		},
 		Retention: qrio.RetentionPolicy{
@@ -122,7 +151,7 @@ func main() {
 	defer q.Close()
 
 	log.Printf("QRIO up: %d nodes, visualizer at http://localhost%s/", len(fleet), *addr)
-	srv := &http.Server{Addr: *addr, Handler: daemon.Handler(q)}
+	srv := &http.Server{Addr: *addr, Handler: daemon.HandlerMaxInFlight(q, *maxInFlight)}
 	go func() {
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
 			log.Fatalf("serving: %v", err)
@@ -132,8 +161,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
-	srv.Close()
+	// Graceful drain: stop intake first (503 draining; health reports it so
+	// load balancers rotate away), let in-flight requests and containers
+	// finish, requeue anything bound but unclaimed, snapshot, release.
+	log.Print("draining: submissions rejected, finishing in-flight work")
+	q.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: http shutdown: %v", err)
+	}
+	cancel()
+	requeued, err := q.Drain()
+	if err != nil {
+		log.Printf("drain: %v", err)
+	}
+	log.Printf("drained: %d unclaimed jobs requeued; shutting down", requeued)
 }
 
 // parseTenantWeights parses "a=3,b=1" into a weight map.

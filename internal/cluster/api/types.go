@@ -208,6 +208,40 @@ func (p TenantQuotaPolicy) For(tenant string) TenantQuota {
 	return p.Default
 }
 
+// TenantRateLimit bounds one tenant's submission *arrival rate* at the
+// gateway with a token bucket — distinct from TenantQuota, which bounds
+// admitted-but-unfinished work. The zero value means "unlimited", so the
+// default configuration rate-limits nobody.
+type TenantRateLimit struct {
+	// SubmitPerSecond is the sustained refill rate in submissions/second.
+	// Zero or negative disables rate limiting for the tenant.
+	SubmitPerSecond float64 `json:"submitPerSecond,omitempty"`
+	// Burst caps the bucket: how many submissions may arrive back-to-back
+	// after an idle period. Zero defaults to max(1, ceil(SubmitPerSecond)).
+	Burst int `json:"burst,omitempty"`
+}
+
+// Unlimited reports whether the rate limit admits everything.
+func (r TenantRateLimit) Unlimited() bool { return r.SubmitPerSecond <= 0 }
+
+// TenantRateLimitPolicy resolves per-tenant rate limits, mirroring
+// TenantQuotaPolicy: an explicit entry wins, everyone else gets the
+// default, and the zero policy limits nobody.
+type TenantRateLimitPolicy struct {
+	// Default applies to tenants without an explicit entry.
+	Default TenantRateLimit `json:"default,omitempty"`
+	// Tenants holds per-tenant overrides.
+	Tenants map[string]TenantRateLimit `json:"tenants,omitempty"`
+}
+
+// For returns the rate limit governing one tenant.
+func (p TenantRateLimitPolicy) For(tenant string) TenantRateLimit {
+	if r, ok := p.Tenants[tenant]; ok {
+		return r
+	}
+	return p.Default
+}
+
 // MaxTenantWeight bounds operator-set fair-share weights; beyond this a
 // weight is configuration error, not a meaningful share.
 const MaxTenantWeight = 1_000_000
@@ -219,12 +253,14 @@ const MaxTenantWeight = 1_000_000
 // log as every other object, so they survive restarts. A TenantConfig
 // fully overrides the deployment's static flag configuration for its
 // tenant: Weight replaces the TenantWeights entry (0 means the default
-// weight of 1) and Quota replaces the TenantQuotaPolicy resolution (zero
-// fields mean unlimited, as everywhere).
+// weight of 1), Quota replaces the TenantQuotaPolicy resolution and
+// RateLimit replaces the TenantRateLimitPolicy resolution (zero fields
+// mean unlimited, as everywhere).
 type TenantConfig struct {
 	ObjectMeta
-	Weight int         `json:"weight,omitempty"`
-	Quota  TenantQuota `json:"quota,omitempty"`
+	Weight    int             `json:"weight,omitempty"`
+	Quota     TenantQuota     `json:"quota,omitempty"`
+	RateLimit TenantRateLimit `json:"rateLimit,omitempty"`
 }
 
 // Validate checks a tenant configuration (Name carries the tenant).
@@ -240,6 +276,12 @@ func (t *TenantConfig) Validate() error {
 	}
 	if t.Quota.MaxQubitSeconds < 0 || math.IsNaN(t.Quota.MaxQubitSeconds) || math.IsInf(t.Quota.MaxQubitSeconds, 0) {
 		return fmt.Errorf("api: tenant %s qubit-second bound %v is not a valid limit", t.Name, t.Quota.MaxQubitSeconds)
+	}
+	if math.IsNaN(t.RateLimit.SubmitPerSecond) || math.IsInf(t.RateLimit.SubmitPerSecond, 0) {
+		return fmt.Errorf("api: tenant %s rate %v is not a valid limit", t.Name, t.RateLimit.SubmitPerSecond)
+	}
+	if t.RateLimit.Burst < 0 {
+		return fmt.Errorf("api: tenant %s rate-limit burst must be non-negative", t.Name)
 	}
 	return nil
 }

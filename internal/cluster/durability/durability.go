@@ -42,6 +42,7 @@ import (
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
 	"qrio/internal/cluster/wal"
+	"qrio/internal/faults"
 )
 
 // DefaultSnapshotInterval is how often the background loop compacts the
@@ -61,6 +62,11 @@ type Options struct {
 	// DefaultSnapshotInterval; negative disables the background loop
 	// (snapshots then happen only through the admin endpoint).
 	SnapshotInterval time.Duration
+	// Faults is the fault-injection registry threaded into the WAL append
+	// path (wal.append) and the archive spill writer (archive.spill). Nil
+	// resolves to faults.Default, so the daemon's -faults flag reaches
+	// production writers; tests inject private registries.
+	Faults *faults.Registry
 }
 
 // Enabled reports whether the options ask for durable state.
@@ -270,7 +276,9 @@ func Open(c *state.Cluster, opts Options) (*Manager, error) {
 		return nil, fmt.Errorf("durability: %w", err)
 	}
 	m.spill = spill
-	c.Archived.SetSpill(spill)
+	// The archive latches the first spill error (injected or real), so a
+	// failing spill degrades loudly through Stats, never silently.
+	c.Archived.SetSpill(faults.Writer(opts.Faults, faults.PointArchiveSpill, spill))
 
 	// 5. Tier reconcile: a crash between the sweep's archive-Put and
 	// hot-store delete leaves a job in both tiers. The hot copy wins — the
@@ -417,6 +425,7 @@ func (m *Manager) openWriters() error {
 			if err != nil {
 				return fmt.Errorf("durability: %w", err)
 			}
+			w.SetFaults(m.opts.Faults)
 			ws[i] = w
 		}
 		m.writers[shim.storeName()] = ws
@@ -511,6 +520,11 @@ func (m *Manager) Snapshot() (int64, error) {
 	m.mu.Lock()
 	m.lastSnap = snap.TakenAt
 	m.snapshots++
+	// A successful snapshot re-establishes durability: every object is in
+	// the snapshot file and the rotated writers start clean, so the latched
+	// "mutations since are not durable" warning no longer describes the
+	// directory. (Writer.Rotate cleared the per-writer latches above.)
+	m.walErr = nil
 	m.mu.Unlock()
 	return newGen, nil
 }

@@ -19,6 +19,7 @@ import (
 	"qrio/internal/clock"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
+	"qrio/internal/faults"
 	"qrio/internal/fidelity"
 	"qrio/internal/master"
 	"qrio/internal/quantum/qasm"
@@ -50,6 +51,11 @@ type Kubelet struct {
 	// simulator-backed executor. Tests and alternative execution backends
 	// inject here.
 	Runtime RuntimeFunc
+	// Faults is the fault-injection registry; the kubelet.runtime point
+	// fires before every container invocation, so an armed registry turns
+	// executions into failures (→ controller retry), added latency or
+	// hangs (→ aborted by cancellation). Nil resolves to faults.Default.
+	Faults *faults.Registry
 
 	mu       sync.Mutex
 	inflight map[string]context.CancelFunc
@@ -237,6 +243,14 @@ func (k *Kubelet) runJob(ctx context.Context, jobName string) {
 	}
 	outcome := make(chan execOutcome, 1)
 	go func() {
+		// The runtime fault point models the container engine failing or
+		// wedging: an injected error takes the normal failed-execution path
+		// (controller retry policy applies); a hang blocks here until
+		// cancellation, exactly like a stuck container.
+		if err := k.Faults.Fire(ctx, faults.PointKubeletRuntime); err != nil {
+			outcome <- execOutcome{err: err}
+			return
+		}
 		logs, ex, err := runtime(ctx, claimed)
 		outcome <- execOutcome{logs: logs, ex: ex, err: err}
 	}()

@@ -54,6 +54,46 @@ func (c *Cluster) EnsureUIDFloor(n int64) {
 	}
 }
 
+// RequeueUnclaimedScheduled returns every Scheduled job to the queue —
+// the graceful-drain counterpart of RequeueOrphanedRunning. On drain the
+// kubelets have exited: a job bound to a node but never claimed by its
+// kubelet would otherwise sit Scheduled forever. Returning it to Pending
+// (and releasing its slot) makes the bind re-run on the next start, so a
+// drained restart loses no accepted work. Returns how many jobs moved.
+func (c *Cluster) RequeueUnclaimedScheduled(reason string) int {
+	var names []string
+	c.Jobs.Range(func(j api.QuantumJob, _ int64) bool {
+		if j.Status.Phase == api.JobScheduled {
+			names = append(names, j.Name)
+		}
+		return true
+	})
+	n := 0
+	for _, name := range names {
+		node := ""
+		_, _, err := c.Jobs.Update(name, func(j api.QuantumJob) (api.QuantumJob, error) {
+			node = ""
+			if j.Status.Phase != api.JobScheduled {
+				return j, TerminalJobError{Job: name, Phase: j.Status.Phase}
+			}
+			node = j.Status.Node
+			j.Status.Phase = api.JobPending
+			j.Status.Node = ""
+			j.Status.Message = reason
+			return j, nil
+		})
+		if err != nil {
+			continue
+		}
+		if node != "" {
+			c.ReleaseNode(node, name)
+		}
+		c.RecordEvent("Job", name, "Requeued", reason)
+		n++
+	}
+	return n
+}
+
 // RequeueOrphanedRunning returns every Running job to the queue (or
 // completes its cancellation) — the boot-time recovery step. A replayed
 // Running job has no live container behind it: the process that owned the

@@ -62,6 +62,12 @@ type Cluster struct {
 	// route around. Set once at wiring time, before any traffic.
 	Quotas api.TenantQuotaPolicy
 
+	// RateLimits is the deployment's static tenant rate-limit policy
+	// (submission arrival bounds). The gateway enforces it; the state
+	// layer only resolves it (RateLimitFor) so live TenantConfig
+	// overrides hot-reload exactly like quotas. Set once at wiring time.
+	RateLimits api.TenantRateLimitPolicy
+
 	// Clock is the time source behind every timestamp the state layer
 	// mints (CreatedAt, FinishedAt, heartbeats, event times). Nil means
 	// the wall clock; the fleet simulator injects its virtual clock here.
@@ -561,6 +567,12 @@ func (e *QuotaExceededError) Error() string {
 // HTTPStatus implements httpx.StatusCoder: quota rejections map to 429
 // with the "quota_exceeded" envelope code.
 func (e *QuotaExceededError) HTTPStatus() (int, string) { return 429, "quota_exceeded" }
+
+// RetryAfter implements httpx.RetryAfterer. Quotas release when in-flight
+// work finishes, which the server cannot forecast; one second is the
+// shortest hint the Retry-After header can carry and stops well-behaved
+// clients from busy-looping on a full quota.
+func (e *QuotaExceededError) RetryAfter() time.Duration { return time.Second }
 
 // CheckTenantQuota evaluates the tenant's quota against its live usage
 // plus one prospective submission of qsec qubit-seconds. Callers that

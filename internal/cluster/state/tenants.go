@@ -69,6 +69,7 @@ func (c *Cluster) SetTenantConfig(cfg api.TenantConfig) (api.TenantConfig, error
 		updated, _, err := c.TenantConfigs.Update(cfg.Name, func(cur api.TenantConfig) (api.TenantConfig, error) {
 			cur.Weight = cfg.Weight
 			cur.Quota = cfg.Quota
+			cur.RateLimit = cfg.RateLimit
 			cur.Labels = cfg.Labels
 			return cur, nil
 		})
@@ -115,6 +116,19 @@ func (c *Cluster) QuotaFor(tenant string) api.TenantQuota {
 		return cfg.Quota
 	}
 	return c.Quotas.For(tenant)
+}
+
+// RateLimitFor resolves the submission rate limit governing one tenant:
+// a live TenantConfig override wins; otherwise the static flag-time
+// policy applies (the exact QuotaFor resolution, for the arrival bound).
+func (c *Cluster) RateLimitFor(tenant string) api.TenantRateLimit {
+	if tenant == "" {
+		tenant = api.DefaultTenant
+	}
+	if cfg, ok := c.tenantConf.get(tenant); ok {
+		return cfg.RateLimit
+	}
+	return c.RateLimits.For(tenant)
 }
 
 // TenantWeight reports a tenant's live weight override. ok is false when

@@ -15,6 +15,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -23,6 +24,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"qrio/internal/faults"
 )
 
 // frameHeader is the fixed per-record overhead: length + checksum.
@@ -63,6 +66,11 @@ type Writer struct {
 	records int64
 	bytes   int64
 	scratch []byte
+	// faults injects write failures ahead of real I/O (the wal.append
+	// point); injected errors latch exactly like disk errors. Nil resolves
+	// to faults.Default, so the daemon's -faults flag reaches production
+	// writers; tests inject private registries via SetFaults.
+	faults *faults.Registry
 }
 
 // OpenWriter opens (creating if needed) a log file for appending. With
@@ -77,6 +85,14 @@ func OpenWriter(path string, fsync bool) (*Writer, error) {
 	return &Writer{f: f, path: path, fsync: fsync}, nil
 }
 
+// SetFaults points the writer at a fault-injection registry (tests use
+// private registries; nil keeps faults.Default). Call before traffic.
+func (w *Writer) SetFaults(r *faults.Registry) {
+	w.mu.Lock()
+	w.faults = r
+	w.mu.Unlock()
+}
+
 // Append writes one framed record (and syncs it, if the writer fsyncs).
 func (w *Writer) Append(payload []byte) error {
 	w.mu.Lock()
@@ -88,6 +104,10 @@ func (w *Writer) Append(payload []byte) error {
 		// Scan refuses frames above MaxRecordBytes, so writing one would
 		// poison the log: everything after it becomes unreachable.
 		w.err = fmt.Errorf("wal: record of %d bytes exceeds limit in %s", len(payload), w.path)
+		return w.err
+	}
+	if err := w.faults.Fire(context.Background(), faults.PointWALAppend); err != nil {
+		w.err = fmt.Errorf("wal: append to %s: %w", w.path, err)
 		return w.err
 	}
 	w.scratch = appendFrame(w.scratch[:0], payload)

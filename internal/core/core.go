@@ -9,8 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"qrio/internal/clock"
 	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/controller"
 	"qrio/internal/cluster/durability"
@@ -18,9 +20,11 @@ import (
 	"qrio/internal/cluster/state"
 	"qrio/internal/cluster/store"
 	"qrio/internal/device"
+	"qrio/internal/faults"
 	"qrio/internal/master"
 	"qrio/internal/meta"
 	"qrio/internal/registry"
+	"qrio/internal/resilience"
 	"qrio/internal/sched"
 )
 
@@ -57,6 +61,23 @@ type Config struct {
 	// gateway's admission layer enforces it on every submission. The zero
 	// policy admits everything.
 	TenantQuotas api.TenantQuotaPolicy
+	// TenantRateLimits bounds each tenant's submission arrival rate; the
+	// gateway's flow-control layer enforces it (live TenantConfig
+	// overrides win). The zero policy rate-limits nobody.
+	TenantRateLimits api.TenantRateLimitPolicy
+	// Faults is the fault-injection registry threaded through the
+	// deployment's dependency edges (meta scoring, kubelet runtimes, WAL
+	// appends, archive spill). Nil resolves to faults.Default, which is
+	// inert unless armed (the daemon's -faults flag arms it).
+	Faults *faults.Registry
+	// Clock is the deployment's time source (nil = wall clock). Virtual
+	// clocks drive the scheduler, controller, state timestamps, scoring
+	// circuit breaker and rate-limit refills — the chaos harness runs
+	// outage cool-downs in virtual time.
+	Clock clock.Clock
+	// Breaker overrides the Meta-scoring circuit breaker configuration
+	// (nil = defaults: 5 consecutive failures, 5s cool-down, 1 probe).
+	Breaker *resilience.Breaker
 	// Retention bounds how long terminal jobs stay resident in the hot
 	// store: the controller's sweep moves older/overflowing ones (with
 	// their event trails) into the archive tier, keeping scheduler and
@@ -120,12 +141,19 @@ type QRIO struct {
 	// Durability is the durable-state manager, nil when the deployment
 	// runs in-memory.
 	Durability *durability.Manager
+	// Faults is the registry the deployment's fault points resolve to
+	// (Config.Faults; nil means faults.Default).
+	Faults *faults.Registry
+	// ScorerBreaker is the circuit breaker guarding Meta-Server scoring;
+	// its state is observable (degraded-mode scheduling, admin surfaces).
+	ScorerBreaker *resilience.Breaker
 
 	mu              sync.Mutex
 	ctx             context.Context
 	cancel          context.CancelFunc
 	wg              sync.WaitGroup
 	started         bool
+	draining        atomic.Bool
 	nextKubeletSeed int64
 	nodeConcurrency int
 }
@@ -139,8 +167,15 @@ func New(cfg Config) (*QRIO, error) {
 	}
 	st := state.New()
 	st.Quotas = cfg.TenantQuotas
+	st.RateLimits = cfg.TenantRateLimits
+	if cfg.Clock != nil {
+		st.Clock = cfg.Clock
+	}
 	var dur *durability.Manager
 	if cfg.Durability.Enabled() {
+		if cfg.Durability.Faults == nil {
+			cfg.Durability.Faults = cfg.Faults
+		}
 		var err error
 		if dur, err = durability.Open(st, cfg.Durability); err != nil {
 			return nil, err
@@ -166,7 +201,23 @@ func New(cfg Config) (*QRIO, error) {
 			return nil, fmt.Errorf("core: registering backend %s: %w", b.Name, err)
 		}
 	}
-	fw := sched.NewFramework(sched.MetaScore{Scorer: metaSrv}, sched.DefaultFilters()...)
+	// The scoring path is circuit-broken: the live scorer (behind the
+	// meta.score fault point) feeds ResilientMetaScore, which degrades to
+	// stale-cache / heuristic scoring when the Meta Server is down and
+	// records one SchedulingDegraded event per outage.
+	breaker := cfg.Breaker
+	if breaker == nil {
+		breaker = &resilience.Breaker{Clock: cfg.Clock}
+	}
+	scorer := &sched.ResilientMetaScore{
+		Scorer:  meta.FaultScorer{Scorer: metaSrv, Faults: cfg.Faults},
+		Breaker: breaker,
+		Clock:   cfg.Clock,
+		OnDegraded: func(detail string) {
+			st.RecordEvent("Scheduler", "scheduler", "SchedulingDegraded", detail)
+		},
+	}
+	fw := sched.NewFramework(scorer, sched.DefaultFilters()...)
 	fw.ScoreParallelism = cfg.ScoreWorkers
 	scheduler := sched.New(st, fw)
 	if cfg.Concurrency > 0 {
@@ -174,24 +225,36 @@ func New(cfg Config) (*QRIO, error) {
 	}
 	scheduler.TenantWeights = cfg.TenantWeights
 	scheduler.TenantQuotas = cfg.TenantQuotas
+	if cfg.Clock != nil {
+		scheduler.Clock = cfg.Clock
+	}
 	ctl := controller.New(st)
 	if cfg.MaxRetries > 0 {
 		ctl.MaxRetries = cfg.MaxRetries
 	}
 	ctl.Retention = cfg.Retention
+	if cfg.Clock != nil {
+		ctl.Clock = cfg.Clock
+	}
 	q := &QRIO{
-		State:      st,
-		Meta:       metaSrv,
-		Master:     master.NewServer(st, reg),
-		Registry:   reg,
-		Scheduler:  scheduler,
-		Controller: ctl,
-		Quotas:     cfg.TenantQuotas,
-		Durability: dur,
+		State:         st,
+		Meta:          metaSrv,
+		Master:        master.NewServer(st, reg),
+		Registry:      reg,
+		Scheduler:     scheduler,
+		Controller:    ctl,
+		Quotas:        cfg.TenantQuotas,
+		Durability:    dur,
+		Faults:        cfg.Faults,
+		ScorerBreaker: breaker,
 	}
 	for i, b := range cfg.Backends {
-		q.Kubelets = append(q.Kubelets,
-			kubelet.New(b.Name, st, reg, cfg.KubeletSeed+int64(i)))
+		k := kubelet.New(b.Name, st, reg, cfg.KubeletSeed+int64(i))
+		k.Faults = cfg.Faults
+		if cfg.Clock != nil {
+			k.Clock = cfg.Clock
+		}
+		q.Kubelets = append(q.Kubelets, k)
 	}
 	q.nextKubeletSeed = cfg.KubeletSeed + int64(len(cfg.Backends))
 	q.nodeConcurrency = cfg.NodeConcurrency
@@ -213,6 +276,10 @@ func (q *QRIO) AddBackend(b *device.Backend) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	k := kubelet.New(b.Name, q.State, q.Registry, q.nextKubeletSeed)
+	k.Faults = q.Faults
+	if q.State.Clock != nil {
+		k.Clock = q.State.Clock
+	}
 	q.nextKubeletSeed++
 	q.Kubelets = append(q.Kubelets, k)
 	if q.started {
@@ -275,6 +342,37 @@ func (q *QRIO) Stop() {
 	q.started = false
 	q.mu.Unlock()
 	q.wg.Wait()
+}
+
+// BeginDrain flips the orchestrator into draining mode: the gateway
+// rejects new submissions with 503 draining while reads, watches and
+// in-flight work continue. Idempotent; there is no undrain — a draining
+// process is on its way out.
+func (q *QRIO) BeginDrain() { q.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (q *QRIO) Draining() bool { return q.draining.Load() }
+
+// Drain performs the graceful half of a SIGTERM shutdown: it begins
+// draining (no new intake), stops the control loops — which blocks until
+// in-flight containers finish, because each kubelet's Run waits for its
+// jobs before returning — then requeues any job the scheduler bound but
+// no kubelet claimed, so a drained restart re-binds it instead of
+// leaving it parked in Scheduled forever. With durability on it ends
+// with a compacted snapshot, so the next boot replays nothing. Returns
+// how many unclaimed jobs were requeued. Call Close afterwards to
+// release durable-state resources.
+func (q *QRIO) Drain() (requeued int, err error) {
+	q.BeginDrain()
+	q.Stop()
+	requeued = q.State.RequeueUnclaimedScheduled(
+		"requeued: daemon drained before a kubelet claimed the job")
+	if q.Durability != nil {
+		if _, serr := q.Durability.Snapshot(); serr != nil {
+			err = fmt.Errorf("core: final drain snapshot: %w", serr)
+		}
+	}
+	return requeued, err
 }
 
 // Close stops the control loops and releases durable-state resources

@@ -23,8 +23,17 @@ import (
 // The /apiserver, /meta and /master prefixes remain for component-level
 // access and out-of-process deployments; new clients should prefer /v1.
 func Handler(q *core.QRIO) http.Handler {
+	return HandlerMaxInFlight(q, 0)
+}
+
+// HandlerMaxInFlight is Handler with the gateway's global in-flight cap
+// set (0 = uncapped); excess concurrent /v1 requests are shed with 503
+// overloaded.
+func HandlerMaxInFlight(q *core.QRIO, maxInFlight int) http.Handler {
+	gw := gateway.New(q)
+	gw.MaxInFlight = maxInFlight
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", gateway.New(q).Handler())
+	mux.Handle("/v1/", gw.Handler())
 	mux.Handle("/apiserver/", http.StripPrefix("/apiserver", apiserver.New(q.State).Handler()))
 	mux.Handle("/meta/", http.StripPrefix("/meta", q.Meta.Handler()))
 	mux.Handle("/master/", http.StripPrefix("/master", q.Master.Handler()))

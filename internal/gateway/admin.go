@@ -24,12 +24,14 @@ type SnapshotResponse struct {
 }
 
 // SetTenantRequest is the body of PUT /v1/tenants/{name}: the tenant's
-// new fair-share weight and quota, applied atomically as one override
-// that fully replaces the static flag configuration for that tenant.
-// Weight 0 means the default weight (1); zero quota fields mean unlimited.
+// new fair-share weight, quota and submission rate limit, applied
+// atomically as one override that fully replaces the static flag
+// configuration for that tenant. Weight 0 means the default weight (1);
+// zero quota and rate-limit fields mean unlimited.
 type SetTenantRequest struct {
-	Weight int             `json:"weight,omitempty"`
-	Quota  api.TenantQuota `json:"quota,omitempty"`
+	Weight    int                 `json:"weight,omitempty"`
+	Quota     api.TenantQuota     `json:"quota,omitempty"`
+	RateLimit api.TenantRateLimit `json:"rateLimit,omitempty"`
 }
 
 func (s *Server) handleAdminDurability(w http.ResponseWriter, r *http.Request) {
@@ -65,6 +67,7 @@ func (s *Server) handleSetTenant(w http.ResponseWriter, r *http.Request) {
 		ObjectMeta: api.ObjectMeta{Name: name},
 		Weight:     req.Weight,
 		Quota:      req.Quota,
+		RateLimit:  req.RateLimit,
 	})
 	if err != nil {
 		// InvalidTenantConfigError carries 422/"invalid" through the

@@ -97,8 +97,9 @@ func (a *admission) admit(st *state.Cluster, quota api.TenantQuota, tenant strin
 // from the cluster index, its fair-share weight and its governing quota.
 type TenantStatus struct {
 	state.TenantUsage
-	Weight int             `json:"weight"`
-	Quota  api.TenantQuota `json:"quota"`
+	Weight    int                 `json:"weight"`
+	Quota     api.TenantQuota     `json:"quota"`
+	RateLimit api.TenantRateLimit `json:"rateLimit,omitempty"`
 }
 
 func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
@@ -143,6 +144,7 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 			TenantUsage: u,
 			Weight:      weight,
 			Quota:       s.Core.State.QuotaFor(u.Tenant),
+			RateLimit:   s.Core.State.RateLimitFor(u.Tenant),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })

@@ -25,9 +25,11 @@
 //	DELETE /v1/nodes/{name}         — remove a node
 //	GET    /v1/score?job=J&backend=B
 //	GET    /v1/score/batch?job=J[&backend=B...]
-//	GET    /v1/tenants              — per-tenant usage, fair-share weight, quota
-//	PUT    /v1/tenants/{name}       — hot-reload a tenant's weight + quota
-//	                                  (atomic pair; durable when -data-dir is on)
+//	GET    /v1/tenants              — per-tenant usage, fair-share weight,
+//	                                  quota, submission rate limit
+//	PUT    /v1/tenants/{name}       — hot-reload a tenant's weight + quota +
+//	                                  rate limit (atomic; durable when
+//	                                  -data-dir is on)
 //	GET    /v1/events[?about=X]
 //	GET    /v1/watch[?kind=job|node][&name=X][&resume=T]  — SSE stream;
 //	                                  resume=T replays from a prior
@@ -37,12 +39,16 @@
 //	POST   /v1/admin/snapshot       — force a compacted snapshot now
 //
 // Submissions are charged to a tenant (SubmitRequest.Tenant, defaulted to
-// "default") and pass the quota admission layer (admission.go) before any
-// expensive work; GET /v1/jobs accepts a tenant filter.
+// "default") and pass flow control (ratelimit.go: per-tenant arrival rate,
+// global in-flight cap, drain gate) and the quota admission layer
+// (admission.go) before any expensive work; GET /v1/jobs accepts a tenant
+// filter.
 //
 // Error responses carry machine-readable codes: invalid (400),
-// not_found (404), conflict (409), compacted (410), unschedulable (422)
-// and quota_exceeded (429).
+// not_found (404), conflict (409), compacted (410), unschedulable (422),
+// quota_exceeded and rate_limited (429, with Retry-After), and
+// overloaded / draining (503). 429 responses carry a Retry-After header
+// with the delta-seconds to wait.
 package gateway
 
 import (
@@ -50,6 +56,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"qrio/internal/cluster/api"
@@ -88,14 +95,26 @@ type Server struct {
 	Core *core.QRIO
 	// PingInterval spaces SSE keep-alive comments (default 15s).
 	PingInterval time.Duration
+	// MaxInFlight caps concurrent /v1 requests across the whole surface;
+	// excess requests are shed with 503 overloaded. 0 means uncapped.
+	MaxInFlight int
 
 	// admission is the tenant quota layer (see admission.go); quotas come
 	// from Core.Quotas, live usage from the cluster's tenant index.
 	admission admission
+	// limiter holds the per-tenant submission token buckets (ratelimit.go).
+	limiter rateLimiter
+	// inflight counts requests for the MaxInFlight shed.
+	inflight atomic.Int64
 }
 
-// New builds a gateway for an orchestrator.
-func New(q *core.QRIO) *Server { return &Server{Core: q} }
+// New builds a gateway for an orchestrator. The rate limiter shares the
+// cluster's clock so virtual-time harnesses drive bucket refills.
+func New(q *core.QRIO) *Server {
+	s := &Server{Core: q}
+	s.limiter.clock = q.State.Clock
+	return s
+}
 
 // Handler returns the /v1 routes.
 func (s *Server) Handler() http.Handler {
@@ -124,7 +143,7 @@ func (s *Server) Handler() http.Handler {
 		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
 			fmt.Errorf("no /v1 route for %s %s", r.Method, r.URL.Path))
 	})
-	return mux
+	return s.flowControl(mux)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -133,6 +152,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"nodes":    s.Core.State.Nodes.Len(),
 		"jobs":     s.Core.State.Jobs.Len(),
 		"archived": s.Core.State.Archived.Len(),
+	}
+	// A draining daemon still answers health (load balancers need the
+	// signal to rotate it out) but reports it is winding down.
+	if s.Core.Draining() {
+		resp["draining"] = true
 	}
 	// Durability summary: a latched WAL or spill error means the cluster
 	// keeps serving but recent history may not survive the next crash —
@@ -199,6 +223,15 @@ func (s *Server) submitOne(req master.SubmitRequest) (api.QuantumJob, error) {
 		req.Tenant = api.DefaultTenant
 	}
 	if err := req.Validate(); err != nil {
+		return api.QuantumJob{}, err
+	}
+	// Flow control precedes everything else: a draining daemon accepts no
+	// new work, and a tenant over its arrival rate is bounced before any
+	// parsing, scoring or quota bookkeeping happens on its behalf.
+	if s.Core.Draining() {
+		return api.QuantumJob{}, &DrainingError{}
+	}
+	if err := s.rateLimit(req.Tenant); err != nil {
 		return api.QuantumJob{}, err
 	}
 	// The circuit-derived qubit width feeds both the static filters and

@@ -1,0 +1,168 @@
+// Gateway flow control: the overload layer ahead of tenant admission.
+// Rate limiting bounds each tenant's submission *arrival rate* with a
+// token bucket (429 rate_limited + Retry-After), complementing quotas,
+// which bound admitted-but-unfinished *work*. A global max-in-flight cap
+// sheds excess concurrent requests across the whole /v1 surface (503
+// overloaded), and a draining daemon answers submission intake with 503
+// draining so load balancers rotate traffic away during shutdown.
+//
+// Limits resolve through state.RateLimitFor — a live TenantConfig
+// override (PUT /v1/tenants/{name}) wins over the static -rate-limit
+// policy — so operators can throttle a flooding tenant without a
+// restart. The limiter's fast path for unlimited tenants is one map
+// read under a mutex; buckets exist only for limited tenants.
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"qrio/internal/clock"
+	"qrio/internal/cluster/api"
+	"qrio/internal/httpx"
+)
+
+// RateLimitedError rejects a submission that exceeds its tenant's
+// token-bucket arrival rate: HTTP 429 with the rate_limited code and a
+// Retry-After hint of when the bucket next refills a full token.
+type RateLimitedError struct {
+	Tenant string
+	Wait   time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("gateway: tenant %s over submission rate limit (retry in %s)",
+		e.Tenant, e.Wait.Round(time.Millisecond))
+}
+
+// HTTPStatus implements httpx.StatusCoder.
+func (e *RateLimitedError) HTTPStatus() (int, string) { return 429, httpx.CodeRateLimited }
+
+// RetryAfter implements httpx.RetryAfterer.
+func (e *RateLimitedError) RetryAfter() time.Duration { return e.Wait }
+
+// OverloadedError sheds a request over the gateway's global in-flight
+// cap: HTTP 503 with the overloaded code. Shedding is instantaneous
+// backpressure — the client should back off and retry.
+type OverloadedError struct{ InFlight, Max int }
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("gateway: %d requests in flight at cap %d", e.InFlight, e.Max)
+}
+
+// HTTPStatus implements httpx.StatusCoder.
+func (e *OverloadedError) HTTPStatus() (int, string) { return 503, httpx.CodeOverloaded }
+
+// RetryAfter implements httpx.RetryAfterer.
+func (e *OverloadedError) RetryAfter() time.Duration { return time.Second }
+
+// DrainingError rejects submission intake on a daemon that received
+// SIGTERM and is finishing its in-flight work: HTTP 503 with the
+// draining code. Reads and watches keep working through the drain.
+type DrainingError struct{}
+
+func (e *DrainingError) Error() string {
+	return "gateway: daemon is draining — submissions are not accepted"
+}
+
+// HTTPStatus implements httpx.StatusCoder.
+func (e *DrainingError) HTTPStatus() (int, string) { return 503, httpx.CodeDraining }
+
+// maxIdleBuckets bounds the limiter map: past this, buckets that have
+// fully refilled (indistinguishable from fresh ones) are pruned.
+const maxIdleBuckets = 1024
+
+// rateLimiter holds per-tenant token buckets. Time comes from an
+// injected clock so the chaos harness drives refills virtually.
+type rateLimiter struct {
+	clock   clock.Clock
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// allow charges one submission against the tenant's bucket. A nil
+// return admits; otherwise the *RateLimitedError carries the time until
+// a full token refills. Limits hot-reload: the bucket re-reads rate and
+// burst on every call, so an operator override applies to the very next
+// submission.
+func (l *rateLimiter) allow(tenant string, limit api.TenantRateLimit) error {
+	if limit.Unlimited() {
+		l.mu.Lock()
+		delete(l.buckets, tenant) // forget history from a stricter past limit
+		l.mu.Unlock()
+		return nil
+	}
+	burst := float64(limit.Burst)
+	if burst < 1 {
+		burst = math.Max(1, math.Ceil(limit.SubmitPerSecond))
+	}
+	now := clock.Now(l.clock)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buckets == nil {
+		l.buckets = make(map[string]*bucket)
+	}
+	b, ok := l.buckets[tenant]
+	if !ok {
+		if len(l.buckets) >= maxIdleBuckets {
+			l.prune(now)
+		}
+		b = &bucket{tokens: burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * limit.SubmitPerSecond
+	b.last = now
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - b.tokens) / limit.SubmitPerSecond * float64(time.Second))
+	return &RateLimitedError{Tenant: tenant, Wait: wait}
+}
+
+// prune drops buckets idle long enough to have refilled completely (a
+// fresh bucket behaves identically), under l.mu. The one-second-per-
+// token floor keeps pathological sub-1/s rates from pinning entries.
+func (l *rateLimiter) prune(now time.Time) {
+	for t, b := range l.buckets {
+		if now.Sub(b.last) > time.Minute {
+			delete(l.buckets, t)
+		}
+	}
+}
+
+// rateLimit is the submission-intake hook: resolves the tenant's
+// governing limit (live override first, static policy second) and
+// charges the bucket.
+func (s *Server) rateLimit(tenant string) error {
+	return s.limiter.allow(tenant, s.Core.State.RateLimitFor(tenant))
+}
+
+// flowControl wraps the /v1 mux with the global in-flight cap. It is
+// deliberately outermost and O(1): shedding must stay cheap exactly when
+// the gateway is busiest.
+func (s *Server) flowControl(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if max := s.MaxInFlight; max > 0 {
+			n := s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+			if n > int64(max) {
+				httpx.WriteErr(w, &OverloadedError{InFlight: int(n), Max: max},
+					http.StatusServiceUnavailable, httpx.CodeOverloaded)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

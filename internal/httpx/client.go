@@ -1,0 +1,56 @@
+// Shared *http.Client construction. Every QRIO component builds its HTTP
+// client here (make lint enforces it), so three production requirements
+// hold everywhere at once: an explicit overall timeout (no client can
+// hang forever on an unresponsive peer), bounded transport connection
+// state, and the httpx.roundtrip fault point threaded under every
+// request for outage rehearsal.
+package httpx
+
+import (
+	"net/http"
+	"time"
+
+	"qrio/internal/faults"
+)
+
+// DefaultClientTimeout is the blanket round-trip backstop for regular
+// API calls; use per-request contexts for tighter deadlines.
+const DefaultClientTimeout = 120 * time.Second
+
+// newTransport builds the bounded transport both constructors share.
+func newTransport() *http.Transport {
+	return &http.Transport{
+		MaxIdleConns:          100,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// NewClient builds the standard QRIO API client: explicit overall
+// timeout (0 or negative selects DefaultClientTimeout), bounded
+// transport, fault point on every round trip. reg nil means the
+// process-wide faults.Default registry.
+func NewClient(timeout time.Duration, reg *faults.Registry) *http.Client {
+	if timeout <= 0 {
+		timeout = DefaultClientTimeout
+	}
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: faults.RoundTripper(reg, faults.PointHTTPRoundTrip, newTransport()),
+	}
+}
+
+// NewStreamClient builds the client for long-lived streams (the SSE
+// watch): no overall timeout — a healthy stream is expected to outlive
+// any fixed deadline — but the response HEADER must arrive promptly, so
+// a dead server still fails fast; lifetime is bounded by the request
+// context.
+func NewStreamClient(reg *faults.Registry) *http.Client {
+	tr := newTransport()
+	tr.ResponseHeaderTimeout = 30 * time.Second
+	return &http.Client{
+		Transport: faults.RoundTripper(reg, faults.PointHTTPRoundTrip, tr),
+	}
+}

@@ -7,7 +7,8 @@
 //	{"error": {"code": "not_found", "message": "store: \"bv\" not found"}}
 //
 // The defined codes are invalid, not_found, conflict, unschedulable,
-// quota_exceeded, method_not_allowed, compacted and internal.
+// quota_exceeded, rate_limited, method_not_allowed, compacted,
+// overloaded, draining and internal.
 package httpx
 
 import (
@@ -17,7 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"qrio/internal/cluster/store"
 )
@@ -36,6 +40,17 @@ const (
 	// back to a fresh watch (full snapshot) instead of an exact replay,
 	// mirroring the Kubernetes expired-resourceVersion contract.
 	CodeCompacted = "compacted"
+	// CodeRateLimited (429) rejects a submission the tenant's token-bucket
+	// rate limit refused; the Retry-After header says when the next token
+	// arrives. Distinct from quota_exceeded: rate limits bound request
+	// arrival, quotas bound admitted-but-unfinished work.
+	CodeRateLimited = "rate_limited"
+	// CodeOverloaded (503) sheds a request the gateway's global
+	// max-in-flight bound refused — back off and retry.
+	CodeOverloaded = "overloaded"
+	// CodeDraining (503) rejects intake while the server is shutting down
+	// gracefully; resubmit against another replica or after the restart.
+	CodeDraining = "draining"
 )
 
 // MaxBodyBytes caps request and response bodies (circuits travel as QASM
@@ -69,9 +84,48 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// WriteError writes the envelope with an explicit status and code.
+// RetryAfterer lets throttling error types (rate limit, quota, overload)
+// tell clients when retrying could succeed; WriteError/WriteErr turn it
+// into a Retry-After header on the response.
+type RetryAfterer interface {
+	RetryAfter() time.Duration
+}
+
+// WriteError writes the envelope with an explicit status and code. When
+// the error (chain) carries a RetryAfter hint, the Retry-After header is
+// set (whole seconds, rounded up, at least 1 — the HTTP delta-seconds
+// form).
 func WriteError(w http.ResponseWriter, status int, code string, err error) {
+	var ra RetryAfterer
+	if errors.As(err, &ra) {
+		if d := ra.RetryAfter(); d > 0 {
+			w.Header().Set("Retry-After", FormatRetryAfter(d))
+		}
+	}
 	WriteJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: err.Error()}})
+}
+
+// FormatRetryAfter renders a duration as HTTP delta-seconds (ceiling,
+// minimum 1 — "Retry-After: 0" would invite an immediate hammer).
+func FormatRetryAfter(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// ParseRetryAfter reads a Retry-After header value (delta-seconds form)
+// back into a duration; 0 when absent or malformed.
+func ParseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // WriteErr classifies err through StatusOf and writes the envelope, using
@@ -116,25 +170,41 @@ func StatusOf(err error) (int, string) {
 	}
 }
 
+// ErrorFunc shapes a non-2xx response into the caller's error type:
+// status and the envelope's code/message (message is "" when the body
+// carried no recognisable envelope), plus the response's Retry-After
+// delay (0 when the header was absent).
+type ErrorFunc func(status int, code, message string, retryAfter time.Duration) error
+
 // DoJSON is the one JSON request/response round trip every QRIO HTTP
 // client shares: marshal in (when non-nil), issue the request under ctx,
 // bound-read the response, and unmarshal into out (when non-nil). Non-2xx
 // responses have their error envelope decoded and are shaped into the
-// caller's error type via onError (message is "" when the body carried no
-// recognisable envelope).
+// caller's error type via onError. For automatic retries wrap the call in
+// DoJSONRetry (retry.go).
 func DoJSON(ctx context.Context, hc *http.Client, method, url string, in, out any,
-	onError func(status int, code, message string) error) error {
+	onError ErrorFunc) error {
+	_, _, err := doJSONOnce(ctx, hc, method, url, in, out, onError)
+	return err
+}
+
+// doJSONOnce performs one attempt and additionally reports the HTTP
+// status (0 on transport error) and the server's Retry-After delay so
+// the retry loop can classify failures and pace itself without
+// unwrapping the caller-shaped error.
+func doJSONOnce(ctx context.Context, hc *http.Client, method, url string, in, out any,
+	onError ErrorFunc) (status int, retryAfter time.Duration, err error) {
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -144,21 +214,22 @@ func DoJSON(ctx context.Context, hc *http.Client, method, url string, in, out an
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
 	if err != nil {
-		return err
+		return resp.StatusCode, 0, err
 	}
 	if resp.StatusCode >= 300 {
 		code, msg, _ := DecodeErrorBody(raw)
-		return onError(resp.StatusCode, code, msg)
+		ra := ParseRetryAfter(resp.Header.Get("Retry-After"))
+		return resp.StatusCode, ra, onError(resp.StatusCode, code, msg, ra)
 	}
 	if out != nil {
-		return json.Unmarshal(raw, out)
+		return resp.StatusCode, 0, json.Unmarshal(raw, out)
 	}
-	return nil
+	return resp.StatusCode, 0, nil
 }
 
 // DecodeErrorBody parses an error response body into (code, message). It

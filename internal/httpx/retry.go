@@ -1,0 +1,172 @@
+// Retry policy for QRIO's HTTP clients: per-attempt deadlines and
+// exponential backoff with full jitter, applied only where a retry is
+// safe (idempotent methods, or an explicit opt-in) and only to failures
+// that plausibly clear (transport errors, 429 and 5xx gateway/overload
+// statuses). Delays honour the server's Retry-After when one was sent —
+// a throttling server knows its own refill schedule better than our
+// backoff curve does.
+package httpx
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RetryPolicy configures DoJSONRetry. The zero value performs a single
+// attempt (no retries) so embedding a policy is never a behaviour change
+// until fields are set.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (<=1 means one attempt, no retry).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms): attempt n
+	// waits a uniform draw from [0, min(MaxDelay, BaseDelay·2ⁿ)] — "full
+	// jitter", which decorrelates retry storms across clients.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window (default 2s).
+	MaxDelay time.Duration
+	// PerAttemptTimeout bounds each individual attempt, so one hung
+	// request cannot consume the caller's whole context budget
+	// (0 = no per-attempt bound beyond the caller's context).
+	PerAttemptTimeout time.Duration
+	// RetryNonIdempotent extends retries to POST/PATCH. Safe only when
+	// the server deduplicates (QRIO job submission does: names are
+	// unique, so a replayed submit returns conflict rather than a
+	// duplicate job).
+	RetryNonIdempotent bool
+}
+
+// DefaultRetry is the policy QRIO's own clients adopt: three attempts,
+// 50ms..2s full-jitter backoff, 30s per attempt.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts:       3,
+	BaseDelay:         50 * time.Millisecond,
+	MaxDelay:          2 * time.Second,
+	PerAttemptTimeout: 30 * time.Second,
+}
+
+// jitterRNG drives backoff draws. Seeded (repo determinism rule) and
+// process-shared: interleaving across goroutines is itself a jitter
+// source, and tests that need exact sequences call RetryPolicy.Delay
+// with their own *rand.Rand.
+var (
+	jitterMu  sync.Mutex
+	jitterRNG = rand.New(rand.NewSource(0x9e3779b9))
+)
+
+// idempotentMethod reports whether a method is safe to replay blindly.
+func idempotentMethod(m string) bool {
+	switch m {
+	case http.MethodGet, http.MethodHead, http.MethodOptions,
+		http.MethodPut, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// throttling and transient upstream/overload failures. Other 4xx/5xx
+// (invalid, not_found, conflict, internal, ...) are deterministic —
+// replaying them wastes the budget.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Delay computes the wait before retry attempt n (0-based: the wait
+// after the first failure is Delay(0)). A positive server Retry-After
+// wins outright; otherwise a full-jitter draw from rng (nil uses the
+// package's seeded generator).
+func (p RetryPolicy) Delay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	window := base
+	for i := 0; i < attempt && window < maxd; i++ {
+		window *= 2
+	}
+	if window > maxd {
+		window = maxd
+	}
+	if rng != nil {
+		return time.Duration(rng.Int63n(int64(window) + 1))
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return time.Duration(jitterRNG.Int63n(int64(window) + 1))
+}
+
+// DoJSONRetry is DoJSON under a retry policy: attempts are spaced by
+// full-jitter backoff (or the server's Retry-After), each bounded by
+// PerAttemptTimeout, and only retry-safe failures on retry-safe methods
+// are replayed. The caller's ctx bounds the whole exchange — its
+// cancellation is never retried, and the last attempt's error is
+// returned as-is (already shaped by onError).
+func DoJSONRetry(ctx context.Context, hc *http.Client, policy RetryPolicy,
+	method, url string, in, out any, onError ErrorFunc) error {
+	attempts := policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	canRetry := idempotentMethod(method) || policy.RetryNonIdempotent
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		attemptCtx, cancel := ctx, context.CancelFunc(nil)
+		if policy.PerAttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, policy.PerAttemptTimeout)
+		}
+		status, retryAfter, err := doJSONOnce(attemptCtx, hc, method, url, in, out, onError)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !canRetry || attempt == attempts-1 {
+			return lastErr
+		}
+		if ctx.Err() != nil {
+			// The caller's context ended; a per-attempt timeout (caller
+			// context still live) is retryable, caller cancellation is not.
+			return lastErr
+		}
+		if status == 0 {
+			// Transport-level failure. Retry unless it was a context error
+			// bubbling through the transport.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				if attemptCtx == ctx {
+					return lastErr
+				}
+				// else: the per-attempt deadline fired — retryable.
+			}
+		} else if !retryableStatus(status) {
+			return lastErr
+		}
+		delay := policy.Delay(attempt, retryAfter, nil)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return lastErr
+		case <-t.C:
+		}
+	}
+	return lastErr
+}

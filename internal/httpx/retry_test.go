@@ -1,0 +1,227 @@
+package httpx
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shapeErr is the ErrorFunc the retry tests thread through, mirroring
+// what real clients do: keep status and code visible.
+func shapeErr(status int, code, message string, _ time.Duration) error {
+	return fmt.Errorf("status %d code %s: %s", status, code, message)
+}
+
+// TestDelayJitterBounds pins the full-jitter window: attempt n draws
+// uniformly from [0, min(MaxDelay, BaseDelay·2ⁿ)], and a seeded generator
+// makes the draw sequence reproducible.
+func TestDelayJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+	rng := rand.New(rand.NewSource(7))
+	windows := []time.Duration{
+		50 * time.Millisecond,  // attempt 0
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second, // stays capped
+	}
+	for attempt, window := range windows {
+		for i := 0; i < 200; i++ {
+			d := p.Delay(attempt, 0, rng)
+			if d < 0 || d > window {
+				t.Fatalf("Delay(attempt=%d) = %s outside [0, %s]", attempt, d, window)
+			}
+		}
+	}
+
+	// Same seed → same sequence (determinism rule).
+	a, b := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		if da, db := p.Delay(i%6, 0, a), p.Delay(i%6, 0, b); da != db {
+			t.Fatalf("same-seed draw %d diverged: %s vs %s", i, da, db)
+		}
+	}
+}
+
+// TestDelayRetryAfterWins: a positive server Retry-After overrides the
+// backoff curve outright.
+func TestDelayRetryAfterWins(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	if d := p.Delay(0, 3*time.Second, rand.New(rand.NewSource(1))); d != 3*time.Second {
+		t.Fatalf("Delay with Retry-After = %s, want 3s", d)
+	}
+}
+
+// TestDelayZeroValueDefaults: an unset policy still produces sane
+// windows (50ms base, 2s cap).
+func TestDelayZeroValueDefaults(t *testing.T) {
+	var p RetryPolicy
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(0, 0, rng); d > 50*time.Millisecond {
+			t.Fatalf("zero-value Delay(0) = %s beyond the 50ms default window", d)
+		}
+		if d := p.Delay(20, 0, rng); d > 2*time.Second {
+			t.Fatalf("zero-value Delay(20) = %s beyond the 2s default cap", d)
+		}
+	}
+}
+
+// flakyServer answers with failStatus for the first failures calls, then
+// 200 {"ok":true}.
+func flakyServer(t *testing.T, failStatus int, failures int32) (*httptest.Server, *int32) {
+	t.Helper()
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= failures {
+			WriteError(w, failStatus, CodeOverloaded, fmt.Errorf("try later"))
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+}
+
+// TestRetryTransient503: an idempotent request retries through transient
+// 503s and succeeds.
+func TestRetryTransient503(t *testing.T) {
+	srv, calls := flakyServer(t, http.StatusServiceUnavailable, 2)
+	var out map[string]bool
+	err := DoJSONRetry(context.Background(), srv.Client(), fastRetry(3),
+		http.MethodGet, srv.URL, nil, &out, shapeErr)
+	if err != nil {
+		t.Fatalf("retried GET: %v", err)
+	}
+	if !out["ok"] || atomic.LoadInt32(calls) != 3 {
+		t.Fatalf("out=%v calls=%d, want ok after 3 calls", out, atomic.LoadInt32(calls))
+	}
+}
+
+// TestNoRetryNonIdempotent: POST is not replayed unless the policy opts
+// in (the server must deduplicate first).
+func TestNoRetryNonIdempotent(t *testing.T) {
+	srv, calls := flakyServer(t, http.StatusServiceUnavailable, 2)
+	err := DoJSONRetry(context.Background(), srv.Client(), fastRetry(3),
+		http.MethodPost, srv.URL, map[string]string{"a": "b"}, nil, shapeErr)
+	if err == nil {
+		t.Fatal("non-idempotent POST was retried to success")
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("POST issued %d times, want 1", got)
+	}
+
+	p := fastRetry(3)
+	p.RetryNonIdempotent = true
+	atomic.StoreInt32(calls, 0)
+	if err := DoJSONRetry(context.Background(), srv.Client(), p,
+		http.MethodPost, srv.URL, map[string]string{"a": "b"}, nil, shapeErr); err != nil {
+		t.Fatalf("opted-in POST retry: %v", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("opted-in POST issued %d times, want 3", got)
+	}
+}
+
+// TestNoRetryDeterministicStatus: 4xx like not_found are deterministic —
+// replaying wastes the budget, so one attempt only.
+func TestNoRetryDeterministicStatus(t *testing.T) {
+	srv, calls := flakyServer(t, http.StatusNotFound, 99)
+	err := DoJSONRetry(context.Background(), srv.Client(), fastRetry(3),
+		http.MethodGet, srv.URL, nil, nil, shapeErr)
+	if err == nil {
+		t.Fatal("404 succeeded")
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("404 GET issued %d times, want 1", got)
+	}
+}
+
+// TestRetry429: throttling responses are retry-worthy.
+func TestRetry429(t *testing.T) {
+	srv, calls := flakyServer(t, http.StatusTooManyRequests, 1)
+	if err := DoJSONRetry(context.Background(), srv.Client(), fastRetry(2),
+		http.MethodGet, srv.URL, nil, nil, shapeErr); err != nil {
+		t.Fatalf("retried past 429: %v", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 2 {
+		t.Fatalf("429 GET issued %d times, want 2", got)
+	}
+}
+
+// TestPerAttemptTimeout: a hung first attempt is bounded by
+// PerAttemptTimeout and retried while the caller's context is still
+// live — the stuck-dependency case.
+func TestPerAttemptTimeout(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			<-r.Context().Done() // hang until the per-attempt deadline kills us
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	defer srv.Close()
+
+	p := fastRetry(2)
+	p.PerAttemptTimeout = 50 * time.Millisecond
+	var out map[string]bool
+	if err := DoJSONRetry(context.Background(), srv.Client(), p,
+		http.MethodGet, srv.URL, nil, &out, shapeErr); err != nil {
+		t.Fatalf("hung first attempt not recovered: %v", err)
+	}
+	if !out["ok"] || atomic.LoadInt32(&calls) != 2 {
+		t.Fatalf("out=%v calls=%d, want ok after 2 calls", out, atomic.LoadInt32(&calls))
+	}
+}
+
+// TestCallerCancelNotRetried: the caller's own context ending is final —
+// no replay, prompt return.
+func TestCallerCancelNotRetried(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(_ http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := DoJSONRetry(ctx, srv.Client(), fastRetry(5), http.MethodGet, srv.URL, nil, nil, shapeErr)
+	if err == nil {
+		t.Fatal("cancelled exchange succeeded")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("cancelled exchange issued %d attempts, want 1", got)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled exchange took %s", d)
+	}
+}
+
+// TestZeroPolicySingleAttempt: the zero-value policy performs exactly one
+// attempt, so embedding it is never a behaviour change.
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	srv, calls := flakyServer(t, http.StatusServiceUnavailable, 99)
+	err := DoJSONRetry(context.Background(), srv.Client(), RetryPolicy{},
+		http.MethodGet, srv.URL, nil, nil, shapeErr)
+	if err == nil {
+		t.Fatal("zero-policy call succeeded against a dead server")
+	}
+	if got := atomic.LoadInt32(calls); got != 1 {
+		t.Fatalf("zero policy issued %d attempts, want 1", got)
+	}
+}

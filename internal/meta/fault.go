@@ -1,0 +1,27 @@
+package meta
+
+import (
+	"context"
+
+	"qrio/internal/faults"
+)
+
+// FaultScorer threads the fault-injection registry into the scoring
+// dependency: every Score call first evaluates the meta.score fault
+// point, so tests and the -faults dev flag can take the scorer down (or
+// slow it) without touching the Meta Server itself. A nil registry
+// resolves to faults.Default; an inert registry costs one atomic load.
+type FaultScorer struct {
+	Scorer Scorer
+	Faults *faults.Registry
+}
+
+// Score implements Scorer.
+func (f FaultScorer) Score(jobName, backendName string) (float64, error) {
+	if err := f.Faults.Fire(context.Background(), faults.PointMetaScore); err != nil {
+		return 0, err
+	}
+	return f.Scorer.Score(jobName, backendName)
+}
+
+var _ Scorer = FaultScorer{}

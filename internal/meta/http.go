@@ -134,17 +134,21 @@ func (s *Server) Handler() http.Handler {
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Retry paces idempotent calls through transient failures
+	// (httpx.DefaultRetry via NewClient; zero value = single attempt).
+	Retry httpx.RetryPolicy
 }
 
 // NewClient builds a client for the given base URL (e.g. http://host:port).
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"),
-		HTTP: &http.Client{Timeout: 120 * time.Second}}
+		HTTP:  httpx.NewClient(0, nil),
+		Retry: httpx.DefaultRetry}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return httpx.DoJSON(ctx, c.HTTP, method, c.BaseURL+path, in, out,
-		func(status int, _, msg string) error {
+	return httpx.DoJSONRetry(ctx, c.HTTP, c.Retry, method, c.BaseURL+path, in, out,
+		func(status int, _, msg string, _ time.Duration) error {
 			if msg == "" {
 				return fmt.Errorf("meta: %s %s: HTTP %d", method, path, status)
 			}

@@ -65,8 +65,30 @@
 // "conflict" (409, duplicate submission or cancelling a finished job —
 // resident or archived), "compacted" (410, stale watch resume token),
 // "unschedulable" (422, no device in the fleet can ever satisfy the
-// job's requirements) and "quota_exceeded" (429, the tenant is over its
-// admission quota).
+// job's requirements), "quota_exceeded" (429, the tenant is over its
+// admission quota), "rate_limited" (429, the tenant is submitting faster
+// than its token-bucket arrival rate), "overloaded" (503, the gateway
+// shed the request at its global in-flight cap) and "draining" (503, the
+// daemon is shutting down gracefully and takes no new work). Both 429
+// codes carry a Retry-After header; client.IsRateLimited, IsOverloaded,
+// IsDraining and RetryAfter expose them programmatically.
+//
+// # Resilience
+//
+// Dependency calls are defended end to end. The shared HTTP client
+// (httpx.NewClient) sets explicit timeouts, and DoJSONRetry retries
+// idempotent requests on 429/5xx/transport errors with exponential
+// backoff, full jitter and Retry-After honouring. The scheduler's
+// Meta-Server scoring path runs behind a circuit breaker: consecutive
+// scoring failures open it, scheduling degrades to staleness-bounded
+// cached scores (then a calibration-label heuristic) instead of
+// starving, a SchedulingDegraded event records each outage, and
+// half-open probes restore live scoring when the dependency heals. On
+// SIGTERM the daemon drains: intake answers 503 draining, in-flight
+// requests and containers finish, unclaimed scheduled jobs requeue, and
+// durable deployments end with a compacted snapshot. Package
+// internal/faults provides the deterministic fault-injection seams (the
+// daemon's -faults flag) the chaos harness rehearses all of this with.
 //
 // # Retention
 //
@@ -90,11 +112,12 @@
 // serial scheduler stays strict FIFO. GET /v1/tenants (Client.Tenants,
 // qrioctl tenants) reports per-tenant usage, weight and quota.
 //
-// Weights and quotas hot-reload: PUT /v1/tenants/{name}
-// (Client.SetTenant, qrioctl tenants set) replaces a tenant's weight and
-// quota atomically — one store mutation, one watch event — effective from
-// the next scheduling pass and admission check, no restart. Overrides are
-// durable when the deployment runs with durability enabled.
+// Weights, quotas and rate limits hot-reload: PUT /v1/tenants/{name}
+// (Client.SetTenant, qrioctl tenants set) replaces a tenant's weight,
+// quota and submission rate limit atomically — one store mutation, one
+// watch event — effective from the next scheduling pass, admission check
+// and rate-limit draw, no restart. Overrides are durable when the
+// deployment runs with durability enabled.
 //
 // # Durability & restarts
 //
