@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages the concurrent scheduling pipeline and the /v1 gateway touch;
 # they get the -race treatment on every CI run.
-RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/... ./internal/gateway/... ./client/...
+RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/... ./internal/gateway/... ./internal/obs/... ./client/...
 
 # Benchmarks the CI regression guard re-runs with -count=$(BENCH_COUNT)
 # for median comparison (the full suite takes minutes; the guard only
@@ -21,6 +21,10 @@ GUARDED_SLOW := BenchmarkSubmitThroughput
 # (the limiter is internal); benchcompare keys on benchmark name, so its
 # results concatenate into the same JSON stream.
 GUARDED_GATEWAY := BenchmarkRateLimit
+# The metrics hot path (counter inc, labeled lookup, histogram observe,
+# full scrape) is guarded from internal/obs: instrumentation that shows
+# up in the scheduler or gateway profiles defeats its own purpose.
+GUARDED_OBS := BenchmarkMetricsHotPath
 BENCH_COUNT ?= 3
 BENCH_FAST_TIME ?= 20x
 
@@ -29,7 +33,7 @@ BENCH_FAST_TIME ?= 20x
 # many points.
 COVERAGE_SLACK ?= 2
 
-.PHONY: all build vet fmt lint lint-rand lint-http test race bench bench-json bench-store bench-compare chaos-crash chaos-faults coverage sim sim-smoke ci
+.PHONY: all build vet fmt lint lint-rand lint-http lint-metrics test race bench bench-json bench-store bench-compare chaos-crash chaos-faults coverage sim sim-smoke ci
 
 all: build
 
@@ -72,6 +76,19 @@ lint-http:
 lint-rand:
 	@out="$$(grep -rnE '\brand\.(Intn|Int63n?|Int31n?|Float64|Float32|Perm|Shuffle|ExpFloat64|NormFloat64|Uint32|Uint64|Seed)\(' --include='*.go' internal cmd client 2>/dev/null || true)"; \
 	if [ -n "$$out" ]; then echo "lint-rand: package-global math/rand use breaks sim determinism:"; echo "$$out"; exit 1; fi
+
+# lint-metrics enforces the metric naming contract: every family literal
+# ("qrio_..." strings in non-test code) must read
+# qrio_<layer>_<name>_<unit> with a known layer prefix and unit suffix,
+# so dashboards and alert rules can rely on the grammar. The audit also
+# fails when it finds zero names — that means the grep is miswired, not
+# that the code is clean.
+lint-metrics:
+	@names="$$(grep -rhoE '"qrio_[a-z0-9_]+"' --include='*.go' --exclude='*_test.go' internal cmd client | sort -u | tr -d '"')"; \
+	if [ -z "$$names" ]; then echo "lint-metrics: found no metric family names — audit miswired"; exit 1; fi; \
+	bad="$$(echo "$$names" | grep -vE '^qrio_(sched|state|meta|gateway|watch|durability|archive|faults)_([a-z0-9]+_)*(total|seconds|bytes|jobs|entries|events|records|requests|streams|errors|generation)$$' || true)"; \
+	if [ -n "$$bad" ]; then echo "lint-metrics: family names must read qrio_<layer>_<name>_<unit>:"; echo "$$bad"; exit 1; fi; \
+	echo "lint-metrics: $$(echo "$$names" | wc -l) family names conform"
 
 # sim runs the full capacity-planning grid (sim/experiments.json) and
 # refreshes the committed artifacts under sim/results/. Deterministic:
@@ -120,6 +137,7 @@ bench-json:
 	$(GO) test -run xxx -bench '$(GUARDED_SLOW)' -benchtime 1x -count $(BENCH_COUNT) -json . > BENCH_results.json
 	$(GO) test -run xxx -bench '$(GUARDED_FAST)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json . >> BENCH_results.json
 	$(GO) test -run xxx -bench '$(GUARDED_GATEWAY)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/gateway >> BENCH_results.json
+	$(GO) test -run xxx -bench '$(GUARDED_OBS)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/obs >> BENCH_results.json
 
 # bench-store exercises the sharded store's lock scaling across core counts.
 bench-store:
@@ -134,6 +152,7 @@ bench-compare:
 	$(GO) test -run xxx -bench '$(GUARDED_SLOW)' -benchtime 1x -count $(BENCH_COUNT) -json . > BENCH_current.json
 	$(GO) test -run xxx -bench '$(GUARDED_FAST)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json . >> BENCH_current.json
 	$(GO) test -run xxx -bench '$(GUARDED_GATEWAY)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/gateway >> BENCH_current.json
+	$(GO) test -run xxx -bench '$(GUARDED_OBS)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/obs >> BENCH_current.json
 	$(GO) run ./cmd/benchcompare -baseline BENCH_results.json -current BENCH_current.json -threshold 25
 
 # coverage runs the full suite with a coverage profile and enforces the
@@ -148,4 +167,4 @@ coverage:
 		if (t + 0 < floor) { printf "coverage: total %.1f%% fell below floor %.1f%% (baseline %.1f%% - %d)\n", t, floor, b, s; exit 1 } \
 		printf "coverage: total %.1f%% (floor %.1f%%, baseline %.1f%%)\n", t, floor, b }'
 
-ci: build vet fmt lint lint-rand lint-http test race sim-smoke
+ci: build vet fmt lint lint-rand lint-http lint-metrics test race sim-smoke

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"qrio/internal/httpx"
 	"qrio/internal/master"
 	"qrio/internal/meta"
+	"qrio/internal/obs"
 )
 
 // Re-exported wire types, so downstream code never names an internal
@@ -73,6 +75,14 @@ type (
 	DurabilityStats = durability.Stats
 	// SnapshotResponse is the POST /v1/admin/snapshot response.
 	SnapshotResponse = gateway.SnapshotResponse
+	// HealthResponse is the GET /v1/health payload: typed per-component
+	// statuses (store, scheduler, durability, archive, breaker) plus the
+	// overall roll-up.
+	HealthResponse = gateway.HealthResponse
+	// MetricFamily is one parsed metric family from GET /v1/metrics.
+	MetricFamily = obs.Family
+	// MetricSample is one sample within a parsed metric family.
+	MetricSample = obs.Sample
 )
 
 // APIError is a structured gateway error: the HTTP status plus the
@@ -197,9 +207,58 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		})
 }
 
-// Healthy pings the gateway.
+// Healthy pings the gateway. It is the boolean form of Health — any 200
+// answer counts, degraded or not.
 func (c *Client) Healthy(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/v1/health", nil, nil)
+}
+
+// Health fetches the typed health payload: per-component statuses
+// (store, scheduler, durability, archive, scoring breaker), the drain
+// flag and the overall roll-up.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/v1/health", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the raw Prometheus text exposition from GET
+// /v1/metrics. On a deployment without a metrics registry the gateway
+// answers 404 and this returns a not_found *APIError (IsNotFound).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		code, msg, ok := httpx.DecodeErrorBody(body)
+		if !ok {
+			code = httpx.CodeInternal
+			msg = fmt.Sprintf("GET /v1/metrics failed with HTTP %d", resp.StatusCode)
+		}
+		return "", &APIError{Status: resp.StatusCode, Code: code, Message: msg}
+	}
+	return string(body), nil
+}
+
+// MetricFamilies fetches GET /v1/metrics and parses it into typed
+// families (name order preserved from the exposition, which the server
+// sorts). Use obs.FindFamily-style lookups via the returned slice.
+func (c *Client) MetricFamilies(ctx context.Context) ([]MetricFamily, error) {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseText(text)
 }
 
 // Submit sends one job through the gateway (metadata upload,

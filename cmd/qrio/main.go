@@ -6,8 +6,9 @@
 //
 //	/                — Visualizer dashboard (submit jobs, view cluster/logs)
 //	/v1/             — unified gateway: jobs (submit/batch/list/cancel),
-//	                   nodes, scores, events, SSE watch — what qrioctl and
-//	                   the qrio/client package speak
+//	                   nodes, scores, events, SSE watch, typed health
+//	                   (/v1/health) and Prometheus metrics (/v1/metrics) —
+//	                   what qrioctl and the qrio/client package speak
 //	/apiserver/      — cluster REST API   (nodes, jobs, logs, events)
 //	/meta/           — Meta Server REST   (backends, job metadata, scoring)
 //	/master/         — Master Server REST (job submission, logs)
@@ -103,6 +104,7 @@ func main() {
 	}
 	q, err := qrio.New(qrio.Config{
 		Backends:        fleet,
+		Metrics:         qrio.NewMetricsRegistry(),
 		Concurrency:     *concurrency,
 		NodeConcurrency: *nodeConcurrency,
 		ScoreWorkers:    *scoreWorkers,

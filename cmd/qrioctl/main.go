@@ -16,6 +16,8 @@
 //	qrioctl -server http://localhost:8080 logs bv
 //	qrioctl -server http://localhost:8080 events bv
 //	qrioctl -server http://localhost:8080 tenants set -weight 3 -max-active 5 alice
+//	qrioctl -server http://localhost:8080 health
+//	qrioctl -server http://localhost:8080 metrics [-family qrio_gateway_requests_total]
 //	qrioctl -server http://localhost:8080 admin durability
 //	qrioctl -server http://localhost:8080 admin snapshot
 package main
@@ -63,6 +65,10 @@ func main() {
 			fmt.Printf("%-16s %6d %8d %8d %12.3f %s\n",
 				t.Tenant, t.Weight, t.Pending, t.Active, t.QubitSeconds, quota)
 		}
+	case "health":
+		health(ctx, c)
+	case "metrics":
+		metrics(ctx, c, args[1:])
 	case "admin":
 		admin(ctx, c, args[1:])
 	case "nodes":
@@ -292,6 +298,68 @@ func tenantsSet(ctx context.Context, c *client.Client, args []string) {
 	fmt.Printf("tenant %s updated: weight=%s quota=%s\n", cfg.Name, weightStr, quota)
 }
 
+// health prints the typed GET /v1/health payload, one component per line.
+func health(ctx context.Context, c *client.Client) {
+	h, err := c.Health(ctx)
+	check(err)
+	fmt.Printf("status: %s\n", h.Status)
+	fmt.Printf("store:      %-9s jobs=%d nodes=%d\n", h.Store.Status, h.Store.Jobs, h.Store.Nodes)
+	fmt.Printf("scheduler:  %-9s pending=%d active=%d\n", h.Scheduler.Status, h.Scheduler.Pending, h.Scheduler.Active)
+	fmt.Printf("durability: %-9s", h.Durability.Status)
+	if h.Durability.Enabled {
+		fmt.Printf(" generation=%d wal-records=%d", h.Durability.Generation, h.Durability.WALRecords)
+		if h.Durability.WALError != "" {
+			fmt.Printf(" wal-error=%q", h.Durability.WALError)
+		}
+		if h.Durability.WALErrorClears > 0 {
+			fmt.Printf(" wal-error-clears=%d", h.Durability.WALErrorClears)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("archive:    %-9s resident=%d dropped=%d", h.Archive.Status, h.Archive.Resident, h.Archive.Dropped)
+	if h.Archive.SpillError != "" {
+		fmt.Printf(" spill-error=%q", h.Archive.SpillError)
+	}
+	fmt.Println()
+	fmt.Printf("breaker:    %-9s state=%s opens=%d\n", h.Breaker.Status, h.Breaker.State, h.Breaker.Opens)
+	if h.Draining {
+		fmt.Println("draining: submissions are rejected while in-flight work finishes")
+	}
+}
+
+// metrics dumps GET /v1/metrics — the raw exposition, or one family.
+func metrics(ctx context.Context, c *client.Client, args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	family := fs.String("family", "", "print only this metric family (parsed samples)")
+	check(fs.Parse(args))
+	if *family == "" {
+		text, err := c.Metrics(ctx)
+		check(err)
+		fmt.Print(text)
+		return
+	}
+	fams, err := c.MetricFamilies(ctx)
+	check(err)
+	for _, f := range fams {
+		if f.Name != *family {
+			continue
+		}
+		for _, s := range f.Samples {
+			fmt.Printf("%s", s.Name)
+			if len(s.Labels) > 0 {
+				parts := make([]string, len(s.Labels))
+				for i, l := range s.Labels {
+					parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+				}
+				fmt.Printf("{%s}", strings.Join(parts, ","))
+			}
+			fmt.Printf(" %g\n", s.Value)
+		}
+		return
+	}
+	log.Fatalf("no metric family %q (run qrioctl metrics to list them)", *family)
+}
+
 // admin drives the /v1/admin ops surface.
 func admin(ctx context.Context, c *client.Client, args []string) {
 	if len(args) == 0 {
@@ -322,6 +390,10 @@ func admin(ctx context.Context, c *client.Client, args []string) {
 		if st.SpillError != "" {
 			fmt.Printf("SPILL ERROR (latched): %s\n", st.SpillError)
 		}
+		if st.WALErrorClears > 0 {
+			fmt.Printf("wal errors cleared by snapshots: %d (last at %s)\n",
+				st.WALErrorClears, st.LastWALErrorClearedAt.Format("15:04:05"))
+		}
 	case "snapshot":
 		resp, err := c.Snapshot(ctx)
 		check(err)
@@ -341,6 +413,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: qrioctl [-server URL] <command>
 commands:
   nodes                 list cluster nodes
+  health                typed per-component health (GET /v1/health)
+  metrics [-family F]   dump the Prometheus exposition (GET /v1/metrics), or one family
   tenants               list per-tenant usage, fair-share weights and quotas
   tenants set [flags] TENANT
                         hot-reload a tenant's weight/quota (-weight W,

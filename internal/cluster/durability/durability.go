@@ -43,6 +43,7 @@ import (
 	"qrio/internal/cluster/state"
 	"qrio/internal/cluster/wal"
 	"qrio/internal/faults"
+	"qrio/internal/obs"
 )
 
 // DefaultSnapshotInterval is how often the background loop compacts the
@@ -108,6 +109,13 @@ type Stats struct {
 	// healthy. A latched WAL error means mutations since it are not durable.
 	WALError   string `json:"walError,omitempty"`
 	SpillError string `json:"spillError,omitempty"`
+	// WALErrorClears counts latched WAL errors healed by a successful
+	// snapshot (the only path that clears the latch), and
+	// LastWALErrorClearedAt stamps the most recent clear — so an operator
+	// who missed the error window can still see that durability degraded
+	// and recovered.
+	WALErrorClears        int64     `json:"walErrorClears,omitempty"`
+	LastWALErrorClearedAt time.Time `json:"lastWALErrorClearedAt,omitempty"`
 }
 
 // Manager owns the WAL writers, the snapshot loop and the archive spill
@@ -122,13 +130,56 @@ type Manager struct {
 	snapMu sync.Mutex
 	gen    atomic.Int64
 
-	mu        sync.Mutex
-	walErr    error
-	lastSnap  time.Time
-	snapshots int64
-	replay    ReplayStats
+	mu          sync.Mutex
+	walErr      error
+	lastSnap    time.Time
+	snapshots   int64
+	errClears   int64
+	lastClearAt time.Time
+	replay      ReplayStats
 
 	spill *os.File
+}
+
+// Metrics is the durability layer's instrumentation handle: the hot-path
+// families fed by the WAL writers' append observers. Gauge-like families
+// (lag, snapshot age, latched errors) are mirrored from Stats at scrape
+// time by the core wiring instead.
+type Metrics struct {
+	// Appends counts successful WAL appends across all writers.
+	Appends *obs.Counter
+	// FsyncSeconds observes per-append fsync latency (only when the
+	// writers fsync — without it appends never sync and nothing is
+	// observed here).
+	FsyncSeconds *obs.Histogram
+}
+
+// NewMetrics registers the durability hot-path families on a registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends: r.Counter("qrio_durability_wal_appends_total",
+			"Successful WAL appends across all writers.").With(),
+		FsyncSeconds: r.Histogram("qrio_durability_fsync_duration_seconds",
+			"Per-append fsync latency (empty when the WAL does not fsync).", nil).With(),
+	}
+}
+
+// SetMetrics installs append observers on every writer. Call after Open
+// and before traffic (core wires it while building the process).
+func (m *Manager) SetMetrics(mx *Metrics) {
+	if mx == nil {
+		return
+	}
+	for _, ws := range m.writers {
+		for _, w := range ws {
+			w.SetObserver(func(frameBytes int, fsync time.Duration) {
+				mx.Appends.Inc()
+				if fsync >= 0 {
+					mx.FsyncSeconds.Observe(fsync.Seconds())
+				}
+			})
+		}
+	}
 }
 
 func (m *Manager) snapshotPath() string { return filepath.Join(m.opts.Dir, "snapshot.json") }
@@ -476,6 +527,25 @@ func (m *Manager) Snapshot() (int64, error) {
 	oldGen := m.gen.Load()
 	newGen := oldGen + 1
 
+	// Note whether durability is entering this snapshot degraded: a
+	// successful snapshot heals the latch, and the heal itself must stay
+	// visible (ops surfaces show walErrorClears) or the episode vanishes
+	// the moment it ends. Check before Rotate — rotation clears the
+	// per-writer latches.
+	wasLatched := false
+	for _, ws := range m.writers {
+		for _, w := range ws {
+			if w.Err() != nil {
+				wasLatched = true
+			}
+		}
+	}
+	m.mu.Lock()
+	if m.walErr != nil {
+		wasLatched = true
+	}
+	m.mu.Unlock()
+
 	// Rotate first: from this point every new append lands in generation
 	// newGen. Records already in older files were emitted — under their
 	// shard's lock — before the rotation, so the dumps below cover them.
@@ -525,6 +595,10 @@ func (m *Manager) Snapshot() (int64, error) {
 	// "mutations since are not durable" warning no longer describes the
 	// directory. (Writer.Rotate cleared the per-writer latches above.)
 	m.walErr = nil
+	if wasLatched {
+		m.errClears++
+		m.lastClearAt = snap.TakenAt
+	}
 	m.mu.Unlock()
 	return newGen, nil
 }
@@ -572,14 +646,16 @@ func (m *Manager) Stats() Stats {
 		werr = m.walErr
 	}
 	st := Stats{
-		Enabled:    true,
-		Dir:        m.opts.Dir,
-		Fsync:      m.opts.Fsync,
-		Generation: m.gen.Load(),
-		WALRecords: records,
-		WALBytes:   bytes,
-		Snapshots:  m.snapshots,
-		Replay:     m.replay,
+		Enabled:               true,
+		Dir:                   m.opts.Dir,
+		Fsync:                 m.opts.Fsync,
+		Generation:            m.gen.Load(),
+		WALRecords:            records,
+		WALBytes:              bytes,
+		Snapshots:             m.snapshots,
+		Replay:                m.replay,
+		WALErrorClears:        m.errClears,
+		LastWALErrorClearedAt: m.lastClearAt,
 	}
 	if !m.lastSnap.IsZero() {
 		st.LastSnapshotAt = m.lastSnap

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -131,7 +132,7 @@ func (c *Cluster) Subscribe(buffer int) (<-chan Notification, func()) {
 	// token rendering.
 	jobCh, cancelJobs := c.Jobs.Watch(buffer)
 	nodeCh, cancelNodes := c.Nodes.Watch(buffer)
-	out, cancel := mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, ResumeToken{}, buffer, false, false)
+	out, cancel := c.mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, ResumeToken{}, buffer, false, false)
 	return out, cancel
 }
 
@@ -157,7 +158,7 @@ func (c *Cluster) SubscribeWithToken(buffer int) (<-chan Notification, ResumeTok
 	}
 	jobCh, cancelJobs := c.Jobs.Watch(buffer)
 	nodeCh, cancelNodes := c.Nodes.Watch(buffer)
-	out, cancel := mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, work, buffer, false, true)
+	out, cancel := c.mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, work, buffer, false, true)
 	return out, start, cancel
 }
 
@@ -176,21 +177,76 @@ func (c *Cluster) SubscribeFrom(buffer int, token ResumeToken) (<-chan Notificat
 	}
 	jobCh, cancelJobs, err := c.Jobs.WatchFrom(token.Jobs, buffer)
 	if err != nil {
+		c.countResume(err)
 		return nil, nil, err
 	}
 	nodeCh, cancelNodes, err := c.Nodes.WatchFrom(token.Nodes, buffer)
 	if err != nil {
 		cancelJobs()
+		c.countResume(err)
 		return nil, nil, err
 	}
+	c.countResume(nil)
 	// Clone the marks: the merge loop advances them in place, and the
 	// caller's token must stay readable (error paths, retries).
 	token = ResumeToken{
 		Jobs:  append([]int64(nil), token.Jobs...),
 		Nodes: append([]int64(nil), token.Nodes...),
 	}
-	out, cancel := mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, token, buffer, true, true)
+	out, cancel := c.mergeStreams(jobCh, nodeCh, cancelJobs, cancelNodes, token, buffer, true, true)
 	return out, cancel, nil
+}
+
+// countResume records a resume attempt's outcome: nil means the journal
+// replayed the token, ErrCompacted means the client must start over.
+// Other errors (malformed shard layout surfaces as compacted upstream)
+// stay uncounted.
+func (c *Cluster) countResume(err error) {
+	m := c.Metrics
+	if m == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		m.WatchResumes.With("replayed").Inc()
+	case errors.Is(err, store.ErrCompacted):
+		m.WatchResumes.With("compacted").Inc()
+	}
+}
+
+// hubRegistry tracks the live merged streams so a metrics scrape can
+// report subscriber count and fanout backlog (Σ buffered notifications)
+// without touching the streams themselves.
+type hubRegistry struct {
+	mu      sync.Mutex
+	next    int
+	streams map[int]chan Notification
+}
+
+func (h *hubRegistry) register(ch chan Notification) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.next++
+	h.streams[h.next] = ch
+	return h.next
+}
+
+func (h *hubRegistry) unregister(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.streams, id)
+}
+
+// WatchHubStats reports the broadcast hub's live subscriber count and
+// the total notifications sitting in subscriber buffers (fanout lag) —
+// sampled by the metrics scrape.
+func (c *Cluster) WatchHubStats() (streams, backlog int) {
+	c.hub.mu.Lock()
+	defer c.hub.mu.Unlock()
+	for _, ch := range c.hub.streams {
+		backlog += len(ch)
+	}
+	return len(c.hub.streams), backlog
 }
 
 // mergeStreams fans the two store streams into one Notification channel.
@@ -200,7 +256,7 @@ func (c *Cluster) SubscribeFrom(buffer int, token ResumeToken) (<-chan Notificat
 // closeOnEither is set (resumed streams), one source closing ends the
 // merged stream — the close means events were missed, and only a resume
 // can heal that; plain streams keep draining the surviving source.
-func mergeStreams(
+func (c *Cluster) mergeStreams(
 	jobCh <-chan store.WatchEvent[api.QuantumJob],
 	nodeCh <-chan store.WatchEvent[api.Node],
 	cancelJobs, cancelNodes func(),
@@ -216,7 +272,9 @@ func mergeStreams(
 			cancelNodes()
 		})
 	}
+	id := c.hub.register(out)
 	go func() {
+		defer c.hub.unregister(id)
 		defer close(out)
 		for jobCh != nil || nodeCh != nil {
 			var n Notification

@@ -74,6 +74,11 @@ type Cluster struct {
 	// Set once at wiring time, before any traffic.
 	Clock clock.Clock
 
+	// Metrics is the optional instrumentation handle (nil = no metrics,
+	// the zero-overhead default). Set once at wiring time, before any
+	// traffic.
+	Metrics *Metrics
+
 	uid atomic.Int64
 	// backendCache avoids re-decoding node backend JSON on every access.
 	mu           sync.Mutex
@@ -85,6 +90,7 @@ type Cluster struct {
 	terminal   terminalIndex
 	scheduled  scheduledIndex
 	tenantConf tenantConfIndex
+	hub        hubRegistry
 
 	// submitGates serialises SubmitJob per tenant (hash-striped) so the
 	// quota check and the store create are atomic with respect to
@@ -116,6 +122,7 @@ func New() *Cluster {
 	c.scheduled.byNode = make(map[string]map[string]api.QuantumJob)
 	c.scheduled.node = make(map[string]string)
 	c.tenantConf.m = make(map[string]api.TenantConfig)
+	c.hub.streams = make(map[int]chan Notification)
 	// The hooks run under the mutated shard's lock: they may only touch the
 	// index mutexes (never a store), keeping the lock order store→index.
 	c.Jobs.OnEvent(c.pending.onJobEvent)
@@ -329,6 +336,19 @@ func (c *Cluster) PendingCount() int {
 	c.pending.mu.Lock()
 	defer c.pending.mu.Unlock()
 	return c.pending.count
+}
+
+// ActiveCount reports how many jobs currently hold node resources
+// (Scheduled or Running), summed across tenants from the usage index —
+// no store scan.
+func (c *Cluster) ActiveCount() int {
+	c.usage.mu.Lock()
+	defer c.usage.mu.Unlock()
+	n := 0
+	for _, t := range c.usage.tenants {
+		n += t.Active
+	}
+	return n
 }
 
 // --- tenant usage index -------------------------------------------------
@@ -586,26 +606,36 @@ func (c *Cluster) CheckTenantQuota(tenant string, qsec float64) error {
 	}
 	usage := c.TenantUsage(tenant)
 	if quota.MaxPending > 0 && usage.Pending >= quota.MaxPending {
-		return &QuotaExceededError{
+		return c.rejectQuota(&QuotaExceededError{
 			Tenant: tenant, Limit: "pending",
 			Detail: fmt.Sprintf("%d pending of %d allowed", usage.Pending, quota.MaxPending),
-		}
+		})
 	}
 	if quota.MaxActive > 0 && usage.Active >= quota.MaxActive {
-		return &QuotaExceededError{
+		return c.rejectQuota(&QuotaExceededError{
 			Tenant: tenant, Limit: "active",
 			Detail: fmt.Sprintf("%d jobs on nodes of %d allowed — wait for one to finish",
 				usage.Active, quota.MaxActive),
-		}
+		})
 	}
 	if quota.MaxQubitSeconds > 0 && usage.QubitSeconds+qsec > quota.MaxQubitSeconds {
-		return &QuotaExceededError{
+		return c.rejectQuota(&QuotaExceededError{
 			Tenant: tenant, Limit: "qubit-seconds",
 			Detail: fmt.Sprintf("%.3f in flight + %.3f requested exceeds %.3f allowed",
 				usage.QubitSeconds, qsec, quota.MaxQubitSeconds),
-		}
+		})
 	}
 	return nil
+}
+
+// rejectQuota counts and passes through a quota rejection. The gateway's
+// admission layer rejects before SubmitJob would re-check, so each
+// rejected submission increments exactly once.
+func (c *Cluster) rejectQuota(err *QuotaExceededError) error {
+	if m := c.Metrics; m != nil {
+		m.QuotaRejections.With(err.Limit).Inc()
+	}
+	return err
 }
 
 // submitGate returns the tenant's submit-serialisation stripe.
@@ -726,6 +756,10 @@ func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
 		// The node reservation above is now orphaned; give it back.
 		c.ReleaseNode(nodeName, jobName)
 		return err
+	}
+	if m := c.Metrics; m != nil {
+		m.SubmitToBind.Observe(c.now().Sub(job.CreatedAt).Seconds())
+		m.TenantBinds.With(TenantOf(&job)).Inc()
 	}
 	c.RecordEvent("Job", jobName, "Scheduled",
 		fmt.Sprintf("bound to node %s (score %.4f)", nodeName, score))

@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"qrio/internal/faults"
 )
@@ -71,6 +72,10 @@ type Writer struct {
 	// to faults.Default, so the daemon's -faults flag reaches production
 	// writers; tests inject private registries via SetFaults.
 	faults *faults.Registry
+	// observe, when set, is called after every successful Append with the
+	// framed byte count and the fsync duration (negative when the writer
+	// does not fsync) — the metrics seam. Set before traffic.
+	observe func(frameBytes int, fsync time.Duration)
 }
 
 // OpenWriter opens (creating if needed) a log file for appending. With
@@ -90,6 +95,17 @@ func OpenWriter(path string, fsync bool) (*Writer, error) {
 func (w *Writer) SetFaults(r *faults.Registry) {
 	w.mu.Lock()
 	w.faults = r
+	w.mu.Unlock()
+}
+
+// SetObserver installs the append observer (the durability manager's
+// metrics seam): fn runs under the writer's lock after every successful
+// Append with the framed byte count and fsync duration (negative when
+// the writer does not fsync), so it must be fast and must not call back
+// into the writer. Call before traffic; nil disables.
+func (w *Writer) SetObserver(fn func(frameBytes int, fsync time.Duration)) {
+	w.mu.Lock()
+	w.observe = fn
 	w.mu.Unlock()
 }
 
@@ -115,14 +131,25 @@ func (w *Writer) Append(payload []byte) error {
 		w.err = fmt.Errorf("wal: append to %s: %w", w.path, err)
 		return w.err
 	}
+	syncDur := time.Duration(-1)
 	if w.fsync {
+		start := time.Time{}
+		if w.observe != nil {
+			start = time.Now()
+		}
 		if err := w.f.Sync(); err != nil {
 			w.err = fmt.Errorf("wal: fsync %s: %w", w.path, err)
 			return w.err
 		}
+		if w.observe != nil {
+			syncDur = time.Since(start)
+		}
 	}
 	w.records++
 	w.bytes += int64(len(w.scratch))
+	if w.observe != nil {
+		w.observe(len(w.scratch), syncDur)
+	}
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"qrio/internal/faults"
 	"qrio/internal/master"
 	"qrio/internal/meta"
+	"qrio/internal/obs"
 	"qrio/internal/registry"
 	"qrio/internal/resilience"
 	"qrio/internal/sched"
@@ -86,6 +87,12 @@ type Config struct {
 	// history stays queryable (GET /v1/jobs?archived=true and the by-name
 	// fallthrough).
 	Retention state.RetentionPolicy
+	// Metrics is the deployment's observability registry. Nil disables
+	// instrumentation entirely — hot paths pay one nil check and the
+	// gateway's GET /v1/metrics answers 404. With a registry set, every
+	// layer registers its families on it at wiring time and cmd/qrio, the
+	// simulator and tests share one scrapeable view (QRIO.Metrics).
+	Metrics *obs.Registry
 	// Durability configures crash-recoverable cluster state: a data
 	// directory with per-shard write-ahead logs, periodic compacted
 	// snapshots and the archive spill file. The zero value keeps the
@@ -147,6 +154,10 @@ type QRIO struct {
 	// ScorerBreaker is the circuit breaker guarding Meta-Server scoring;
 	// its state is observable (degraded-mode scheduling, admin surfaces).
 	ScorerBreaker *resilience.Breaker
+	// Metrics is the deployment's observability registry (Config.Metrics);
+	// nil when the deployment runs uninstrumented. The gateway serves it
+	// as GET /v1/metrics.
+	Metrics *obs.Registry
 
 	mu              sync.Mutex
 	ctx             context.Context
@@ -258,6 +269,10 @@ func New(cfg Config) (*QRIO, error) {
 	}
 	q.nextKubeletSeed = cfg.KubeletSeed + int64(len(cfg.Backends))
 	q.nodeConcurrency = cfg.NodeConcurrency
+	if cfg.Metrics != nil {
+		q.Metrics = cfg.Metrics
+		registerMetrics(q, cfg.Metrics)
+	}
 	return q, nil
 }
 

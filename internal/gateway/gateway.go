@@ -8,7 +8,12 @@
 // (server-sent events fanned out from the cluster's broadcast hub, so
 // clients observe transitions without polling).
 //
-//	GET    /v1/healthz
+//	GET    /v1/health               — typed per-component health (health.go)
+//	GET    /v1/healthz              — deprecated alias for /v1/health (one
+//	                                  deprecation cycle; same payload)
+//	GET    /v1/metrics              — Prometheus text exposition of the
+//	                                  deployment registry (404 when the
+//	                                  deployment has no registry)
 //	POST   /v1/jobs                 — submit one job (SubmitRequest)
 //	POST   /v1/jobs/batch           — submit many ([]SubmitRequest)
 //	GET    /v1/jobs                 — list, filters phase/node/strategy,
@@ -104,8 +109,12 @@ type Server struct {
 	admission admission
 	// limiter holds the per-tenant submission token buckets (ratelimit.go).
 	limiter rateLimiter
-	// inflight counts requests for the MaxInFlight shed.
+	// inflight counts requests for the MaxInFlight shed and the in-flight
+	// gauge.
 	inflight atomic.Int64
+	// metrics holds the gateway's registered families (metrics.go); nil on
+	// an uninstrumented deployment.
+	metrics *gwMetrics
 }
 
 // New builds a gateway for an orchestrator. The rate limiter shares the
@@ -113,13 +122,18 @@ type Server struct {
 func New(q *core.QRIO) *Server {
 	s := &Server{Core: q}
 	s.limiter.clock = q.State.Clock
+	if q.Metrics != nil {
+		s.metrics = newGWMetrics(q.Metrics, s)
+	}
 	return s
 }
 
 // Handler returns the /v1 routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth) // deprecated alias
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/jobs/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
@@ -143,43 +157,7 @@ func (s *Server) Handler() http.Handler {
 		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
 			fmt.Errorf("no /v1 route for %s %s", r.Method, r.URL.Path))
 	})
-	return s.flowControl(mux)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{
-		"ok":       true,
-		"nodes":    s.Core.State.Nodes.Len(),
-		"jobs":     s.Core.State.Jobs.Len(),
-		"archived": s.Core.State.Archived.Len(),
-	}
-	// A draining daemon still answers health (load balancers need the
-	// signal to rotate it out) but reports it is winding down.
-	if s.Core.Draining() {
-		resp["draining"] = true
-	}
-	// Durability summary: a latched WAL or spill error means the cluster
-	// keeps serving but recent history may not survive the next crash —
-	// exactly what a health probe should surface.
-	if d := s.Core.Durability; d != nil {
-		st := d.Stats()
-		sum := map[string]any{
-			"enabled":    true,
-			"ok":         st.WALError == "" && st.SpillError == "",
-			"generation": st.Generation,
-			"walRecords": st.WALRecords,
-		}
-		if st.WALError != "" {
-			sum["walError"] = st.WALError
-		}
-		if st.SpillError != "" {
-			sum["spillError"] = st.SpillError
-		}
-		resp["durability"] = sum
-	} else {
-		resp["durability"] = map[string]any{"enabled": false}
-	}
-	httpx.WriteJSON(w, http.StatusOK, resp)
+	return s.flowControl(s.instrument(mux))
 }
 
 // staticFilters are the fleet-invariant admission filters: a job no node
@@ -229,9 +207,11 @@ func (s *Server) submitOne(req master.SubmitRequest) (api.QuantumJob, error) {
 	// new work, and a tenant over its arrival rate is bounced before any
 	// parsing, scoring or quota bookkeeping happens on its behalf.
 	if s.Core.Draining() {
+		s.countShed("draining")
 		return api.QuantumJob{}, &DrainingError{}
 	}
 	if err := s.rateLimit(req.Tenant); err != nil {
+		s.countShed("rate_limited")
 		return api.QuantumJob{}, err
 	}
 	// The circuit-derived qubit width feeds both the static filters and

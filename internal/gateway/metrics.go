@@ -1,0 +1,98 @@
+// Gateway observability: the /v1/metrics exposition endpoint plus the
+// request-level instrumentation (per-route counts and latency, in-flight
+// gauge, shed counters). All of it is nil-guarded on the deployment's
+// registry — a gateway over an uninstrumented core serves 404 from
+// /v1/metrics and pays nothing per request.
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"qrio/internal/httpx"
+	"qrio/internal/obs"
+)
+
+// gwMetrics holds the gateway's registered families.
+type gwMetrics struct {
+	requests *obs.CounterVec   // route, code
+	duration *obs.HistogramVec // route
+	sheds    *obs.CounterVec   // reason
+}
+
+func newGWMetrics(r *obs.Registry, s *Server) *gwMetrics {
+	m := &gwMetrics{
+		requests: r.Counter("qrio_gateway_requests_total",
+			"Requests served, by route pattern and status code.", "route", "code"),
+		duration: r.Histogram("qrio_gateway_request_duration_seconds",
+			"Request latency by route pattern.", nil, "route"),
+		sheds: r.Counter("qrio_gateway_sheds_total",
+			"Requests shed before real work: rate_limited, overloaded, draining.", "reason"),
+	}
+	r.GaugeFunc("qrio_gateway_inflight_requests",
+		"Requests currently in flight across the /v1 surface.",
+		func() float64 { return float64(s.inflight.Load()) })
+	return m
+}
+
+// countShed records one shed request; reasons match the 429/503 codes.
+func (s *Server) countShed(reason string) {
+	if m := s.metrics; m != nil {
+		m.sheds.With(reason).Inc()
+	}
+}
+
+// instrument wraps the route mux with per-request accounting. The route
+// label is the registered ServeMux pattern, never the raw path — label
+// cardinality stays bounded by the route table.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	m := s.metrics
+	if m == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(rec, r)
+		m.requests.With(route, strconv.Itoa(rec.status)).Inc()
+		m.duration.With(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusRecorder captures the response status for the request counter.
+// It forwards Flush so the SSE watch handler still sees a Flusher.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics serves the deployment registry in Prometheus text
+// exposition format. Without a registry the endpoint is absent by
+// contract: 404 with the standard envelope.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.Core.Metrics
+	if reg == nil {
+		httpx.WriteError(w, http.StatusNotFound, httpx.CodeNotFound,
+			fmt.Errorf("gateway: metrics are not enabled on this deployment"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WriteText(w)
+}

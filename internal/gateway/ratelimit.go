@@ -154,14 +154,16 @@ func (s *Server) rateLimit(tenant string) error {
 // the gateway is busiest.
 func (s *Server) flowControl(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if max := s.MaxInFlight; max > 0 {
-			n := s.inflight.Add(1)
-			defer s.inflight.Add(-1)
-			if n > int64(max) {
-				httpx.WriteErr(w, &OverloadedError{InFlight: int(n), Max: max},
-					http.StatusServiceUnavailable, httpx.CodeOverloaded)
-				return
-			}
+		// In-flight is counted unconditionally (two atomic ops): the
+		// qrio_gateway_inflight_requests gauge reads it even on gateways
+		// that never shed.
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if max := s.MaxInFlight; max > 0 && n > int64(max) {
+			s.countShed("overloaded")
+			httpx.WriteErr(w, &OverloadedError{InFlight: int(n), Max: max},
+				http.StatusServiceUnavailable, httpx.CodeOverloaded)
+			return
 		}
 		next.ServeHTTP(w, r)
 	})

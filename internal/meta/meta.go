@@ -123,7 +123,7 @@ type Server struct {
 	cache map[cacheKey]*cacheEntry
 	lru   list.List // of cacheKey
 
-	cacheHits, cacheMisses, cacheEvictions atomic.Uint64
+	cacheHits, cacheMisses, cacheEvictions, cacheInvalidations atomic.Uint64
 }
 
 // NewServer builds a Meta Server.
@@ -159,6 +159,7 @@ func (s *Server) RegisterBackend(b *device.Backend) error {
 	for k, e := range s.cache {
 		if k.backend == b.Name {
 			s.removeLocked(k, e)
+			s.cacheInvalidations.Add(1)
 		}
 	}
 	s.mu.Unlock()
@@ -185,11 +186,14 @@ func (s *Server) Generation(backendName string) uint64 {
 }
 
 // CacheStats is the score cache's lifetime counters plus its current
-// size: Hits/Misses from lookups, Evictions from the LRU cap (calibration
-// invalidations are not evictions), Entries resident right now.
+// size: Hits/Misses from lookups, Evictions from the LRU cap,
+// Invalidations from calibration refreshes (a re-registered backend
+// dropping its entries — deliberately not counted as evictions: they
+// measure calibration churn, not cache pressure), Entries resident
+// right now.
 type CacheStats struct {
-	Hits, Misses, Evictions uint64
-	Entries                 int
+	Hits, Misses, Evictions, Invalidations uint64
+	Entries                                int
 }
 
 // CacheStats returns the score cache's counters.
@@ -198,10 +202,11 @@ func (s *Server) CacheStats() CacheStats {
 	entries := len(s.cache)
 	s.mu.RUnlock()
 	return CacheStats{
-		Hits:      s.cacheHits.Load(),
-		Misses:    s.cacheMisses.Load(),
-		Evictions: s.cacheEvictions.Load(),
-		Entries:   entries,
+		Hits:          s.cacheHits.Load(),
+		Misses:        s.cacheMisses.Load(),
+		Evictions:     s.cacheEvictions.Load(),
+		Invalidations: s.cacheInvalidations.Load(),
+		Entries:       entries,
 	}
 }
 

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkMetricsHotPath is the CI-guarded cost model for the three
+// operations instrumentation adds to existing hot paths: a counter
+// increment, a histogram observation, and a full scrape of a populated
+// registry. The first two bound the per-event overhead inside the
+// scheduler/gateway/WAL; the scrape bounds what a Prometheus poll costs
+// the deployment.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	b.Run("counter-inc", func(b *testing.B) {
+		c := NewRegistry().Counter("qrio_state_tenant_binds_total", "", "tenant").With("bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter-with-inc", func(b *testing.B) {
+		vec := NewRegistry().Counter("qrio_state_tenant_binds_total", "", "tenant")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vec.With("bench").Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := NewRegistry().Histogram("qrio_sched_pass_duration_seconds", "", nil).With()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) / 1000)
+		}
+	})
+	b.Run("scrape", func(b *testing.B) {
+		r := populated()
+		// Widen to a realistic deployment: tens of routes and tenants.
+		req := r.Counter("qrio_gateway_requests_total", "", "route", "code")
+		lat := r.Histogram("qrio_gateway_request_duration_seconds", "", nil, "route")
+		for i := 0; i < 30; i++ {
+			route := "GET /v1/r" + strconv.Itoa(i)
+			req.With(route, "200").Add(uint64(i))
+			lat.With(route).Observe(float64(i) / 100)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := r.WriteText(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,386 @@
+// Package obs is QRIO's zero-dependency metrics subsystem: counters,
+// gauges and fixed-bucket histograms with atomic hot-path updates, label
+// support, and a deterministic Prometheus text-exposition writer.
+//
+// Design constraints, in order:
+//
+//   - Hot-path cost. Counter.Inc is one atomic add; Histogram.Observe is
+//     a short linear scan plus three atomics. No locks, no allocation.
+//     Vec.With takes a read lock and a map hit — instrumented call sites
+//     that run per-request pay one lookup; call sites that run per
+//     scheduling pass cache the child handle at wiring time.
+//   - Determinism. Gather sorts families by name, children by label
+//     values and label pairs by key, and the writer emits no timestamps,
+//     so exposition output is byte-stable for a given set of values —
+//     golden-testable, and diffable across seeded sim runs.
+//   - Zero dependencies. Everything is stdlib; the exposition format is
+//     Prometheus text version 0.0.4, which any scraper understands.
+//
+// Values that are cheap to read but not worth threading handles through
+// (queue depths, cache stats, breaker state) register as GaugeFunc /
+// CounterFunc or are mirrored inside an OnGather hook, sampled once per
+// scrape instead of updated per event.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bounds, in seconds: they span
+// sub-millisecond hot paths (counter bumps, fsync on fast disks) through
+// multi-second whole-pass and end-to-end latencies.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Registry holds a deployment's metric families. One registry is shared
+// by every layer (core.Config.Metrics) so the daemon, the simulator and
+// tests scrape a single coherent view.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	hooks    []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric family: fixed kind, label schema and (for
+// histograms) bucket bounds, plus its children keyed by label values.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	bounds []float64      // histogram upper bounds, sorted, no +Inf
+	fn     func() float64 // CounterFunc/GaugeFunc value source
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+type child struct {
+	values []string
+	metric any // *Counter, *Gauge or *Histogram
+}
+
+// register adds (or idempotently returns) a family. Re-registering the
+// same name with an identical signature returns the existing family, so
+// wiring the same registry twice (e.g. two gateways over one core) is
+// safe; a mismatched signature is a programming error and panics.
+func (r *Registry) register(name, help string, k kind, labels []string, bounds []float64, fn func() float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRE.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	if !slices.IsSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not sorted", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || !slices.Equal(f.labels, labels) || !slices.Equal(f.bounds, bounds) || (f.fn == nil) != (fn == nil) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different signature", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     k,
+		labels:   slices.Clone(labels),
+		bounds:   slices.Clone(bounds),
+		fn:       fn,
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns) a counter family with the given label
+// schema.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// Gauge registers (or returns) a gauge family with the given label
+// schema.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
+// Histogram registers (or returns) a histogram family. buckets are the
+// upper bounds (ascending, +Inf implied); nil means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{fam: r.register(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+// CounterFunc registers a label-less counter whose value is read from fn
+// at each scrape — for mirroring an external monotonic source (breaker
+// open count, archive drop count) without double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounter, nil, nil, fn)
+}
+
+// GaugeFunc registers a label-less gauge whose value is read from fn at
+// each scrape — for cheap instantaneous reads (queue depth, in-flight).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, nil, nil, fn)
+}
+
+// OnGather registers a hook run at the start of every Gather, before
+// values are read — the place to mirror batched stats (cache counters,
+// durability stats, per-point fault fire counts) into registered metrics.
+func (r *Registry) OnGather(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// childKey joins label values; unit separator keeps the mapping
+// injective for any values that don't themselves contain 0x1f.
+func childKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := childKey(values)
+	f.mu.RLock()
+	c := f.children[key]
+	f.mu.RUnlock()
+	if c != nil {
+		return c.metric
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c := f.children[key]; c != nil {
+		return c.metric
+	}
+	m := make()
+	f.children[key] = &child{values: slices.Clone(values), metric: m}
+	return m
+}
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the count. Only for mirroring an external monotonic
+// source (e.g. meta.CacheStats) inside an OnGather hook — instrumented
+// code paths must use Inc/Add.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a counter family; With resolves one labelled child.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.child(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a gauge family; With resolves one labelled child.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.child(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram accumulates observations into fixed buckets. Observe is
+// lock-free; a concurrent scrape may see a bucket increment before the
+// matching sum update (standard for atomic histograms).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramVec is a histogram family; With resolves one labelled child.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.fam
+	return f.child(values, func() any {
+		return &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+	}).(*Histogram)
+}
+
+// Gather runs the OnGather hooks, then snapshots every family into the
+// exposition model: families sorted by name, children by label values,
+// label pairs by key. The result is deterministic for a given set of
+// metric values.
+func (r *Registry) Gather() []Family {
+	r.mu.RLock()
+	hooks := slices.Clone(r.hooks)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.gather())
+	}
+	return out
+}
+
+func (f *family) gather() Family {
+	fam := Family{Name: f.name, Type: f.kind.String(), Help: f.help}
+	if f.fn != nil {
+		fam.Samples = []Sample{{Name: f.name, Value: f.fn()}}
+		return fam
+	}
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(children, func(i, j int) bool {
+		return slices.Compare(children[i].values, children[j].values) < 0
+	})
+	for _, c := range children {
+		base := labelPairs(f.labels, c.values)
+		switch m := c.metric.(type) {
+		case *Counter:
+			fam.Samples = append(fam.Samples, Sample{Name: f.name, Labels: base, Value: float64(m.Value())})
+		case *Gauge:
+			fam.Samples = append(fam.Samples, Sample{Name: f.name, Labels: base, Value: m.Value()})
+		case *Histogram:
+			var cum uint64
+			for i := range m.counts {
+				cum += m.counts[i].Load()
+				le := "+Inf"
+				if i < len(m.bounds) {
+					le = formatValue(m.bounds[i])
+				}
+				fam.Samples = append(fam.Samples, Sample{
+					Name:   f.name + "_bucket",
+					Labels: withLabel(base, "le", le),
+					Value:  float64(cum),
+				})
+			}
+			fam.Samples = append(fam.Samples,
+				Sample{Name: f.name + "_sum", Labels: base, Value: math.Float64frombits(m.sum.Load())},
+				Sample{Name: f.name + "_count", Labels: base, Value: float64(m.count.Load())},
+			)
+		}
+	}
+	return fam
+}
+
+// labelPairs zips a label schema with one child's values, sorted by key.
+func labelPairs(keys, values []string) []Label {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]Label, len(keys))
+	for i := range keys {
+		out[i] = Label{Name: keys[i], Value: values[i]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// withLabel returns base plus one extra pair, keeping key order.
+func withLabel(base []Label, name, value string) []Label {
+	out := make([]Label, 0, len(base)+1)
+	out = append(out, base...)
+	out = append(out, Label{Name: name, Value: value})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exposition output byte for byte: sorted
+// families, sorted children, sorted label pairs, cumulative buckets, no
+// timestamps. Any formatting drift breaks scrapers and sim diffs alike.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	binds := r.Counter("qrio_state_tenant_binds_total", "Jobs bound per tenant.", "tenant")
+	binds.With("bob").Add(2)
+	binds.With("alice").Inc()
+	depth := r.Gauge("qrio_state_depth_jobs", "Jobs per lifecycle phase.", "phase")
+	depth.With("pending").Set(7)
+	depth.With("active").Set(1.5)
+	h := r.Histogram("qrio_sched_pass_duration_seconds", "Scheduling pass wall time.", []float64{0.01, 0.1, 1})
+	h.With().Observe(0.005)
+	h.With().Observe(0.05)
+	h.With().Observe(42)
+	r.GaugeFunc("qrio_gateway_inflight_requests", "In-flight /v1 requests.", func() float64 { return 3 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP qrio_gateway_inflight_requests In-flight /v1 requests.
+# TYPE qrio_gateway_inflight_requests gauge
+qrio_gateway_inflight_requests 3
+# HELP qrio_sched_pass_duration_seconds Scheduling pass wall time.
+# TYPE qrio_sched_pass_duration_seconds histogram
+qrio_sched_pass_duration_seconds_bucket{le="0.01"} 1
+qrio_sched_pass_duration_seconds_bucket{le="0.1"} 2
+qrio_sched_pass_duration_seconds_bucket{le="1"} 2
+qrio_sched_pass_duration_seconds_bucket{le="+Inf"} 3
+qrio_sched_pass_duration_seconds_sum 42.055
+qrio_sched_pass_duration_seconds_count 3
+# HELP qrio_state_depth_jobs Jobs per lifecycle phase.
+# TYPE qrio_state_depth_jobs gauge
+qrio_state_depth_jobs{phase="active"} 1.5
+qrio_state_depth_jobs{phase="pending"} 7
+# HELP qrio_state_tenant_binds_total Jobs bound per tenant.
+# TYPE qrio_state_tenant_binds_total counter
+qrio_state_tenant_binds_total{tenant="alice"} 1
+qrio_state_tenant_binds_total{tenant="bob"} 2
+`
+	if b.String() != want {
+		t.Errorf("exposition drift:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+	// A second render must be byte-identical (scrape idempotence).
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Error("two scrapes of an unchanged registry differ")
+	}
+}
+
+// TestRegisterIdempotent: identical re-registration shares the family
+// (wiring the same registry twice is legal); a changed signature panics.
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("qrio_gateway_sheds_total", "Shed requests.", "reason")
+	b := r.Counter("qrio_gateway_sheds_total", "Shed requests.", "reason")
+	a.With("overloaded").Inc()
+	if got := b.With("overloaded").Value(); got != 1 {
+		t.Fatalf("re-registered vec sees %d, want 1 (same family)", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("qrio_gateway_sheds_total", "Shed requests.", "reason")
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// and HELP text survive a write/parse round trip.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("qrio_state_tenant_binds_total", "line one\nline \\two", "tenant")
+	c.With(`we"ird\te` + "\nnant").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(b.String())
+	if err != nil {
+		t.Fatalf("parsing own output: %v\n%s", err, b.String())
+	}
+	f := FindFamily(fams, "qrio_state_tenant_binds_total")
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("families = %+v", fams)
+	}
+	if f.Help != "line one\nline \\two" {
+		t.Errorf("help round trip: %q", f.Help)
+	}
+	if got := f.Samples[0].Get("tenant"); got != `we"ird\te`+"\nnant" {
+		t.Errorf("label round trip: %q", got)
+	}
+}
+
+// TestConcurrentUpdates hammers every metric type (and dynamic child
+// creation) from many goroutines while a scraper gathers — the test is
+// only meaningful under -race, where internal/obs runs in CI.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("qrio_state_tenant_binds_total", "", "tenant")
+	g := r.Gauge("qrio_gateway_inflight_requests", "")
+	h := r.Histogram("qrio_sched_pass_duration_seconds", "", nil)
+	r.OnGather(func() { c.With("hook").Set(1) })
+
+	const workers, iters = 8, 2000
+	tenants := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.With(tenants[(w+i)%len(tenants)]).Inc()
+				g.With().Add(1)
+				g.With().Add(-1)
+				h.With().Observe(float64(i) / iters)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Gather()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	var total uint64
+	for _, tn := range tenants {
+		total += c.With(tn).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	hh := h.With()
+	if got := hh.count.Load(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var bucketSum uint64
+	for i := range hh.counts {
+		bucketSum += hh.counts[i].Load()
+	}
+	if bucketSum != workers*iters {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, workers*iters)
+	}
+	if got := g.With().Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0 after balanced adds", got)
+	}
+}
+
+// TestHistogramBuckets pins bucket assignment at the boundaries: le is
+// an upper inclusive bound.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("qrio_sched_pass_duration_seconds", "", []float64{1, 2}).With()
+	h.Observe(1)           // le="1"
+	h.Observe(1.5)         // le="2"
+	h.Observe(2)           // le="2"
+	h.Observe(3)           // +Inf
+	h.Observe(math.Inf(1)) // +Inf
+	for i, want := range []uint64{1, 2, 2} {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.count.Load(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		1:           "1",
+		0.25:        "0.25",
+		1e7:         "1e+07",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("NaN formats as %q", got)
+	}
+}

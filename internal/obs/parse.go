@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Family is one metric family in the exposition model — what Gather
+// produces, WriteFamilies renders and ParseText reads back. Type is
+// "counter", "gauge", "histogram" or "untyped".
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// Sample is one exposition line: a sample name (the family name, or
+// family_bucket/_sum/_count for histograms), its label pairs sorted by
+// name, and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Get returns the value of the named label, or "" if absent.
+func (s Sample) Get(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// FindFamily returns the family with the given name, or nil.
+func FindFamily(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4). Output is byte-stable for a given set of values.
+func (r *Registry) WriteText(w io.Writer) error {
+	return WriteFamilies(w, r.Gather())
+}
+
+// WriteFamilies renders families in Prometheus text exposition format.
+// It emits no timestamps and preserves the given family order (Gather
+// sorts; parsed input keeps its appearance order), so formatting a parse
+// of its own output is byte-identical.
+func WriteFamilies(w io.Writer, fams []Family) error {
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		if f.Type == "" {
+			b.WriteString("untyped")
+		} else {
+			b.WriteString(f.Type)
+		}
+		b.WriteByte('\n')
+		for _, s := range f.Samples {
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Name)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabel(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trippable decimal, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ParseText parses Prometheus text exposition (the subset WriteFamilies
+// emits: HELP/TYPE comments and timestamp-less samples) back into the
+// family model. Families keep their order of first appearance; samples
+// are attached to the family whose name they carry, or — for
+// _bucket/_sum/_count suffixes — to the matching histogram family.
+// Unknown samples open an implicit untyped family. It never panics on
+// malformed input; it returns an error instead.
+func ParseText(text string) ([]Family, error) {
+	var (
+		fams  []Family
+		index = make(map[string]int)
+	)
+	ensure := func(name string) *Family {
+		if i, ok := index[name]; ok {
+			return &fams[i]
+		}
+		index[name] = len(fams)
+		fams = append(fams, Family{Name: name, Type: "untyped"})
+		return &fams[len(fams)-1]
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			keyword, rest, _ := strings.Cut(rest, " ")
+			switch keyword {
+			case "HELP":
+				name, help, _ := strings.Cut(rest, " ")
+				if name == "" {
+					return nil, fmt.Errorf("line %d: HELP without a metric name", ln+1)
+				}
+				ensure(name).Help = unescapeHelp(help)
+			case "TYPE":
+				name, typ, ok := strings.Cut(rest, " ")
+				if name == "" || !ok {
+					return nil, fmt.Errorf("line %d: malformed TYPE comment", ln+1)
+				}
+				ensure(name).Type = strings.TrimSpace(typ)
+			}
+			// Other comments are ignored, per the format spec.
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		fam := familyFor(fams, index, name)
+		if fam == nil {
+			fam = ensure(name)
+		}
+		fam.Samples = append(fam.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	return fams, nil
+}
+
+// familyFor resolves which existing family owns a sample name: an exact
+// match, or the base histogram family for _bucket/_sum/_count suffixes.
+func familyFor(fams []Family, index map[string]int, name string) *Family {
+	if i, ok := index[name]; ok {
+		return &fams[i]
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if i, ok := index[base]; ok && fams[i].Type == "histogram" {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+func parseSampleLine(line string) (string, []Label, float64, error) {
+	i := strings.IndexAny(line, "{ \t")
+	if i <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:i]
+	if !nameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	rest := line[i:]
+	var labels []Label
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", nil, 0, fmt.Errorf("want exactly one value after %q, got %q", name, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the pairs plus
+// the unconsumed remainder of the line.
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !nameRE.MatchString(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		value, rest, err := parseQuoted(s[1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", name, err)
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+		s = rest
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value up to its closing quote.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// populated builds a registry resembling a real deployment scrape: every
+// metric type, labelled and label-less, funcs and histograms.
+func populated() *Registry {
+	r := NewRegistry()
+	req := r.Counter("qrio_gateway_requests_total", "Requests per route and status.", "route", "code")
+	req.With("POST /v1/jobs", "200").Add(17)
+	req.With("POST /v1/jobs", "429").Add(3)
+	req.With("GET /v1/jobs/{name}", "404").Inc()
+	sheds := r.Counter("qrio_gateway_sheds_total", "Requests shed before handling.", "reason")
+	sheds.With("rate_limited").Add(3)
+	depth := r.Gauge("qrio_state_depth_jobs", "Jobs per phase.", "phase")
+	depth.With("pending").Set(12)
+	depth.With("terminal").Set(40)
+	r.GaugeFunc("qrio_watch_active_streams", "Live watch subscribers.", func() float64 { return 2 })
+	r.CounterFunc("qrio_sched_degraded_episodes_total", "Breaker opens.", func() float64 { return 1 })
+	lat := r.Histogram("qrio_state_submit_to_bind_seconds", "Submit to bind latency.", []float64{0.001, 0.1, 10})
+	lat.With().Observe(0.0005)
+	lat.With().Observe(0.05)
+	lat.With().Observe(3)
+	return r
+}
+
+// TestParseRoundTrip: formatting a parse of our own exposition output
+// reproduces it byte for byte — parser and writer agree on the format.
+func TestParseRoundTrip(t *testing.T) {
+	var first strings.Builder
+	if err := populated().WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(first.String())
+	if err != nil {
+		t.Fatalf("parsing own output: %v\n%s", err, first.String())
+	}
+	var second strings.Builder
+	if err := WriteFamilies(&second, fams); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("round trip drift:\n--- formatted ---\n%s--- reformatted ---\n%s", first.String(), second.String())
+	}
+	// Histogram samples must attach to their base family, not open
+	// implicit _bucket/_sum/_count families.
+	if f := FindFamily(fams, "qrio_state_submit_to_bind_seconds"); f == nil || len(f.Samples) != 6 {
+		t.Errorf("histogram family not reassembled: %+v", f)
+	}
+	if FindFamily(fams, "qrio_state_submit_to_bind_seconds_bucket") != nil {
+		t.Error("_bucket opened its own family")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`qrio_x{tenant="a} 1`,    // unterminated quote
+		`qrio_x{tenant=a} 1`,     // unquoted value
+		`qrio_x 1 2 3`,           // trailing tokens
+		`qrio_x{} nope`,          // non-numeric value
+		`{tenant="a"} 1`,         // missing name
+		`qrio_x{tenant="a"`,      // unterminated label set
+		`qrio_x{tenant="a\q"} 1`, // unknown escape
+		"# TYPE qrio_x",          // TYPE without a type
+	}
+	for _, c := range cases {
+		if _, err := ParseText(c); err == nil {
+			t.Errorf("ParseText(%q) accepted malformed input", c)
+		}
+	}
+}
+
+func TestParseIgnoresFreeComments(t *testing.T) {
+	fams, err := ParseText("# a scraper note\n# EOF\nqrio_state_depth_jobs 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || fams[0].Type != "untyped" || fams[0].Samples[0].Value != 4 {
+		t.Fatalf("families = %+v", fams)
+	}
+}
+
+// FuzzParseText: the parser must never panic, and anything it accepts
+// must survive a format/reparse/format round trip (idempotent rendering).
+func FuzzParseText(f *testing.F) {
+	var seed strings.Builder
+	if err := populated().WriteText(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("# HELP a b\n# TYPE a counter\na 1\n")
+	f.Add(`a{x="y\n\\\""} +Inf` + "\n")
+	f.Add("a_bucket{le=\"0.1\"} 1\n# TYPE a histogram\na_sum 2\n")
+	f.Add("# TYPE \n\n{} 1\na{ 1")
+	f.Fuzz(func(t *testing.T, text string) {
+		fams, err := ParseText(text)
+		if err != nil {
+			return
+		}
+		var once strings.Builder
+		if err := WriteFamilies(&once, fams); err != nil {
+			t.Fatal(err)
+		}
+		fams2, err := ParseText(once.String())
+		if err != nil {
+			t.Fatalf("reparse of formatted output failed: %v\n%s", err, once.String())
+		}
+		var twice strings.Builder
+		if err := WriteFamilies(&twice, fams2); err != nil {
+			t.Fatal(err)
+		}
+		if once.String() != twice.String() {
+			t.Errorf("format not idempotent:\n--- once ---\n%s--- twice ---\n%s", once.String(), twice.String())
+		}
+	})
+}

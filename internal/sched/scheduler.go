@@ -94,6 +94,9 @@ type Scheduler struct {
 	// the cap trims only the tail — so a pass under deep overload costs
 	// O(tenants × cap) instead of O(total backlog).
 	MaxPendingPerTenant int
+	// Metrics is the optional instrumentation handle (nil = no metrics,
+	// the zero-overhead default). Set once at wiring time.
+	Metrics *Metrics
 
 	// wrrCredit is the smooth weighted round-robin accumulator behind
 	// fairOrder, advanced one round per actual bind (see fair.go) and
@@ -158,11 +161,26 @@ func (s *Scheduler) SchedulePass() int {
 	if len(pending) == 0 {
 		return 0
 	}
+	// Pass duration is real compute, so it reads the wall clock even when
+	// a virtual Clock drives the cadence.
+	m := s.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	var bound int
 	if limit == 1 {
 		// Paper-faithful serial path: strict global FIFO, no fair queue.
-		return s.serialPass(pending, limit)
+		bound = s.serialPass(pending, limit)
+	} else {
+		bound = s.batchedPass(pending, limit)
 	}
-	return s.batchedPass(pending, limit)
+	if m != nil {
+		m.PassSeconds.Observe(time.Since(start).Seconds())
+		m.PassJobs.With("ranked").Add(uint64(len(pending)))
+		m.PassJobs.With("bound").Add(uint64(bound))
+	}
+	return bound
 }
 
 // serialPass is the paper's architecture: one job at a time through the

@@ -33,6 +33,7 @@ import (
 	"qrio/internal/cluster/store"
 	"qrio/internal/device"
 	"qrio/internal/graph"
+	"qrio/internal/obs"
 	"qrio/internal/sched"
 	"qrio/internal/simload"
 )
@@ -119,6 +120,12 @@ type Config struct {
 	// DrainGrace bounds how long past the arrival horizon the engine
 	// keeps simulating to drain in-flight work (default 60s virtual).
 	DrainGrace simload.Duration `json:"drainGrace,omitempty"`
+
+	// Obs, when set, threads the deployment-style metrics registry through
+	// the simulated scheduler and state — the same families a live server
+	// exposes on /v1/metrics, fed by a virtual-time run. Programmatic only
+	// (not part of the JSON scenario format).
+	Obs *obs.Registry `json:"-"`
 }
 
 func (c *Config) withDefaults() Config {
@@ -326,6 +333,11 @@ func New(cfg Config, src simload.Source) (*Engine, error) {
 	e.ctl.NodeTimeout = 1000 * time.Hour
 	e.ctl.StuckTimeout = 1000 * time.Hour
 	e.ctl.Retention = state.RetentionPolicy{MaxTerminalCount: cfg.MaxTerminalResident}
+
+	if cfg.Obs != nil {
+		st.Metrics = state.NewMetrics(cfg.Obs)
+		e.sch.Metrics = sched.NewMetrics(cfg.Obs)
+	}
 	return e, nil
 }
 

@@ -133,9 +133,26 @@
 // containers died with it. Watch resume tokens from before the crash
 // either replay exactly or answer the typed 410 "compacted" code.
 // GET /v1/admin/durability (Client.Durability, qrioctl admin durability)
-// reports WAL lag, snapshot age, boot replay statistics and any latched
-// WAL/spill errors; the same summary rides on /v1/healthz. The zero
-// Options keep the cluster fully in-memory — the prior behaviour.
+// reports WAL lag, snapshot age, boot replay statistics, any latched
+// WAL/spill errors and the clears a snapshot healed; the same summary
+// rides on GET /v1/health as the durability component. The zero Options
+// keep the cluster fully in-memory — the prior behaviour.
+//
+// # Observability
+//
+// Config.Metrics accepts a metrics registry (NewMetricsRegistry); with
+// one set, every layer registers its families at wiring time — scheduler
+// pass latency and outcomes, submit→bind latency, queue depths, tenant
+// binds and quota rejections, score-cache activity, per-route gateway
+// traffic, watch-hub fanout, WAL/snapshot/archive health and
+// fault-injection fire counts — and the gateway serves the registry as
+// GET /v1/metrics in Prometheus text exposition format (deterministic:
+// families, children and labels are sorted). GET /v1/health returns the
+// typed per-component health payload (/v1/healthz stays as a deprecated
+// alias for one cycle). Client.Health, Client.Metrics and
+// Client.MetricFamilies, plus qrioctl health and qrioctl metrics
+// [-family], consume both. A nil Config.Metrics (the default) keeps
+// every hot path at a single branch and /v1/metrics answering 404.
 //
 // The Client type (package qrio/client) speaks this surface: Submit and
 // SubmitBatch, Get, List, Cancel, Logs, Events, Watch and the
@@ -174,6 +191,7 @@ import (
 	"qrio/internal/graph"
 	"qrio/internal/mapomatic"
 	"qrio/internal/master"
+	"qrio/internal/obs"
 	"qrio/internal/quantum/circuit"
 	"qrio/internal/quantum/qasm"
 	"qrio/internal/visualizer"
@@ -235,6 +253,24 @@ type DurabilityOptions = durability.Options
 // snapshot age, boot replay statistics, latched errors), served by
 // GET /v1/admin/durability.
 type DurabilityStats = durability.Stats
+
+// MetricsRegistry is the deployment-wide observability registry
+// (Config.Metrics): zero-dependency counters, gauges and histograms with
+// a deterministic Prometheus text exposition, served by GET /v1/metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry. Hand it to
+// Config.Metrics so the daemon, simulator and tests share one view.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricFamily is one parsed family from a metrics exposition
+// (Client.MetricFamilies).
+type MetricFamily = obs.Family
+
+// HealthResponse is the typed GET /v1/health payload: per-component
+// statuses for store, scheduler, durability, archive and the scoring
+// breaker, plus the overall roll-up and drain flag.
+type HealthResponse = gateway.HealthResponse
 
 // TenantConfig is one tenant's live weight + quota override, set through
 // PUT /v1/tenants/{name} and applied without a restart.
