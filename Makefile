@@ -5,7 +5,7 @@ GO ?= go
 
 # Packages the concurrent scheduling pipeline and the /v1 gateway touch;
 # they get the -race treatment on every CI run.
-RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/... ./internal/gateway/... ./internal/obs/... ./client/...
+RACE_PKGS := ./internal/sched/... ./internal/cluster/... ./internal/core/... ./internal/meta/... ./internal/gateway/... ./internal/obs/... ./internal/replica/... ./client/...
 
 # Benchmarks the CI regression guard re-runs with -count=$(BENCH_COUNT)
 # for median comparison (the full suite takes minutes; the guard only
@@ -25,15 +25,22 @@ GUARDED_GATEWAY := BenchmarkRateLimit
 # full scrape) is guarded from internal/obs: instrumentation that shows
 # up in the scheduler or gateway profiles defeats its own purpose.
 GUARDED_OBS := BenchmarkMetricsHotPath
+# The multi-replica scale-out bench runs with its own methodology: a
+# handful of full wave drains per measurement (each op is already a
+# 32-job wave) across -cpu $(BENCH_REPL_CPU), so the curve shows both
+# the replica axis and the core axis.
+GUARDED_REPL := BenchmarkReplicatedBind
 BENCH_COUNT ?= 3
 BENCH_FAST_TIME ?= 20x
+BENCH_REPL_TIME ?= 5x
+BENCH_REPL_CPU ?= 1,4,8
 
 # Total-coverage floor: the coverage job fails when the current total
 # drops below the committed baseline (COVERAGE_baseline.txt) minus this
 # many points.
 COVERAGE_SLACK ?= 2
 
-.PHONY: all build vet fmt lint lint-rand lint-http lint-metrics test race bench bench-json bench-store bench-compare chaos-crash chaos-faults coverage sim sim-smoke ci
+.PHONY: all build vet fmt lint lint-rand lint-http lint-metrics test race bench bench-json bench-store bench-compare chaos-crash chaos-faults chaos-replicas coverage sim sim-smoke ci
 
 all: build
 
@@ -127,6 +134,16 @@ chaos-crash:
 chaos-faults:
 	$(GO) test -race -count=1 -run 'TestFaultStorm' ./internal/cluster/chaostest
 
+# chaos-replicas runs the concurrent-bind storm under the race detector:
+# K scheduler replicas race one pending queue with optimistic
+# version-conditional binds while executors drain the fleet and a
+# retention sweeper archives terminal jobs mid-release. Asserts
+# exactly-once binds, coherent per-replica win/conflict counters, and
+# node accounting draining to zero. -count=1 defeats the test cache: the
+# storm's value is in fresh interleavings each run.
+chaos-replicas:
+	$(GO) test -race -count=1 -run 'TestConcurrentBindStorm' ./internal/cluster/chaostest
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
@@ -138,6 +155,7 @@ bench-json:
 	$(GO) test -run xxx -bench '$(GUARDED_FAST)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json . >> BENCH_results.json
 	$(GO) test -run xxx -bench '$(GUARDED_GATEWAY)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/gateway >> BENCH_results.json
 	$(GO) test -run xxx -bench '$(GUARDED_OBS)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/obs >> BENCH_results.json
+	$(GO) test -run xxx -bench '$(GUARDED_REPL)' -benchtime $(BENCH_REPL_TIME) -count $(BENCH_COUNT) -cpu $(BENCH_REPL_CPU) -json . >> BENCH_results.json
 
 # bench-store exercises the sharded store's lock scaling across core counts.
 bench-store:
@@ -153,6 +171,7 @@ bench-compare:
 	$(GO) test -run xxx -bench '$(GUARDED_FAST)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json . >> BENCH_current.json
 	$(GO) test -run xxx -bench '$(GUARDED_GATEWAY)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/gateway >> BENCH_current.json
 	$(GO) test -run xxx -bench '$(GUARDED_OBS)' -benchtime $(BENCH_FAST_TIME) -count $(BENCH_COUNT) -json ./internal/obs >> BENCH_current.json
+	$(GO) test -run xxx -bench '$(GUARDED_REPL)' -benchtime $(BENCH_REPL_TIME) -count $(BENCH_COUNT) -cpu $(BENCH_REPL_CPU) -json . >> BENCH_current.json
 	$(GO) run ./cmd/benchcompare -baseline BENCH_results.json -current BENCH_current.json -threshold 25
 
 # coverage runs the full suite with a coverage profile and enforces the

@@ -209,7 +209,7 @@ func main() {
 	currentPath := flag.String("current", "BENCH_current.json", "fresh run (test2json stream)")
 	threshold := flag.Float64("threshold", 25, "max tolerated throughput drop, percent")
 	match := flag.String("match",
-		"BenchmarkSchedulePassWithHistory,BenchmarkSubmitThroughput,BenchmarkStoreContention,BenchmarkFairShare,BenchmarkWatchResume,BenchmarkWALAppend,BenchmarkReplayBoot",
+		"BenchmarkSchedulePassWithHistory,BenchmarkSubmitThroughput,BenchmarkStoreContention,BenchmarkFairShare,BenchmarkWatchResume,BenchmarkWALAppend,BenchmarkReplayBoot,BenchmarkReplicatedBind",
 		"comma-separated benchmark name prefixes to guard")
 	summaryPath := flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
 		"append the delta table as markdown to this file (default: $GITHUB_STEP_SUMMARY when set)")

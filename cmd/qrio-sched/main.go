@@ -1,0 +1,94 @@
+// Command qrio-sched runs an out-of-process scheduler replica against a
+// remote QRIO gateway. It holds no cluster state of its own: the pending
+// queue and fleet are watch-fed over GET /v1/watch (self-healing resume),
+// candidates are ranked through the gateway's batch scoring route, and
+// every placement is a version-conditional POST /v1/bind — so any number
+// of qrio-sched processes can race over one queue with exactly-once
+// binds. Run the gateway with scheduling disabled (or let replicas race
+// the in-process loop; optimistic concurrency keeps both safe).
+//
+// Usage:
+//
+//	qrio-sched -gateway http://host:8080 [-replicas N -index I]
+//	           [-assume I,J] [-interval D] [-concurrency N] [-stats D]
+//
+// -replicas/-index shard the pending queue hash(job) mod N so steady-state
+// replicas stay off each other's jobs; -assume takes over the listed
+// peers' shards at startup (manual takeover after a replica loss).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"qrio/client"
+	"qrio/internal/replica"
+	"qrio/internal/sched"
+)
+
+func main() {
+	gatewayURL := flag.String("gateway", "http://localhost:8080", "base URL of the QRIO /v1 gateway")
+	replicas := flag.Int("replicas", 1, "total scheduler replicas sharding the pending queue")
+	index := flag.Int("index", 0, "this replica's shard index (0-based, < -replicas)")
+	assume := flag.String("assume", "", "comma-separated peer shard indexes to take over at startup")
+	interval := flag.Duration("interval", 50*time.Millisecond, "scheduling pass cadence")
+	concurrency := flag.Int("concurrency", 16, "max binds per pass")
+	statsEvery := flag.Duration("stats", 30*time.Second, "log bind/conflict counters at this cadence (0 = never)")
+	flag.Parse()
+
+	part, err := sched.NewPartition(*replicas, *index)
+	if err != nil {
+		log.Fatalf("qrio-sched: %v", err)
+	}
+	rep := &replica.Replica{
+		Client:      client.New(*gatewayURL),
+		Partition:   part,
+		Interval:    *interval,
+		Concurrency: *concurrency,
+	}
+	if *assume != "" {
+		for _, f := range strings.Split(*assume, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("qrio-sched: bad -assume index %q: %v", f, err)
+			}
+			rep.Assume(idx)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s := rep.Stats()
+					log.Printf("qrio-sched: shard %d/%d binds=%d conflicts=%d errors=%d passes=%d",
+						*index, *replicas, s.Binds, s.Conflicts, s.Errors, s.Passes)
+				}
+			}
+		}()
+	}
+
+	log.Printf("qrio-sched: shard %d/%d scheduling against %s", *index, *replicas, *gatewayURL)
+	if err := rep.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "qrio-sched: %v\n", err)
+		os.Exit(1)
+	}
+	s := rep.Stats()
+	log.Printf("qrio-sched: shutdown — binds=%d conflicts=%d errors=%d", s.Binds, s.Conflicts, s.Errors)
+}

@@ -16,13 +16,17 @@
 // Usage:
 //
 //	qrio [-addr :8080] [-fleet fleet.json] [-small] [-concurrency N]
-//	     [-node-concurrency N] [-score-workers N]
+//	     [-scheduler=false] [-node-concurrency N] [-score-workers N]
 //	     [-tenant-weights a=3,b=1] [-quota-pending N] [-quota-active N]
 //	     [-quota-qubit-seconds F]
 //	     [-rate-limit F] [-rate-burst N] [-max-in-flight N]
 //	     [-retention-max-age D] [-retention-max-count N] [-archive-spill F]
 //	     [-data-dir DIR] [-wal-fsync=false] [-snapshot-interval D]
 //	     [-faults point:mode[:prob[:latency]],...]
+//
+// -scheduler=false starts a gateway-only deployment: jobs are accepted and
+// executed but never placed until external scheduler replicas (qrio-sched)
+// bind them through POST /v1/bind — see README "Scaling out".
 //
 // -rate-limit bounds each tenant's submission arrival rate (token bucket,
 // 429 rate_limited + Retry-After); -max-in-flight sheds excess concurrent
@@ -67,6 +71,7 @@ func main() {
 	fleetPath := flag.String("fleet", "", "JSON fleet file (default: generate the Table 2 fleet)")
 	small := flag.Bool("small", false, "generate a reduced 30-device fleet")
 	concurrency := flag.Int("concurrency", 1, "scheduler jobs per pass (1 = paper behaviour, >1 = batched dispatch)")
+	scheduler := flag.Bool("scheduler", true, "run the embedded scheduler (=false for a gateway-only deployment driven by external qrio-sched replicas)")
 	nodeConcurrency := flag.Int("node-concurrency", 1, "containers per node (1 = paper behaviour; >1 bounded by node CPU capacity)")
 	scoreWorkers := flag.Int("score-workers", 0, "total concurrent Meta-Server scoring calls across the ranked batch (0 = GOMAXPROCS)")
 	tenantWeights := flag.String("tenant-weights", "", "fair-share weights as tenant=weight pairs, e.g. alice=3,bob=1 (unlisted tenants weigh 1)")
@@ -103,12 +108,13 @@ func main() {
 		log.Printf("WARNING: fault injection armed for %s — this daemon will misbehave on purpose", strings.Join(armed, ", "))
 	}
 	q, err := qrio.New(qrio.Config{
-		Backends:        fleet,
-		Metrics:         qrio.NewMetricsRegistry(),
-		Concurrency:     *concurrency,
-		NodeConcurrency: *nodeConcurrency,
-		ScoreWorkers:    *scoreWorkers,
-		TenantWeights:   weights,
+		Backends:         fleet,
+		Metrics:          qrio.NewMetricsRegistry(),
+		Concurrency:      *concurrency,
+		DisableScheduler: !*scheduler,
+		NodeConcurrency:  *nodeConcurrency,
+		ScoreWorkers:     *scoreWorkers,
+		TenantWeights:    weights,
 		TenantQuotas: api.TenantQuotaPolicy{
 			Default: api.TenantQuota{
 				MaxPending:      *quotaPending,
@@ -152,6 +158,9 @@ func main() {
 	q.Start()
 	defer q.Close()
 
+	if !*scheduler {
+		log.Print("embedded scheduler disabled: jobs wait for external qrio-sched replicas on POST /v1/bind")
+	}
 	log.Printf("QRIO up: %d nodes, visualizer at http://localhost%s/", len(fleet), *addr)
 	srv := &http.Server{Addr: *addr, Handler: daemon.HandlerMaxInFlight(q, *maxInFlight)}
 	go func() {

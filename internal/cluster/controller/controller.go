@@ -156,7 +156,11 @@ func (c *Controller) requeueStrandedJobs(now time.Time) {
 			return j, nil
 		})
 		if err == nil {
-			c.State.ReleaseNode(nodeName, jobName)
+			// The node is typically mid-deregistration here; a failed
+			// release is expected but must still be latched, not dropped.
+			if rerr := c.State.ReleaseNode(nodeName, jobName); rerr != nil {
+				c.State.LatchReleaseFailure(nodeName, jobName, rerr)
+			}
 		}
 		if cancelled {
 			c.State.RecordEvent("Job", jobName, "Cancelled",

@@ -327,7 +327,9 @@ func (k *Kubelet) finishExecuted(jobName string, start time.Time, o execOutcome)
 	if err != nil {
 		return // another actor finalised the job; it owns release + events
 	}
-	k.State.ReleaseNode(k.NodeName, jobName)
+	if rerr := k.State.ReleaseNode(k.NodeName, jobName); rerr != nil {
+		k.State.LatchReleaseFailure(k.NodeName, jobName, rerr)
+	}
 	reason := "Succeeded"
 	if execErr != nil {
 		reason = "Failed"
@@ -367,7 +369,9 @@ func (k *Kubelet) finishCancelled(jobName string, start time.Time) {
 	if _, err := k.State.Results.Create(res); err != nil {
 		k.State.Results.Update(jobName, func(api.Result) (api.Result, error) { return res, nil })
 	}
-	k.State.ReleaseNode(k.NodeName, jobName)
+	if rerr := k.State.ReleaseNode(k.NodeName, jobName); rerr != nil {
+		k.State.LatchReleaseFailure(k.NodeName, jobName, rerr)
+	}
 	k.State.RecordEvent("Job", jobName, "Cancelled",
 		fmt.Sprintf("container aborted on %s after %dms", k.NodeName, elapsed))
 }

@@ -86,7 +86,9 @@ func (c *Cluster) RequeueUnclaimedScheduled(reason string) int {
 			continue
 		}
 		if node != "" {
-			c.ReleaseNode(node, name)
+			if rerr := c.ReleaseNode(node, name); rerr != nil {
+				c.LatchReleaseFailure(node, name, rerr)
+			}
 		}
 		c.RecordEvent("Job", name, "Requeued", reason)
 		n++
@@ -139,7 +141,9 @@ func (c *Cluster) RequeueOrphanedRunning(reason string) int {
 			continue
 		}
 		if node != "" {
-			c.ReleaseNode(node, name)
+			if rerr := c.ReleaseNode(node, name); rerr != nil {
+				c.LatchReleaseFailure(node, name, rerr)
+			}
 		}
 		if cancelled {
 			c.RecordEvent("Job", name, "Cancelled", reason+"; cancellation completed by restart")

@@ -331,6 +331,32 @@ func (c *Cluster) pendingByName(names []string) []api.QuantumJob {
 	return out
 }
 
+// PendingJob pairs a pending job with the resource version it was read
+// at — the observation a replica's BindJobAt compare-and-swap binds
+// against.
+type PendingJob struct {
+	Job     api.QuantumJob
+	Version int64
+}
+
+// PendingJobsVersioned is PendingJobsCapped carrying each job's resource
+// version, for scheduler replicas that bind optimistically. perTenant <= 0
+// means no cap.
+func (c *Cluster) PendingJobsVersioned(perTenant int) []PendingJob {
+	names := c.pending.names()
+	if perTenant > 0 {
+		names = c.pending.namesCapped(perTenant)
+	}
+	out := make([]PendingJob, 0, len(names))
+	for _, name := range names {
+		j, v, err := c.Jobs.Get(name)
+		if err == nil && j.Status.Phase == api.JobPending {
+			out = append(out, PendingJob{Job: j, Version: v})
+		}
+	}
+	return out
+}
+
 // PendingCount reports the queued-job count without copying anything.
 func (c *Cluster) PendingCount() int {
 	c.pending.mu.Lock()
@@ -701,14 +727,56 @@ func (c *Cluster) SubmitJob(j api.QuantumJob) error {
 	return nil
 }
 
+// ConflictError reports an optimistic-concurrency bind that lost: the
+// job's resource version moved between the caller's observation and the
+// bind transaction. Another scheduler replica (or a cancel, or a kubelet
+// transition) won the race — the caller should skip the job, not retry
+// or alarm.
+type ConflictError struct {
+	Job      string
+	Observed int64 // the version the caller bound against
+	Current  int64 // the version the store held at transaction time
+}
+
+func (e ConflictError) Error() string {
+	return fmt.Sprintf("state: job %s moved from version %d to %d during binding",
+		e.Job, e.Observed, e.Current)
+}
+
+// HTTPStatus implements httpx.StatusCoder: a lost optimistic bind is the
+// canonical 409.
+func (e ConflictError) HTTPStatus() (int, string) { return 409, "conflict" }
+
+// IsConflict reports whether err is (or wraps) a lost optimistic bind.
+func IsConflict(err error) bool {
+	var c ConflictError
+	return errors.As(err, &c)
+}
+
 // BindJob assigns a pending job to a node (the scheduler's binding step)
 // and reserves one of the node's container slots plus the job's classical
 // resources. The node update is the serialisation point: concurrent binds
 // racing for the last free slot fail here rather than overcommitting.
 func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
-	job, _, err := c.Jobs.Get(jobName)
+	return c.BindJobAt(jobName, nodeName, score, 0)
+}
+
+// BindJobAt is BindJob with optimistic concurrency: when version > 0 the
+// bind commits only if the job's resource version still equals version at
+// the phase-transition step (compare-and-swap under the job shard's
+// lock), returning ConflictError otherwise. Racing scheduler replicas
+// each bind at the version they observed in their pending snapshot, so
+// exactly one wins per job and the losers learn cheaply. version 0 skips
+// the check — the single-replica fast path.
+func (c *Cluster) BindJobAt(jobName, nodeName string, score float64, version int64) error {
+	job, cur, err := c.Jobs.Get(jobName)
 	if err != nil {
 		return err
+	}
+	// Fast path: a stale observation loses before it touches the node
+	// shard, so conflict storms don't serialise on node locks.
+	if version > 0 && cur != version {
+		return ConflictError{Job: jobName, Observed: version, Current: cur}
 	}
 	if job.Status.Phase != api.JobPending {
 		return fmt.Errorf("state: job %s is %s, not pending", jobName, job.Status.Phase)
@@ -740,7 +808,7 @@ func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
 	if err != nil {
 		return err
 	}
-	_, _, err = c.Jobs.Update(jobName, func(j api.QuantumJob) (api.QuantumJob, error) {
+	mutate := func(j api.QuantumJob) (api.QuantumJob, error) {
 		// Re-check under the job store's lock: a CancelJob (or any other
 		// transition) that landed between the pending check above and
 		// this update must win, not be silently overwritten.
@@ -751,10 +819,26 @@ func (c *Cluster) BindJob(jobName, nodeName string, score float64) error {
 		j.Status.Node = nodeName
 		j.Status.Score = score
 		return j, nil
-	})
+	}
+	if version > 0 {
+		// The compare-and-swap: check and mutate run atomically under the
+		// job shard's lock, so no transition can slip between them.
+		_, _, err = c.Jobs.UpdateFunc(jobName, func(_ api.QuantumJob, v int64) error {
+			if v != version {
+				return ConflictError{Job: jobName, Observed: version, Current: v}
+			}
+			return nil
+		}, mutate)
+	} else {
+		_, _, err = c.Jobs.Update(jobName, mutate)
+	}
 	if err != nil {
-		// The node reservation above is now orphaned; give it back.
-		c.ReleaseNode(nodeName, jobName)
+		// The node reservation above is now orphaned; give it back. A
+		// rollback that itself fails (node deregistered mid-flight) must
+		// not vanish: latch it so operators can reconcile the orphan.
+		if rerr := c.ReleaseNode(nodeName, jobName); rerr != nil {
+			c.LatchReleaseFailure(nodeName, jobName, rerr)
+		}
 		return err
 	}
 	if m := c.Metrics; m != nil {
@@ -833,7 +917,9 @@ func (c *Cluster) CancelJob(name string) (api.QuantumJob, error) {
 		return api.QuantumJob{}, err
 	}
 	if releasedNode != "" {
-		c.ReleaseNode(releasedNode, name)
+		if rerr := c.ReleaseNode(releasedNode, name); rerr != nil {
+			c.LatchReleaseFailure(releasedNode, name, rerr)
+		}
 	}
 	if running {
 		c.RecordEvent("Job", name, "CancelRequested",
@@ -846,10 +932,21 @@ func (c *Cluster) CancelJob(name string) (api.QuantumJob, error) {
 
 // ReleaseNode frees the container slot and resource reservation a job held
 // on a node. The job lookup happens before the node update so no store
-// read nests inside the node shard's lock.
-func (c *Cluster) ReleaseNode(nodeName, jobName string) {
+// read nests inside the node shard's lock; a job the retention sweep has
+// already archived resolves through the archive tier (the ResultFor
+// two-tier pattern) so its CPU/memory reservation is still decremented —
+// releasing only the slot would leak classical-resource accounting until
+// the node re-registers. The returned error is the node update failing
+// (typically the node deregistered mid-release); callers that cannot
+// retry should latch it via releaseFailed.
+func (c *Cluster) ReleaseNode(nodeName, jobName string) error {
 	job, _, jobErr := c.Jobs.Get(jobName)
-	c.Nodes.Update(nodeName, func(n api.Node) (api.Node, error) {
+	if jobErr != nil {
+		if entry, ok := c.Archived.Get(jobName); ok {
+			job, jobErr = entry.Job, nil
+		}
+	}
+	_, _, err := c.Nodes.Update(nodeName, func(n api.Node) (api.Node, error) {
 		if !n.Status.HasRunningJob(jobName) {
 			return n, nil
 		}
@@ -875,6 +972,22 @@ func (c *Cluster) ReleaseNode(nodeName, jobName string) {
 		}
 		return n, nil
 	})
+	return err
+}
+
+// LatchReleaseFailure latches a release that could not land: a
+// ReleaseFailed event on the job plus the
+// qrio_state_release_failures_total counter. The reservation may be
+// orphaned until the node re-registers (node registration rebuilds
+// accounting from scratch), so the failure must be visible rather than
+// silently dropped. Every ReleaseNode caller that cannot retry routes
+// its error here.
+func (c *Cluster) LatchReleaseFailure(nodeName, jobName string, err error) {
+	if m := c.Metrics; m != nil {
+		m.ReleaseFailures.Inc()
+	}
+	c.RecordEvent("Job", jobName, "ReleaseFailed",
+		fmt.Sprintf("could not release reservation on node %s: %v", nodeName, err))
 }
 
 // RecordEvent appends an observability event. The timestamp is taken once

@@ -4,11 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"qrio/internal/cluster/api"
 	"qrio/internal/device"
 	"qrio/internal/graph"
+	"qrio/internal/obs"
 )
 
 func testBackend(t *testing.T, name string) *device.Backend {
@@ -555,5 +559,204 @@ func TestSubmitJobEnforcesQuota(t *testing.T) {
 	}
 	if err := c.SubmitJob(tenantFidelityJob("over", "alice", 1)); err != nil {
 		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+// scheduledJob submits a job with classical resources and binds it to the
+// named node, returning the reserved amounts for accounting assertions.
+func scheduledJob(t *testing.T, c *Cluster, name, node string) api.ResourceRequirements {
+	t.Helper()
+	res := api.ResourceRequirements{CPUMillis: 1000, MemoryMB: 512}
+	j := fidelityJob(name)
+	j.Spec.Resources = res
+	if err := c.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindJob(name, node, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReleaseNodeAfterArchival is the accounting-leak regression: a job
+// whose release races the retention sweep (terminal, swept to the archive,
+// THEN released) must still give back its CPU/memory reservation via the
+// archive tier — not just its container slot.
+func TestReleaseNodeAfterArchival(t *testing.T) {
+	c := New()
+	c.AddNode(testBackend(t, "dev-a"))
+	scheduledJob(t, c, "j1", "dev-a")
+
+	// The kubelet finishes the job but crashes before its release; the
+	// sweep then moves the terminal job to the archive.
+	finished := time.Now().Add(-time.Hour)
+	if _, _, err := c.Jobs.Update("j1", func(j api.QuantumJob) (api.QuantumJob, error) {
+		j.Status.Phase = api.JobSucceeded
+		j.Status.FinishedAt = &finished
+		return j, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.ArchiveTerminal(time.Now(), RetentionPolicy{MaxTerminalAge: time.Minute}); n != 1 {
+		t.Fatalf("archived %d, want 1", n)
+	}
+	if _, _, err := c.Jobs.Get("j1"); err == nil {
+		t.Fatal("j1 still resident after sweep")
+	}
+
+	if err := c.ReleaseNode("dev-a", "j1"); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := c.Nodes.Get("dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Status.CPUMillisInUse != 0 || n.Status.MemoryMBInUse != 0 {
+		t.Fatalf("release after archival leaked accounting: %dm CPU, %dMB memory still in use",
+			n.Status.CPUMillisInUse, n.Status.MemoryMBInUse)
+	}
+	if len(n.Status.RunningJobs) != 0 {
+		t.Fatalf("slot not released: %v", n.Status.RunningJobs)
+	}
+}
+
+// TestReleaseNodeSurfacesNodeError: a release racing a node deregistration
+// must report the failure instead of vanishing.
+func TestReleaseNodeSurfacesNodeError(t *testing.T) {
+	c := New()
+	if err := c.ReleaseNode("ghost-node", "j1"); err == nil {
+		t.Fatal("release against a missing node reported success")
+	}
+}
+
+// TestCancelLatchesFailedRelease: cancelling a scheduled job whose node
+// deregistered mid-flight still cancels the job, and the unreleasable
+// reservation is latched as a ReleaseFailed event plus the
+// qrio_state_release_failures_total counter.
+func TestCancelLatchesFailedRelease(t *testing.T) {
+	c := New()
+	c.Metrics = NewMetrics(obs.NewRegistry())
+	c.AddNode(testBackend(t, "dev-a"))
+	scheduledJob(t, c, "j1", "dev-a")
+	if err := c.Nodes.Delete("dev-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	updated, err := c.CancelJob("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.Status.Phase != api.JobCancelled {
+		t.Fatalf("phase = %s", updated.Status.Phase)
+	}
+	if got := c.Metrics.ReleaseFailures.Value(); got != 1 {
+		t.Fatalf("release failures counter = %d, want 1", got)
+	}
+	found := false
+	for _, ev := range c.EventsAbout("j1") {
+		if ev.Reason == "ReleaseFailed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no ReleaseFailed event recorded")
+	}
+}
+
+// TestBindJobAtConflicts pins the optimistic-concurrency contract: a bind
+// at the observed version wins; a bind at a stale version loses with a
+// typed ConflictError and leaves no node reservation behind.
+func TestBindJobAtConflicts(t *testing.T) {
+	c := New()
+	c.AddNode(testBackend(t, "dev-a"))
+	c.AddNode(testBackend(t, "dev-b"))
+	j := fidelityJob("j1")
+	j.Spec.Resources = api.ResourceRequirements{CPUMillis: 1000, MemoryMB: 512}
+	if err := c.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	pend := c.PendingJobsVersioned(0)
+	if len(pend) != 1 || pend[0].Job.Name != "j1" || pend[0].Version <= 0 {
+		t.Fatalf("PendingJobsVersioned = %+v", pend)
+	}
+	v := pend[0].Version
+
+	if err := c.BindJobAt("j1", "dev-a", 0.5, v); err != nil {
+		t.Fatalf("bind at observed version failed: %v", err)
+	}
+	// A second replica still holding the pre-bind observation must lose
+	// with the typed conflict — and learn on the fast path (the job is no
+	// longer pending, but the version check fires first).
+	err := c.BindJobAt("j1", "dev-b", 0.5, v)
+	if !IsConflict(err) {
+		t.Fatalf("stale bind error = %v, want ConflictError", err)
+	}
+	var conflict ConflictError
+	if errors.As(err, &conflict); conflict.Job != "j1" || conflict.Observed != v {
+		t.Fatalf("conflict detail = %+v", conflict)
+	}
+	// The loser must not have reserved anything on its node.
+	nb, _, _ := c.Nodes.Get("dev-b")
+	if nb.Status.CPUMillisInUse != 0 || len(nb.Status.RunningJobs) != 0 {
+		t.Fatalf("losing bind reserved on dev-b: %+v", nb.Status)
+	}
+	// And the winner's bind stands untouched.
+	got, _, _ := c.Jobs.Get("j1")
+	if got.Status.Phase != api.JobScheduled || got.Status.Node != "dev-a" {
+		t.Fatalf("winner's bind disturbed: %+v", got.Status)
+	}
+}
+
+// TestBindJobAtExactlyOneWinner races replicas binding one job at the same
+// observed version toward different nodes: exactly one bind commits, every
+// loser sees ConflictError, and node accounting reflects one reservation.
+func TestBindJobAtExactlyOneWinner(t *testing.T) {
+	c := New()
+	nodes := make([]string, 4)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("dev-%d", i)
+		c.AddNode(testBackend(t, nodes[i]))
+	}
+	j := fidelityJob("j1")
+	j.Spec.Resources = api.ResourceRequirements{CPUMillis: 500, MemoryMB: 256}
+	if err := c.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	_, v, err := c.Jobs.Get("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wins, conflicts atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := c.BindJobAt("j1", nodes[i%len(nodes)], 0.5, v)
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case IsConflict(err):
+				conflicts.Add(1)
+			default:
+				t.Errorf("racing bind got non-conflict error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d binds won, want exactly 1 (%d conflicts)", wins.Load(), conflicts.Load())
+	}
+	// Exactly one node carries the reservation.
+	reserved := 0
+	for _, name := range nodes {
+		n, _, _ := c.Nodes.Get(name)
+		if len(n.Status.RunningJobs) > 0 {
+			reserved++
+		}
+	}
+	if reserved != 1 {
+		t.Fatalf("%d nodes hold reservations, want 1", reserved)
 	}
 }

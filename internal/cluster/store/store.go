@@ -326,6 +326,46 @@ func (s *Store[T]) Update(name string, mutate func(T) (T, error)) (T, int64, err
 	return next, v, nil
 }
 
+// UpdateFunc applies mutate to the named object only if check accepts the
+// current object and its resource version — the compare-and-swap primitive
+// behind optimistic-concurrency transactions (DeleteFunc's pattern, for
+// updates). check runs under the shard lock against the internal object
+// (no copy); returning an error aborts the update and surfaces that error
+// unchanged, so callers can type their own conflict. Like Update's
+// callback, neither function may mutate or retain the pre-copy object nor
+// call back into this store. "Bind iff the job's version is unchanged" is
+// atomic with respect to every concurrent writer: N scheduler replicas
+// racing the same pending job resolve to exactly one winner.
+func (s *Store[T]) UpdateFunc(name string, check func(obj T, version int64) error, mutate func(T) (T, error)) (T, int64, error) {
+	idx := s.shardIndex(name)
+	sh := &s.shards[idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	obj, ok := sh.items[name]
+	if !ok {
+		var zero T
+		return zero, 0, ErrNotFound{name}
+	}
+	if err := check(obj, sh.versions[name]); err != nil {
+		var zero T
+		return zero, 0, err
+	}
+	next, err := mutate(s.deepCopy(obj))
+	if err != nil {
+		var zero T
+		return zero, 0, err
+	}
+	if s.name(next) != name {
+		var zero T
+		return zero, 0, fmt.Errorf("store: update may not rename %q to %q", name, s.name(next))
+	}
+	v := s.version.Add(1)
+	sh.items[name] = s.deepCopy(next)
+	sh.versions[name] = v
+	s.emitLocked(idx, WatchEvent[T]{Type: Modified, Object: s.deepCopy(next), Version: v, Shard: idx})
+	return next, v, nil
+}
+
 // Delete removes the named object.
 func (s *Store[T]) Delete(name string) error {
 	return s.DeleteFunc(name, func(T, int64) error { return nil })

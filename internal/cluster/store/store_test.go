@@ -395,3 +395,95 @@ func TestEmptyListIsNotNil(t *testing.T) {
 		t.Fatal("ListFunc on empty store returned nil")
 	}
 }
+
+func TestUpdateFuncCompareAndSwap(t *testing.T) {
+	s := newStore()
+	v0, err := s.Create(obj{Name: "a", Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := fmt.Errorf("version moved")
+	cas := func(expect int64) func(obj, int64) error {
+		return func(_ obj, v int64) error {
+			if v != expect {
+				return conflict
+			}
+			return nil
+		}
+	}
+	// CAS at the current version succeeds and bumps the version.
+	next, v1, err := s.UpdateFunc("a", cas(v0), func(o obj) (obj, error) {
+		o.Value = 2
+		return o, nil
+	})
+	if err != nil || next.Value != 2 || v1 <= v0 {
+		t.Fatalf("UpdateFunc = %v, %d, %v", next, v1, err)
+	}
+	// A racer holding the stale version loses with exactly the check error,
+	// and the object is untouched.
+	if _, _, err := s.UpdateFunc("a", cas(v0), func(o obj) (obj, error) {
+		o.Value = 99
+		return o, nil
+	}); err != conflict {
+		t.Fatalf("stale CAS error = %v, want the check error", err)
+	}
+	got, v, _ := s.Get("a")
+	if got.Value != 2 || v != v1 {
+		t.Fatalf("object after failed CAS = %v at %d, want Value 2 at %d", got, v, v1)
+	}
+}
+
+func TestUpdateFuncMissingAndMutateError(t *testing.T) {
+	s := newStore()
+	ok := func(obj, int64) error { return nil }
+	if _, _, err := s.UpdateFunc("ghost", ok, func(o obj) (obj, error) { return o, nil }); err == nil {
+		t.Fatal("UpdateFunc on a missing object succeeded")
+	}
+	if _, err := s.Create(obj{Name: "a", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("mutate refused")
+	if _, _, err := s.UpdateFunc("a", ok, func(obj) (obj, error) { return obj{}, boom }); err != boom {
+		t.Fatalf("mutate error = %v, want passthrough", err)
+	}
+	if got, _, _ := s.Get("a"); got.Value != 1 {
+		t.Fatalf("aborted UpdateFunc changed the object: %v", got)
+	}
+}
+
+func TestUpdateFuncExactlyOneWinner(t *testing.T) {
+	s := newStore()
+	v0, err := s.Create(obj{Name: "job", Value: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := fmt.Errorf("conflict")
+	var wins, conflicts atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, _, err := s.UpdateFunc("job",
+				func(_ obj, v int64) error {
+					if v != v0 {
+						return conflict
+					}
+					return nil
+				},
+				func(o obj) (obj, error) {
+					o.Value = r + 1
+					return o, nil
+				})
+			if err == nil {
+				wins.Add(1)
+			} else if err == conflict {
+				conflicts.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if wins.Load() != 1 || conflicts.Load() != 7 {
+		t.Fatalf("wins = %d conflicts = %d, want exactly 1 and 7", wins.Load(), conflicts.Load())
+	}
+}

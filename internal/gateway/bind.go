@@ -1,0 +1,58 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+
+	"qrio/internal/httpx"
+)
+
+// BindRequest is the body of POST /v1/bind: the scheduler-replica binding
+// verb. Version, when > 0, makes the bind version-conditional — it
+// commits only if the job's resource version (as observed in the
+// replica's watch feed) is unchanged, and loses with 409 conflict
+// otherwise. Version 0 binds unconditionally (the phase checks still
+// apply); out-of-process replicas should always send the version they
+// observed, which is what makes N of them safe against one queue.
+type BindRequest struct {
+	Job     string  `json:"job"`
+	Node    string  `json:"node"`
+	Score   float64 `json:"score,omitempty"`
+	Version int64   `json:"version,omitempty"`
+}
+
+// handleBind places one pending job on one node through the optimistic
+// bind transaction. 200 returns the bound job; a lost version race, a
+// job no longer pending, or a node without capacity all surface as 409
+// conflict — the caller's cue to move on, not retry.
+func (s *Server) handleBind(w http.ResponseWriter, r *http.Request) {
+	var req BindRequest
+	if err := httpx.DecodeJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid, err)
+		return
+	}
+	if req.Job == "" || req.Node == "" {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+			fmt.Errorf("gateway: bind needs both job and node"))
+		return
+	}
+	if req.Version < 0 {
+		httpx.WriteError(w, http.StatusBadRequest, httpx.CodeInvalid,
+			fmt.Errorf("gateway: bind version must be >= 0, got %d", req.Version))
+		return
+	}
+	if err := s.Core.State.BindJobAt(req.Job, req.Node, req.Score, req.Version); err != nil {
+		// Typed errors (ConflictError, ErrNotFound) carry their own
+		// status; the untyped bind failures — job not pending, node not
+		// ready or full — are all some racer winning, hence the 409
+		// fallback.
+		httpx.WriteErr(w, err, http.StatusConflict, httpx.CodeConflict)
+		return
+	}
+	job, _, err := s.Core.State.Jobs.Get(req.Job)
+	if err != nil {
+		httpx.WriteErr(w, err, http.StatusInternalServerError, httpx.CodeInternal)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, job)
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"qrio/internal/cluster/api"
 	"qrio/internal/cluster/state"
 	"qrio/internal/cluster/store"
 	"qrio/internal/httpx"
@@ -99,25 +100,27 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !resuming {
-		// SYNC snapshot, stamped with the stream's starting token: a client
-		// that drops before the first live event resumes from here.
+		// SYNC snapshot, stamped with the stream's starting token (a client
+		// that drops before the first live event resumes from here) and each
+		// object's resource version — the observation an out-of-process
+		// scheduler's version-conditional POST /v1/bind binds against.
 		if kind == "" || kind == state.KindJob {
-			for _, j := range s.Core.State.Jobs.List() {
-				j := j
-				n := state.Notification{Kind: state.KindJob, Type: SyncEvent, Job: &j, Resume: start.String()}
+			s.Core.State.Jobs.Range(func(j api.QuantumJob, v int64) bool {
+				n := state.Notification{Kind: state.KindJob, Type: SyncEvent, Job: &j, Version: v, Resume: start.String()}
 				if match(n) {
 					writeSSE(w, n)
 				}
-			}
+				return true
+			})
 		}
 		if kind == "" || kind == state.KindNode {
-			for _, nd := range s.Core.State.Nodes.List() {
-				nd := nd
-				n := state.Notification{Kind: state.KindNode, Type: SyncEvent, Node: &nd, Resume: start.String()}
+			s.Core.State.Nodes.Range(func(nd api.Node, v int64) bool {
+				n := state.Notification{Kind: state.KindNode, Type: SyncEvent, Node: &nd, Version: v, Resume: start.String()}
 				if match(n) {
 					writeSSE(w, n)
 				}
-			}
+				return true
+			})
 		}
 	}
 	flusher.Flush()

@@ -1,0 +1,304 @@
+// Package replica implements an out-of-process scheduler replica: a
+// stateless scheduling loop that talks to a QRIO deployment exclusively
+// through the public /v1 gateway. Its fleet and queue views are watch-fed
+// (GET /v1/watch, resume-token reconnects), ranking goes through the Meta
+// Server's batch scoring surface, and every placement is a
+// version-conditional POST /v1/bind — so N replicas race safely over one
+// pending queue: exactly one wins each job, the rest observe a counted
+// conflict and move on. Shard partitioning (sched.Partition, hash(job)
+// mod N) keeps the replicas off each other's jobs in the steady state;
+// Assume() takes over a lost peer's shard.
+//
+// This is the Qunicorn-style decoupling the paper's Kubernetes lineage
+// implies: the scheduler is just another API client, so scheduling
+// capacity scales by starting processes (cmd/qrio-sched) instead of
+// growing one.
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrio/client"
+	"qrio/internal/cluster/api"
+	"qrio/internal/meta"
+	"qrio/internal/sched"
+)
+
+// BatchScorer ranks one job against many backends in a single call. Both
+// the gateway client (client.Client, over GET /v1/score/batch) and the
+// Meta Server's direct HTTP client (meta.Client) satisfy it.
+type BatchScorer interface {
+	ScoreBatch(ctx context.Context, jobName string, backendNames []string) ([]meta.BatchResult, error)
+}
+
+// Stats are a replica's monotonic counters, readable while it runs.
+type Stats struct {
+	// Passes counts non-empty scheduling passes.
+	Passes uint64
+	// Binds counts jobs this replica placed.
+	Binds uint64
+	// Conflicts counts optimistic binds lost to another replica (or a
+	// racing cancel) — the cross-replica contention signal.
+	Conflicts uint64
+	// Errors counts bind/score attempts that failed for any other reason.
+	Errors uint64
+}
+
+// Replica is one out-of-process scheduler instance.
+type Replica struct {
+	// Client is the gateway connection (required).
+	Client *client.Client
+	// Scorer ranks candidate nodes (default: Client's batch scoring
+	// route; a direct meta.Client works too).
+	Scorer BatchScorer
+	// Partition is this replica's share of the pending queue (nil = own
+	// everything, the single-replica default).
+	Partition *sched.Partition
+	// Interval is the pass cadence (default 50ms — remote binds are
+	// network round trips, so the loop is coarser than the in-process
+	// scheduler's 10ms).
+	Interval time.Duration
+	// Concurrency caps binds per pass (default 16).
+	Concurrency int
+
+	mu    sync.Mutex
+	jobs  map[string]watched[api.QuantumJob]
+	nodes map[string]watched[api.Node]
+	ready atomic.Bool // first SYNC snapshot consumed
+
+	passes, binds, conflicts, errors atomic.Uint64
+}
+
+// watched is one cached object plus the resource version it was last
+// observed at — the version the replica's binds are conditioned on.
+type watched[T any] struct {
+	obj     T
+	version int64
+}
+
+// Stats snapshots the replica's counters.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		Passes:    r.passes.Load(),
+		Binds:     r.binds.Load(),
+		Conflicts: r.conflicts.Load(),
+		Errors:    r.errors.Load(),
+	}
+}
+
+// Ready reports whether the watch feed has delivered its initial
+// snapshot (the replica schedules nothing before that).
+func (r *Replica) Ready() bool { return r.ready.Load() }
+
+// Assume takes over a lost peer's shard: the next pass drains its jobs
+// too. No-op without a partition.
+func (r *Replica) Assume(index int) {
+	if r.Partition != nil {
+		r.Partition.Assume(index)
+	}
+}
+
+// Run drives the replica until the context ends: one goroutine consumes
+// the self-healing watch stream into the local cache, the loop fires a
+// scheduling pass every Interval. Returns the watch setup error, or nil
+// on context end.
+func (r *Replica) Run(ctx context.Context) error {
+	if r.Client == nil {
+		return fmt.Errorf("replica: no gateway client")
+	}
+	r.mu.Lock()
+	if r.jobs == nil {
+		r.jobs = make(map[string]watched[api.QuantumJob])
+		r.nodes = make(map[string]watched[api.Node])
+	}
+	r.mu.Unlock()
+	events, err := r.Client.Watch(ctx, client.WatchOptions{Reconnect: true})
+	if err != nil {
+		return fmt.Errorf("replica: opening watch: %w", err)
+	}
+	interval := r.Interval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case ev, ok := <-events:
+			if !ok {
+				return nil // context ended; the healing watch closes only then
+			}
+			r.observe(ev)
+		case <-ticker.C:
+			r.Pass(ctx)
+		}
+	}
+}
+
+// observe folds one watch event into the cache. SYNC and live events are
+// handled identically (level-triggered): latest version wins.
+func (r *Replica) observe(ev client.WatchEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case ev.Job != nil:
+		if ev.Type == client.EventDeleted {
+			delete(r.jobs, ev.Job.Name)
+		} else {
+			r.jobs[ev.Job.Name] = watched[api.QuantumJob]{*ev.Job, ev.Version}
+		}
+	case ev.Node != nil:
+		if ev.Type == client.EventDeleted {
+			delete(r.nodes, ev.Node.Name)
+		} else {
+			r.nodes[ev.Node.Name] = watched[api.Node]{*ev.Node, ev.Version}
+		}
+	}
+	r.ready.Store(true)
+}
+
+// markBound evicts a just-bound job from the cache so the next pass
+// (which may fire before the Scheduled watch event lands) doesn't re-bind
+// it against itself. Conditional on the bound version: if the cache
+// already moved past what we bound at, the newer observation wins.
+func (r *Replica) markBound(name string, version int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.jobs[name]; ok && w.version == version {
+		delete(r.jobs, name)
+	}
+}
+
+// pendingJob is one bind candidate from the cached queue view.
+type pendingJob struct {
+	job     api.QuantumJob
+	version int64
+}
+
+// headroom is the pass-local free capacity of one cached node.
+type headroom struct {
+	slots    int
+	cpu, mem int64
+}
+
+// snapshot extracts this replica's pending jobs (FIFO: CreatedAt, then
+// name) and the ready fleet's headroom from the cache.
+func (r *Replica) snapshot() ([]pendingJob, []string, map[string]*headroom) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var pending []pendingJob
+	for name, w := range r.jobs {
+		if w.obj.Status.Phase != api.JobPending || !r.Partition.Owns(name) {
+			continue
+		}
+		pending = append(pending, pendingJob{w.obj, w.version})
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if !pending[i].job.CreatedAt.Equal(pending[j].job.CreatedAt) {
+			return pending[i].job.CreatedAt.Before(pending[j].job.CreatedAt)
+		}
+		return pending[i].job.Name < pending[j].job.Name
+	})
+	var names []string
+	free := make(map[string]*headroom)
+	for name, w := range r.nodes {
+		n := w.obj
+		if n.Status.Phase != api.NodeReady {
+			continue
+		}
+		names = append(names, name)
+		free[name] = &headroom{
+			slots: n.ContainerSlots() - len(n.Status.RunningJobs),
+			cpu:   n.Spec.CPUMillis - n.Status.CPUMillisInUse,
+			mem:   n.Spec.MemoryMB - n.Status.MemoryMBInUse,
+		}
+	}
+	sort.Strings(names)
+	return pending, names, free
+}
+
+// Pass runs one scheduling pass over the cached views and returns how
+// many jobs it bound. Exported so harnesses (and tests) can drive the
+// replica without the Run loop.
+func (r *Replica) Pass(ctx context.Context) int {
+	if !r.ready.Load() {
+		return 0
+	}
+	limit := r.Concurrency
+	if limit <= 0 {
+		limit = 16
+	}
+	pending, names, free := r.snapshot()
+	if len(pending) == 0 || len(names) == 0 {
+		return 0
+	}
+	r.passes.Add(1)
+	scorer := r.Scorer
+	if scorer == nil {
+		scorer = r.Client
+	}
+	bound := 0
+	for _, p := range pending {
+		if bound >= limit || ctx.Err() != nil {
+			break
+		}
+		// Candidates with headroom, by the cached view; the server-side
+		// bind remains the authoritative capacity check.
+		var cands []string
+		for _, name := range names {
+			h := free[name]
+			if h.slots <= 0 || h.cpu < p.job.Spec.Resources.CPUMillis || h.mem < p.job.Spec.Resources.MemoryMB {
+				continue
+			}
+			cands = append(cands, name)
+		}
+		if len(cands) == 0 {
+			break // headroom only shrinks within a pass
+		}
+		results, err := scorer.ScoreBatch(ctx, p.job.Name, cands)
+		if err != nil {
+			r.errors.Add(1)
+			continue
+		}
+		sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+		placed := false
+		for _, cand := range results {
+			if cand.Error != "" {
+				continue
+			}
+			_, err := r.Client.Bind(ctx, p.job.Name, cand.Backend, cand.Score, p.version)
+			if err == nil {
+				r.binds.Add(1)
+				r.markBound(p.job.Name, p.version)
+				h := free[cand.Backend]
+				h.slots--
+				h.cpu -= p.job.Spec.Resources.CPUMillis
+				h.mem -= p.job.Spec.Resources.MemoryMB
+				placed = true
+				bound++
+				break
+			}
+			if client.IsConflict(err) {
+				// Version conflict: another replica won the job — drop it
+				// for this pass (the watch feed will deliver its new state).
+				// A capacity conflict on the node surfaces the same way; in
+				// both cases this candidate is spent, and for a job-version
+				// loss every other candidate is too. Distinguish cheaply:
+				// refresh nothing, just stop after the first conflict.
+				r.conflicts.Add(1)
+				placed = true
+				break
+			}
+			r.errors.Add(1)
+		}
+		_ = placed
+	}
+	return bound
+}

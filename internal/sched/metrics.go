@@ -17,6 +17,11 @@ type Metrics struct {
 	// the pass considered) and "bound" (jobs it placed). The gap between
 	// the two is the backlog the fleet couldn't absorb.
 	PassJobs *obs.CounterVec
+	// BindConflicts counts optimistic binds lost to another replica (or
+	// a racing cancel) — the replica-contention signal. A high rate
+	// relative to binds means the partition is misconfigured (replicas
+	// draining overlapping shards) or takeover left two owners.
+	BindConflicts *obs.Counter
 }
 
 // NewMetrics registers the scheduler's families on a registry.
@@ -26,5 +31,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Wall time of each non-empty scheduling pass.", nil).With(),
 		PassJobs: r.Counter("qrio_sched_pass_jobs_total",
 			"Jobs considered (ranked) and placed (bound) by scheduling passes.", "outcome"),
+		BindConflicts: r.Counter("qrio_sched_bind_conflicts_total",
+			"Optimistic binds lost to another scheduler replica.").With(),
 	}
 }

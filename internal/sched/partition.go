@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// MaxPartitionReplicas bounds a partition's replica count: shard
+// ownership is an atomic 64-bit mask, which is plenty — replicas are
+// whole scheduler processes, not worker goroutines.
+const MaxPartitionReplicas = 64
+
+// Partition splits the pending queue among scheduler replicas by stable
+// hash: shard(job) = fnv32a(name) mod Replicas, and a replica drains only
+// the shards it owns. Replicas therefore mostly don't contend — each
+// job has exactly one home replica — while BindJobAt's version check
+// remains the correctness guard for the moments they do (takeover races,
+// a replica binding from a stale snapshot).
+//
+// Ownership starts as the replica's own index and grows by Assume when a
+// peer is lost (takeover on replica loss): whoever the deployment's
+// health layer elects calls Assume(deadIndex) and the orphaned shard's
+// jobs flow on the next pass. Owns and Assume are safe for concurrent
+// use — ownership is one atomic mask — so a health watcher can reassign
+// shards while passes are mid-flight.
+//
+// A nil *Partition owns every job: the single-replica deployments that
+// never construct one keep exactly their old behaviour.
+type Partition struct {
+	replicas uint32
+	owned    atomic.Uint64 // bit i set ⇒ this replica drains shard i
+}
+
+// NewPartition returns replica index's share of an N-way partition.
+func NewPartition(replicas, index int) (*Partition, error) {
+	if replicas < 1 || replicas > MaxPartitionReplicas {
+		return nil, fmt.Errorf("sched: partition needs 1..%d replicas, got %d", MaxPartitionReplicas, replicas)
+	}
+	if index < 0 || index >= replicas {
+		return nil, fmt.Errorf("sched: replica index %d outside 0..%d", index, replicas-1)
+	}
+	p := &Partition{replicas: uint32(replicas)}
+	p.owned.Store(1 << uint(index))
+	return p, nil
+}
+
+// Shard returns the job's home shard index.
+func (p *Partition) Shard(jobName string) int {
+	h := fnv.New32a()
+	h.Write([]byte(jobName))
+	return int(h.Sum32() % p.replicas)
+}
+
+// Owns reports whether this replica currently drains the job's shard.
+// A nil partition owns everything.
+func (p *Partition) Owns(jobName string) bool {
+	if p == nil {
+		return true
+	}
+	return p.owned.Load()&(1<<uint(p.Shard(jobName))) != 0
+}
+
+// Assume adds a shard to this replica's ownership — the takeover step
+// after a peer replica is declared lost. Out-of-range indexes are
+// ignored. Idempotent.
+func (p *Partition) Assume(index int) {
+	if index < 0 || index >= int(p.replicas) {
+		return
+	}
+	for {
+		old := p.owned.Load()
+		if p.owned.CompareAndSwap(old, old|1<<uint(index)) {
+			return
+		}
+	}
+}
+
+// Drop removes a shard from this replica's ownership — handing it back
+// when the peer rejoins. Idempotent.
+func (p *Partition) Drop(index int) {
+	if index < 0 || index >= int(p.replicas) {
+		return
+	}
+	for {
+		old := p.owned.Load()
+		if p.owned.CompareAndSwap(old, old&^(1<<uint(index))) {
+			return
+		}
+	}
+}
+
+// Owned lists the shard indexes this replica currently drains.
+func (p *Partition) Owned() []int {
+	mask := p.owned.Load()
+	var out []int
+	for i := 0; i < int(p.replicas); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

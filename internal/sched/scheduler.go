@@ -94,6 +94,18 @@ type Scheduler struct {
 	// the cap trims only the tail — so a pass under deep overload costs
 	// O(tenants × cap) instead of O(total backlog).
 	MaxPendingPerTenant int
+	// Partition restricts this scheduler to its share of an N-way
+	// replica partition of the pending queue (nil = own everything, the
+	// single-replica default). See Partition for the takeover protocol.
+	Partition *Partition
+	// OptimisticBind makes every bind version-conditional: the pass
+	// snapshots each pending job's resource version and binds with
+	// BindJobAt, so a job another replica bound (or a user cancelled)
+	// since the snapshot loses with a counted conflict instead of racing
+	// through phase checks. Required when multiple replicas share one
+	// pending queue; a lone scheduler can leave it off and skip the
+	// version bookkeeping.
+	OptimisticBind bool
 	// Metrics is the optional instrumentation handle (nil = no metrics,
 	// the zero-overhead default). Set once at wiring time.
 	Metrics *Metrics
@@ -117,6 +129,11 @@ type Scheduler struct {
 	// only from SchedulePass (not safe for concurrent use, like wrrCredit).
 	fleetRank      map[uint64][]NodeScore
 	fleetRankEpoch uint64
+
+	// passVersions maps job name → the resource version this pass's
+	// pending snapshot observed, consumed by bind under OptimisticBind.
+	// Accessed only from SchedulePass, like wrrCredit.
+	passVersions map[string]int64
 }
 
 // New assembles a scheduler over cluster state.
@@ -157,7 +174,7 @@ func (s *Scheduler) SchedulePass() int {
 	}
 	// The incremental pending index makes this O(pending work): terminal
 	// jobs resident in the store are never touched, let alone deep-copied.
-	pending := s.capActiveBudget(s.State.PendingJobsCapped(s.MaxPendingPerTenant))
+	pending := s.capActiveBudget(s.snapshotPending())
 	if len(pending) == 0 {
 		return 0
 	}
@@ -183,6 +200,59 @@ func (s *Scheduler) SchedulePass() int {
 	return bound
 }
 
+// snapshotPending builds the pass's work queue: the pending index capped
+// per tenant, filtered to this replica's partition, and — under
+// OptimisticBind — with each job's observed resource version parked in
+// passVersions for bind to condition on.
+func (s *Scheduler) snapshotPending() []api.QuantumJob {
+	if !s.OptimisticBind {
+		pending := s.State.PendingJobsCapped(s.MaxPendingPerTenant)
+		if s.Partition == nil {
+			return pending
+		}
+		owned := pending[:0]
+		for _, j := range pending {
+			if s.Partition.Owns(j.Name) {
+				owned = append(owned, j)
+			}
+		}
+		return owned
+	}
+	versioned := s.State.PendingJobsVersioned(s.MaxPendingPerTenant)
+	if s.passVersions == nil {
+		s.passVersions = make(map[string]int64, len(versioned))
+	} else {
+		clear(s.passVersions)
+	}
+	pending := make([]api.QuantumJob, 0, len(versioned))
+	for _, p := range versioned {
+		if !s.Partition.Owns(p.Job.Name) {
+			continue
+		}
+		s.passVersions[p.Job.Name] = p.Version
+		pending = append(pending, p.Job)
+	}
+	return pending
+}
+
+// bind places one job, version-conditionally under OptimisticBind. A
+// ConflictError means another actor moved the job since the snapshot —
+// count it (the replica-contention signal) and pass it up for the caller
+// to treat as "job moved on", not as a scheduling failure.
+func (s *Scheduler) bind(jobName, nodeName string, score float64) error {
+	var version int64
+	if s.OptimisticBind {
+		version = s.passVersions[jobName]
+	}
+	err := s.State.BindJobAt(jobName, nodeName, score, version)
+	if state.IsConflict(err) {
+		if m := s.Metrics; m != nil {
+			m.BindConflicts.Inc()
+		}
+	}
+	return err
+}
+
 // serialPass is the paper's architecture: one job at a time through the
 // full filter/score/pick pipeline.
 func (s *Scheduler) serialPass(pending []api.QuantumJob, limit int) int {
@@ -192,6 +262,11 @@ func (s *Scheduler) serialPass(pending []api.QuantumJob, limit int) int {
 			break
 		}
 		if err := s.ScheduleOne(job); err != nil {
+			if state.IsConflict(err) {
+				// Another replica won the job between snapshot and bind —
+				// expected under contention, not a failure to record.
+				continue
+			}
 			s.recordSchedulingFailure(job.Name, err)
 			continue
 		}
@@ -290,7 +365,13 @@ func (s *Scheduler) dispatchChunk(chunk []api.QuantumJob, budget int, nodes []ap
 				h.cpu < job.Spec.Resources.CPUMillis || h.mem < job.Spec.Resources.MemoryMB {
 				continue
 			}
-			if err := s.State.BindJob(job.Name, cand.Node, cand.Score); err != nil {
+			if err := s.bind(job.Name, cand.Node, cand.Score); err != nil {
+				if state.IsConflict(err) {
+					// Another replica took the job since the snapshot; stop
+					// trying candidates but count nothing.
+					placed = true
+					break
+				}
 				if j, _, jerr := s.State.Jobs.Get(job.Name); jerr != nil || j.Status.Phase != api.JobPending {
 					// The job itself moved on (bound elsewhere, deleted);
 					// stop trying candidates but count nothing.
@@ -441,7 +522,13 @@ func (s *Scheduler) dispatchChunkShared(chunk []api.QuantumJob, budget int, node
 				cur++
 				continue
 			}
-			if err := s.State.BindJob(job.Name, cand.Node, cand.Score); err != nil {
+			if err := s.bind(job.Name, cand.Node, cand.Score); err != nil {
+				if state.IsConflict(err) {
+					// Another replica took the job; the candidate is still
+					// live for the rest of the class.
+					placed = true
+					break
+				}
 				if j, _, jerr := s.State.Jobs.Get(job.Name); jerr != nil || j.Status.Phase != api.JobPending {
 					// The job itself moved on; the candidate is still live
 					// for the rest of the class.
@@ -510,5 +597,5 @@ func (s *Scheduler) ScheduleOne(job api.QuantumJob) error {
 	if err != nil {
 		return err
 	}
-	return s.State.BindJob(job.Name, choice.Node, choice.Score)
+	return s.bind(job.Name, choice.Node, choice.Score)
 }

@@ -566,7 +566,9 @@ func (e *Engine) finish(name string) {
 		return // another actor finalised it (cancel path); leave to them
 	}
 	if node != "" {
-		e.st.ReleaseNode(node, name)
+		if rerr := e.st.ReleaseNode(node, name); rerr != nil {
+			e.st.LatchReleaseFailure(node, name, rerr)
+		}
 	}
 	meta.running = false
 	if !meta.fail {
